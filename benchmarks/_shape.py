@@ -1,0 +1,61 @@
+"""Shape assertions shared by the table benchmarks.
+
+"Shape" is the reproduction criterion from DESIGN.md: we do not chase the
+paper's absolute seconds (our substrate is a simulator, not the Argonne
+SP), but who wins, in which direction, and by roughly what factor must
+match.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult
+
+__all__ = [
+    "mean_error",
+    "assert_coupling_beats_summation",
+    "assert_summation_overestimates",
+    "assert_errors_within",
+]
+
+
+def mean_error(result: ExperimentResult, predictor: str) -> float:
+    """Average percent relative error of one predictor row."""
+    errors = result.measured_errors[predictor]
+    return sum(errors) / len(errors)
+
+
+def assert_coupling_beats_summation(
+    result: ExperimentResult, factor: float = 2.0
+) -> None:
+    """Every coupling row must beat Summation on average by >= factor."""
+    summation = mean_error(result, "Summation")
+    for name in result.measured_errors:
+        if name == "Summation":
+            continue
+        coupling = mean_error(result, name)
+        assert coupling * factor <= summation, (
+            f"{name} ({coupling:.2f} %) does not beat Summation "
+            f"({summation:.2f} %) by {factor}x in {result.experiment_id}"
+        )
+
+
+def assert_summation_overestimates(result: ExperimentResult) -> None:
+    """Constructive coupling ⇒ actual < summation at every proc count."""
+    for column in result.table.columns[1:]:
+        actual_value = result.table.cell("Actual", column)
+        summation_value, _err = result.table.cell("Summation", column)
+        assert summation_value > actual_value, (
+            f"summation does not overestimate at {column} in "
+            f"{result.experiment_id}"
+        )
+
+
+def assert_errors_within(
+    result: ExperimentResult, predictor: str, limit: float
+) -> None:
+    """Every per-column error of ``predictor`` must stay under ``limit`` %."""
+    for err in result.measured_errors[predictor]:
+        assert err <= limit, (
+            f"{predictor} error {err:.2f} % exceeds {limit} % in "
+            f"{result.experiment_id}"
+        )

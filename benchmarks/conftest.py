@@ -1,0 +1,47 @@
+"""Shared state for the table-regeneration benchmarks.
+
+The benchmarks are the repository's experiment harness: each one
+regenerates a table of the paper (via :mod:`repro.experiments`), asserts
+its *shape* criteria (who wins, in which direction, by roughly what
+factor), and records the rendered table so ``pytest benchmarks/
+--benchmark-only`` output doubles as the reproduction log.
+
+A session-scoped pipeline shares measurements between tables exactly the
+way the paper reuses one experimental campaign (e.g. Tables 3a and 3b come
+from the same runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentPipeline, ExperimentSettings
+from repro.instrument import MeasurementConfig
+
+#: Measurement protocol used by every table benchmark.
+BENCH_MEASUREMENT = MeasurementConfig(repetitions=6, warmup=2, seed=0)
+
+_rendered: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> ExperimentPipeline:
+    """One measurement campaign shared by every table."""
+    return ExperimentPipeline(
+        ExperimentSettings(measurement=BENCH_MEASUREMENT)
+    )
+
+
+def record(result) -> None:
+    """Stash a rendered table + comparison for the session summary."""
+    _rendered.append(result.table.render() + "\n" + result.comparison())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every regenerated table after the benchmark summary."""
+    if not _rendered:
+        return
+    terminalreporter.section("regenerated paper tables")
+    for block in _rendered:
+        terminalreporter.write_line(block)
+        terminalreporter.write_line("")

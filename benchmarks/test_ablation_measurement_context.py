@@ -1,0 +1,61 @@
+"""Ablation: the measurement-context choice DESIGN.md calls out.
+
+The coupling signal depends on what state the measured chain sees between
+timed iterations. This ablation regenerates the BT class W pair couplings
+under the three protocols and checks the documented behaviour:
+
+* flush isolated + self-warming chains (default): strong constructive
+  couplings, summation overestimates — the paper's regime;
+* symmetric replay on both: couplings collapse to ~1 (no signal);
+* self-warming on both: couplings ~1 too (isolated loops are as warm as
+  chains when the working set fits cache).
+"""
+
+import pytest
+
+from repro.core import ControlFlow
+from repro.instrument import ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+def pair_couplings(isolated_context, chain_context):
+    bench = make_benchmark("BT", "W", 4)
+    flow = ControlFlow(bench.loop_kernel_names)
+    runner = ChainRunner(
+        bench,
+        ibm_sp_argonne(),
+        MeasurementConfig(
+            repetitions=4,
+            warmup=2,
+            isolated_context=isolated_context,
+            chain_context=chain_context,
+        ),
+    )
+    isolated = {
+        k: m.mean for k, m in runner.measure_all_isolated(flow.names).items()
+    }
+    out = {}
+    for window in flow.windows(2):
+        chain = runner.measure(window).mean
+        out[window] = chain / sum(isolated[k] for k in window)
+    return out
+
+
+@pytest.mark.parametrize(
+    "iso,chain,expect_signal",
+    [
+        ("flush", "none", True),
+        ("replay", "replay", False),
+        ("none", "none", False),
+    ],
+)
+def test_context_ablation(benchmark, iso, chain, expect_signal):
+    couplings = benchmark.pedantic(
+        lambda: pair_couplings(iso, chain), rounds=1, iterations=1
+    )
+    solve_pair = couplings[("X_SOLVE", "Y_SOLVE")]
+    if expect_signal:
+        assert solve_pair < 0.92, couplings
+    else:
+        assert solve_pair == pytest.approx(1.0, abs=0.08), couplings

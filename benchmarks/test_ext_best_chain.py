@@ -1,0 +1,16 @@
+"""Extension: cross-validated chain-length selection (paper §3 open question)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_ext_best_chain(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_best_chain", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Held-out errors of the selected length stay small for every code.
+    for row in result.table.rows:
+        assert row[3] < 6.0, row

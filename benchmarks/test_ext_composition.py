@@ -1,0 +1,15 @@
+"""Extension: fitted Eq. 3 composition models."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_ext_composition(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_composition", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    for row in result.table.rows:
+        assert row[1].startswith("T = T_pre + ")

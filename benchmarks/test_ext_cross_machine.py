@@ -1,0 +1,20 @@
+"""Extension: relative performance of two systems (paper §1 motivation)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_ext_cross_machine(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_cross_machine", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Every per-machine prediction accurate, and the ranking correct.
+    for row in result.table.rows:
+        assert row[4] < 5.0, row  # error %
+    assert all("ranking correct" in obs for obs in result.observations)
+    # Couplings are memory-subsystem properties: the big-L2 SP shows
+    # stronger constructive coupling than the small-L2 cluster.
+    assert any("on the SP" in obs for obs in result.observations)

@@ -1,0 +1,17 @@
+"""Extension: zero-measurement extrapolation (Prophesy workflow)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_ext_extrapolation(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_extrapolation", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Targets are predicted with no measurements at all at the target
+    # processor count; single-digit errors are the bar.
+    for row in result.table.rows:
+        assert row[5] < 12.0, row

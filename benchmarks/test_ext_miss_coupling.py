@@ -1,0 +1,19 @@
+"""Extension: coupling over cache misses (paper §2 metric generality)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_ext_miss_coupling(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_miss_coupling", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    for row in result.table.rows:
+        _, time_c, miss_c = row
+        assert time_c < 1.0 and miss_c < 1.0
+        # Misses are the shared resource itself: the miss coupling is the
+        # stronger signal.
+        assert miss_c < time_c

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are true pytest-benchmark timing runs (multiple rounds) of the
+engine's hot paths; they guard the event-throughput budget the experiment
+harness depends on.
+"""
+
+from repro.npb import make_benchmark
+from repro.simmachine import Machine, ibm_sp_argonne
+from repro.simmpi import attach_world
+
+
+def _ring_program(ctx):
+    right = (ctx.rank + 1) % ctx.comm.size
+    left = (ctx.rank - 1) % ctx.comm.size
+    for _ in range(200):
+        yield from ctx.comm.sendrecv(right, 40, send_tag=1, source=left)
+
+
+def test_engine_message_throughput(benchmark):
+    def run():
+        machine = Machine(ibm_sp_argonne(), 8, seed=0)
+        attach_world(machine)
+        machine.run(_ring_program)
+        return machine.sim.events_processed
+
+    events = benchmark(run)
+    # 200 ring exchanges on 8 ranks: ~3 events per message end.
+    assert events > 4000
+
+
+def test_collective_allreduce_cost(benchmark):
+    def run():
+        machine = Machine(ibm_sp_argonne(), 16, seed=0)
+        attach_world(machine)
+
+        def program(ctx):
+            for _ in range(50):
+                yield from ctx.comm.allreduce(1.0, 8)
+
+        return machine.run(program)
+
+    elapsed = benchmark(run)
+    assert elapsed > 0
+
+
+def test_bt_iteration_simulation_speed(benchmark):
+    bench = make_benchmark("BT", "W", 9)
+
+    def run():
+        machine = Machine(ibm_sp_argonne(), 9, seed=0)
+        attach_world(machine)
+
+        def program(ctx):
+            for _ in range(3):
+                for kernel in bench.loop_kernel_names:
+                    yield from bench.kernel(kernel)(ctx)
+
+        return machine.run(program)
+
+    assert benchmark(run) > 0
+
+
+def test_lu_wavefront_simulation_speed(benchmark):
+    bench = make_benchmark("LU", "W", 8)
+
+    def run():
+        machine = Machine(ibm_sp_argonne(), 8, seed=0)
+        attach_world(machine)
+
+        def program(ctx):
+            yield from bench.kernel("SSOR_LT")(ctx)
+            yield from bench.kernel("SSOR_UT")(ctx)
+
+        return machine.run(program)
+
+    assert benchmark(run) > 0

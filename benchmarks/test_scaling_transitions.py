@@ -1,0 +1,18 @@
+"""Scaling experiment: finite coupling transitions (paper §4.1.4 / §6)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_scaling_transitions(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("scaling", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # The headline claim: the number of major coupling transitions along a
+    # monotone sweep is finite — bounded by the memory subsystem (at most
+    # one regime change per cache level).
+    for row in result.table.rows:
+        assert row[5] == "True", row

@@ -1,0 +1,16 @@
+"""Table 1: BT data sets (S/W/A grid sizes)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table1_bt_datasets(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    assert result.table.cell("S", "Size") == "12 x 12 x 12"
+    assert result.table.cell("W", "Size") == "32 x 32 x 32"
+    assert result.table.cell("A", "Size") == "64 x 64 x 64"

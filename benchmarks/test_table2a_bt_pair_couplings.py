@@ -1,0 +1,24 @@
+"""Table 2a: BT class S pairwise coupling values (4/9/16 procs)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table2a_bt_pair_couplings(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2a", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Five kernel pairs (the cyclic adjacencies of the BT loop).
+    assert len(result.table.rows) == 5
+    # Paper trend: couplings generally get larger as processors increase
+    # (9 -> 16 procs); allow one exception, as the paper itself observed
+    # one ({Add, Copy_Faces} at 9 procs).
+    rising = sum(
+        1
+        for row in result.table.rows
+        if row[3] >= row[2] - 0.005  # 16 procs vs 9 procs
+    )
+    assert rising >= 4

@@ -1,0 +1,20 @@
+"""Table 2b: BT class S execution times (actual / summation / coupling-2)."""
+
+from benchmarks._shape import assert_coupling_beats_summation, mean_error
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table2b_bt_s_times(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2b", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Paper: summation ~30 % average error at class S. Our simulator's
+    # class-S noise is milder than the real machine's, so the coupling
+    # predictor does better than the paper's 28 % — the required shape is
+    # that summation is far off and coupling is the better predictor.
+    assert mean_error(result, "Summation") > 10.0
+    assert_coupling_beats_summation(result, factor=2.0)

@@ -1,0 +1,21 @@
+"""Table 4a: BT class A four-kernel coupling values."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+from repro.util.stats import mean
+
+
+def test_table4a_bt_a_couplings(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4a", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Paper: ~0.9 at 4 procs (working set far beyond the caches) dropping
+    # toward ~0.8 as the per-processor problem shrinks.
+    at4 = mean([row[1] for row in result.table.rows])
+    at25 = mean([row[4] for row in result.table.rows])
+    assert at4 > 0.9
+    assert at25 < at4 - 0.05
+    assert 0.7 < at25 < 0.95

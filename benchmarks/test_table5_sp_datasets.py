@@ -1,0 +1,15 @@
+"""Table 5: SP data sets (W/A/B grid sizes)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table5_sp_datasets(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table5", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    assert result.table.cell("W", "Size") == "36 x 36 x 36"
+    assert result.table.cell("B", "Size") == "102 x 102 x 102"

@@ -1,0 +1,23 @@
+"""Table 6b: SP class A execution times (4- and 5-kernel predictors)."""
+
+from benchmarks._shape import (
+    assert_coupling_beats_summation,
+    assert_errors_within,
+    mean_error,
+)
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table6b_sp_a_times(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table6b", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Paper: summation avg 20.5 %, coupling-4 1.97 %, coupling-5 1.18 %.
+    assert mean_error(result, "Summation") > 5.0
+    assert_errors_within(result, "Coupling: 4 kernels", 5.0)
+    assert_errors_within(result, "Coupling: 5 kernels", 5.0)
+    assert_coupling_beats_summation(result, factor=3.0)

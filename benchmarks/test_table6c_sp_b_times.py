@@ -1,0 +1,27 @@
+"""Table 6c: SP class B execution times (4- and 5-kernel predictors)."""
+
+from benchmarks._shape import (
+    assert_coupling_beats_summation,
+    assert_errors_within,
+)
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table6c_sp_b_times(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table6c", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Paper: worst coupling error 1.85 % vs best summation error 18.61 %.
+    worst_coupling = max(
+        max(errs)
+        for name, errs in result.measured_errors.items()
+        if name != "Summation"
+    )
+    best_summation = min(result.measured_errors["Summation"])
+    assert worst_coupling < best_summation
+    assert_errors_within(result, "Coupling: 4 kernels", 6.0)
+    assert_coupling_beats_summation(result, factor=3.0)

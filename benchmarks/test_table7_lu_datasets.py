@@ -1,0 +1,15 @@
+"""Table 7: LU data sets (W/A/B grid sizes)."""
+
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table7_lu_datasets(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table7", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    assert result.table.cell("W", "Size") == "33 x 33 x 33"
+    assert result.table.cell("A", "Size") == "64 x 64 x 64"

@@ -1,0 +1,18 @@
+"""Table 8b: LU class A execution times with the 3-kernel predictor."""
+
+from benchmarks._shape import assert_coupling_beats_summation, assert_errors_within, mean_error
+from benchmarks.conftest import record
+from repro.experiments import run_experiment
+
+
+def test_table8b_lu_a_times(benchmark, pipeline):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table8b", pipeline=pipeline),
+        rounds=1,
+        iterations=1,
+    )
+    record(result)
+    # Paper: summation avg 4.56 %, coupling-3 avg 1.47 %.
+    assert mean_error(result, "Summation") < 20.0
+    assert_errors_within(result, "Coupling: 3 kernels", 4.0)
+    assert_coupling_beats_summation(result, factor=1.5)

@@ -1,0 +1,24 @@
+"""Regenerate the paper's BT class W results (Tables 3a and 3b).
+
+This is the paper's §4.1.2 case study end-to-end: coupling values of the
+three-kernel chains across 4/9/16/25 processors, and the execution-time
+comparison of the summation and coupling predictors.
+
+Run:  python examples/bt_class_w_tables.py
+"""
+
+from repro.experiments import ExperimentPipeline, run_experiment
+
+
+def main() -> None:
+    pipeline = ExperimentPipeline()  # shared measurements for both tables
+    for table_id in ("table3a", "table3b"):
+        result = run_experiment(table_id, pipeline=pipeline)
+        print(result.table.render())
+        print()
+        print(result.comparison())
+        print("\n" + "=" * 72 + "\n")
+
+
+if __name__ == "__main__":
+    main()

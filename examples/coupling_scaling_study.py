@@ -1,0 +1,58 @@
+"""How coupling values move with problem size and processor count.
+
+Aspects (2) and (3) of the paper: sweep BT's {X_SOLVE, Y_SOLVE} pair
+coupling across problem classes and processor counts, count the major value
+transitions, and compare against the machine's cache-capacity crossings —
+the paper's "finite number of major value changes that is dependent on the
+memory subsystem".
+
+Run:  python examples/coupling_scaling_study.py
+"""
+
+from repro.core import CouplingScalingStudy
+from repro.instrument import MeasurementConfig
+from repro.simmachine import ibm_sp_argonne
+
+WINDOW = ("X_SOLVE", "Y_SOLVE")
+
+
+def describe(study: CouplingScalingStudy, label: str, points) -> None:
+    analysis = study.transition_analysis(WINDOW, points)
+    print(f"{label}:")
+    for pt, coupling in zip(points, analysis.couplings):
+        footprint_mb = pt.footprint_bytes / 2**20
+        print(
+            f"  class {pt.problem_class} on {pt.nprocs:>2} procs: "
+            f"C = {coupling:.3f}   (working set {footprint_mb:7.2f} MiB/proc)"
+        )
+    print(
+        f"  -> {analysis.observed} observed major transition(s); "
+        f"{analysis.expected} cache-capacity crossing(s); "
+        f"finite = {analysis.finite}\n"
+    )
+
+
+def main() -> None:
+    machine = ibm_sp_argonne()
+    caps = ", ".join(
+        f"{lv.name}={lv.capacity_bytes // 1024} KiB"
+        for lv in machine.processor.cache_levels
+    )
+    print(f"Machine cache capacities: {caps}\n")
+
+    study = CouplingScalingStudy(
+        "BT",
+        machine,
+        chain_length=2,
+        measurement=MeasurementConfig(repetitions=4, warmup=2),
+    )
+
+    by_class = study.sweep_classes(["S", "W", "A"], nprocs=4)
+    describe(study, "Problem-size scaling (fixed 4 processors)", by_class)
+
+    by_procs = study.sweep_procs("A", [4, 9, 16, 25])
+    describe(study, "Processor scaling (fixed class A)", by_procs)
+
+
+if __name__ == "__main__":
+    main()

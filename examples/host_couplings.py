@@ -1,0 +1,61 @@
+"""Measure REAL kernel couplings on THIS machine.
+
+Everything else in the repository runs on the simulated IBM SP. This
+example applies the paper's Eq. 1-2 to actual NumPy kernels (the x/y/z
+sweeps of an ADI diffusion solver) timed on the host CPU — the coupling
+values you see come from your machine's real cache hierarchy.
+
+Run:  python examples/host_couplings.py
+"""
+
+from repro.core import CouplingPredictor, PredictionInputs, SummationPredictor
+from repro.npb.miniapp import HostMiniApp
+
+
+def main() -> None:
+    app = HostMiniApp(n=96, repetitions=7)
+    print(f"ADI mini-app on a {app.grid.nx}^3 grid, host CPU timings.\n")
+
+    couplings = app.coupling_set(chain_length=2)
+    print("Pair couplings (C < 1: the next sweep reuses cached data):")
+    isolated = {}
+    for chain in couplings:
+        print(
+            f"  {{{', '.join(chain.window)}}}: C = {chain.value:.3f} "
+            f"({1e3 * chain.chain_performance:.1f} ms together vs "
+            f"{1e3 * chain.isolated_sum:.1f} ms summed)"
+        )
+
+    iterations = 10
+    isolated = {k: app.measure((k,)).mean for k in app.flow.names}
+    inputs = PredictionInputs(
+        flow=app.flow,
+        iterations=iterations,
+        loop_times=isolated,
+        chain_times={
+            c.window: c.chain_performance for c in couplings
+        },
+    )
+    actual = app.application_time(iterations)
+    summation = SummationPredictor().predict(inputs)
+    coupled = CouplingPredictor(2).predict(inputs)
+    print(f"\n{iterations} full iterations on the host:")
+    print(f"  actual:    {1e3 * actual:8.1f} ms")
+    print(
+        f"  summation: {1e3 * summation:8.1f} ms "
+        f"({100 * abs(summation - actual) / actual:5.1f} % error)"
+    )
+    print(
+        f"  coupling:  {1e3 * coupled:8.1f} ms "
+        f"({100 * abs(coupled - actual) / actual:5.1f} % error)"
+    )
+    print(
+        "\n(Host timings are noisy; rerun a few times. The coupling "
+        "prediction should track the actual time more closely than the "
+        "summation whenever your cache holds a useful fraction of the "
+        "field between sweeps.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""LU's sensitivity to small-message latency (paper §4.3).
+
+LU's SSOR sweeps pipeline "a relatively large number of small
+communications of five words each" and are therefore "very sensitive to the
+small-message communication performance". This example sweeps the network
+latency of the simulated machine and shows the wavefront kernels slowing
+down much faster than the local kernels, plus the per-kernel profile of a
+full run.
+
+Run:  python examples/lu_latency_sensitivity.py
+"""
+
+from repro.instrument import ChainRunner, MeasurementConfig, profile_application
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+def with_latency(machine, latency):
+    return machine.with_(
+        network=machine.network.__class__(
+            **{**machine.network.__dict__, "latency": latency}
+        )
+    )
+
+
+def main() -> None:
+    base = ibm_sp_argonne()
+    # Small per-processor planes make the wavefront latency-bound — the
+    # regime where the paper's "very sensitive to the small-message
+    # communication performance" bites hardest.
+    bench = make_benchmark("LU", "S", 16)
+    measurement = MeasurementConfig(repetitions=6, warmup=2)
+
+    print("Per-invocation kernel times vs network latency (LU class S, 16 procs)")
+    print(f"{'latency':>10} {'SSOR_LT (wavefront)':>22} {'SSOR_RS (halo)':>18}")
+    baseline = {}
+    for factor in (1, 2, 5, 10):
+        machine = with_latency(base, base.network.latency * factor)
+        runner = ChainRunner(bench, machine, measurement)
+        times = {
+            k: runner.measure((k,)).mean for k in ("SSOR_LT", "SSOR_RS")
+        }
+        if factor == 1:
+            baseline = dict(times)
+        cells = [
+            f"{1e3 * times[k]:8.2f} ms ({times[k] / baseline[k]:4.2f}x)"
+            for k in ("SSOR_LT", "SSOR_RS")
+        ]
+        print(f"{1e6 * base.network.latency * factor:8.0f} us " + " ".join(cells))
+
+    print("\nWhere a full LU class W run spends its time (per kernel, "
+          "rank-summed, 8 procs):\n")
+    report = profile_application(make_benchmark("LU", "W", 8), base)
+    print(report.render())
+
+    # A traced SSOR iteration, rendered as a per-rank timeline: watch the
+    # lower sweep staircase across the process grid, then reverse.
+    from repro.instrument import render_timeline
+    from repro.simmachine import Machine
+    from repro.simmpi import attach_world
+
+    small = make_benchmark("LU", "S", 4)
+    machine = Machine(base.with_(noise_cv=0.0, noise_floor=0.0), 4, trace=True)
+    attach_world(machine)
+
+    def one_iteration(ctx):
+        for kernel in small.loop_kernel_names:
+            yield from small.kernel(kernel)(ctx)
+
+    machine.run(one_iteration)
+    print("\nOne traced SSOR iteration (LU class S, 4 procs):\n")
+    print(render_timeline(machine.trace, 4, width=68))
+
+
+if __name__ == "__main__":
+    main()

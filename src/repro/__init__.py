@@ -1,0 +1,95 @@
+"""repro — kernel-coupling performance prediction for parallel applications.
+
+A full reproduction of *Taylor, Wu, Geisler, Stevens: "Using Kernel
+Couplings to Predict Parallel Application Performance" (HPDC 2002)*:
+
+* :mod:`repro.core` — the paper's contribution: coupling values (Eq. 1-2),
+  the weighted-average composition algebra (§3), coupling and summation
+  predictors, scaling/transition analysis;
+* :mod:`repro.simmachine` / :mod:`repro.simmpi` — a discrete-event
+  simulated parallel machine (caches, interconnect, noise) with an
+  MPI-like layer, standing in for the paper's IBM SP;
+* :mod:`repro.npb` — BT/SP/LU work-alikes decomposed into the paper's
+  kernels, plus real NumPy implementations of the underlying numerics;
+* :mod:`repro.instrument` — the kernel-isolation measurement protocol;
+* :mod:`repro.experiments` — drivers that regenerate every table of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_prediction
+    report = quick_prediction("BT", "W", nprocs=4, chain_length=3)
+    print(report.errors())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    ControlFlow,
+    CouplingPredictor,
+    CouplingSet,
+    Kernel,
+    PredictionInputs,
+    PredictionReport,
+    SummationPredictor,
+    coupling_value,
+    kernel_coefficients,
+)
+from repro.errors import ReproError
+from repro.experiments import ExperimentPipeline, ExperimentSettings, run_experiment
+from repro.instrument import ApplicationRunner, ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine import Machine, MachineConfig, ibm_sp_argonne
+
+__all__ = [
+    "ApplicationRunner",
+    "ChainRunner",
+    "ControlFlow",
+    "CouplingPredictor",
+    "CouplingSet",
+    "ExperimentPipeline",
+    "ExperimentSettings",
+    "Kernel",
+    "Machine",
+    "MachineConfig",
+    "MeasurementConfig",
+    "PredictionInputs",
+    "PredictionReport",
+    "ReproError",
+    "SummationPredictor",
+    "__version__",
+    "coupling_value",
+    "ibm_sp_argonne",
+    "kernel_coefficients",
+    "make_benchmark",
+    "quick_prediction",
+    "run_experiment",
+]
+
+
+def quick_prediction(
+    benchmark: str,
+    problem_class: str,
+    nprocs: int,
+    chain_length: int = 3,
+    settings: "ExperimentSettings | None" = None,
+) -> PredictionReport:
+    """Measure one configuration and compare all predictors to actual.
+
+    The one-call entry point: runs the full measurement protocol on the
+    simulated IBM SP and returns a :class:`PredictionReport` with the
+    actual time, the summation prediction, and the coupling prediction for
+    ``chain_length``.
+    """
+    pipeline = ExperimentPipeline(settings)
+    result = pipeline.config_result(
+        benchmark, problem_class, nprocs, (chain_length,)
+    )
+    return PredictionReport(
+        actual=result.actual,
+        predictions={
+            "Summation": result.summation,
+            f"Coupling: {chain_length} kernels": result.coupling_prediction(
+                chain_length
+            ),
+        },
+    )

@@ -1,0 +1,301 @@
+"""Command-line interface.
+
+Examples::
+
+    repro list                      # enumerate the paper's experiments
+    repro run table3b               # regenerate one table
+    repro run all                   # regenerate every table
+    repro predict BT W 9 -L 3       # one-off prediction comparison
+    repro machine                   # show the simulated IBM SP
+    repro profile LU A 8            # per-kernel application profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Kernel-coupling performance prediction "
+            "(reproduction of Taylor et al., HPDC 2002)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper's experiments")
+
+    run = sub.add_parser("run", help="regenerate one experiment table (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. table3b, or 'all'")
+    run.add_argument(
+        "--repetitions", type=int, default=None, help="harness repetitions"
+    )
+    run.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+
+    predict = sub.add_parser(
+        "predict", help="predict one configuration with every method"
+    )
+    predict.add_argument("benchmark", choices=["BT", "SP", "LU", "CG", "MG", "bt", "sp", "lu", "cg", "mg"])
+    predict.add_argument("problem_class", choices=list("SWABCswabc"))
+    predict.add_argument("nprocs", type=int)
+    predict.add_argument(
+        "-L", "--chain-length", type=int, default=3, help="coupling chain length"
+    )
+
+    sub.add_parser("machine", help="describe the simulated machine")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write EXPERIMENTS.md"
+    )
+    report.add_argument(
+        "-o", "--output", default="EXPERIMENTS.md", help="output markdown path"
+    )
+    report.add_argument(
+        "--repetitions", type=int, default=8, help="harness repetitions"
+    )
+    report.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a measurement campaign into a database"
+    )
+    sweep.add_argument("benchmark", choices=["BT", "SP", "LU", "CG", "MG", "bt", "sp", "lu", "cg", "mg"])
+    sweep.add_argument(
+        "--classes", default="S", help="comma-separated problem classes"
+    )
+    sweep.add_argument(
+        "--procs", default="4", help="comma-separated processor counts"
+    )
+    sweep.add_argument(
+        "--chains", default="2", help="comma-separated chain lengths"
+    )
+    sweep.add_argument(
+        "--db", default=":memory:", help="sqlite path (memoizes reruns)"
+    )
+    sweep.add_argument("--repetitions", type=int, default=6)
+
+    profile = sub.add_parser("profile", help="per-kernel application profile")
+    profile.add_argument("benchmark", choices=["BT", "SP", "LU", "CG", "MG", "bt", "sp", "lu", "cg", "mg"])
+    profile.add_argument("problem_class", choices=list("SWABCswabc"))
+    profile.add_argument("nprocs", type=int)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS as reg
+
+    # Trigger driver registration.
+    import repro.experiments.bt_tables  # noqa: F401
+    import repro.experiments.cross_machine  # noqa: F401
+    import repro.experiments.extensions  # noqa: F401
+    import repro.experiments.extrapolation_exp  # noqa: F401
+    import repro.experiments.lu_tables  # noqa: F401
+    import repro.experiments.scaling_exp  # noqa: F401
+    import repro.experiments.sp_tables  # noqa: F401
+
+    for exp_id in sorted(reg):
+        exp = reg[exp_id]
+        print(f"{exp_id:<10} {exp.title:<36} {exp.description}")
+    return 0
+
+
+def _cmd_run(experiment: str, repetitions: Optional[int], seed: int) -> int:
+    from repro.experiments import ExperimentPipeline, ExperimentSettings, run_experiment
+    from repro.instrument import MeasurementConfig
+
+    measurement = MeasurementConfig(
+        repetitions=repetitions if repetitions is not None else 8,
+        warmup=2,
+        seed=seed,
+    )
+    pipeline = ExperimentPipeline(ExperimentSettings(measurement=measurement))
+    if experiment == "all":
+        import repro.experiments.bt_tables  # noqa: F401
+        import repro.experiments.cross_machine  # noqa: F401
+        import repro.experiments.extensions  # noqa: F401
+        import repro.experiments.extrapolation_exp  # noqa: F401
+        import repro.experiments.lu_tables  # noqa: F401
+        import repro.experiments.scaling_exp  # noqa: F401
+        import repro.experiments.sp_tables  # noqa: F401
+        from repro.experiments.registry import EXPERIMENTS
+
+        ids = sorted(EXPERIMENTS)
+    else:
+        ids = [experiment]
+    for exp_id in ids:
+        result = run_experiment(exp_id, pipeline=pipeline)
+        print(result.table.render())
+        print()
+        print(result.comparison())
+        print()
+    return 0
+
+
+def _cmd_predict(
+    benchmark: str, problem_class: str, nprocs: int, chain_length: int
+) -> int:
+    from repro import quick_prediction
+
+    report = quick_prediction(
+        benchmark.upper(), problem_class.upper(), nprocs, chain_length
+    )
+    print(f"Actual:               {report.actual:.3f} s")
+    for name, value in report.predictions.items():
+        print(
+            f"{name + ':':<21} {value:.3f} s "
+            f"({report.relative_error(name):.2f} % relative error)"
+        )
+    print(f"Best predictor: {report.best()}")
+    return 0
+
+
+def _cmd_machine() -> int:
+    from repro.simmachine import ibm_sp_argonne
+
+    cfg = ibm_sp_argonne()
+    proc = cfg.processor
+    net = cfg.network
+    print(f"machine: {cfg.name} (up to {cfg.max_procs} processors)")
+    print(
+        f"  processor: {proc.clock_hz / 1e6:.0f} MHz x "
+        f"{proc.flops_per_cycle:.0f} flops/cycle, "
+        f"{100 * proc.efficiency:.0f} % sustained "
+        f"({1e-6 / proc.flop_time:.0f} Mflop/s)"
+    )
+    for level in proc.cache_levels:
+        print(
+            f"  {level.name}: {level.capacity_bytes // 1024} KiB, "
+            f"{level.byte_time * 1e9:.2f} ns/B"
+        )
+    print(f"  memory: {proc.memory_byte_time * 1e9:.2f} ns/B")
+    print(
+        f"  network: {net.latency * 1e6:.0f} us latency, "
+        f"{1e-6 / net.byte_time:.0f} MB/s per link, "
+        f"contention coeff {net.contention_coeff}"
+    )
+    print(f"  noise: cv={cfg.noise_cv}, floor={cfg.noise_floor * 1e6:.0f} us")
+    return 0
+
+
+def _cmd_report(output: str, repetitions: int, seed: int) -> int:
+    from repro.experiments import ExperimentPipeline, ExperimentSettings
+    from repro.experiments.reportgen import generate_markdown
+    from repro.instrument import MeasurementConfig
+
+    pipeline = ExperimentPipeline(
+        ExperimentSettings(
+            measurement=MeasurementConfig(
+                repetitions=repetitions, warmup=2, seed=seed
+            )
+        )
+    )
+    text = generate_markdown(pipeline)
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {output}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core import CouplingPredictor, SummationPredictor
+    from repro.instrument import (
+        Campaign,
+        CampaignPlan,
+        MeasurementConfig,
+        PerformanceDatabase,
+    )
+    from repro.simmachine import ibm_sp_argonne
+
+    plan = CampaignPlan(
+        benchmark=args.benchmark.upper(),
+        problem_classes=tuple(c.upper() for c in args.classes.split(",")),
+        proc_counts=tuple(int(p) for p in args.procs.split(",")),
+        chain_lengths=tuple(int(c) for c in args.chains.split(",")),
+    )
+    campaign = Campaign(
+        plan=plan,
+        machine=ibm_sp_argonne(),
+        measurement=MeasurementConfig(repetitions=args.repetitions, warmup=2),
+        database=PerformanceDatabase(args.db),
+    )
+    results = campaign.run()
+    length = plan.chain_lengths[0]
+    print(
+        f"{'class':>5} {'procs':>5} {'summation':>12} "
+        f"{'coupling L=' + str(length):>14}"
+    )
+    for (cls, procs), inputs in results.items():
+        summation = SummationPredictor().predict(inputs)
+        coupled = CouplingPredictor(length).predict(inputs)
+        print(f"{cls:>5} {procs:>5} {summation:>12.3f} {coupled:>14.3f}")
+    print(
+        f"measurements: {campaign.measurements_run} run, "
+        f"{campaign.measurements_reused} reused from {args.db}"
+    )
+    return 0
+
+
+def _cmd_profile(benchmark: str, problem_class: str, nprocs: int) -> int:
+    from repro.instrument import profile_application
+    from repro.npb import make_benchmark
+    from repro.simmachine import ibm_sp_argonne
+
+    bench = make_benchmark(benchmark.upper(), problem_class.upper(), nprocs)
+    report = profile_application(bench, ibm_sp_argonne())
+    print(report.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    """Route a parsed command to its handler."""
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.repetitions, args.seed)
+    if args.command == "predict":
+        return _cmd_predict(
+            args.benchmark, args.problem_class, args.nprocs, args.chain_length
+        )
+    if args.command == "machine":
+        return _cmd_machine()
+    if args.command == "report":
+        return _cmd_report(args.output, args.repetitions, args.seed)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "profile":
+        return _cmd_profile(args.benchmark, args.problem_class, args.nprocs)
+    return 2  # pragma: no cover — argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""The paper's contribution: coupling values, composition algebra, predictors.
+
+Workflow (mirroring §2–§3 of the paper):
+
+1. Describe the application's cyclic control flow
+   (:class:`~repro.core.kernel.ControlFlow`) and enumerate chain *windows*
+   of the desired length.
+2. Measure each kernel in isolation and each window together
+   (:mod:`repro.instrument`), or supply numbers from any other source.
+3. Compute coupling values ``C_S = P_S / sum(P_k)``
+   (:mod:`repro.core.coupling`).
+4. Turn them into per-kernel coefficients via the paper's weighted average
+   (:mod:`repro.core.coefficients`).
+5. Predict ``T = T_pre + iterations * sum(alpha_k * E_k) + T_post`` with
+   :class:`~repro.core.predictor.CouplingPredictor`, against the
+   traditional :class:`~repro.core.predictor.SummationPredictor` baseline.
+"""
+
+from repro.core.coefficients import kernel_coefficients
+from repro.core.composition import CompositionModel
+from repro.core.fitting import (
+    KernelScalingModel,
+    ScalingModelSet,
+    even_share,
+    npb_work_share,
+)
+from repro.core.coupling import (
+    ChainCoupling,
+    CouplingClass,
+    CouplingSet,
+    classify,
+    coupling_value,
+)
+from repro.core.kernel import ControlFlow, Kernel
+from repro.core.metrics import Metric, combine_isolated
+from repro.core.models import (
+    AnalyticalNPBModel,
+    KernelModel,
+    MeasuredModel,
+    analytical_loop_models,
+)
+from repro.core.predictor import (
+    CouplingPredictor,
+    PredictionInputs,
+    PredictionReport,
+    SummationPredictor,
+    best_chain_length,
+)
+from repro.core.reuse import CouplingStore, ReusedPrediction
+from repro.core.selection import ChainLengthSelector, TrainingCase
+from repro.core.scaling import CouplingScalingStudy, ScalingPoint
+from repro.core.transitions import TransitionAnalysis, count_transitions, expected_transitions
+from repro.core.uncertainty import MeasuredQuantity, PredictionInterval, prediction_interval
+
+__all__ = [
+    "AnalyticalNPBModel",
+    "ChainLengthSelector",
+    "CompositionModel",
+    "ChainCoupling",
+    "ControlFlow",
+    "CouplingClass",
+    "CouplingPredictor",
+    "CouplingScalingStudy",
+    "CouplingSet",
+    "CouplingStore",
+    "Kernel",
+    "KernelModel",
+    "KernelScalingModel",
+    "MeasuredModel",
+    "MeasuredQuantity",
+    "Metric",
+    "PredictionInputs",
+    "PredictionInterval",
+    "PredictionReport",
+    "ReusedPrediction",
+    "ScalingModelSet",
+    "ScalingPoint",
+    "SummationPredictor",
+    "TrainingCase",
+    "TransitionAnalysis",
+    "analytical_loop_models",
+    "best_chain_length",
+    "classify",
+    "combine_isolated",
+    "count_transitions",
+    "coupling_value",
+    "even_share",
+    "expected_transitions",
+    "kernel_coefficients",
+    "npb_work_share",
+    "prediction_interval",
+]

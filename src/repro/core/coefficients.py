@@ -1,0 +1,39 @@
+"""The composition algebra: chain couplings → per-kernel coefficients (§3).
+
+For application time ``T = sum_k coeff_k * E_k``, the coefficient of kernel
+``k`` is the weighted average of the coupling values of every chain window
+containing ``k``, weighted by the measured chain times::
+
+    coeff_k = sum_{w ∋ k} C_w * P_w  /  sum_{w ∋ k} P_w
+
+This reproduces the paper's explicit four-kernel formulas for both the
+pairwise case (α = [(C_AB·P_AB) + (C_DA·P_DA)] / (P_AB + P_DA)) and the
+length-3 case, and generalizes to any flow length and chain length.
+"""
+
+from __future__ import annotations
+
+from repro.core.coupling import CouplingSet
+from repro.errors import PredictionError
+from repro.util.stats import weighted_average
+
+__all__ = ["kernel_coefficients"]
+
+
+def kernel_coefficients(couplings: CouplingSet) -> dict[str, float]:
+    """Compute ``kernel -> coefficient`` from a full coupling set.
+
+    Assumes (as the paper does) that all measurements used fixed kernel
+    call counts and identical inputs; the :class:`CouplingSet` constructor
+    enforces that every window of the flow was measured.
+    """
+    out: dict[str, float] = {}
+    for kernel in couplings.flow.names:
+        chains = couplings.containing(kernel)
+        if not chains:  # pragma: no cover — CouplingSet guarantees coverage
+            raise PredictionError(f"no chains contain kernel {kernel!r}")
+        out[kernel] = weighted_average(
+            values=[c.value for c in chains],
+            weights=[c.chain_performance for c in chains],
+        )
+    return out

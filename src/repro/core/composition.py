@@ -1,0 +1,129 @@
+"""The composition model as an explicit equation (paper §3, Eq. 3).
+
+The paper frames its result as an equation the analyst can read::
+
+    T = alpha * E_A + beta * E_B + gamma * E_C + delta * E_D        (Eq. 3)
+
+:class:`CompositionModel` materializes that object: per-kernel coefficients
+bound to per-kernel models, with one-shot pre/post terms, evaluable and
+renderable. Build one from measurements via :meth:`CompositionModel.fit`
+(which runs the coupling predictor's algebra) or assemble it by hand from
+analytical models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.kernel import ControlFlow
+from repro.core.models import KernelModel, MeasuredModel
+from repro.core.predictor import CouplingPredictor, PredictionInputs
+from repro.errors import PredictionError
+
+__all__ = ["CompositionModel"]
+
+#: Coefficient symbols in the paper's order, cycled for longer flows.
+_GREEK = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
+
+
+@dataclass(frozen=True)
+class CompositionModel:
+    """``T = T_pre + iterations * sum(coeff_k * E_k) + T_post``."""
+
+    flow: ControlFlow
+    iterations: int
+    coefficients: Mapping[str, float]
+    models: Mapping[str, KernelModel]
+    pre_seconds: float = 0.0
+    post_seconds: float = 0.0
+    chain_length: int = 0
+    _symbols: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        missing = [
+            k for k in self.flow.names
+            if k not in self.coefficients or k not in self.models
+        ]
+        if missing:
+            raise PredictionError(
+                f"composition model missing coefficients/models for {missing}"
+            )
+
+    @classmethod
+    def fit(
+        cls, inputs: PredictionInputs, chain_length: int
+    ) -> "CompositionModel":
+        """Build the model from a full set of measurements."""
+        predictor = CouplingPredictor(chain_length)
+        coefficients = predictor.coefficients(inputs)
+        models = {
+            k: MeasuredModel(k, inputs.loop_times[k]) for k in inputs.flow.names
+        }
+        return cls(
+            flow=inputs.flow,
+            iterations=inputs.iterations,
+            coefficients=dict(coefficients),
+            models=models,
+            pre_seconds=sum(inputs.pre_times.values()),
+            post_seconds=sum(inputs.post_times.values()),
+            chain_length=chain_length,
+        )
+
+    # -- use ------------------------------------------------------------------
+
+    def loop_body_seconds(self) -> float:
+        """One loop iteration: ``sum(coeff_k * E_k * calls_k)``."""
+        return sum(
+            self.coefficients[k.name]
+            * self.models[k.name].evaluate()
+            * k.calls_per_iteration
+            for k in self.flow.kernels
+        )
+
+    def evaluate(self) -> float:
+        """Predicted application execution time in seconds."""
+        return (
+            self.pre_seconds
+            + self.iterations * self.loop_body_seconds()
+            + self.post_seconds
+        )
+
+    def symbol_for(self, kernel: str) -> str:
+        """The Greek coefficient name of ``kernel`` (alpha, beta, ...)."""
+        if kernel not in self.flow.names:
+            raise PredictionError(f"kernel {kernel!r} not in flow")
+        index = self.flow.names.index(kernel)
+        base = _GREEK[index % len(_GREEK)]
+        suffix = index // len(_GREEK)
+        return base if suffix == 0 else f"{base}{suffix + 1}"
+
+    def equation(self, numeric: bool = False) -> str:
+        """Render the paper-style equation.
+
+        ``numeric=False`` gives the symbolic form of Eq. 3; ``numeric=True``
+        substitutes the fitted coefficient values.
+        """
+        terms = []
+        for kernel in self.flow.names:
+            coeff = (
+                f"{self.coefficients[kernel]:.3f}"
+                if numeric
+                else self.symbol_for(kernel)
+            )
+            terms.append(f"{coeff}*E_{kernel}")
+        body = " + ".join(terms)
+        parts = []
+        if self.pre_seconds:
+            parts.append("T_pre")
+        parts.append(f"{self.iterations}*({body})")
+        if self.post_seconds:
+            parts.append("T_post")
+        return "T = " + " + ".join(parts)
+
+    def coefficient_table(self) -> list[tuple[str, str, float]]:
+        """``(kernel, symbol, value)`` rows for reporting."""
+        return [
+            (k, self.symbol_for(k), self.coefficients[k])
+            for k in self.flow.names
+        ]

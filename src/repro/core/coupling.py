@@ -1,0 +1,172 @@
+"""Coupling values — Equations 1 and 2 of the paper.
+
+For adjacent kernels ``i`` and ``j``::
+
+    C_ij = P_ij / (P_i + P_j)                                   (Eq. 1)
+
+and for a chain (set) of kernels ``S``::
+
+    C_S = P_S / sum(P_k for k in S)                             (Eq. 2)
+
+with ``C_S = 1`` meaning no interaction, ``C_S < 1`` a performance gain
+(constructive coupling — shared resources), and ``C_S > 1`` a performance
+loss (destructive coupling — interference).
+
+The denominator's combination rule depends on the metric: execution time
+and cache misses sum, rates (flop/s) need a weighted average (§2). The
+:class:`~repro.core.metrics.Metric` passed in decides.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.core.kernel import ControlFlow
+from repro.core.metrics import Metric, combine_isolated
+from repro.errors import ConfigurationError, PredictionError
+
+__all__ = [
+    "CouplingClass",
+    "classify",
+    "coupling_value",
+    "ChainCoupling",
+    "CouplingSet",
+]
+
+#: Couplings within this distance of 1.0 are treated as "no interaction".
+DEFAULT_NEUTRAL_TOLERANCE = 0.02
+
+
+class CouplingClass(enum.Enum):
+    """The paper's three-way grouping of coupling values (§2)."""
+
+    CONSTRUCTIVE = "constructive"  # C < 1: performance gain
+    NEUTRAL = "neutral"            # C = 1: no interaction
+    DESTRUCTIVE = "destructive"    # C > 1: performance loss
+
+
+def classify(
+    value: float, tolerance: float = DEFAULT_NEUTRAL_TOLERANCE
+) -> CouplingClass:
+    """Group a coupling value per the paper's three sets."""
+    if value <= 0:
+        raise ConfigurationError(f"coupling value must be > 0, got {value}")
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    if value < 1.0 - tolerance:
+        return CouplingClass.CONSTRUCTIVE
+    if value > 1.0 + tolerance:
+        return CouplingClass.DESTRUCTIVE
+    return CouplingClass.NEUTRAL
+
+
+def coupling_value(
+    chain_performance: float,
+    isolated_performances: Sequence[float],
+    metric: Metric = Metric.TIME,
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Compute ``C_S`` from the chain and isolated measurements (Eq. 2)."""
+    if chain_performance <= 0:
+        raise ConfigurationError(
+            f"chain performance must be > 0, got {chain_performance}"
+        )
+    if not isolated_performances:
+        raise ConfigurationError("need at least one isolated performance")
+    combined = combine_isolated(metric, isolated_performances, weights)
+    if combined <= 0:
+        raise ConfigurationError(
+            f"combined isolated performance must be > 0, got {combined}"
+        )
+    return chain_performance / combined
+
+
+@dataclass(frozen=True)
+class ChainCoupling:
+    """A coupling value together with the measurements that produced it."""
+
+    window: tuple[str, ...]
+    value: float
+    chain_performance: float
+    isolated_sum: float
+
+    @property
+    def coupling_class(self) -> CouplingClass:
+        """Constructive / neutral / destructive grouping."""
+        return classify(self.value)
+
+
+class CouplingSet:
+    """All chain couplings of one (flow, chain length) configuration."""
+
+    def __init__(self, flow: ControlFlow, chain_length: int):
+        if not 2 <= chain_length <= len(flow):
+            raise ConfigurationError(
+                f"chain length must be in 2..{len(flow)}, got {chain_length}"
+            )
+        self.flow = flow
+        self.chain_length = chain_length
+        self._by_window: dict[tuple[str, ...], ChainCoupling] = {}
+
+    @classmethod
+    def from_performances(
+        cls,
+        flow: ControlFlow,
+        chain_length: int,
+        chain_performances: Mapping[tuple[str, ...], float],
+        isolated_performances: Mapping[str, float],
+        metric: Metric = Metric.TIME,
+    ) -> "CouplingSet":
+        """Build the full set from chain and isolated measurements."""
+        out = cls(flow, chain_length)
+        for window in flow.windows(chain_length):
+            if window not in chain_performances:
+                raise PredictionError(
+                    f"missing chain measurement for window {window}"
+                )
+            parts = []
+            for k in window:
+                if k not in isolated_performances:
+                    raise PredictionError(
+                        f"missing isolated measurement for kernel {k!r}"
+                    )
+                parts.append(isolated_performances[k])
+            p_chain = chain_performances[window]
+            value = coupling_value(p_chain, parts, metric)
+            out._by_window[window] = ChainCoupling(
+                window=window,
+                value=value,
+                chain_performance=p_chain,
+                isolated_sum=combine_isolated(metric, parts),
+            )
+        return out
+
+    def __getitem__(self, window: Sequence[str]) -> ChainCoupling:
+        win = tuple(window)
+        try:
+            return self._by_window[win]
+        except KeyError:
+            raise PredictionError(f"no coupling recorded for window {win}") from None
+
+    def __iter__(self):
+        return iter(self._by_window.values())
+
+    def __len__(self) -> int:
+        return len(self._by_window)
+
+    def windows(self) -> list[tuple[str, ...]]:
+        """All windows in flow order."""
+        return self.flow.windows(self.chain_length)
+
+    def containing(self, kernel: str) -> list[ChainCoupling]:
+        """Couplings of the windows that include ``kernel``."""
+        return [
+            self._by_window[w]
+            for w in self.flow.windows_containing(kernel, self.chain_length)
+        ]
+
+    def values(self) -> dict[tuple[str, ...], float]:
+        """``window -> coupling value`` mapping."""
+        return {w: c.value for w, c in self._by_window.items()}

@@ -1,0 +1,223 @@
+"""Scaling-curve fitting: predict processor counts never measured.
+
+The paper's companion system, Prophesy [TG01], fits per-kernel scaling
+models to measured data so whole configurations can be predicted without
+running them. This module implements that loop on top of the coupling
+methodology:
+
+1. measure isolated kernels at a few processor counts (training points);
+2. fit each kernel's time with the classic parallel-cost ansatz
+   ``t(P) = serial + parallel / P + comm * log2(P)``
+   (non-negative least squares keeps every term physical);
+3. at an *unmeasured* target count, evaluate the fits and borrow chain
+   couplings from the nearest measured configuration
+   (:class:`~repro.core.reuse.CouplingStore`);
+4. the coupling predictor then yields the target's execution time with
+   zero new measurements.
+
+The extrapolation test in ``tests/core/test_fitting.py`` trains on
+{4, 9, 16} processors of BT class W and predicts 25 within a few percent
+of the simulated actual.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.kernel import ControlFlow
+from repro.core.reuse import CouplingStore
+from repro.errors import PredictionError
+
+__all__ = ["KernelScalingModel", "ScalingModelSet", "even_share", "npb_work_share"]
+
+
+#: Fraction of the total work done by the busiest rank at P processors.
+WorkShare = Callable[[int], float]
+
+
+def even_share(nprocs: int) -> float:
+    """The idealized 1/P work share (no load imbalance)."""
+    return 1.0 / nprocs
+
+
+def npb_work_share(benchmark: str, problem_class: str) -> WorkShare:
+    """Work share following the NPB block decomposition's ceil imbalance.
+
+    The busiest rank owns ``max_local_points / total_points`` of the work —
+    a stepwise function of P (e.g. 32 points over 5 ranks give the leader
+    7/32, not 1/5). Fitting against this share instead of 1/P is what makes
+    extrapolation to imbalanced processor counts accurate.
+    """
+    from repro.npb import make_benchmark
+
+    def share(nprocs: int) -> float:
+        bench = make_benchmark(benchmark, problem_class, nprocs)
+        return bench.layout.max_local_points() / bench.size.points
+
+    return share
+
+
+def _basis(nprocs: int, work_share: WorkShare) -> np.ndarray:
+    return np.array(
+        [1.0, work_share(nprocs), math.log2(max(2, nprocs))]
+    )
+
+
+@dataclass(frozen=True)
+class KernelScalingModel:
+    """``t(P) = serial + parallel * share(P) + comm * log2(P)``.
+
+    ``share(P)`` defaults to the idealized 1/P; pass
+    :func:`npb_work_share` to follow the block decomposition's stepwise
+    load imbalance.
+    """
+
+    kernel: str
+    serial: float
+    parallel: float
+    comm: float
+    residual: float  # rms relative error on the training points
+    work_share: WorkShare = field(default=even_share, compare=False)
+
+    def evaluate(self, nprocs: int) -> float:
+        """Predicted per-invocation seconds at ``nprocs``."""
+        if nprocs < 1:
+            raise PredictionError(f"nprocs must be >= 1, got {nprocs}")
+        return float(np.dot(
+            (self.serial, self.parallel, self.comm),
+            _basis(nprocs, self.work_share),
+        ))
+
+    @classmethod
+    def fit(
+        cls,
+        kernel: str,
+        samples: Mapping[int, float],
+        work_share: WorkShare = even_share,
+    ) -> "KernelScalingModel":
+        """Non-negative least squares over ``{nprocs: seconds}`` samples."""
+        if len(samples) < 2:
+            raise PredictionError(
+                f"kernel {kernel!r}: need >= 2 training points, "
+                f"got {len(samples)}"
+            )
+        if any(p < 1 or t <= 0 for p, t in samples.items()):
+            raise PredictionError(
+                f"kernel {kernel!r}: invalid training sample"
+            )
+        procs = sorted(samples)
+        design = np.vstack([_basis(p, work_share) for p in procs])
+        target = np.array([samples[p] for p in procs])
+        # Weight relative errors (times span orders of magnitude across P).
+        weights = 1.0 / target
+        coeffs, _ = _nnls(design * weights[:, None], target * weights)
+        fitted = design @ coeffs
+        residual = float(
+            np.sqrt(np.mean(((fitted - target) / target) ** 2))
+        )
+        return cls(
+            kernel=kernel,
+            serial=float(coeffs[0]),
+            parallel=float(coeffs[1]),
+            comm=float(coeffs[2]),
+            residual=residual,
+            work_share=work_share,
+        )
+
+
+def _nnls(design: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, float]:
+    """Non-negative least squares (scipy's Lawson–Hanson)."""
+    from scipy.optimize import nnls
+
+    coeffs, rnorm = nnls(design, target)
+    return coeffs, float(rnorm)
+
+
+class ScalingModelSet:
+    """Per-kernel scaling fits plus borrowed couplings for a whole app."""
+
+    def __init__(
+        self,
+        flow: ControlFlow,
+        chain_length: int,
+        work_share: WorkShare = even_share,
+    ):
+        self.flow = flow
+        self.chain_length = chain_length
+        self.work_share = work_share
+        self.models: dict[str, KernelScalingModel] = {}
+        self.one_shot_models: dict[str, KernelScalingModel] = {}
+        self.couplings = CouplingStore(flow, chain_length)
+
+    # -- training ----------------------------------------------------------------
+
+    def fit_loop_kernels(
+        self, samples: Mapping[str, Mapping[int, float]]
+    ) -> None:
+        """Fit every loop kernel from ``{kernel: {nprocs: seconds}}``."""
+        missing = [k for k in self.flow.names if k not in samples]
+        if missing:
+            raise PredictionError(f"missing training data for {missing}")
+        for kernel in self.flow.names:
+            self.models[kernel] = KernelScalingModel.fit(
+                kernel, samples[kernel], self.work_share
+            )
+
+    def fit_one_shots(
+        self, samples: Mapping[str, Mapping[int, float]]
+    ) -> None:
+        """Fit pre/post kernels (any names; added to the constant term)."""
+        for kernel, data in samples.items():
+            self.one_shot_models[kernel] = KernelScalingModel.fit(
+                kernel, data, self.work_share
+            )
+
+    def add_couplings(self, problem_class: str, nprocs: int, coupling_set) -> None:
+        """Record a measured coupling set for borrowing."""
+        self.couplings.add(problem_class, nprocs, coupling_set)
+
+    # -- prediction -----------------------------------------------------------------
+
+    def loop_times_at(self, nprocs: int) -> dict[str, float]:
+        """Fitted per-invocation kernel times at ``nprocs``."""
+        if not self.models:
+            raise PredictionError("no fitted kernel models")
+        return {k: m.evaluate(nprocs) for k, m in self.models.items()}
+
+    def predict(
+        self,
+        problem_class: str,
+        nprocs: int,
+        iterations: int,
+    ) -> float:
+        """Execution time at an unmeasured processor count.
+
+        Combines the fitted kernel curves with the nearest measured
+        coupling set (see :class:`~repro.core.reuse.CouplingStore`).
+        """
+        loop_times = self.loop_times_at(nprocs)
+        one_shots = {
+            k: m.evaluate(nprocs) for k, m in self.one_shot_models.items()
+        }
+        reused = self.couplings.predict(
+            problem_class,
+            nprocs,
+            iterations=iterations,
+            loop_times=loop_times,
+            pre_times=one_shots,
+        )
+        return reused.predicted
+
+    def worst_training_residual(self) -> float:
+        """Largest rms relative training error across fitted kernels."""
+        models: Sequence[KernelScalingModel] = [
+            *self.models.values(),
+            *self.one_shot_models.values(),
+        ]
+        if not models:
+            raise PredictionError("no fitted kernel models")
+        return max(m.residual for m in models)

@@ -1,0 +1,55 @@
+"""Performance metrics and their combination rules.
+
+The paper (§2): "The summation of the isolated performance is applicable to
+performance metrics such as execution time and cache misses. The summation,
+however, is not applicable to all performance metrics, such as floating
+point operations per second (flop/s); a weighted average would be used in
+this case."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.util.stats import weighted_average
+
+__all__ = ["Metric", "combine_isolated"]
+
+
+class Metric(enum.Enum):
+    """A measurable quantity with a defined no-interaction combination."""
+
+    TIME = "time"                  # seconds — additive
+    CACHE_MISSES = "cache_misses"  # counts — additive
+    FLOP_RATE = "flop_rate"        # flop/s — weighted average
+
+    @property
+    def additive(self) -> bool:
+        """True when isolated values combine by summation."""
+        return self in (Metric.TIME, Metric.CACHE_MISSES)
+
+
+def combine_isolated(
+    metric: Metric,
+    values: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Expected chain performance under *no interaction* (the C_S denominator).
+
+    Additive metrics sum; rate metrics take the weighted average (weights
+    default to equal, and should be the kernels' execution times when
+    available).
+    """
+    if not values:
+        raise ConfigurationError("combine_isolated() of empty sequence")
+    if metric.additive:
+        if weights is not None:
+            raise ConfigurationError(
+                f"{metric.value} combines by summation; weights are not used"
+            )
+        return float(sum(values))
+    if weights is None:
+        weights = [1.0] * len(values)
+    return weighted_average(list(values), list(weights))

@@ -1,0 +1,177 @@
+"""Analytical kernel models (the ``E_k`` of the paper's Eq. 3).
+
+The coupling methodology combines *models of individual kernels* into an
+application model. Two model families are provided:
+
+* :class:`MeasuredModel` — backed by an isolated measurement (what the
+  paper's case studies use: the per-kernel average of 50 runs);
+* :class:`AnalyticalNPBModel` — a closed-form cost expression built from
+  the workload constants (:mod:`repro.npb.workloads`) and the machine
+  configuration: ``flops * flop_time + cold_bytes * memory_byte_time +
+  messages * latency + message_bytes * byte_time``. These are the "models
+  developed manually" the paper assumes exist for small kernels; tests
+  check they track the simulator within a modest factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.npb import workloads as w
+from repro.npb.base import Benchmark
+from repro.simmachine.machine import MachineConfig
+
+__all__ = [
+    "KernelModel",
+    "MeasuredModel",
+    "AnalyticalNPBModel",
+    "analytical_loop_models",
+]
+
+
+@runtime_checkable
+class KernelModel(Protocol):
+    """Anything that can produce a per-invocation time estimate."""
+
+    def evaluate(self) -> float:
+        """Estimated seconds for one invocation."""
+        ...
+
+
+@dataclass(frozen=True)
+class MeasuredModel:
+    """Model backed by a measured per-invocation time."""
+
+    kernel: str
+    per_call: float
+
+    def __post_init__(self) -> None:
+        if self.per_call <= 0:
+            raise ConfigurationError(
+                f"measured time for {self.kernel!r} must be > 0"
+            )
+
+    def evaluate(self) -> float:
+        """The measured per-invocation seconds."""
+        return self.per_call
+
+
+@dataclass(frozen=True)
+class AnalyticalNPBModel:
+    """Closed-form per-invocation cost of one NPB kernel on one rank."""
+
+    kernel: str
+    flops: float
+    cold_bytes: float
+    messages: int
+    message_bytes: float
+    machine: MachineConfig
+
+    def evaluate(self) -> float:
+        """Estimated seconds for one invocation (cold caches)."""
+        proc = self.machine.processor
+        net = self.machine.network
+        compute = self.flops * proc.flop_time
+        memory = self.cold_bytes * proc.memory_byte_time
+        comm = self.messages * (net.per_message_overhead + net.latency) + (
+            self.message_bytes * net.byte_time
+        )
+        return compute + memory + comm
+
+
+def _kernel_comm(bench: Benchmark, kernel: str, rank: int) -> tuple[int, float]:
+    """(message count, message bytes) for one invocation on ``rank``."""
+    grid = bench.grid
+    nx, ny, nz = bench.layout.local_dims(rank)
+    nbrs = len(grid.neighbors4(rank))
+    name = bench.name
+    if kernel == "COPY_FACES":
+        face = {"BT": w.BT_FACE_BYTES, "SP": w.SP_FACE_BYTES}[name]
+        nbytes = sum(
+            face * 2 * (ny * nz if dim == 0 else nx * nz)
+            for dim, step in ((0, -1), (0, +1), (1, -1), (1, +1))
+            if grid.neighbor(rank, dim, step) is not None
+        )
+        return nbrs, float(nbytes)
+    if kernel in ("X_SOLVE", "Y_SOLVE") and name in ("BT", "SP"):
+        boundary = {
+            "BT": w.BT_SOLVE_BOUNDARY_BYTES,
+            "SP": w.SP_SOLVE_BOUNDARY_BYTES,
+        }[name]
+        stages = grid.px if kernel == "X_SOLVE" else grid.py
+        if stages == 1:
+            return 0, 0.0
+        face_points = (ny if kernel == "X_SOLVE" else nx) * nz
+        return stages, float(stages * boundary * face_points)
+    if kernel in ("SSOR_LT", "SSOR_UT"):
+        msgs = 0
+        nbytes = 0.0
+        if grid.px > 1:
+            msgs += nz * ny
+            nbytes += nz * ny * w.LU_PIPELINE_MESSAGE_BYTES
+        if grid.py > 1:
+            msgs += nz * nx
+            nbytes += nz * nx * w.LU_PIPELINE_MESSAGE_BYTES
+        return msgs, nbytes
+    if kernel == "SSOR_RS":
+        nbytes = sum(
+            w.LU_FACE_BYTES * (ny * nz if dim == 0 else nx * nz)
+            for dim, step in ((0, -1), (0, +1), (1, -1), (1, +1))
+            if grid.neighbor(rank, dim, step) is not None
+        )
+        return nbrs, float(nbytes)
+    return 0, 0.0
+
+
+_FLOPS = {"BT": w.BT_FLOPS_PER_POINT, "SP": w.SP_FLOPS_PER_POINT, "LU": w.LU_FLOPS_PER_POINT}
+
+# Bytes of data streamed per point by each loop kernel, per benchmark.
+_KERNEL_FIELDS: dict[str, dict[str, tuple[str, ...]]] = {
+    "BT": {
+        "COPY_FACES": ("u", "forcing", "aux", "rhs"),
+        "X_SOLVE": ("u", "rhs", "lhs"),
+        "Y_SOLVE": ("u", "rhs", "lhs"),
+        "Z_SOLVE": ("u", "rhs", "lhs"),
+        "ADD": ("rhs", "u"),
+    },
+    "SP": {
+        "COPY_FACES": ("u", "forcing", "aux", "rhs"),
+        "TXINVR": ("aux", "rhs"),
+        "X_SOLVE": ("u", "aux", "rhs", "lhs"),
+        "Y_SOLVE": ("u", "aux", "rhs", "lhs"),
+        "Z_SOLVE": ("u", "aux", "rhs", "lhs"),
+        "ADD": ("rhs", "u"),
+    },
+    "LU": {
+        "SSOR_ITER": ("rsd",),
+        "SSOR_LT": ("u", "rsd", "jac"),
+        "SSOR_UT": ("u", "rsd", "jac"),
+        "SSOR_RS": ("frct", "u", "rsd"),
+    },
+}
+
+
+def analytical_loop_models(
+    bench: Benchmark, machine: MachineConfig, rank: int = 0
+) -> dict[str, AnalyticalNPBModel]:
+    """Analytical models of every loop kernel of ``bench`` (on ``rank``)."""
+    pts = bench.layout.local_points(rank)
+    flops_table = _FLOPS[bench.name]
+    fields = _KERNEL_FIELDS[bench.name]
+    out: dict[str, AnalyticalNPBModel] = {}
+    for kernel in bench.loop_kernel_names:
+        cold_bytes = sum(
+            float(bench.region(rank, f).nbytes) for f in fields[kernel]
+        )
+        messages, message_bytes = _kernel_comm(bench, kernel, rank)
+        out[kernel] = AnalyticalNPBModel(
+            kernel=kernel,
+            flops=flops_table[kernel] * pts,
+            cold_bytes=cold_bytes,
+            messages=messages,
+            message_bytes=message_bytes,
+            machine=machine,
+        )
+    return out

@@ -1,0 +1,163 @@
+"""Execution-time predictors: summation baseline and coupling predictor.
+
+The *summation* methodology is the paper's baseline (§4.1)::
+
+    Summation = T_init + iters * (T_k1 + T_k2 + ...) + T_final
+
+The *coupling* predictor replaces each loop kernel's time with
+``coeff_k * T_k`` where the coefficients come from the composition algebra
+(:mod:`repro.core.coefficients`), leaving the one-shot pre/post kernels
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.coefficients import kernel_coefficients
+from repro.core.coupling import CouplingSet
+from repro.core.kernel import ControlFlow
+from repro.errors import PredictionError
+from repro.util.stats import percent_relative_error
+
+__all__ = [
+    "PredictionInputs",
+    "SummationPredictor",
+    "CouplingPredictor",
+    "PredictionReport",
+    "best_chain_length",
+]
+
+
+@dataclass(frozen=True)
+class PredictionInputs:
+    """Everything a predictor consumes.
+
+    ``loop_times`` are *per-invocation* isolated times of the loop kernels;
+    ``pre_times`` / ``post_times`` are the one-shot kernels' times; chain
+    measurements (per window, per chain invocation) feed the coupling
+    predictor.
+    """
+
+    flow: ControlFlow
+    iterations: int
+    loop_times: Mapping[str, float]
+    pre_times: Mapping[str, float] = field(default_factory=dict)
+    post_times: Mapping[str, float] = field(default_factory=dict)
+    chain_times: Mapping[tuple[str, ...], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise PredictionError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        missing = [k for k in self.flow.names if k not in self.loop_times]
+        if missing:
+            raise PredictionError(
+                f"missing isolated times for loop kernels: {missing}"
+            )
+
+    @property
+    def one_shot_total(self) -> float:
+        """Combined pre + post kernel time."""
+        return sum(self.pre_times.values()) + sum(self.post_times.values())
+
+
+class SummationPredictor:
+    """The traditional baseline: accumulate every kernel's isolated time."""
+
+    name = "Summation"
+
+    def predict(self, inputs: PredictionInputs) -> float:
+        """Total predicted execution time in seconds."""
+        loop = sum(
+            inputs.loop_times[k.name] * k.calls_per_iteration
+            for k in inputs.flow.kernels
+        )
+        return inputs.one_shot_total + inputs.iterations * loop
+
+
+class CouplingPredictor:
+    """The paper's predictor for a given chain length."""
+
+    def __init__(self, chain_length: int):
+        if chain_length < 2:
+            raise PredictionError(
+                f"coupling chains need length >= 2, got {chain_length}"
+            )
+        self.chain_length = chain_length
+
+    @property
+    def name(self) -> str:
+        """Label used in the paper's tables."""
+        return f"Coupling: {self.chain_length} kernels"
+
+    def coupling_set(self, inputs: PredictionInputs) -> CouplingSet:
+        """Chain couplings derived from the inputs' measurements."""
+        return CouplingSet.from_performances(
+            inputs.flow,
+            self.chain_length,
+            inputs.chain_times,
+            dict(inputs.loop_times),
+        )
+
+    def coefficients(self, inputs: PredictionInputs) -> dict[str, float]:
+        """Per-kernel coefficients (the α, β, γ, δ of §3)."""
+        return kernel_coefficients(self.coupling_set(inputs))
+
+    def predict(self, inputs: PredictionInputs) -> float:
+        """Total predicted execution time in seconds."""
+        coeffs = self.coefficients(inputs)
+        loop = sum(
+            coeffs[k.name] * inputs.loop_times[k.name] * k.calls_per_iteration
+            for k in inputs.flow.kernels
+        )
+        return inputs.one_shot_total + inputs.iterations * loop
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Actual vs predicted times with paper-style relative errors."""
+
+    actual: float
+    predictions: dict[str, float]
+
+    def relative_error(self, name: str) -> float:
+        """Percent relative error of one predictor."""
+        return percent_relative_error(self.predictions[name], self.actual)
+
+    def errors(self) -> dict[str, float]:
+        """Percent relative error of each predictor."""
+        return {name: self.relative_error(name) for name in self.predictions}
+
+    def best(self) -> str:
+        """Name of the most accurate predictor (the boldfaced row)."""
+        return min(self.predictions, key=self.relative_error)
+
+
+def best_chain_length(
+    inputs: PredictionInputs,
+    actual: float,
+    lengths: Optional[Sequence[int]] = None,
+) -> tuple[int, float]:
+    """Chain length with the lowest relative error on this configuration.
+
+    The paper presents "only the coupling values corresponding to the
+    length of the chain of kernels that produced best predictions" (§4.1);
+    this helper performs that selection. Returns ``(length, percent_error)``.
+    """
+    if lengths is None:
+        lengths = range(2, len(inputs.flow) + 1)
+    best: Optional[tuple[int, float]] = None
+    for length in lengths:
+        predictor = CouplingPredictor(length)
+        try:
+            err = percent_relative_error(predictor.predict(inputs), actual)
+        except PredictionError:
+            continue  # chains of this length were not measured
+        if best is None or err < best[1]:
+            best = (length, err)
+    if best is None:
+        raise PredictionError("no chain length had complete measurements")
+    return best

@@ -1,0 +1,90 @@
+"""Builders for paper-style result tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.util.stats import mean, percent_relative_error
+from repro.util.tables import Table
+
+__all__ = [
+    "dataset_table",
+    "coupling_value_table",
+    "execution_time_table",
+    "average_error",
+]
+
+
+def dataset_table(
+    title: str, rows: Sequence[tuple[str, tuple[int, int, int]]]
+) -> Table:
+    """A data-set-size table (paper Tables 1, 5, 7)."""
+    table = Table(title=title, columns=["Class", "Size"])
+    for cls, (nx, ny, nz) in rows:
+        table.add_row(cls, f"{nx} x {ny} x {nz}")
+    return table
+
+
+def coupling_value_table(
+    title: str,
+    proc_counts: Sequence[int],
+    values: Mapping[tuple[str, ...], Sequence[float]],
+    precision: int = 3,
+) -> Table:
+    """A coupling-values table (paper Tables 2a, 3a, 4a).
+
+    ``values`` maps each window to its coupling value per processor count.
+    """
+    n = len(tuple(proc_counts))
+    table = Table(
+        title=title,
+        columns=["Kernels"] + [f"{p} procs" for p in proc_counts],
+        precision=precision,
+    )
+    for window, series in values.items():
+        if len(series) != n:
+            raise ValueError(
+                f"window {window}: {len(series)} values for {n} proc counts"
+            )
+        table.add_row(", ".join(window), *[float(v) for v in series])
+    return table
+
+
+def execution_time_table(
+    title: str,
+    proc_counts: Sequence[int],
+    actual: Sequence[float],
+    predictions: Mapping[str, Sequence[float]],
+    precision: int = 2,
+) -> Table:
+    """An execution-time comparison table (paper Tables 2b, 3b, 4b, 6, 8).
+
+    Rows: Actual, then one per predictor with ``value (% rel error)`` cells.
+    """
+    procs = list(proc_counts)
+    if len(actual) != len(procs):
+        raise ValueError("actual series length mismatch")
+    table = Table(
+        title=title,
+        columns=["Prediction"] + [f"{p} procs" for p in procs],
+        precision=precision,
+    )
+    table.add_row("Actual", *[float(a) for a in actual])
+    for name, series in predictions.items():
+        if len(series) != len(procs):
+            raise ValueError(f"{name}: series length mismatch")
+        cells = [
+            (float(v), percent_relative_error(v, a))
+            for v, a in zip(series, actual)
+        ]
+        table.add_row(name, *cells)
+    return table
+
+
+def average_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Average percent relative error across a table row."""
+    return mean(
+        percent_relative_error(p, a) for p, a in zip(predicted, actual)
+    )

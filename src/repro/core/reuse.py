@@ -1,0 +1,122 @@
+"""Coupling-value reuse across configurations (paper §6 future work).
+
+"Future work is focused on determining which coupling values must be
+obtained and which values can be reused, thereby reducing the number of
+needed experiments." This module implements the natural first version:
+store coupling sets per (class, procs) configuration and, when predicting a
+new configuration, borrow the couplings from the nearest measured neighbor
+(couplings are ratios, which drift far more slowly across configurations
+than raw times — only fresh *isolated* times are needed at the target).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.coupling import CouplingSet
+from repro.core.kernel import ControlFlow
+from repro.core.predictor import CouplingPredictor, PredictionInputs
+from repro.errors import PredictionError
+
+__all__ = ["CouplingStore", "ReusedPrediction"]
+
+
+@dataclass(frozen=True)
+class ReusedPrediction:
+    """A prediction made with borrowed couplings."""
+
+    predicted: float
+    source_class: str
+    source_nprocs: int
+    target_nprocs: int
+
+    @property
+    def borrowed(self) -> bool:
+        """True when the couplings came from a different configuration."""
+        return self.source_nprocs != self.target_nprocs
+
+
+class CouplingStore:
+    """Chain couplings indexed by (problem class, nprocs)."""
+
+    def __init__(self, flow: ControlFlow, chain_length: int):
+        self.flow = flow
+        self.chain_length = chain_length
+        self._store: dict[tuple[str, int], dict[tuple[str, ...], float]] = {}
+
+    def add(
+        self, problem_class: str, nprocs: int, couplings: CouplingSet
+    ) -> None:
+        """Record a measured coupling set."""
+        if couplings.chain_length != self.chain_length:
+            raise PredictionError(
+                f"store holds length-{self.chain_length} chains, got "
+                f"length-{couplings.chain_length}"
+            )
+        self._store[(problem_class, nprocs)] = couplings.values()
+
+    def configurations(self) -> list[tuple[str, int]]:
+        """All stored (class, nprocs) pairs."""
+        return sorted(self._store)
+
+    def nearest(
+        self, problem_class: str, nprocs: int
+    ) -> tuple[str, int, dict[tuple[str, ...], float]]:
+        """The stored configuration closest to the query.
+
+        Same problem class is preferred; distance within a class is the
+        log-ratio of processor counts (couplings shift with per-processor
+        working set, which scales like 1/P).
+        """
+        if not self._store:
+            raise PredictionError("coupling store is empty")
+        candidates = [k for k in self._store if k[0] == problem_class]
+        if not candidates:
+            candidates = list(self._store)
+        cls, p = min(
+            candidates,
+            key=lambda k: (k[0] != problem_class, abs(math.log(k[1] / nprocs))),
+        )
+        return cls, p, self._store[(cls, p)]
+
+    def predict(
+        self,
+        problem_class: str,
+        nprocs: int,
+        iterations: int,
+        loop_times: Mapping[str, float],
+        pre_times: Optional[Mapping[str, float]] = None,
+        post_times: Optional[Mapping[str, float]] = None,
+    ) -> ReusedPrediction:
+        """Predict a configuration using borrowed couplings.
+
+        ``loop_times`` must be fresh isolated measurements at the *target*
+        configuration; only the chain couplings are reused. The borrowed
+        ratios are applied by synthesizing chain times
+        ``P_w = C_w * sum(P_k)`` so the standard predictor machinery runs
+        unchanged.
+        """
+        src_cls, src_p, ratios = self.nearest(problem_class, nprocs)
+        chain_times = {}
+        for window in self.flow.windows(self.chain_length):
+            if window not in ratios:
+                raise PredictionError(f"stored set is missing window {window}")
+            isolated_sum = sum(loop_times[k] for k in window)
+            chain_times[window] = ratios[window] * isolated_sum
+        inputs = PredictionInputs(
+            flow=self.flow,
+            iterations=iterations,
+            loop_times=dict(loop_times),
+            pre_times=dict(pre_times or {}),
+            post_times=dict(post_times or {}),
+            chain_times=chain_times,
+        )
+        predicted = CouplingPredictor(self.chain_length).predict(inputs)
+        return ReusedPrediction(
+            predicted=predicted,
+            source_class=src_cls,
+            source_nprocs=src_p,
+            target_nprocs=nprocs,
+        )

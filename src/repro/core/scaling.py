@@ -1,0 +1,124 @@
+"""Scaling studies: how coupling values move with problem size and procs.
+
+Aspects (2) and (3) of the paper's §1: "how the coupling values change with
+scaling of the problem size" and "with the scaling of the number of
+processors". A :class:`CouplingScalingStudy` sweeps one axis, measures the
+chain couplings at each point, and hands the series to
+:mod:`repro.core.transitions` for the finite-transition analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.coupling import CouplingSet
+from repro.core.kernel import ControlFlow
+from repro.core.transitions import TransitionAnalysis
+from repro.errors import ConfigurationError
+from repro.instrument.runner import ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine.machine import MachineConfig
+
+__all__ = ["ScalingPoint", "CouplingScalingStudy"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Couplings measured at one (class, procs) sweep point."""
+
+    problem_class: str
+    nprocs: int
+    footprint_bytes: int
+    couplings: dict[tuple[str, ...], float]
+
+
+class CouplingScalingStudy:
+    """Measure chain couplings along a scaling axis of one benchmark."""
+
+    def __init__(
+        self,
+        benchmark_name: str,
+        machine: MachineConfig,
+        chain_length: int = 2,
+        measurement: MeasurementConfig = MeasurementConfig(),
+    ):
+        self.benchmark_name = benchmark_name
+        self.machine = machine
+        self.chain_length = chain_length
+        self.measurement = measurement
+        self.points: list[ScalingPoint] = []
+
+    def _measure_point(self, problem_class: str, nprocs: int) -> ScalingPoint:
+        bench = make_benchmark(self.benchmark_name, problem_class, nprocs)
+        flow = ControlFlow(bench.loop_kernel_names)
+        runner = ChainRunner(bench, self.machine, self.measurement)
+        isolated = {
+            k: m.mean
+            for k, m in runner.measure_all_isolated(flow.names).items()
+        }
+        chains = {
+            win: m.mean
+            for win, m in runner.measure_windows(
+                flow.windows(self.chain_length)
+            ).items()
+        }
+        couplings = CouplingSet.from_performances(
+            flow, self.chain_length, chains, isolated
+        )
+        return ScalingPoint(
+            problem_class=problem_class,
+            nprocs=nprocs,
+            footprint_bytes=bench.footprint_bytes(0),
+            couplings=couplings.values(),
+        )
+
+    def sweep_procs(
+        self, problem_class: str, proc_counts: Sequence[int]
+    ) -> list[ScalingPoint]:
+        """Fix the class; scale the processor count."""
+        pts = [self._measure_point(problem_class, p) for p in proc_counts]
+        self.points.extend(pts)
+        return pts
+
+    def sweep_classes(
+        self, classes: Sequence[str], nprocs: int
+    ) -> list[ScalingPoint]:
+        """Fix the processor count; scale the problem size."""
+        pts = [self._measure_point(c, nprocs) for c in classes]
+        self.points.extend(pts)
+        return pts
+
+    def series(
+        self, window: tuple[str, ...], points: Optional[Sequence[ScalingPoint]] = None
+    ) -> list[float]:
+        """The coupling values of one window across sweep points."""
+        pts = list(points if points is not None else self.points)
+        if not pts:
+            raise ConfigurationError("no sweep points measured yet")
+        try:
+            return [p.couplings[window] for p in pts]
+        except KeyError:
+            raise ConfigurationError(
+                f"window {window} not measured (chain length "
+                f"{self.chain_length})"
+            ) from None
+
+    def transition_analysis(
+        self,
+        window: tuple[str, ...],
+        points: Optional[Sequence[ScalingPoint]] = None,
+    ) -> TransitionAnalysis:
+        """Observed-vs-expected transition counts for one window's series."""
+        pts = list(points if points is not None else self.points)
+        values = self.series(window, pts)
+        return TransitionAnalysis(
+            window=window,
+            scale_labels=tuple(f"{p.problem_class}/{p.nprocs}p" for p in pts),
+            couplings=tuple(values),
+            footprints=tuple(float(p.footprint_bytes) for p in pts),
+            capacities=tuple(
+                float(lv.capacity_bytes)
+                for lv in self.machine.processor.cache_levels
+            ),
+        )

@@ -1,0 +1,92 @@
+"""Cross-validated chain-length selection.
+
+"As to which group of equations will lead to the best prediction, is an
+area of future work." (paper §3). The paper selects the best chain length
+*post hoc*, per configuration, with the actual time in hand. This module
+implements the honest version: pick the chain length on *training*
+configurations (where actuals were measured anyway) and apply it to new
+ones.
+
+The observed pattern — longer chains win for larger problems — emerges from
+the selector in the extension experiment (``ext_best_chain``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.predictor import CouplingPredictor, PredictionInputs
+from repro.errors import PredictionError
+from repro.util.stats import percent_relative_error
+
+__all__ = ["TrainingCase", "ChainLengthSelector"]
+
+
+@dataclass(frozen=True)
+class TrainingCase:
+    """One configuration with known actual time (a training point)."""
+
+    inputs: PredictionInputs
+    actual: float
+    label: str = ""
+
+
+class ChainLengthSelector:
+    """Chooses the chain length that generalizes, not the post-hoc best."""
+
+    def __init__(self, lengths: Sequence[int] = (2, 3, 4, 5)):
+        if not lengths or any(length < 2 for length in lengths):
+            raise PredictionError("chain lengths must all be >= 2")
+        self.lengths = tuple(lengths)
+        self.best_length: Optional[int] = None
+        self.training_errors: dict[int, float] = {}
+
+    def fit(self, cases: Sequence[TrainingCase]) -> "ChainLengthSelector":
+        """Pick the length with the lowest mean error over ``cases``.
+
+        Lengths whose chains were not measured in *every* case are skipped;
+        at least one length must be measurable everywhere.
+        """
+        if not cases:
+            raise PredictionError("selector needs at least one training case")
+        self.training_errors = {}
+        for length in self.lengths:
+            predictor = CouplingPredictor(length)
+            errors = []
+            try:
+                for case in cases:
+                    errors.append(
+                        percent_relative_error(
+                            predictor.predict(case.inputs), case.actual
+                        )
+                    )
+            except PredictionError:
+                continue  # this length was not measured in some case
+            self.training_errors[length] = sum(errors) / len(errors)
+        if not self.training_errors:
+            raise PredictionError(
+                "no candidate chain length has complete measurements"
+            )
+        self.best_length = min(
+            self.training_errors, key=self.training_errors.__getitem__
+        )
+        return self
+
+    def predict(self, inputs: PredictionInputs) -> float:
+        """Predict a new configuration with the selected length."""
+        if self.best_length is None:
+            raise PredictionError("selector not fitted")
+        return CouplingPredictor(self.best_length).predict(inputs)
+
+    def evaluate(self, cases: Sequence[TrainingCase]) -> dict[str, float]:
+        """Percent errors of the selected length on held-out cases."""
+        if self.best_length is None:
+            raise PredictionError("selector not fitted")
+        predictor = CouplingPredictor(self.best_length)
+        return {
+            case.label or f"case{i}": percent_relative_error(
+                predictor.predict(case.inputs), case.actual
+            )
+            for i, case in enumerate(cases)
+        }

@@ -1,0 +1,108 @@
+"""Coupling-transition analysis (paper §4.1.4 / §6).
+
+"As the problem size and number of processors scale, the coupling values go
+through a finite number of major value changes that is dependent on the
+memory subsystem of the processor architecture."
+
+Two sides are implemented:
+
+* **observed** — :func:`count_transitions` counts the *major* changes in a
+  coupling-vs-scale series (a change is major when it exceeds a relative
+  threshold);
+* **expected** — :func:`expected_transitions` counts how many cache-level
+  capacities the per-processor working set crosses over the same sweep;
+  the paper's claim is that these two counts agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["count_transitions", "expected_transitions", "TransitionAnalysis"]
+
+#: A step is a "major value change" above this relative magnitude.
+DEFAULT_THRESHOLD = 0.05
+
+
+def count_transitions(
+    values: Sequence[float], threshold: float = DEFAULT_THRESHOLD
+) -> int:
+    """Count major changes between consecutive points of a coupling series.
+
+    Consecutive steps in the same direction belong to the *same* transition
+    (a working set gradually sliding out of a cache level is one change of
+    regime, not several), so runs of same-signed major steps count once.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("coupling values must be > 0")
+    if len(values) < 2:
+        return 0
+    transitions = 0
+    previous_direction = 0
+    for a, b in zip(values, values[1:]):
+        step = (b - a) / a
+        if abs(step) < threshold:
+            previous_direction = 0
+            continue
+        direction = 1 if step > 0 else -1
+        if direction != previous_direction:
+            transitions += 1
+        previous_direction = direction
+    return transitions
+
+
+def expected_transitions(
+    footprints: Sequence[float], capacities: Sequence[float]
+) -> int:
+    """Cache-capacity crossings of a working-set series.
+
+    ``footprints`` is the per-processor working set at each sweep point (in
+    bytes, any monotone order); a transition is expected each time the
+    series crosses one of the ``capacities``.
+    """
+    if not capacities:
+        raise ConfigurationError("need at least one cache capacity")
+    if len(footprints) < 2:
+        return 0
+    crossings = 0
+    for cap in capacities:
+        if cap <= 0:
+            raise ConfigurationError(f"capacities must be > 0, got {cap}")
+        for a, b in zip(footprints, footprints[1:]):
+            if (a <= cap) != (b <= cap):
+                crossings += 1
+    return crossings
+
+
+@dataclass(frozen=True)
+class TransitionAnalysis:
+    """Observed vs expected transition counts for one coupling series."""
+
+    window: tuple[str, ...]
+    scale_labels: tuple[str, ...]
+    couplings: tuple[float, ...]
+    footprints: tuple[float, ...]
+    capacities: tuple[float, ...]
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def observed(self) -> int:
+        """Major coupling-value changes actually seen."""
+        return count_transitions(self.couplings, self.threshold)
+
+    @property
+    def expected(self) -> int:
+        """Capacity crossings of the working set."""
+        return expected_transitions(self.footprints, self.capacities)
+
+    @property
+    def finite(self) -> bool:
+        """The paper's headline property: transitions bounded by the
+        memory subsystem (at most one regime change per cache level per
+        monotone sweep)."""
+        return self.observed <= len(self.capacities) + 1

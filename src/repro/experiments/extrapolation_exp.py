@@ -1,0 +1,103 @@
+"""Extension: predict processor counts that were never measured.
+
+Combines the Prophesy-style scaling fits (:mod:`repro.core.fitting`) with
+borrowed couplings (:mod:`repro.core.reuse`): train on the three smaller
+processor counts of each code, predict the largest count with **zero
+measurements at the target**, and compare against the simulated actual.
+"""
+
+from __future__ import annotations
+
+from repro.core.fitting import ScalingModelSet, npb_work_share
+from repro.core.predictor import CouplingPredictor
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.registry import Experiment, ExperimentResult, register
+from repro.util.tables import Table
+
+__all__ = []
+
+_SETUPS = (
+    ("BT", "W", (4, 9, 16), 25, 3),
+    ("SP", "W", (4, 9, 16), 25, 4),
+    ("LU", "W", (4, 8, 16), 32, 3),
+)
+
+
+def _extrapolation(p: ExperimentPipeline) -> ExperimentResult:
+    table = Table(
+        title="Extension: zero-measurement extrapolation to unmeasured "
+        "processor counts",
+        columns=[
+            "Workload",
+            "Trained on",
+            "Target",
+            "Actual",
+            "Predicted",
+            "Error %",
+            "Worst fit residual %",
+        ],
+        precision=2,
+    )
+    observations = []
+    for bench_name, cls, train_procs, target_procs, length in _SETUPS:
+        results = {
+            procs: p.config_result(bench_name, cls, procs, (length,))
+            for procs in train_procs
+        }
+        flow = results[train_procs[0]].flow
+        model_set = ScalingModelSet(
+            flow,
+            chain_length=length,
+            work_share=npb_work_share(bench_name, cls),
+        )
+        model_set.fit_loop_kernels(
+            {
+                k: {q: results[q].inputs.loop_times[k] for q in train_procs}
+                for k in flow.names
+            }
+        )
+        one_shots = {}
+        for q in train_procs:
+            for k, t in {**results[q].inputs.pre_times,
+                         **results[q].inputs.post_times}.items():
+                one_shots.setdefault(k, {})[q] = t
+        model_set.fit_one_shots(one_shots)
+        for q in train_procs:
+            model_set.add_couplings(
+                cls, q, CouplingPredictor(length).coupling_set(results[q].inputs)
+            )
+        # The target: only its *actual* is simulated, for scoring.
+        target = p.config_result(bench_name, cls, target_procs)
+        predicted = model_set.predict(
+            cls, target_procs, iterations=target.inputs.iterations
+        )
+        err = 100 * abs(predicted - target.actual) / target.actual
+        table.add_row(
+            f"{bench_name} {cls}",
+            "/".join(f"{q}p" for q in train_procs),
+            f"{target_procs}p",
+            target.actual,
+            predicted,
+            err,
+            100 * model_set.worst_training_residual(),
+        )
+        observations.append(
+            f"{bench_name} {cls}: {target_procs}p predicted within "
+            f"{err:.2f} % with no measurements at the target"
+        )
+    return ExperimentResult(
+        experiment_id="ext_extrapolation",
+        table=table,
+        observations=observations,
+    )
+
+
+register(
+    Experiment(
+        "ext_extrapolation",
+        "Zero-measurement extrapolation (extension)",
+        "Scaling fits + borrowed couplings predict unmeasured processor "
+        "counts (the Prophesy workflow end-to-end)",
+        _extrapolation,
+    )
+)

@@ -1,0 +1,58 @@
+"""LU experiment drivers: paper Tables 7 and 8a/8b/8c (§4.3)."""
+
+from __future__ import annotations
+
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.registry import Experiment, ExperimentResult, register
+from repro.experiments.tables import build_dataset_table, build_times_table
+
+__all__ = []
+
+#: LU requires power-of-two process counts.
+_PROCS = (4, 8, 16, 32)
+
+
+def _table7(_: ExperimentPipeline) -> ExperimentResult:
+    return build_dataset_table(
+        "table7", "Table 7: Data sets used with the NPB LU", "LU", ("W", "A", "B")
+    )
+
+
+def _times(p: ExperimentPipeline, table_id: str, cls: str) -> ExperimentResult:
+    return build_times_table(
+        p,
+        table_id,
+        f"Table {table_id[-2:]}: Comparison of execution times for LU "
+        f"with Class {cls}",
+        "LU",
+        cls,
+        _PROCS,
+        chain_lengths=(3,),
+    )
+
+
+register(Experiment("table7", "LU data sets", "Grid sizes per class", _table7))
+register(
+    Experiment(
+        "table8a",
+        "LU class W execution times",
+        "Actual vs summation vs 3-kernel coupling prediction",
+        lambda p: _times(p, "table8a", "W"),
+    )
+)
+register(
+    Experiment(
+        "table8b",
+        "LU class A execution times",
+        "Actual vs summation vs 3-kernel coupling prediction",
+        lambda p: _times(p, "table8b", "A"),
+    )
+)
+register(
+    Experiment(
+        "table8c",
+        "LU class B execution times",
+        "Actual vs summation vs 3-kernel coupling prediction",
+        lambda p: _times(p, "table8c", "B"),
+    )
+)

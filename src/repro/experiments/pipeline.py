@@ -1,0 +1,169 @@
+"""Shared measurement/prediction pipeline for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.kernel import ControlFlow
+from repro.core.predictor import (
+    CouplingPredictor,
+    PredictionInputs,
+    SummationPredictor,
+)
+from repro.errors import ExperimentError
+from repro.instrument.runner import (
+    ApplicationRunner,
+    ChainRunner,
+    MeasurementConfig,
+)
+from repro.npb import make_benchmark
+from repro.simmachine.machine import MachineConfig, ibm_sp_argonne
+
+__all__ = ["ExperimentSettings", "ConfigResult", "ExperimentPipeline"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Machine + measurement configuration shared by all experiments."""
+
+    machine: MachineConfig = field(default_factory=ibm_sp_argonne)
+    measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    application_seed: int = 7
+
+
+@dataclass
+class ConfigResult:
+    """Everything measured and predicted at one (benchmark, class, procs)."""
+
+    benchmark: str
+    problem_class: str
+    nprocs: int
+    flow: ControlFlow
+    actual: float
+    inputs: PredictionInputs
+    _coupling_cache: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def summation(self) -> float:
+        """The summation-methodology prediction."""
+        return SummationPredictor().predict(self.inputs)
+
+    def coupling_prediction(self, chain_length: int) -> float:
+        """The coupling prediction for a given chain length."""
+        if chain_length not in self._coupling_cache:
+            self._coupling_cache[chain_length] = CouplingPredictor(
+                chain_length
+            ).predict(self.inputs)
+        return self._coupling_cache[chain_length]
+
+    def coupling_values(self, chain_length: int) -> dict[tuple[str, ...], float]:
+        """``window -> coupling value`` for a given chain length."""
+        return (
+            CouplingPredictor(chain_length)
+            .coupling_set(self.inputs)
+            .values()
+        )
+
+
+class ExperimentPipeline:
+    """Measures configurations on demand and caches everything.
+
+    Chain measurements accumulate per configuration, so a table needing
+    chain length 3 after another table measured length 2 only runs the new
+    windows — mirroring how the paper reuses one experimental campaign
+    across its tables.
+    """
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None):
+        self.settings = settings or ExperimentSettings()
+        self._results: dict[tuple[str, str, int], ConfigResult] = {}
+        self._runners: dict[tuple[str, str, int], ChainRunner] = {}
+
+    def _base_result(
+        self, benchmark: str, problem_class: str, nprocs: int
+    ) -> tuple[ConfigResult, ChainRunner]:
+        key = (benchmark, problem_class, nprocs)
+        if key in self._results:
+            return self._results[key], self._runners[key]
+        bench = make_benchmark(benchmark, problem_class, nprocs)
+        flow = ControlFlow(bench.loop_kernel_names)
+        runner = ChainRunner(bench, self.settings.machine, self.settings.measurement)
+        isolated = {
+            k: m.mean
+            for k, m in runner.measure_all_isolated(flow.names).items()
+        }
+        pre = {k: runner.measure((k,)).mean for k in bench.pre_kernel_names}
+        post = {k: runner.measure((k,)).mean for k in bench.post_kernel_names}
+        actual = ApplicationRunner(
+            bench, self.settings.machine, seed=self.settings.application_seed
+        ).run().total_time
+        inputs = PredictionInputs(
+            flow=flow,
+            iterations=bench.iterations,
+            loop_times=isolated,
+            pre_times=pre,
+            post_times=post,
+            chain_times={},
+        )
+        result = ConfigResult(
+            benchmark=benchmark,
+            problem_class=problem_class,
+            nprocs=nprocs,
+            flow=flow,
+            actual=actual,
+            inputs=inputs,
+        )
+        self._results[key] = result
+        self._runners[key] = runner
+        return result, runner
+
+    def config_result(
+        self,
+        benchmark: str,
+        problem_class: str,
+        nprocs: int,
+        chain_lengths: Sequence[int] = (),
+    ) -> ConfigResult:
+        """Measured + predicted numbers for one configuration.
+
+        ``chain_lengths`` lists the coupling chain lengths the caller will
+        query; their windows are measured (once) here.
+        """
+        result, runner = self._base_result(benchmark, problem_class, nprocs)
+        chains: dict = dict(result.inputs.chain_times)
+        added = False
+        for length in chain_lengths:
+            if not 2 <= length <= len(result.flow):
+                raise ExperimentError(
+                    f"chain length {length} invalid for {benchmark} "
+                    f"(flow of {len(result.flow)})"
+                )
+            for window in result.flow.windows(length):
+                if window not in chains:
+                    chains[window] = runner.measure(window).mean
+                    added = True
+        if added:
+            result.inputs = PredictionInputs(
+                flow=result.flow,
+                iterations=result.inputs.iterations,
+                loop_times=result.inputs.loop_times,
+                pre_times=result.inputs.pre_times,
+                post_times=result.inputs.post_times,
+                chain_times=chains,
+            )
+            result._coupling_cache.clear()
+        return result
+
+    def sweep(
+        self,
+        benchmark: str,
+        problem_class: str,
+        proc_counts: Sequence[int],
+        chain_lengths: Sequence[int] = (),
+    ) -> list[ConfigResult]:
+        """Config results across processor counts (one table column each)."""
+        return [
+            self.config_result(benchmark, problem_class, p, chain_lengths)
+            for p in proc_counts
+        ]

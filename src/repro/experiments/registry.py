@@ -1,0 +1,108 @@
+"""Experiment registry: lookup and run by table id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.paper_data import PAPER_TABLES, PaperTable
+from repro.experiments.pipeline import ExperimentPipeline, ExperimentSettings
+from repro.util.tables import Table
+
+__all__ = ["Experiment", "ExperimentResult", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table plus the paper-vs-measured comparison data."""
+
+    experiment_id: str
+    table: Table
+    #: Percent relative errors per predictor, aligned with the table columns
+    #: (empty for coupling-value and data-set tables).
+    measured_errors: dict[str, list[float]] = field(default_factory=dict)
+    #: Free-form extra observations the driver wants recorded.
+    observations: list[str] = field(default_factory=list)
+
+    @property
+    def paper(self) -> Optional[PaperTable]:
+        """The paper's reported numbers for this table, if known."""
+        return PAPER_TABLES.get(self.experiment_id)
+
+    def comparison(self) -> str:
+        """Render a paper-vs-measured summary for EXPERIMENTS.md."""
+        lines = [f"{self.experiment_id}: {self.table.title}"]
+        paper = self.paper
+        for predictor, measured in self.measured_errors.items():
+            meas = ", ".join(f"{e:.2f}" for e in measured)
+            line = f"  {predictor}: measured errors [{meas}] %"
+            if paper and predictor in paper.errors:
+                ref = ", ".join(
+                    "?" if e is None else f"{e:.2f}"
+                    for e in paper.errors[predictor]
+                )
+                line += f" | paper [{ref}] %"
+            lines.append(line)
+        if paper:
+            for predictor, avg in paper.average_errors.items():
+                if predictor in self.measured_errors:
+                    ours = sum(self.measured_errors[predictor]) / len(
+                        self.measured_errors[predictor]
+                    )
+                    lines.append(
+                        f"  {predictor} average: measured {ours:.2f} % | "
+                        f"paper {avg:.2f} %"
+                    )
+            for note in paper.notes:
+                lines.append(f"  paper note: {note}")
+        for obs in self.observations:
+            lines.append(f"  observed: {obs}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable experiment keyed by the paper's table id."""
+
+    experiment_id: str
+    title: str
+    description: str
+    runner: Callable[[ExperimentPipeline], ExperimentResult]
+
+    def run(self, pipeline: ExperimentPipeline) -> ExperimentResult:
+        """Execute and return the regenerated table."""
+        return self.runner(pipeline)
+
+
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (driver modules call this)."""
+    if experiment.experiment_id in EXPERIMENTS:
+        raise ExperimentError(
+            f"duplicate experiment id {experiment.experiment_id!r}"
+        )
+    EXPERIMENTS[experiment.experiment_id] = experiment
+    return experiment
+
+
+def run_experiment(
+    experiment_id: str,
+    pipeline: Optional[ExperimentPipeline] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"table3b"``)."""
+    # Import the drivers lazily so the registry fills itself on first use
+    # without import cycles.
+    from repro.experiments import bt_tables, cross_machine, extensions, extrapolation_exp, lu_tables, scaling_exp, sp_tables  # noqa: F401
+
+    if experiment_id not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    if pipeline is None:
+        pipeline = ExperimentPipeline(settings)
+    return EXPERIMENTS[experiment_id].run(pipeline)

@@ -1,0 +1,57 @@
+"""SP experiment drivers: paper Tables 5 and 6a/6b/6c (§4.2)."""
+
+from __future__ import annotations
+
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.registry import Experiment, ExperimentResult, register
+from repro.experiments.tables import build_dataset_table, build_times_table
+
+__all__ = []
+
+_PROCS = (4, 9, 16, 25)
+
+
+def _table5(_: ExperimentPipeline) -> ExperimentResult:
+    return build_dataset_table(
+        "table5", "Table 5: Data sets used with the NPB SP", "SP", ("W", "A", "B")
+    )
+
+
+def _times(p: ExperimentPipeline, table_id: str, cls: str) -> ExperimentResult:
+    return build_times_table(
+        p,
+        table_id,
+        f"Table {table_id[-2:]}: Comparison of execution times for SP "
+        f"with Class {cls}",
+        "SP",
+        cls,
+        _PROCS,
+        chain_lengths=(4, 5),
+    )
+
+
+register(Experiment("table5", "SP data sets", "Grid sizes per class", _table5))
+register(
+    Experiment(
+        "table6a",
+        "SP class W execution times",
+        "Actual vs summation vs 4- and 5-kernel coupling predictions",
+        lambda p: _times(p, "table6a", "W"),
+    )
+)
+register(
+    Experiment(
+        "table6b",
+        "SP class A execution times",
+        "Actual vs summation vs 4- and 5-kernel coupling predictions",
+        lambda p: _times(p, "table6b", "A"),
+    )
+)
+register(
+    Experiment(
+        "table6c",
+        "SP class B execution times",
+        "Actual vs summation vs 4- and 5-kernel coupling predictions",
+        lambda p: _times(p, "table6c", "B"),
+    )
+)

@@ -1,0 +1,97 @@
+"""Shared builders used by the per-benchmark experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.report import (
+    coupling_value_table,
+    dataset_table,
+    execution_time_table,
+)
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.registry import ExperimentResult
+from repro.npb.classes import problem_size
+from repro.util.stats import percent_relative_error
+
+__all__ = ["build_times_table", "build_couplings_table", "build_dataset_table"]
+
+
+def build_times_table(
+    pipeline: ExperimentPipeline,
+    experiment_id: str,
+    title: str,
+    benchmark: str,
+    problem_class: str,
+    proc_counts: Sequence[int],
+    chain_lengths: Sequence[int],
+) -> ExperimentResult:
+    """An execution-time comparison table (Actual / Summation / Coupling)."""
+    results = pipeline.sweep(benchmark, problem_class, proc_counts, chain_lengths)
+    actual = [r.actual for r in results]
+    predictions: dict[str, list[float]] = {
+        "Summation": [r.summation for r in results]
+    }
+    for length in chain_lengths:
+        predictions[f"Coupling: {length} kernels"] = [
+            r.coupling_prediction(length) for r in results
+        ]
+    table = execution_time_table(title, proc_counts, actual, predictions)
+    errors = {
+        name: [
+            percent_relative_error(v, a) for v, a in zip(series, actual)
+        ]
+        for name, series in predictions.items()
+    }
+    best = min(errors, key=lambda n: sum(errors[n]))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        table=table,
+        measured_errors=errors,
+        observations=[f"best predictor on average: {best}"],
+    )
+
+
+def build_couplings_table(
+    pipeline: ExperimentPipeline,
+    experiment_id: str,
+    title: str,
+    benchmark: str,
+    problem_class: str,
+    proc_counts: Sequence[int],
+    chain_length: int,
+) -> ExperimentResult:
+    """A coupling-values table (windows x processor counts)."""
+    results = pipeline.sweep(
+        benchmark, problem_class, proc_counts, (chain_length,)
+    )
+    windows = results[0].flow.windows(chain_length)
+    values = {
+        window: [r.coupling_values(chain_length)[window] for r in results]
+        for window in windows
+    }
+    table = coupling_value_table(title, proc_counts, values)
+    flat = [v for series in values.values() for v in series]
+    observations = [
+        f"coupling range: {min(flat):.3f} .. {max(flat):.3f}",
+        "all constructive (< 1)" if max(flat) < 1.0 else "mixed signs present",
+    ]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        table=table,
+        observations=observations,
+    )
+
+
+def build_dataset_table(
+    experiment_id: str, title: str, benchmark: str, classes: Sequence[str]
+) -> ExperimentResult:
+    """A data-set-size table straight from the class definitions."""
+    rows = []
+    for cls in classes:
+        size = problem_size(benchmark, cls)
+        rows.append((cls, (size.nx, size.ny, size.nz)))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        table=dataset_table(title, rows),
+    )

@@ -1,0 +1,60 @@
+"""Cache-miss counters as an alternative coupling metric.
+
+The paper notes (§2) that the coupling formulation applies to any additive
+metric, naming cache misses explicitly. This module extracts per-kernel
+memory-traffic counters from a measurement so coupling values can be
+computed over ``bytes_from_memory`` instead of time (exercised by the
+metric-generality tests and an ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import MeasurementError
+from repro.instrument.runner import Measurement
+
+__all__ = ["CacheCounterReport", "cache_report"]
+
+
+@dataclass(frozen=True)
+class CacheCounterReport:
+    """Memory-traffic summary of one measured chain."""
+
+    kernels: tuple[str, ...]
+    bytes_touched: int
+    bytes_from_memory: int
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of touched bytes served by main memory."""
+        if self.bytes_touched == 0:
+            return 0.0
+        return self.bytes_from_memory / self.bytes_touched
+
+
+def cache_report(
+    measurement: Measurement, kernels: Sequence[str] | None = None
+) -> CacheCounterReport:
+    """Aggregate the cache counters of ``kernels`` within a measurement.
+
+    Defaults to the kernels the chain was measured over. Counters include
+    the warmup iterations (they are traffic totals, not rates); coupling
+    values over misses are ratios, so the common factor cancels.
+    """
+    names = tuple(kernels) if kernels is not None else measurement.kernels
+    touched = 0
+    from_memory = 0
+    for name in names:
+        if name not in measurement.counters:
+            raise MeasurementError(
+                f"measurement of {measurement.kernels} has no counters for "
+                f"{name!r}"
+            )
+        c = measurement.counters[name]
+        touched += c.bytes_touched
+        from_memory += c.bytes_from_memory
+    return CacheCounterReport(
+        kernels=names, bytes_touched=touched, bytes_from_memory=from_memory
+    )

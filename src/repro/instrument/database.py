@@ -1,0 +1,141 @@
+"""Prophesy-style performance database.
+
+The paper's companion system, Prophesy [TG01], archives kernel-level
+measurements so models can be built without re-running experiments. This is
+a small sqlite-backed equivalent: measurements are keyed by (benchmark,
+class, nprocs, kernel chain) and store the sample vector, so coupling sets
+and predictors can be reconstructed offline.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Iterator, Optional
+
+from repro.errors import MeasurementError
+from repro.instrument.runner import Measurement
+
+__all__ = ["PerformanceDatabase"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS measurements (
+    id INTEGER PRIMARY KEY,
+    benchmark TEXT NOT NULL,
+    problem_class TEXT NOT NULL,
+    nprocs INTEGER NOT NULL,
+    kernels TEXT NOT NULL,          -- JSON list, control-flow order
+    samples TEXT NOT NULL,          -- JSON list of per-iteration seconds
+    overhead REAL NOT NULL,
+    UNIQUE (benchmark, problem_class, nprocs, kernels)
+);
+"""
+
+
+class PerformanceDatabase:
+    """Store and retrieve :class:`Measurement` records.
+
+    Use ``":memory:"`` (the default) for ephemeral runs or a file path to
+    persist across processes. The database is also a memoization layer:
+    :meth:`get_or_measure` only runs the harness on a miss.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "PerformanceDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- write ---------------------------------------------------------------
+
+    def store(self, measurement: Measurement, replace: bool = False) -> None:
+        """Insert a measurement; duplicates error unless ``replace``."""
+        verb = "INSERT OR REPLACE" if replace else "INSERT"
+        try:
+            self._conn.execute(
+                f"{verb} INTO measurements "
+                "(benchmark, problem_class, nprocs, kernels, samples, overhead) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    measurement.benchmark,
+                    measurement.problem_class,
+                    measurement.nprocs,
+                    json.dumps(list(measurement.kernels)),
+                    json.dumps(list(measurement.samples)),
+                    measurement.overhead,
+                ),
+            )
+        except sqlite3.IntegrityError as exc:
+            raise MeasurementError(
+                f"measurement {measurement.key} already stored"
+            ) from exc
+        self._conn.commit()
+
+    # -- read ----------------------------------------------------------------
+
+    def get(
+        self,
+        benchmark: str,
+        problem_class: str,
+        nprocs: int,
+        kernels: tuple[str, ...],
+    ) -> Optional[Measurement]:
+        """Fetch one measurement, or None."""
+        row = self._conn.execute(
+            "SELECT samples, overhead FROM measurements WHERE "
+            "benchmark=? AND problem_class=? AND nprocs=? AND kernels=?",
+            (benchmark, problem_class, nprocs, json.dumps(list(kernels))),
+        ).fetchone()
+        if row is None:
+            return None
+        samples, overhead = row
+        return Measurement(
+            benchmark=benchmark,
+            problem_class=problem_class,
+            nprocs=nprocs,
+            kernels=tuple(kernels),
+            samples=tuple(json.loads(samples)),
+            overhead=overhead,
+        )
+
+    def __iter__(self) -> Iterator[Measurement]:
+        rows = self._conn.execute(
+            "SELECT benchmark, problem_class, nprocs, kernels, samples, overhead "
+            "FROM measurements ORDER BY id"
+        )
+        for bench, cls, nprocs, kernels, samples, overhead in rows:
+            yield Measurement(
+                benchmark=bench,
+                problem_class=cls,
+                nprocs=nprocs,
+                kernels=tuple(json.loads(kernels)),
+                samples=tuple(json.loads(samples)),
+                overhead=overhead,
+            )
+
+    def __len__(self) -> int:
+        (n,) = self._conn.execute("SELECT COUNT(*) FROM measurements").fetchone()
+        return n
+
+    # -- memoization ------------------------------------------------------------
+
+    def get_or_measure(self, runner, kernels: tuple[str, ...]) -> Measurement:
+        """Return the stored measurement or run ``runner.measure`` and store."""
+        bench = runner.benchmark
+        found = self.get(
+            bench.name, bench.size.problem_class, bench.nprocs, tuple(kernels)
+        )
+        if found is not None:
+            return found
+        measured = runner.measure(kernels)
+        self.store(measured)
+        return measured

@@ -1,0 +1,110 @@
+"""Per-kernel breakdown of an application run.
+
+Answers "where did the time go" questions per kernel: compute vs memory vs
+communication wait, aggregated over ranks. This is the diagnostic view the
+paper's analysis leans on when explaining *why* a coupling value moved
+(e.g. "the number of messages and load balancing issues are affecting the
+coupling more than the message sizes and cache effects", §4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.instrument.runner import ApplicationResult, ApplicationRunner
+from repro.npb.base import Benchmark
+from repro.simmachine.machine import MachineConfig
+
+__all__ = ["KernelProfile", "ProfileReport", "profile_application"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Aggregated activity of one kernel across all ranks."""
+
+    kernel: str
+    compute_time: float
+    memory_time: float
+    wait_time: float
+    flops: float
+    bytes_touched: int
+    bytes_from_memory: int
+    messages_sent: int
+
+    @property
+    def total_time(self) -> float:
+        """Compute + memory + wait seconds (rank-summed)."""
+        return self.compute_time + self.memory_time + self.wait_time
+
+    @property
+    def wait_fraction(self) -> float:
+        """Share of the kernel's time spent blocked on communication."""
+        total = self.total_time
+        return self.wait_time / total if total else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of touched bytes that came from main memory."""
+        if self.bytes_touched == 0:
+            return 0.0
+        return self.bytes_from_memory / self.bytes_touched
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Application-wide per-kernel profile."""
+
+    application: ApplicationResult
+    kernels: dict[str, KernelProfile]
+
+    def dominant_kernel(self) -> str:
+        """The kernel with the largest aggregate time."""
+        if not self.kernels:
+            raise MeasurementError("profile has no kernels")
+        return max(self.kernels.values(), key=lambda k: k.total_time).kernel
+
+    def render(self) -> str:
+        """Human-readable breakdown, largest kernel first."""
+        lines = [
+            f"{self.application.benchmark} class "
+            f"{self.application.problem_class} on "
+            f"{self.application.nprocs} procs — total "
+            f"{self.application.total_time:.2f} s",
+            f"{'kernel':<16} {'compute':>10} {'memory':>10} {'wait':>10} "
+            f"{'wait%':>6} {'miss%':>6}",
+        ]
+        for prof in sorted(
+            self.kernels.values(), key=lambda k: -k.total_time
+        ):
+            lines.append(
+                f"{prof.kernel:<16} {prof.compute_time:>10.3f} "
+                f"{prof.memory_time:>10.3f} {prof.wait_time:>10.3f} "
+                f"{100 * prof.wait_fraction:>5.1f}% "
+                f"{100 * prof.miss_ratio:>5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def profile_application(
+    benchmark: Benchmark,
+    machine: MachineConfig,
+    seed: int = 0,
+    extrapolate: bool | None = None,
+) -> ProfileReport:
+    """Run the application and return its per-kernel profile."""
+    runner = ApplicationRunner(benchmark, machine, seed=seed)
+    result = runner.run(extrapolate=extrapolate)
+    kernels = {}
+    for label, c in result.counters.items():
+        kernels[label] = KernelProfile(
+            kernel=label,
+            compute_time=c.compute_time,
+            memory_time=c.memory_time,
+            wait_time=c.wait_time,
+            flops=c.flops,
+            bytes_touched=c.bytes_touched,
+            bytes_from_memory=c.bytes_from_memory,
+            messages_sent=c.messages_sent,
+        )
+    return ProfileReport(application=result, kernels=kernels)

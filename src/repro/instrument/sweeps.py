@@ -1,0 +1,118 @@
+"""Measurement campaigns: multi-configuration sweeps with persistence.
+
+A :class:`Campaign` runs the full measurement protocol (isolated kernels,
+chain windows, pre/post kernels) over a grid of (class, nprocs)
+configurations, memoizing every measurement in a
+:class:`~repro.instrument.database.PerformanceDatabase`. Re-running a
+campaign against the same database is incremental: only missing
+measurements execute — the practical workflow the paper's Prophesy system
+[TG01] was built around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.kernel import ControlFlow
+from repro.core.predictor import PredictionInputs
+from repro.errors import MeasurementError
+from repro.instrument.database import PerformanceDatabase
+from repro.instrument.runner import ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine.machine import MachineConfig
+
+__all__ = ["CampaignPlan", "Campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """What a campaign should measure."""
+
+    benchmark: str
+    problem_classes: tuple[str, ...]
+    proc_counts: tuple[int, ...]
+    chain_lengths: tuple[int, ...] = (2,)
+    include_one_shots: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.problem_classes or not self.proc_counts:
+            raise MeasurementError("campaign plan needs classes and proc counts")
+        if any(length < 2 for length in self.chain_lengths):
+            raise MeasurementError("chain lengths must be >= 2")
+
+    def configurations(self) -> list[tuple[str, int]]:
+        """All (class, nprocs) cells of the sweep grid."""
+        return [
+            (cls, procs)
+            for cls in self.problem_classes
+            for procs in self.proc_counts
+        ]
+
+
+@dataclass
+class Campaign:
+    """Executes a plan, memoizing through a performance database."""
+
+    plan: CampaignPlan
+    machine: MachineConfig
+    measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    database: Optional[PerformanceDatabase] = None
+
+    def __post_init__(self) -> None:
+        if self.database is None:
+            self.database = PerformanceDatabase()
+        self.measurements_run = 0
+        self.measurements_reused = 0
+
+    def _measure(self, runner: ChainRunner, kernels: Sequence[str]):
+        bench = runner.benchmark
+        cached = self.database.get(
+            bench.name, bench.size.problem_class, bench.nprocs, tuple(kernels)
+        )
+        if cached is not None:
+            self.measurements_reused += 1
+            return cached
+        measured = runner.measure(kernels)
+        self.database.store(measured)
+        self.measurements_run += 1
+        return measured
+
+    def run_configuration(self, problem_class: str, nprocs: int) -> PredictionInputs:
+        """Measure (or load) one cell; returns ready prediction inputs."""
+        bench = make_benchmark(self.plan.benchmark, problem_class, nprocs)
+        flow = ControlFlow(bench.loop_kernel_names)
+        runner = ChainRunner(bench, self.machine, self.measurement)
+        loop_times = {
+            k: self._measure(runner, (k,)).mean for k in flow.names
+        }
+        pre: dict[str, float] = {}
+        post: dict[str, float] = {}
+        if self.plan.include_one_shots:
+            pre = {
+                k: self._measure(runner, (k,)).mean
+                for k in bench.pre_kernel_names
+            }
+            post = {
+                k: self._measure(runner, (k,)).mean
+                for k in bench.post_kernel_names
+            }
+        chain_times = {}
+        for length in self.plan.chain_lengths:
+            for window in flow.windows(length):
+                chain_times[window] = self._measure(runner, window).mean
+        return PredictionInputs(
+            flow=flow,
+            iterations=bench.iterations,
+            loop_times=loop_times,
+            pre_times=pre,
+            post_times=post,
+            chain_times=chain_times,
+        )
+
+    def run(self) -> dict[tuple[str, int], PredictionInputs]:
+        """Measure every cell of the plan; returns inputs per cell."""
+        return {
+            (cls, procs): self.run_configuration(cls, procs)
+            for cls, procs in self.plan.configurations()
+        }

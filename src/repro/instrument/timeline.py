@@ -1,0 +1,82 @@
+"""Text timeline (Gantt-style) rendering of a traced run.
+
+Turns a :class:`~repro.simmachine.trace.Trace` into a per-rank character
+timeline: one row per rank, one column per time bucket, each cell showing
+the initial of the kernel active in that bucket (``.`` for untraced time).
+Useful for eyeballing wavefront pipelining, load imbalance and
+kernel-boundary overlap when debugging new kernels::
+
+    rank 0 |IIICCCXXXXYYYYZZZZA
+    rank 1 |III.CCCXXXXYYYYZZZA
+"""
+
+from __future__ import annotations
+
+from repro.errors import MeasurementError
+from repro.simmachine.trace import Trace
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(
+    trace: Trace, nprocs: int, width: int = 72, legend: bool = True
+) -> str:
+    """Render a traced run as one character row per rank.
+
+    Each rank's phase records partition its time axis; a bucket shows the
+    first letter of the kernel label active at the bucket's start.
+    """
+    if width < 10:
+        raise MeasurementError(f"timeline width must be >= 10, got {width}")
+    phases = trace.by_kind("phase")
+    if not phases:
+        raise MeasurementError("trace has no phase records (enable trace=True)")
+    t_end = max(r.time for r in trace.records)
+    t_end = t_end if t_end > 0 else 1.0
+    dt = t_end / width
+
+    labels_used: dict[str, str] = {}
+
+    def letter(label: str) -> str:
+        if label not in labels_used:
+            # Prefer the first unused character of the label (skipping
+            # separators), so SSOR_LT / SSOR_UT get distinct letters.
+            taken = set(labels_used.values())
+            chosen = "?"
+            for ch in label:
+                if ch.isalnum() and ch.upper() not in taken:
+                    chosen = ch.upper()
+                    break
+            else:
+                for ch in "0123456789abcdefghijklmnopqrstuvwxyz":
+                    if ch not in taken:
+                        chosen = ch
+                        break
+            labels_used[label] = chosen
+        return labels_used[label]
+
+    lines = []
+    for rank in range(nprocs):
+        spans = [(r.time, r.label) for r in phases if r.rank == rank]
+        row = []
+        for bucket in range(width):
+            t = bucket * dt
+            active = None
+            for start, label in spans:
+                if start <= t:
+                    active = label
+                else:
+                    break
+            row.append(letter(active) if active else ".")
+        lines.append(f"rank {rank:>2} |{''.join(row)}")
+    if legend:
+        pairs = sorted(
+            {(letter(lbl), lbl) for _t, lbl in
+             ((r.time, r.label) for r in phases)}
+        )
+        lines.append(
+            "legend: "
+            + "  ".join(f"{ch}={label}" for ch, label in pairs)
+            + f"  (span {t_end:.4g} s, {dt:.3g} s/col)"
+        )
+    return "\n".join(lines)

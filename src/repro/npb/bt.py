@@ -1,0 +1,177 @@
+"""BT (Block Tridiagonal) work-alike.
+
+BT "solves three sets of uncoupled systems of equations, first in the x
+dimension, then in the y dimension, and finally in the z dimension. These
+systems are block tri-diagonal with 5x5 blocks" (paper §4.1). The paper's
+seven-kernel decomposition::
+
+    INITIALIZATION | COPY_FACES  X_SOLVE  Y_SOLVE  Z_SOLVE  ADD | FINAL
+                     \\__________________ loop _______________/
+
+The parallel code requires a square process count. X/Y solves follow the
+NPB multi-partition execution shape: ``p`` sequential stages per
+invocation, each ending with a cyclic boundary exchange along the solve
+direction, so all ranks stay busy (no pipeline fill bubble). The z solve
+is local because z is not decomposed in our 2-D layout (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.npb import workloads as w
+from repro.npb.base import Benchmark, staged_memory
+from repro.simmachine.engine import Event
+from repro.simmachine.process import RankContext
+from repro.simmpi.topology import CartGrid, square_grid_shape
+
+__all__ = ["BT"]
+
+# Message tags (one namespace per kernel).
+_TAG_FACES = 10
+_TAG_XSOLVE = 11
+_TAG_YSOLVE = 12
+
+
+class BT(Benchmark):
+    """The BT benchmark bound to a problem class and process count."""
+
+    name = "BT"
+
+    @property
+    def loop_kernel_names(self) -> tuple[str, ...]:
+        return ("COPY_FACES", "X_SOLVE", "Y_SOLVE", "Z_SOLVE", "ADD")
+
+    @property
+    def pre_kernel_names(self) -> tuple[str, ...]:
+        return ("INITIALIZATION",)
+
+    @property
+    def post_kernel_names(self) -> tuple[str, ...]:
+        return ("FINAL",)
+
+    def field_bytes_per_point(self) -> dict[str, int]:
+        return dict(w.BT_FIELD_BYTES)
+
+    def kernel_fields(self) -> dict[str, tuple[str, ...]]:
+        return {
+            "INITIALIZATION": ("u", "forcing", "aux"),
+            "COPY_FACES": ("u", "forcing", "aux", "rhs"),
+            "X_SOLVE": ("u", "rhs", "lhs"),
+            "Y_SOLVE": ("u", "rhs", "lhs"),
+            "Z_SOLVE": ("u", "rhs", "lhs"),
+            "ADD": ("rhs", "u"),
+            "FINAL": ("u", "rhs"),
+        }
+
+    def _make_grid(self, nprocs: int) -> CartGrid:
+        return CartGrid(*square_grid_shape(nprocs))
+
+    # -- kernels -------------------------------------------------------------
+
+    def _build_kernels(self) -> None:
+        self._register("INITIALIZATION", self._initialization)
+        self._register("COPY_FACES", self._copy_faces)
+        self._register("X_SOLVE", self._make_xy_solve(0))
+        self._register("Y_SOLVE", self._make_xy_solve(1))
+        self._register("Z_SOLVE", self._z_solve)
+        self._register("ADD", self._add)
+        self._register("FINAL", self._final)
+
+    def _flops(self, ctx: RankContext, kernel: str) -> float:
+        return w.BT_FLOPS_PER_POINT[kernel] * self.layout.local_points(ctx.rank)
+
+    def _initialization(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "INITIALIZATION"),
+            [
+                (self.region(r, "u"), None, True),
+                (self.region(r, "forcing"), None, True),
+                (self.region(r, "aux"), None, True),
+            ],
+        )
+        yield from ctx.comm.barrier()
+
+    def _copy_faces(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        # Ghost-cell exchange (depth 2: BT's RHS uses a 4th-order stencil).
+        yield from self.exchange_faces(
+            ctx, w.BT_FACE_BYTES, w.BT_FACE_BYTES, _TAG_FACES, depth=2
+        )
+        # Phase-one RHS computation over the full local block.
+        yield ctx.work(
+            self._flops(ctx, "COPY_FACES"),
+            [
+                (self.region(r, "u"), None, False),
+                (self.region(r, "forcing"), None, False),
+                (self.region(r, "aux"), None, False),
+                (self.region(r, "rhs"), None, True),
+            ],
+        )
+
+    def _make_xy_solve(self, dim: int):
+        kernel = "X_SOLVE" if dim == 0 else "Y_SOLVE"
+        tag = _TAG_XSOLVE if dim == 0 else _TAG_YSOLVE
+
+        def solve(ctx: RankContext) -> Generator[Event, Any, None]:
+            r = ctx.rank
+            stages = self.grid.px if dim == 0 else self.grid.py
+            nx, ny, nz = self.layout.local_dims(r)
+            face_points = (ny if dim == 0 else nx) * nz
+            boundary = w.BT_SOLVE_BOUNDARY_BYTES * face_points
+            regions = [
+                (self.region(r, "u"), None, False),
+                (self.region(r, "rhs"), None, True),
+                (self.region(r, "lhs"), None, True),
+            ]
+            per_stage_mem = staged_memory(ctx, regions, stages)
+            per_stage_flops = self._flops(ctx, kernel) / stages
+            nxt = self.grid.neighbor(r, dim, +1, periodic=True)
+            prv = self.grid.neighbor(r, dim, -1, periodic=True)
+            for _stage in range(stages):
+                yield ctx.sim.timeout(
+                    ctx.compute_seconds(per_stage_flops) + per_stage_mem
+                )
+                if stages > 1:
+                    # Multi-partition: hand the cell boundary to the next
+                    # rank along the solve direction (cyclic).
+                    yield from ctx.comm.sendrecv(
+                        nxt, boundary, send_tag=tag, source=prv
+                    )
+
+        return solve
+
+    def _z_solve(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        # z is not decomposed: a purely local 5x5 block-tridiagonal sweep.
+        yield ctx.work(
+            self._flops(ctx, "Z_SOLVE"),
+            [
+                (self.region(r, "u"), None, False),
+                (self.region(r, "rhs"), None, True),
+                (self.region(r, "lhs"), None, True),
+            ],
+        )
+
+    def _add(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "ADD"),
+            [
+                (self.region(r, "rhs"), None, False),
+                (self.region(r, "u"), None, True),
+            ],
+        )
+
+    def _final(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "FINAL"),
+            [
+                (self.region(r, "u"), None, False),
+                (self.region(r, "rhs"), None, False),
+            ],
+        )
+        # Verification: reduce the five residual norms to everyone.
+        yield from ctx.comm.allreduce(0.0, nbytes=5 * w.DOUBLE)

@@ -1,0 +1,226 @@
+"""CG (Conjugate Gradient) work-alike — a library extension beyond the paper.
+
+The paper evaluates BT, SP and LU; CG is included because it stresses a
+*different* coupling regime: its kernels are short, memory-streaming, and
+separated by latency-bound collectives (dot-product allreduces and a
+per-iteration allgather of the search direction), so couplings at scale are
+dominated by the network rather than the cache hierarchy.
+
+Decomposition of the NPB CG inner iteration (``q = Ap``; ``alpha``;
+``z, r`` update; ``rho``; ``p`` update) into four loop kernels::
+
+    INITIALIZATION | MATVEC  DOT_PQ  UPDATE_ZR  RESID_P | FINAL
+
+Simplification (documented): rows are distributed 1-D (each rank owns a
+contiguous block of rows and the mat-vec allgathers the full search
+direction), instead of NPB's 2-D decomposition. The communication volume
+per mat-vec — the full vector per iteration — matches the 1-D algorithm
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ConfigurationError
+from repro.npb.base import Benchmark
+from repro.npb.classes import ProblemSize
+from repro.simmachine.engine import Event
+from repro.simmachine.memory import DataRegion
+from repro.simmachine.process import RankContext
+from repro.simmpi.topology import CartGrid
+
+__all__ = ["CG", "CG_SIZES"]
+
+DOUBLE = 8
+#: Bytes per stored nonzero: value + column index.
+NNZ_BYTES = DOUBLE + 4
+
+#: Per class: (rows, nonzeros per row, iterations) from the NPB CG spec.
+CG_SIZES: dict[str, tuple[int, int, int]] = {
+    "S": (1400, 7, 15),
+    "W": (7000, 8, 15),
+    "A": (14000, 11, 15),
+    "B": (75000, 13, 75),
+    "C": (150000, 15, 75),
+}
+
+#: Flops per nonzero for the sparse mat-vec (multiply + add).
+MATVEC_FLOPS_PER_NNZ = 2.0
+#: Flops per row for each vector kernel.
+DOT_FLOPS_PER_ROW = 4.0        # two dot products
+UPDATE_FLOPS_PER_ROW = 4.0     # z += alpha p; r -= alpha q
+RESID_FLOPS_PER_ROW = 4.0      # rho = r.r; p = r + beta p
+INIT_FLOPS_PER_NNZ = 10.0      # makea: generation + sort
+
+
+class CG(Benchmark):
+    """The CG benchmark bound to a problem class and process count."""
+
+    name = "CG"
+
+    def _problem_size(self, problem_class: str) -> ProblemSize:
+        cls = problem_class.upper()
+        if cls not in CG_SIZES:
+            raise ConfigurationError(
+                f"unknown class {problem_class!r} for CG; "
+                f"choose from {sorted(CG_SIZES)}"
+            )
+        rows, _nnz_per_row, iterations = CG_SIZES[cls]
+        return ProblemSize(
+            benchmark="CG",
+            problem_class=cls,
+            nx=rows,
+            ny=1,
+            nz=1,
+            iterations=iterations,
+        )
+
+    def _make_grid(self, nprocs: int) -> CartGrid:
+        if nprocs < 1 or nprocs & (nprocs - 1):
+            raise ConfigurationError(
+                f"CG requires a power-of-two number of processes, got {nprocs}"
+            )
+        return CartGrid(nprocs, 1)  # 1-D row distribution
+
+    @property
+    def nnz_per_row(self) -> int:
+        return CG_SIZES[self.size.problem_class][1]
+
+    @property
+    def loop_kernel_names(self) -> tuple[str, ...]:
+        return ("MATVEC", "DOT_PQ", "UPDATE_ZR", "RESID_P")
+
+    @property
+    def pre_kernel_names(self) -> tuple[str, ...]:
+        return ("INITIALIZATION",)
+
+    @property
+    def post_kernel_names(self) -> tuple[str, ...]:
+        return ("FINAL",)
+
+    def field_bytes_per_point(self) -> dict[str, int]:
+        # "Point" = matrix row for CG.
+        return {
+            "matrix": NNZ_BYTES * self.nnz_per_row,
+            "p": DOUBLE,
+            "q": DOUBLE,
+            "r": DOUBLE,
+            "z": DOUBLE,
+        }
+
+    def kernel_fields(self) -> dict[str, tuple[str, ...]]:
+        return {
+            "INITIALIZATION": ("matrix", "p", "r", "z"),
+            "MATVEC": ("p_full", "matrix", "q"),
+            "DOT_PQ": ("p", "q"),
+            "UPDATE_ZR": ("p", "q", "z", "r"),
+            "RESID_P": ("r", "p"),
+            "FINAL": ("z", "r"),
+        }
+
+    def region(self, rank: int, field: str) -> DataRegion:
+        # The allgathered search direction is full-length on every rank.
+        if field == "p_full":
+            key = (rank, "p_full")
+            reg = self._regions.get(key)
+            if reg is None:
+                reg = self._regions[key] = DataRegion(
+                    "p_full", DOUBLE * self.size.nx
+                )
+            return reg
+        return super().region(rank, field)
+
+    def footprint_bytes(self, rank: int) -> int:
+        return (
+            super().footprint_bytes(rank)
+            + self.region(rank, "p_full").nbytes
+        )
+
+    def _local_rows(self, rank: int) -> int:
+        return self.layout.local_points(rank)
+
+    def _local_nnz(self, rank: int) -> int:
+        return self._local_rows(rank) * self.nnz_per_row
+
+    # -- kernels -----------------------------------------------------------------
+
+    def _build_kernels(self) -> None:
+        self._register("INITIALIZATION", self._initialization)
+        self._register("MATVEC", self._matvec)
+        self._register("DOT_PQ", self._dot_pq)
+        self._register("UPDATE_ZR", self._update_zr)
+        self._register("RESID_P", self._resid_p)
+        self._register("FINAL", self._final)
+
+    def _initialization(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            INIT_FLOPS_PER_NNZ * self._local_nnz(r),
+            [
+                (self.region(r, "matrix"), None, True),
+                (self.region(r, "p"), None, True),
+                (self.region(r, "r"), None, True),
+                (self.region(r, "z"), None, True),
+            ],
+        )
+        yield from ctx.comm.barrier()
+
+    def _matvec(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        # Gather the full search direction, then q = A p.
+        local_bytes = DOUBLE * self._local_rows(r)
+        yield from ctx.comm.allgather(None, local_bytes)
+        yield ctx.work(
+            MATVEC_FLOPS_PER_NNZ * self._local_nnz(r),
+            [
+                (self.region(r, "p_full"), None, False),
+                (self.region(r, "matrix"), None, False),
+                (self.region(r, "q"), None, True),
+            ],
+        )
+
+    def _dot_pq(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            DOT_FLOPS_PER_ROW * self._local_rows(r),
+            [
+                (self.region(r, "p"), None, False),
+                (self.region(r, "q"), None, False),
+            ],
+        )
+        yield from ctx.comm.allreduce(0.0, nbytes=DOUBLE)
+
+    def _update_zr(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            UPDATE_FLOPS_PER_ROW * self._local_rows(r),
+            [
+                (self.region(r, "p"), None, False),
+                (self.region(r, "q"), None, False),
+                (self.region(r, "z"), None, True),
+                (self.region(r, "r"), None, True),
+            ],
+        )
+
+    def _resid_p(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            RESID_FLOPS_PER_ROW * self._local_rows(r),
+            [
+                (self.region(r, "r"), None, False),
+                (self.region(r, "p"), None, True),
+            ],
+        )
+        yield from ctx.comm.allreduce(0.0, nbytes=DOUBLE)
+
+    def _final(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            2.0 * self._local_rows(r),
+            [
+                (self.region(r, "z"), None, False),
+                (self.region(r, "r"), None, False),
+            ],
+        )
+        yield from ctx.comm.allreduce(0.0, nbytes=DOUBLE)

@@ -1,0 +1,180 @@
+"""User-defined applications on the simulated machine.
+
+The coupling methodology is application-agnostic; this module lets a user
+describe *their* application — kernels, data fields, control flow — and run
+it through the same measurement harness and predictors as the NPB
+work-alikes::
+
+    app = CustomApplication(
+        CustomSpec(
+            name="MYAPP",
+            nx=48, ny=48, nz=48, iterations=100,
+            grid=CartGrid(2, 2),
+            fields={"state": 40, "flux": 40, "scratch": 200},
+            loop_kernels=("FLUX", "UPDATE"),
+            kernel_fields={
+                "FLUX": ("state", "flux", "scratch"),
+                "UPDATE": ("flux", "state"),
+            },
+            flops_per_point={"FLUX": 250.0, "UPDATE": 30.0},
+            halo_bytes_per_point={"FLUX": 40},
+        ),
+        nprocs=4,
+    )
+    runner = ChainRunner(app, ibm_sp_argonne())
+    ...
+
+Kernels built this way do a halo exchange (when configured) followed by one
+bulk compute/touch over the declared fields — the structure of most
+bulk-synchronous stencil codes. Applications needing bespoke kernel bodies
+can subclass :class:`CustomApplication` and override
+:meth:`~CustomApplication._build_kernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Mapping
+
+from repro.errors import ConfigurationError
+from repro.npb.base import Benchmark
+from repro.npb.classes import ProblemSize
+from repro.simmachine.engine import Event
+from repro.simmachine.process import RankContext
+from repro.simmpi.topology import CartGrid
+
+__all__ = ["CustomSpec", "CustomApplication"]
+
+_HALO_TAG_BASE = 900
+
+
+@dataclass(frozen=True)
+class CustomSpec:
+    """Declarative description of a user application.
+
+    ``fields`` maps field name to bytes per grid point. ``kernel_fields``
+    lists, per kernel and in touch order, which fields it streams (the
+    *last* field listed is written). ``halo_bytes_per_point`` adds a
+    4-neighbor ghost exchange before the compute for the kernels listed.
+    """
+
+    name: str
+    nx: int
+    ny: int
+    nz: int
+    iterations: int
+    grid: CartGrid
+    fields: Mapping[str, int]
+    loop_kernels: tuple[str, ...]
+    kernel_fields: Mapping[str, tuple[str, ...]]
+    flops_per_point: Mapping[str, float]
+    pre_kernels: tuple[str, ...] = ()
+    post_kernels: tuple[str, ...] = ()
+    halo_bytes_per_point: Mapping[str, int] = field(default_factory=dict)
+
+    def all_kernels(self) -> tuple[str, ...]:
+        return self.pre_kernels + self.loop_kernels + self.post_kernels
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("CustomSpec needs a name")
+        if not self.loop_kernels:
+            raise ConfigurationError("CustomSpec needs loop kernels")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        for kernel in self.all_kernels():
+            if kernel not in self.kernel_fields:
+                raise ConfigurationError(
+                    f"kernel {kernel!r} missing from kernel_fields"
+                )
+            if kernel not in self.flops_per_point:
+                raise ConfigurationError(
+                    f"kernel {kernel!r} missing from flops_per_point"
+                )
+            for fname in self.kernel_fields[kernel]:
+                if fname not in self.fields:
+                    raise ConfigurationError(
+                        f"kernel {kernel!r} touches unknown field {fname!r}"
+                    )
+
+
+class CustomApplication(Benchmark):
+    """A :class:`~repro.npb.base.Benchmark` built from a :class:`CustomSpec`."""
+
+    def __init__(self, spec: CustomSpec, nprocs: int):
+        spec.validate()
+        if nprocs != spec.grid.size:
+            raise ConfigurationError(
+                f"spec grid has {spec.grid.size} ranks, requested {nprocs}"
+            )
+        self.spec = spec
+        self.name = spec.name
+        # Mirror Benchmark.__init__ without the NPB problem-size lookup.
+        self.size = ProblemSize(
+            benchmark=spec.name,
+            problem_class="CUSTOM",
+            nx=spec.nx,
+            ny=spec.ny,
+            nz=spec.nz,
+            iterations=spec.iterations,
+        )
+        self.nprocs = nprocs
+        self.grid = spec.grid
+        from repro.npb.base import Layout
+
+        self.layout = Layout(self.size, self.grid)
+        self._regions = {}
+        self._kernels = {}
+        self._build_kernels()
+
+    # -- Benchmark interface ---------------------------------------------------
+
+    def _make_grid(self, nprocs: int) -> CartGrid:  # pragma: no cover
+        return self.spec.grid
+
+    @property
+    def loop_kernel_names(self) -> tuple[str, ...]:
+        return self.spec.loop_kernels
+
+    @property
+    def pre_kernel_names(self) -> tuple[str, ...]:
+        return self.spec.pre_kernels
+
+    @property
+    def post_kernel_names(self) -> tuple[str, ...]:
+        return self.spec.post_kernels
+
+    def field_bytes_per_point(self) -> dict[str, int]:
+        return dict(self.spec.fields)
+
+    def kernel_fields(self) -> dict[str, tuple[str, ...]]:
+        return {k: tuple(v) for k, v in self.spec.kernel_fields.items()}
+
+    # -- kernel construction ------------------------------------------------------
+
+    def _build_kernels(self) -> None:
+        for index, kernel in enumerate(self.spec.all_kernels()):
+            self._register(kernel, self._make_body(kernel, index))
+
+    def _make_body(self, kernel: str, index: int):
+        halo = self.spec.halo_bytes_per_point.get(kernel, 0)
+        tag = _HALO_TAG_BASE + index
+
+        def body(ctx: RankContext) -> Generator[Event, Any, None]:
+            if halo:
+                yield from self.exchange_faces(ctx, halo, halo, tag)
+            fields = self.spec.kernel_fields[kernel]
+            regions = [
+                (
+                    self.region(ctx.rank, fname),
+                    None,
+                    fname == fields[-1],  # last listed field is written
+                )
+                for fname in fields
+            ]
+            flops = self.spec.flops_per_point[kernel] * self.layout.local_points(
+                ctx.rank
+            )
+            yield ctx.work(flops, regions)
+
+        return body

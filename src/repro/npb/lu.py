@@ -1,0 +1,250 @@
+"""LU work-alike: SSOR with diagonal wavefront pipelining.
+
+The paper's ten-kernel decomposition (§4.3)::
+
+    INITIALIZATION  ERHS  SSOR_INIT |                        (pre, once)
+    SSOR_ITER  SSOR_LT  SSOR_UT  SSOR_RS |                   (the loop)
+    ERROR  PINTGR  FINAL                                     (post, once)
+
+LU requires a power-of-two process count; the grid is halved "alternately
+x and then y", giving pencil partitions. The lower/upper triangular solves
+sweep diagonally: each rank processes one z-plane at a time, receiving
+boundary data from its west/north neighbors before computing a plane and
+forwarding to east/south (reversed for the upper sweep). Communication is
+"a relatively large number of small communications of five words each" —
+modelled as one *burst* per plane per neighbor with one 5-word message per
+boundary point, so the simulated cost stays latency-dominated exactly as
+the paper stresses, while the event count stays tractable.
+
+The Jacobian blocks (``jac``) are plane-sized scratch shared between
+SSOR_LT and SSOR_UT, mirroring NPB-LU's a/b/c/d arrays — a strong
+constructive-coupling channel between the two sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.npb import workloads as w
+from repro.npb.base import Benchmark, staged_memory
+from repro.simmachine.engine import Event
+from repro.simmachine.memory import DataRegion
+from repro.simmachine.process import RankContext
+from repro.simmpi.topology import CartGrid, pow2_grid_shape
+
+__all__ = ["LU"]
+
+_TAG_ERHS = 30
+_TAG_LT_X = 31
+_TAG_LT_Y = 32
+_TAG_UT_X = 33
+_TAG_UT_Y = 34
+_TAG_RS = 35
+
+
+class LU(Benchmark):
+    """The LU benchmark bound to a problem class and process count."""
+
+    name = "LU"
+
+    @property
+    def loop_kernel_names(self) -> tuple[str, ...]:
+        return ("SSOR_ITER", "SSOR_LT", "SSOR_UT", "SSOR_RS")
+
+    @property
+    def pre_kernel_names(self) -> tuple[str, ...]:
+        return ("INITIALIZATION", "ERHS", "SSOR_INIT")
+
+    @property
+    def post_kernel_names(self) -> tuple[str, ...]:
+        return ("ERROR", "PINTGR", "FINAL")
+
+    def field_bytes_per_point(self) -> dict[str, int]:
+        return dict(w.LU_FIELD_BYTES)
+
+    def kernel_fields(self) -> dict[str, tuple[str, ...]]:
+        return {
+            "INITIALIZATION": ("u", "rsd", "aux"),
+            "ERHS": ("u", "frct"),
+            "SSOR_INIT": ("rsd",),
+            "SSOR_ITER": ("rsd",),
+            "SSOR_LT": ("u", "rsd", "jac"),
+            "SSOR_UT": ("u", "rsd", "jac"),
+            "SSOR_RS": ("frct", "u", "rsd"),
+            "ERROR": ("u",),
+            "PINTGR": ("u",),
+            "FINAL": ("rsd",),
+        }
+
+    def _make_grid(self, nprocs: int) -> CartGrid:
+        return CartGrid(*pow2_grid_shape(nprocs))
+
+    def _build_kernels(self) -> None:
+        self._register("INITIALIZATION", self._initialization)
+        self._register("ERHS", self._erhs)
+        self._register("SSOR_INIT", self._ssor_init)
+        self._register("SSOR_ITER", self._ssor_iter)
+        self._register("SSOR_LT", self._make_sweep(lower=True))
+        self._register("SSOR_UT", self._make_sweep(lower=False))
+        self._register("SSOR_RS", self._ssor_rs)
+        self._register("ERROR", self._error)
+        self._register("PINTGR", self._pintgr)
+        self._register("FINAL", self._final)
+
+    def _flops(self, ctx: RankContext, kernel: str) -> float:
+        return w.LU_FLOPS_PER_POINT[kernel] * self.layout.local_points(ctx.rank)
+
+    def jac_region(self, rank: int) -> DataRegion:
+        """Plane-sized Jacobian scratch (NPB-LU's a/b/c/d arrays)."""
+        key = (rank, "jac")
+        reg = self._regions.get(key)
+        if reg is None:
+            nx, ny, _nz = self.layout.local_dims(rank)
+            nbytes = w.LU_FIELD_BYTES["jac"] * nx * ny
+            reg = self._regions[key] = DataRegion("jac", nbytes)
+        return reg
+
+    def region(self, rank: int, field: str) -> DataRegion:
+        # ``jac`` is plane-sized, unlike the full-volume fields.
+        if field == "jac":
+            return self.jac_region(rank)
+        return super().region(rank, field)
+
+    def footprint_bytes(self, rank: int) -> int:
+        per_point = self.field_bytes_per_point()
+        pts = self.layout.local_points(rank)
+        nx, ny, _nz = self.layout.local_dims(rank)
+        total = sum(b for f, b in per_point.items() if f != "jac") * pts
+        return total + per_point["jac"] * nx * ny
+
+    # -- pre kernels ----------------------------------------------------------
+
+    def _initialization(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "INITIALIZATION"),
+            [
+                (self.region(r, "u"), None, True),
+                (self.region(r, "rsd"), None, True),
+                (self.region(r, "aux"), None, True),
+            ],
+        )
+        yield from ctx.comm.barrier()
+
+    def _erhs(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield from self.exchange_faces(
+            ctx, w.LU_FACE_BYTES, w.LU_FACE_BYTES, _TAG_ERHS, depth=1
+        )
+        yield ctx.work(
+            self._flops(ctx, "ERHS"),
+            [
+                (self.region(r, "u"), None, False),
+                (self.region(r, "frct"), None, True),
+            ],
+        )
+
+    def _ssor_init(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "SSOR_INIT"),
+            [(self.region(r, "rsd"), None, True)],
+        )
+        yield from ctx.comm.barrier()
+
+    # -- loop kernels -----------------------------------------------------------
+
+    def _ssor_iter(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        # Scale the residual by omega*dt (rsd read-modify-write).
+        yield ctx.work(
+            self._flops(ctx, "SSOR_ITER"),
+            [(self.region(r, "rsd"), None, True)],
+        )
+
+    def _make_sweep(self, lower: bool):
+        kernel = "SSOR_LT" if lower else "SSOR_UT"
+        tag_x = _TAG_LT_X if lower else _TAG_UT_X
+        tag_y = _TAG_LT_Y if lower else _TAG_UT_Y
+
+        def sweep(ctx: RankContext) -> Generator[Event, Any, None]:
+            r = ctx.rank
+            nx, ny, nz = self.layout.local_dims(r)
+            comm = ctx.comm
+            # Lower sweep flows corner (0,0) -> (px-1, py-1); upper reversed.
+            into = -1 if lower else +1
+            outof = +1 if lower else -1
+            dep_x = self.grid.neighbor(r, 0, into)
+            dep_y = self.grid.neighbor(r, 1, into)
+            out_x = self.grid.neighbor(r, 0, outof)
+            out_y = self.grid.neighbor(r, 1, outof)
+            regions = [
+                (self.region(r, "u"), None, False),
+                (self.region(r, "rsd"), None, True),
+                (self.jac_region(r), None, True),
+            ]
+            per_plane_mem = staged_memory(ctx, regions, nz)
+            per_plane_flops = self._flops(ctx, kernel) / nz
+            msg = w.LU_PIPELINE_MESSAGE_BYTES
+            for _k in range(nz):
+                requests = []
+                if dep_x is not None:
+                    requests.append(comm.irecv(dep_x, tag_x))
+                if dep_y is not None:
+                    requests.append(comm.irecv(dep_y, tag_y))
+                if requests:
+                    yield from comm.waitall(requests)
+                yield ctx.sim.timeout(
+                    ctx.compute_seconds(per_plane_flops) + per_plane_mem
+                )
+                if out_x is not None:
+                    # One 5-word message per boundary point, as a burst.
+                    yield from comm.send(out_x, msg * ny, tag_x, messages=ny)
+                if out_y is not None:
+                    yield from comm.send(out_y, msg * nx, tag_y, messages=nx)
+
+        return sweep
+
+    def _ssor_rs(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        # Update the variables and recompute the RHS for the next iteration.
+        yield from self.exchange_faces(
+            ctx, w.LU_FACE_BYTES, w.LU_FACE_BYTES, _TAG_RS, depth=1
+        )
+        yield ctx.work(
+            self._flops(ctx, "SSOR_RS"),
+            [
+                (self.region(r, "frct"), None, False),
+                (self.region(r, "u"), None, True),
+                (self.region(r, "rsd"), None, True),
+            ],
+        )
+        # Newton-iteration residual norms.
+        yield from ctx.comm.allreduce(0.0, nbytes=5 * w.DOUBLE)
+
+    # -- post kernels -------------------------------------------------------------
+
+    def _error(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "ERROR"),
+            [(self.region(r, "u"), None, False)],
+        )
+        yield from ctx.comm.allreduce(0.0, nbytes=5 * w.DOUBLE)
+
+    def _pintgr(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        # Surface integral over a sub-volume: touches a fraction of u.
+        yield ctx.work(
+            self._flops(ctx, "PINTGR"),
+            [(self.region(r, "u"), self.region(r, "u").nbytes // 4, False)],
+        )
+        yield from ctx.comm.allreduce(0.0, nbytes=3 * w.DOUBLE)
+
+    def _final(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "FINAL"),
+            [(self.region(r, "rsd"), None, False)],
+        )
+        yield from ctx.comm.barrier()

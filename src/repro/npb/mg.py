@@ -1,0 +1,216 @@
+"""MG (Multigrid) work-alike — a library extension beyond the paper.
+
+NPB MG applies V-cycles of a simple multigrid solver to a 3-D Poisson
+problem. Its coupling profile is unlike BT/SP/LU's: each kernel walks the
+*grid hierarchy*, and coarse levels exchange tiny halo messages whose cost
+is pure latency — so at scale the V-cycle's lower half is communication-
+bound while the finest level is memory-bound. Decomposition::
+
+    INITIALIZATION | RESID  RPRJ3  PSINV  INTERP | FINAL
+                     \\_________ one V-cycle ____/
+
+Kernels walk the levels internally (RESID at the finest level only; RPRJ3
+fine→coarse; PSINV smooths every level coarse→fine; INTERP coarse→fine),
+with a depth-1 halo exchange per level visited.
+
+Simplifications (documented): every rank keeps a share of every level
+(NPB retires ranks below a coarsening threshold), and each level's data is
+modelled as the leading slice of the hierarchical field region — which
+makes coarse levels the hottest cache residents, as on real machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ConfigurationError
+from repro.npb.base import Benchmark
+from repro.simmachine.engine import Event
+from repro.simmachine.process import RankContext
+from repro.simmpi.topology import CartGrid, pow2_grid_shape
+
+__all__ = ["MG"]
+
+DOUBLE = 8
+_TAG_BASE = 50
+
+#: Flops per finest-grid point per kernel invocation (NPB MG class A is
+#: ~3.9 Gflop over 4 iterations of 256^3 => ~58 flop/point/iteration).
+MG_FLOPS_PER_POINT = {
+    "INITIALIZATION": 20.0,   # zran3 + setup
+    "RESID": 21.0,            # 27-point residual at the finest level
+    "RPRJ3": 9.0,             # restriction, summed over levels (geometric)
+    "PSINV": 19.0,            # smoothing, summed over levels
+    "INTERP": 9.0,            # prolongation, summed over levels
+    "FINAL": 5.0,             # L2 norm
+}
+
+#: The hierarchy holds sum_l (1/8)^l ~ 8/7 of the finest grid per field.
+HIERARCHY_FACTOR = 8.0 / 7.0
+
+
+class MG(Benchmark):
+    """The MG benchmark bound to a problem class and process count."""
+
+    name = "MG"
+
+    @property
+    def loop_kernel_names(self) -> tuple[str, ...]:
+        return ("RESID", "RPRJ3", "PSINV", "INTERP")
+
+    @property
+    def pre_kernel_names(self) -> tuple[str, ...]:
+        return ("INITIALIZATION",)
+
+    @property
+    def post_kernel_names(self) -> tuple[str, ...]:
+        return ("FINAL",)
+
+    def field_bytes_per_point(self) -> dict[str, int]:
+        # Per finest-grid point; the hierarchy factor covers all levels.
+        per = int(round(DOUBLE * HIERARCHY_FACTOR))
+        return {"u": per, "v": DOUBLE, "r": per}
+
+    def kernel_fields(self) -> dict[str, tuple[str, ...]]:
+        return {
+            "INITIALIZATION": ("v", "u", "r"),
+            "RESID": ("u", "v", "r"),
+            "RPRJ3": ("r",),
+            "PSINV": ("r", "u"),
+            "INTERP": ("u",),
+            "FINAL": ("r",),
+        }
+
+    def _make_grid(self, nprocs: int) -> CartGrid:
+        if nprocs & (nprocs - 1):
+            raise ConfigurationError(
+                f"MG requires a power-of-two number of processes, got {nprocs}"
+            )
+        return CartGrid(*pow2_grid_shape(nprocs))
+
+    @property
+    def levels(self) -> int:
+        """Hierarchy depth: halve the finest grid down to 4 points/axis."""
+        n = self.size.nx
+        depth = 0
+        while n >= 8:
+            n //= 2
+            depth += 1
+        return max(1, depth)
+
+    def _flops(self, ctx: RankContext, kernel: str) -> float:
+        return MG_FLOPS_PER_POINT[kernel] * self.layout.local_points(ctx.rank)
+
+    # -- level walking ------------------------------------------------------------
+
+    def _level_exchange(
+        self, ctx: RankContext, level: int, tag: int
+    ) -> Generator[Event, Any, None]:
+        """Depth-1 halo exchange on level ``level`` (0 = finest)."""
+        comm = ctx.comm
+        nx, ny, nz = self.layout.local_dims(ctx.rank)
+        shrink = 2**level
+        lx = max(1, nx // shrink)
+        ly = max(1, ny // shrink)
+        lz = max(1, nz // shrink)
+        requests = []
+        for dim, step in ((0, -1), (0, +1), (1, -1), (1, +1)):
+            peer = self.grid.neighbor(ctx.rank, dim, step)
+            if peer is None:
+                continue
+            face_points = (ly if dim == 0 else lx) * lz
+            nbytes = DOUBLE * face_points
+            requests.append(comm.irecv(peer, tag))
+            requests.append(comm.isend(peer, nbytes, tag))
+        if requests:
+            yield from comm.waitall(requests)
+
+    def _walk_levels(
+        self,
+        ctx: RankContext,
+        kernel: str,
+        tag: int,
+        levels: range,
+        finest_only: bool = False,
+    ) -> Generator[Event, Any, None]:
+        """Run a kernel's per-level work: exchange + compute at each level.
+
+        Flops and memory traffic are dominated by the finest level touched
+        (geometric series); each visited level still pays its own halo
+        latency — the mechanism that makes coarse levels latency-bound.
+        """
+        r = ctx.rank
+        fields = self.kernel_fields()[kernel]
+        level_list = [0] if finest_only else (list(levels) or [0])
+        # Bulk memory traffic: the hierarchy slice this kernel streams.
+        regions = []
+        for field in fields:
+            region = self.region(r, field)
+            share = region.nbytes if not finest_only else int(
+                region.nbytes / HIERARCHY_FACTOR
+            )
+            regions.append((region, share, field == fields[-1]))
+        mem_per_level = ctx.touch_regions(regions) / len(level_list)
+        flops_total = self._flops(ctx, kernel)
+        # Geometric flop split: level l does (1/8)^l of the finest's work.
+        weights = [8.0 ** -lv for lv in level_list]
+        scale = sum(weights)
+        for level, weight in zip(level_list, weights):
+            yield from self._level_exchange(ctx, level, tag + level)
+            yield ctx.sim.timeout(
+                ctx.compute_seconds(flops_total * weight / scale)
+                + mem_per_level
+            )
+
+    # -- kernels ----------------------------------------------------------------
+
+    def _build_kernels(self) -> None:
+        self._register("INITIALIZATION", self._initialization)
+        self._register("RESID", self._resid)
+        self._register("RPRJ3", self._rprj3)
+        self._register("PSINV", self._psinv)
+        self._register("INTERP", self._interp)
+        self._register("FINAL", self._final)
+
+    def _initialization(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "INITIALIZATION"),
+            [
+                (self.region(r, "v"), None, True),
+                (self.region(r, "u"), None, True),
+                (self.region(r, "r"), None, True),
+            ],
+        )
+        yield from ctx.comm.barrier()
+
+    def _resid(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        yield from self._walk_levels(
+            ctx, "RESID", _TAG_BASE + 0, range(1), finest_only=True
+        )
+
+    def _rprj3(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        # Restriction: fine -> coarse, one exchange per level descended.
+        yield from self._walk_levels(
+            ctx, "RPRJ3", _TAG_BASE + 10, range(1, self.levels)
+        )
+
+    def _psinv(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        # Smoothing at every level, coarse -> fine.
+        yield from self._walk_levels(
+            ctx, "PSINV", _TAG_BASE + 20, range(self.levels - 1, -1, -1)
+        )
+
+    def _interp(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        # Prolongation: coarse -> fine.
+        yield from self._walk_levels(
+            ctx, "INTERP", _TAG_BASE + 40, range(self.levels - 2, -1, -1)
+        )
+
+    def _final(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        r = ctx.rank
+        yield ctx.work(
+            self._flops(ctx, "FINAL"),
+            [(self.region(r, "r"), None, False)],
+        )
+        yield from ctx.comm.allreduce(0.0, nbytes=DOUBLE)

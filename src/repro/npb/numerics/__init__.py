@@ -1,0 +1,71 @@
+"""Executable numerical methods behind the NPB work-alikes.
+
+The simulator charges kernels by operation counts; this subpackage contains
+the *actual math* those counts describe, in NumPy:
+
+* :mod:`repro.npb.numerics.tridiag` — 5x5 block-tridiagonal solves (BT's
+  per-line systems) and scalar pentadiagonal solves (SP's);
+* :mod:`repro.npb.numerics.ssor` — symmetric successive over-relaxation
+  with lower/upper triangular sweeps (LU's SSOR iteration);
+* :mod:`repro.npb.numerics.grids` — 3D grids, manufactured solutions, and
+  ADI-style sweep drivers that string the line solvers together the way
+  BT/SP do;
+* :mod:`repro.npb.numerics.blockadi` — the coupled 5-component (5x5-block)
+  ADI structure of BT, executable;
+* :mod:`repro.npb.numerics.krylov` — conjugate gradient with CG's exact
+  kernel decomposition, plus a NAS-style random SPD sparse matrix;
+* :mod:`repro.npb.numerics.multigrid` — a geometric V-cycle with MG's
+  kernel structure and mesh-independent convergence.
+
+Everything is validated against SciPy (tests) and runnable end-to-end at
+class-S scale (:mod:`repro.npb.verify`).
+"""
+
+from repro.npb.numerics.grids import (
+    Grid3D,
+    adi_diffusion_step,
+    laplacian_3d,
+    manufactured_solution,
+    residual_norm,
+)
+from repro.npb.numerics.blockadi import block_adi_step
+from repro.npb.numerics.krylov import (
+    CGResult,
+    conjugate_gradient,
+    nas_style_sparse_matrix,
+)
+from repro.npb.numerics.multigrid import (
+    mg_solve,
+    prolong_field,
+    restrict_field,
+    v_cycle,
+)
+from repro.npb.numerics.ssor import ssor_solve, ssor_sweep
+from repro.npb.numerics.tridiag import (
+    solve_block_tridiagonal,
+    solve_lines_along_axis,
+    solve_pentadiagonal,
+    solve_tridiagonal,
+)
+
+__all__ = [
+    "CGResult",
+    "Grid3D",
+    "block_adi_step",
+    "conjugate_gradient",
+    "mg_solve",
+    "nas_style_sparse_matrix",
+    "prolong_field",
+    "restrict_field",
+    "v_cycle",
+    "adi_diffusion_step",
+    "laplacian_3d",
+    "manufactured_solution",
+    "residual_norm",
+    "solve_block_tridiagonal",
+    "solve_lines_along_axis",
+    "solve_pentadiagonal",
+    "solve_tridiagonal",
+    "ssor_solve",
+    "ssor_sweep",
+]

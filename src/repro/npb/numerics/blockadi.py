@@ -1,0 +1,93 @@
+"""Block-coupled ADI: the 5-component structure of BT, executable.
+
+BT solves systems that are "block tri-diagonal with 5x5 blocks" because
+the five flow variables couple at each grid point. This module implements
+that structure for real on a model problem: a system of ``b`` diffusing
+fields coupled pointwise by a constant matrix ``K``::
+
+    du/dt = kappa * Laplacian(u) + K @ u      (u has b components)
+
+One Douglas-style ADI step solves, along each axis, block-tridiagonal
+line systems with blocks ``(1 + 2r) I - dt/3 K`` on the diagonal and
+``-r I`` off it — built and solved by
+:func:`repro.npb.numerics.tridiag.solve_block_tridiagonal`, the same
+routine validated against dense solves.
+
+Tests verify two exact limits: with ``K = 0`` every component reproduces
+the scalar ADI step, and with diagonal ``K`` the components decouple into
+independent scalar problems with growth factors known in closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.npb.numerics.grids import Grid3D
+from repro.npb.numerics.tridiag import solve_block_tridiagonal
+
+__all__ = ["block_adi_step", "coupled_operator_norm"]
+
+
+def _solve_block_lines(
+    field: np.ndarray, axis: int, r: float, shift: np.ndarray
+) -> np.ndarray:
+    """Solve ``((1+2r)I - shift) x_i - r I (x_{i-1} + x_{i+1}) = rhs_i``
+    along ``axis`` for every line of a (..., b)-component field."""
+    b = field.shape[-1]
+    moved = np.moveaxis(field, axis, 0)  # (n, ..., b)
+    n = moved.shape[0]
+    eye = np.eye(b)
+    diag_block = (1.0 + 2.0 * r) * eye - shift
+    off_block = -r * eye
+    lower = np.tile(off_block, (n, 1, 1))
+    upper = np.tile(off_block, (n, 1, 1))
+    diag = np.tile(diag_block, (n, 1, 1))
+    lower[0] = 0.0
+    upper[-1] = 0.0
+    flat = moved.reshape(n, -1, b)
+    out = np.empty_like(flat)
+    for line in range(flat.shape[1]):
+        out[:, line, :] = solve_block_tridiagonal(
+            lower, diag, upper, flat[:, line, :]
+        )
+    return np.moveaxis(out.reshape(moved.shape), 0, axis)
+
+
+def block_adi_step(
+    u: np.ndarray,
+    grid: Grid3D,
+    dt: float,
+    coupling: np.ndarray,
+    kappa: float = 1.0,
+) -> np.ndarray:
+    """One implicit ADI step of the coupled b-component diffusion system.
+
+    ``u`` has shape ``grid.shape + (b,)``; ``coupling`` is the pointwise
+    b x b coupling matrix ``K``. The ``dt/3 K`` term is split evenly over
+    the three directional solves (a standard splitting; exactness in the
+    diagonal-K limit is what the tests pin down).
+    """
+    if u.ndim != 4 or u.shape[:3] != grid.shape:
+        raise ConfigurationError(
+            f"field must have shape {grid.shape} + (b,), got {u.shape}"
+        )
+    b = u.shape[-1]
+    coupling = np.asarray(coupling, dtype=np.float64)
+    if coupling.shape != (b, b):
+        raise ConfigurationError(
+            f"coupling must be ({b}, {b}), got {coupling.shape}"
+        )
+    if dt <= 0 or kappa <= 0:
+        raise ConfigurationError("dt and kappa must be > 0")
+    work = u.astype(np.float64).copy()
+    shift = (dt / 3.0) * coupling
+    for axis, h in enumerate(grid.spacing):
+        r = kappa * dt / h**2
+        work = _solve_block_lines(work, axis, r, shift)
+    return work
+
+
+def coupled_operator_norm(u: np.ndarray) -> float:
+    """Max-norm over all components (the stability functional the tests use)."""
+    return float(np.max(np.abs(u)))

@@ -1,0 +1,123 @@
+"""Geometric multigrid V-cycle — the executable math behind the MG work-alike.
+
+A textbook V-cycle for the 7-point operator of
+:mod:`repro.npb.numerics.ssor`: damped-Jacobi smoothing, full-weighting-ish
+restriction (averaging over 2x2x2 children), trilinear-ish prolongation
+(nearest-parent injection with correction), and a recursive descent down to
+a directly-smoothed coarsest level. The structure — resid, restrict, smooth
+per level, interpolate — is exactly the kernel decomposition the simulated
+MG benchmark models.
+
+The headline property the tests pin down is *mesh-independent convergence*:
+the residual contraction factor per V-cycle stays roughly constant as the
+grid is refined, which is multigrid's raison d'être (and why NPB includes
+it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.npb.numerics.ssor import apply_operator
+
+__all__ = ["v_cycle", "mg_solve", "restrict_field", "prolong_field"]
+
+
+def _smooth(
+    u: np.ndarray, rhs: np.ndarray, diag: float, offdiag: float, sweeps: int
+) -> None:
+    """Damped-Jacobi smoothing, in place (omega = 0.8)."""
+    omega = 0.8
+    for _ in range(sweeps):
+        residual = rhs - apply_operator(u, diag, offdiag)
+        u += omega * residual / diag
+
+
+def restrict_field(fine: np.ndarray) -> np.ndarray:
+    """Average 2x2x2 children onto the coarse grid (dimensions halve)."""
+    if any(s % 2 for s in fine.shape):
+        raise ConfigurationError(
+            f"restriction needs even dimensions, got {fine.shape}"
+        )
+    return 0.125 * (
+        fine[0::2, 0::2, 0::2] + fine[1::2, 0::2, 0::2]
+        + fine[0::2, 1::2, 0::2] + fine[1::2, 1::2, 0::2]
+        + fine[0::2, 0::2, 1::2] + fine[1::2, 0::2, 1::2]
+        + fine[0::2, 1::2, 1::2] + fine[1::2, 1::2, 1::2]
+    )
+
+
+def prolong_field(coarse: np.ndarray) -> np.ndarray:
+    """Inject each coarse value into its 2x2x2 children (dimensions double)."""
+    fine = np.empty(tuple(2 * s for s in coarse.shape), dtype=np.float64)
+    for di in (0, 1):
+        for dj in (0, 1):
+            for dk in (0, 1):
+                fine[di::2, dj::2, dk::2] = coarse
+    return fine
+
+
+def _coarse_operator(diag: float, offdiag: float) -> tuple[float, float]:
+    """Galerkin-flavoured coarse coefficients for the 7-point operator.
+
+    Injection-prolongation + averaging-restriction of ``diag*I - offdiag*N``
+    keeps the stencil shape; the diagonal dominance margin is preserved by
+    scaling both terms identically, so every level stays SPD.
+    """
+    return diag, offdiag
+
+
+def v_cycle(
+    u: np.ndarray,
+    rhs: np.ndarray,
+    diag: float,
+    offdiag: float,
+    pre_sweeps: int = 2,
+    post_sweeps: int = 2,
+    coarsest: int = 4,
+) -> np.ndarray:
+    """One V-cycle; returns the improved solution (input not modified)."""
+    if u.shape != rhs.shape:
+        raise ConfigurationError("u and rhs shapes differ")
+    if min(u.shape) < 2:
+        raise ConfigurationError(f"grid too small for a V-cycle: {u.shape}")
+    work = u.astype(np.float64).copy()
+    _smooth(work, rhs, diag, offdiag, pre_sweeps)          # PSINV (down)
+    if min(u.shape) <= coarsest or any(s % 2 for s in u.shape):
+        _smooth(work, rhs, diag, offdiag, 20)               # coarsest solve
+        return work
+    residual = rhs - apply_operator(work, diag, offdiag)    # RESID
+    coarse_rhs = restrict_field(residual)                   # RPRJ3
+    cd, co = _coarse_operator(diag, offdiag)
+    coarse_u = np.zeros_like(coarse_rhs)
+    coarse_u = v_cycle(
+        coarse_u, coarse_rhs, cd, co, pre_sweeps, post_sweeps, coarsest
+    )
+    work += prolong_field(coarse_u)                         # INTERP
+    _smooth(work, rhs, diag, offdiag, post_sweeps)          # PSINV (up)
+    return work
+
+
+def mg_solve(
+    rhs: np.ndarray,
+    diag: float,
+    offdiag: float,
+    cycles: int = 10,
+) -> tuple[np.ndarray, list[float]]:
+    """Run V-cycles from a zero guess; returns (solution, residual norms).
+
+    The residual history records the norm after each cycle; the first
+    entry is the initial residual (= ||rhs||).
+    """
+    if cycles < 1:
+        raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+    if abs(diag) <= 6 * abs(offdiag):
+        raise ConfigurationError("operator must be strictly diagonally dominant")
+    u = np.zeros_like(rhs, dtype=np.float64)
+    history = [float(np.linalg.norm(rhs))]
+    for _ in range(cycles):
+        u = v_cycle(u, rhs, diag, offdiag)
+        residual = rhs - apply_operator(u, diag, offdiag)
+        history.append(float(np.linalg.norm(residual)))
+    return u, history

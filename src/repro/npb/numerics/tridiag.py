@@ -1,0 +1,178 @@
+"""Banded line solvers: tridiagonal, block-tridiagonal (5x5), pentadiagonal.
+
+These are the per-line systems BT and SP solve in each dimension: BT's are
+"block tri-diagonal with 5x5 blocks", SP's are scalar pentadiagonal
+(paper §4.1–4.2). All solvers use the Thomas-style forward elimination /
+back substitution appropriate to their band structure, without pivoting —
+the NPB systems are diagonally dominant by construction, and the tests
+check the solvers against SciPy on such systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "solve_tridiagonal",
+    "solve_block_tridiagonal",
+    "solve_pentadiagonal",
+    "solve_lines_along_axis",
+]
+
+
+def _check_1d(name: str, arr: np.ndarray, n: int) -> None:
+    if arr.shape != (n,):
+        raise ConfigurationError(f"{name} must have shape ({n},), got {arr.shape}")
+
+
+def solve_tridiagonal(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve a scalar tridiagonal system by the Thomas algorithm.
+
+    ``lower[0]`` and ``upper[-1]`` are ignored (outside the band). The
+    right-hand side may have trailing dimensions; lines are solved for each
+    trailing index simultaneously (vectorized back substitution).
+    """
+    n = diag.shape[0]
+    if n == 0:
+        raise ConfigurationError("empty tridiagonal system")
+    _check_1d("lower", lower, n)
+    _check_1d("upper", upper, n)
+    if rhs.shape[0] != n:
+        raise ConfigurationError(
+            f"rhs first dimension must be {n}, got {rhs.shape[0]}"
+        )
+    cp = np.empty(n, dtype=np.float64)
+    dp = np.empty_like(rhs, dtype=np.float64)
+    if diag[0] == 0:
+        raise ConfigurationError("zero pivot in tridiagonal solve")
+    cp[0] = upper[0] / diag[0]
+    dp[0] = rhs[0] / diag[0]
+    for i in range(1, n):
+        denom = diag[i] - lower[i] * cp[i - 1]
+        if denom == 0:
+            raise ConfigurationError(f"zero pivot at row {i}")
+        cp[i] = upper[i] / denom
+        dp[i] = (rhs[i] - lower[i] * dp[i - 1]) / denom
+    x = np.empty_like(dp)
+    x[n - 1] = dp[n - 1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] * x[i + 1]
+    return x
+
+
+def solve_block_tridiagonal(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve a block-tridiagonal system with ``b x b`` blocks (BT: b=5).
+
+    Shapes: ``lower/diag/upper (n, b, b)``, ``rhs (n, b)``. Block Thomas:
+    forward-eliminate with per-block LU solves, then back-substitute.
+    """
+    n, b, b2 = diag.shape
+    if b != b2:
+        raise ConfigurationError(f"diagonal blocks must be square, got {b}x{b2}")
+    if lower.shape != (n, b, b) or upper.shape != (n, b, b):
+        raise ConfigurationError("band shapes disagree with diagonal")
+    if rhs.shape != (n, b):
+        raise ConfigurationError(
+            f"rhs must have shape ({n}, {b}), got {rhs.shape}"
+        )
+    # cp[i] = diag_hat[i]^-1 upper[i];  dp[i] = diag_hat[i]^-1 rhs_hat[i]
+    cp = np.empty((n, b, b), dtype=np.float64)
+    dp = np.empty((n, b), dtype=np.float64)
+    cp[0] = np.linalg.solve(diag[0], upper[0])
+    dp[0] = np.linalg.solve(diag[0], rhs[0])
+    for i in range(1, n):
+        dhat = diag[i] - lower[i] @ cp[i - 1]
+        rhat = rhs[i] - lower[i] @ dp[i - 1]
+        cp[i] = np.linalg.solve(dhat, upper[i])
+        dp[i] = np.linalg.solve(dhat, rhat)
+    x = np.empty((n, b), dtype=np.float64)
+    x[n - 1] = dp[n - 1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] @ x[i + 1]
+    return x
+
+
+def solve_pentadiagonal(bands: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve a scalar pentadiagonal system (SP's per-line systems).
+
+    ``bands`` has shape ``(5, n)`` in LAPACK banded layout: rows are the
+    2nd super-, 1st super-, main, 1st sub-, 2nd sub-diagonal, with the
+    usual unused corner entries ignored. Elimination is the standard
+    two-band forward sweep; no pivoting (diagonally dominant systems).
+    """
+    if bands.ndim != 2 or bands.shape[0] != 5:
+        raise ConfigurationError(
+            f"bands must have shape (5, n), got {bands.shape}"
+        )
+    n = bands.shape[1]
+    if rhs.shape[0] != n:
+        raise ConfigurationError(f"rhs length {rhs.shape[0]} != {n}")
+    # Work on dense copies of the five diagonals.
+    e = bands[4].astype(np.float64).copy()  # 2nd sub (e[i] multiplies x[i-2])
+    c = bands[3].astype(np.float64).copy()  # 1st sub
+    d = bands[2].astype(np.float64).copy()  # main
+    a = bands[1].astype(np.float64).copy()  # 1st super (a[i] multiplies x[i+1])
+    f = bands[0].astype(np.float64).copy()  # 2nd super
+    b = rhs.astype(np.float64).copy()
+    # LAPACK layout offsets: band row r holds coefficient of column j at
+    # position j for row i = j - offset; translate to row-wise storage.
+    up1 = np.zeros(n)
+    up2 = np.zeros(n)
+    lo1 = np.zeros(n)
+    lo2 = np.zeros(n)
+    up1[: n - 1] = a[1:]       # row i, column i+1
+    up2[: n - 2] = f[2:]       # row i, column i+2
+    lo1[1:] = c[: n - 1]       # row i, column i-1
+    lo2[2:] = e[: n - 2]       # row i, column i-2
+    dd = d.copy()
+    bb = b.copy()
+    for i in range(1, n):
+        if dd[i - 1] == 0:
+            raise ConfigurationError(f"zero pivot at row {i - 1}")
+        m1 = lo1[i] / dd[i - 1]
+        dd[i] -= m1 * up1[i - 1]
+        if i < n - 1:
+            up1[i] -= m1 * up2[i - 1]
+        bb[i] = bb[i] - m1 * bb[i - 1]
+        if i + 1 < n:
+            m2 = lo2[i + 1] / dd[i - 1]
+            lo1[i + 1] -= m2 * up1[i - 1]
+            dd[i + 1] -= m2 * up2[i - 1]
+            bb[i + 1] = bb[i + 1] - m2 * bb[i - 1]
+    x = np.empty(n, dtype=np.float64)
+    if dd[n - 1] == 0:
+        raise ConfigurationError("zero pivot at final row")
+    x[n - 1] = bb[n - 1] / dd[n - 1]
+    if n >= 2:
+        x[n - 2] = (bb[n - 2] - up1[n - 2] * x[n - 1]) / dd[n - 2]
+    for i in range(n - 3, -1, -1):
+        x[i] = (bb[i] - up1[i] * x[i + 1] - up2[i] * x[i + 2]) / dd[i]
+    return x
+
+
+def solve_lines_along_axis(
+    field: np.ndarray,
+    axis: int,
+    lower: float,
+    diag: float,
+    upper: float,
+) -> np.ndarray:
+    """Solve constant-coefficient tridiagonal systems along one grid axis.
+
+    The workhorse of the ADI sweeps: for every line of ``field`` along
+    ``axis``, solve ``(lower, diag, upper)`` tridiagonal systems with the
+    line as right-hand side. Vectorized over all other axes.
+    """
+    moved = np.moveaxis(field, axis, 0)
+    n = moved.shape[0]
+    lo = np.full(n, lower, dtype=np.float64)
+    di = np.full(n, diag, dtype=np.float64)
+    up = np.full(n, upper, dtype=np.float64)
+    solved = solve_tridiagonal(lo, di, up, moved.reshape(n, -1))
+    return np.moveaxis(solved.reshape(moved.shape), 0, axis)

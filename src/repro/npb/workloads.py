@@ -1,0 +1,124 @@
+"""Operation-count and footprint constants for the NPB work-alikes.
+
+The totals are anchored to the published NPB operation counts (BT class A
+≈ 168 Gflop over 200 iterations, SP class A ≈ 102 Gflop over 400, LU class
+A ≈ 119 Gflop over 250), divided over the paper's kernel decomposition in
+proportions consistent with the NPB 2 source structure. Field footprints
+are bytes per grid point of the major arrays of each code.
+
+These constants are the single source of truth shared by the simulated
+kernels (:mod:`repro.npb.bt` etc.) and the analytical kernel models
+(:mod:`repro.core.models`); experiments depend on their ratios (compute vs
+memory vs messages), not on absolute values.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BT_FLOPS_PER_POINT",
+    "BT_FIELD_BYTES",
+    "SP_FLOPS_PER_POINT",
+    "SP_FIELD_BYTES",
+    "LU_FLOPS_PER_POINT",
+    "LU_FIELD_BYTES",
+    "DOUBLE",
+]
+
+DOUBLE = 8  # bytes
+
+# --------------------------------------------------------------------------
+# BT — Block Tridiagonal. 5x5 block systems in each dimension.
+# Total ≈ 3190 flop/point/iteration (=> class A ≈ 167 Gflop over 200 iters).
+# --------------------------------------------------------------------------
+
+BT_FLOPS_PER_POINT = {
+    "INITIALIZATION": 120.0,   # exact_rhs + initialize, once
+    "COPY_FACES": 900.0,       # phase-one RHS computation + face copies
+    "X_SOLVE": 760.0,          # 5x5 block Thomas along x
+    "Y_SOLVE": 760.0,
+    "Z_SOLVE": 760.0,
+    "ADD": 10.0,               # u += rhs
+    "FINAL": 60.0,             # verification norms, once
+}
+
+#: Bytes per grid point of BT's major arrays.
+#: ``lhs`` is the 3 x (5x5) block working array *shared by the three solve
+#: kernels* (in NPB BT the lhs buffer is re-built in place per direction) —
+#: this scratch reuse is a major constructive-coupling channel.
+BT_FIELD_BYTES = {
+    "u": 5 * DOUBLE,         # solution vector
+    "rhs": 5 * DOUBLE,       # right-hand side
+    "forcing": 5 * DOUBLE,   # steady forcing term
+    "lhs": 75 * DOUBLE,      # 3 blocks of 5x5 per point (solver scratch)
+    "aux": 7 * DOUBLE,       # qs, square, rho_i, us, vs, ws, speed
+}
+
+#: Bytes per *face* point exchanged by COPY_FACES (5 components, 2 ghost
+#: layers folded into the depth argument at the call site).
+BT_FACE_BYTES = 5 * DOUBLE
+
+#: Bytes per face point exchanged at each multi-partition solve stage:
+#: one 5x5 block plus one 5-vector of boundary data.
+BT_SOLVE_BOUNDARY_BYTES = (25 + 5) * DOUBLE
+
+# --------------------------------------------------------------------------
+# SP — Scalar Pentadiagonal.
+# Total ≈ 970 flop/point/iteration (=> class A ≈ 102 Gflop over 400 iters).
+# --------------------------------------------------------------------------
+
+SP_FLOPS_PER_POINT = {
+    "INITIALIZATION": 120.0,
+    "COPY_FACES": 280.0,
+    "TXINVR": 45.0,            # phase-two RHS (block-diagonal inversion)
+    "X_SOLVE": 205.0,
+    "Y_SOLVE": 205.0,
+    "Z_SOLVE": 225.0,          # includes tzetar
+    "ADD": 10.0,
+    "FINAL": 60.0,
+}
+
+SP_FIELD_BYTES = {
+    "u": 5 * DOUBLE,
+    "rhs": 5 * DOUBLE,
+    "forcing": 5 * DOUBLE,
+    "lhs": 15 * DOUBLE,       # 5 scalar diagonals x 3 systems (scratch)
+    "aux": 7 * DOUBLE,
+}
+
+SP_FACE_BYTES = 5 * DOUBLE
+
+#: Scalar pentadiagonal boundary data per face point (5 diagonals + rhs).
+SP_SOLVE_BOUNDARY_BYTES = (5 + 5) * DOUBLE
+
+# --------------------------------------------------------------------------
+# LU — SSOR with diagonal wavefront.
+# Total ≈ 1820 flop/point/iteration (=> class A ≈ 119 Gflop over 250 iters).
+# --------------------------------------------------------------------------
+
+LU_FLOPS_PER_POINT = {
+    "INITIALIZATION": 30.0,
+    "ERHS": 300.0,             # forcing matrix, once
+    "SSOR_INIT": 10.0,
+    "SSOR_ITER": 30.0,         # scale rsd by omega dt
+    "SSOR_LT": 650.0,          # jacld + blts (lower-triangular sweep)
+    "SSOR_UT": 650.0,          # jacu + buts (upper-triangular sweep)
+    "SSOR_RS": 490.0,          # rhs recomputation + update + residual
+    "ERROR": 40.0,
+    "PINTGR": 20.0,
+    "FINAL": 20.0,
+}
+
+LU_FIELD_BYTES = {
+    "u": 5 * DOUBLE,
+    "rsd": 5 * DOUBLE,        # residual / SSOR working vector
+    "frct": 5 * DOUBLE,       # forcing
+    "jac": 100 * DOUBLE,      # a,b,c,d 5x5 Jacobian blocks (solver scratch)
+    "aux": 3 * DOUBLE,
+}
+
+#: The paper: LU's pipelined exchanges are "small communications of five
+#: words each" — one message per boundary grid point, 5 doubles.
+LU_PIPELINE_MESSAGE_BYTES = 5 * DOUBLE
+
+#: Bytes per face point of SSOR_RS's halo exchange (stencil ghost cells).
+LU_FACE_BYTES = 5 * DOUBLE

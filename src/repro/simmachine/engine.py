@@ -1,0 +1,311 @@
+"""Minimal, fast discrete-event simulation core.
+
+The design follows the classic process-interaction style (as popularised by
+SimPy) but is trimmed to exactly what the simulated machine needs, because
+large experiments push millions of events through this queue:
+
+* :class:`Event` — one-shot triggerable occurrence with callbacks;
+* :class:`Timeout` — event scheduled a fixed delay in the future;
+* :class:`AllOf` — barrier over a set of events (used for ``waitall``);
+* :class:`Process` — a Python generator that ``yield``\\ s events and is
+  resumed when they fire; a process is itself an event that triggers on
+  completion with the generator's return value;
+* :class:`Simulator` — the event queue and clock.
+
+Determinism: ties in time are broken by an insertion sequence number, so a
+simulation is bit-for-bit reproducible for a given seed.
+
+Deadlock: when the queue drains while processes are still alive,
+:class:`repro.errors.DeadlockError` is raised naming the blocked processes —
+this turns hung message-matching bugs into crisp test failures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Process", "Simulator"]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) schedules it
+    on the simulator's queue at the current time; when the queue reaches it,
+    it becomes *processed* and its callbacks run. Each callback receives the
+    event itself.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self.processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and sits on (or left) the queue."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (only valid once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` at the current time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def trigger_at(self, value: Any, delay: float) -> "Event":
+        """Trigger with ``value`` after ``delay`` seconds (message arrival)."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if delay < 0:
+            raise SimulationError(f"negative trigger delay {delay!r}")
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception to throw into waiters."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._exc = exc
+        self._value = None
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def _process(self) -> None:
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        this lets a process ``yield`` an event that fired in the past.
+        """
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires once every child event has been processed.
+
+    The value is the list of child values in the order given. A failing
+    child propagates its exception.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev.value for ev in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event is processed.
+
+    The value is ``(index, value)`` of the first completed child. Later
+    children completing is fine (their callbacks simply find this event
+    already triggered). A failing first child propagates its exception.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=index: self._on_child(i, e))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self.succeed((index, event.value))
+
+
+class Process(Event):
+    """Drives a generator of events; completes with the generator's return.
+
+    The generator may ``yield`` any :class:`Event`; it resumes with the
+    event's value (or has the event's exception thrown into it).
+    """
+
+    __slots__ = ("name", "_gen")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: str = "process",
+    ):
+        super().__init__(sim)
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"Process requires a generator, got {type(gen).__name__} "
+                f"(did you call a plain function?)"
+            )
+        self.name = name
+        self._gen = gen
+        sim._alive.add(self)
+        # Kick off at the current time so process start order is
+        # deterministic and time-consistent.
+        start = Timeout(sim, 0.0)
+        start.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            if event._exc is not None:
+                target = self._gen.throw(event._exc)
+            else:
+                target = self._gen.send(event.value)
+        except StopIteration as stop:
+            self.sim._alive.discard(self)
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._alive.discard(self)
+            self.fail(exc)
+            raise
+        if not isinstance(target, Event):
+            self.sim._alive.discard(self)
+            exc = SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+            self.fail(exc)
+            raise exc
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """Event queue and simulated clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._alive: set[Process] = set()
+        self.events_processed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def event(self) -> Event:
+        """Create a fresh pending event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create a barrier event over ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create a first-completion event over ``events``."""
+        return AnyOf(self, events)
+
+    def process(
+        self, gen: Generator[Event, Any, Any], name: str = "process"
+    ) -> Process:
+        """Start a new process driving ``gen``."""
+        return Process(self, gen, name)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self.now = time
+        self.events_processed += 1
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or ``until`` simulated seconds).
+
+        Returns the final clock value. Raises :class:`DeadlockError` if the
+        queue drains while processes are still alive, and
+        :class:`SimulationError` if a process crashed.
+        """
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        if self._alive:
+            raise DeadlockError(sorted(p.name for p in self._alive))
+        return self.now
+
+    def run_all(self, processes: Iterable[Process]) -> list[Any]:
+        """Run to completion and return each process's return value."""
+        procs = list(processes)
+        self.run()
+        out = []
+        for p in procs:
+            if p._exc is not None:
+                raise SimulationError(
+                    f"process {p.name!r} failed: {p._exc!r}"
+                ) from p._exc
+            out.append(p.value)
+        return out

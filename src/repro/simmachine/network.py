@@ -1,0 +1,125 @@
+"""Interconnect timing model.
+
+The model is timestamp-based rather than resource-based for speed: the
+simulated MPI layer asks :meth:`NetworkModel.send_timing` for the two times
+that matter — when the *sender* is free again (injection complete; sends are
+buffered) and when the message *arrives* at the destination — and turns them
+into engine events itself.
+
+Three cost components:
+
+* **injection** — the sender's adapter serializes its own messages
+  (``per_message_overhead + nbytes * injection_byte_time``, starting no
+  earlier than the adapter is free);
+* **transfer** — ``latency * (1 + contention_coeff * inflight) + nbytes *
+  byte_time``;
+* **contention** — ``inflight`` counts messages injected machine-wide in
+  the last ``drain_window`` seconds. Back-to-back kernels therefore see
+  each other's message backlog, which running each kernel alone (with the
+  harness draining between iterations) does not — the destructive coupling
+  mechanism for communication-dominated configurations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.simmachine.machine import NetworkConfig
+
+__all__ = ["MessageTiming", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class MessageTiming:
+    """Times computed for one message."""
+
+    start: float        # when injection began (adapter became available)
+    sender_done: float  # when the sender may continue (buffered send)
+    arrival: float      # when the payload is available at the destination
+    contention: float   # the latency multiplier that was applied, >= 1
+
+
+class NetworkModel:
+    """Shared network state for one simulated machine instance."""
+
+    def __init__(self, config: NetworkConfig, nprocs: int):
+        if nprocs < 1:
+            raise CommunicationError(f"network needs >= 1 proc, got {nprocs}")
+        self.config = config
+        self.nprocs = nprocs
+        self._nic_free = [0.0] * nprocs
+        self._inflight: deque[float] = deque()
+        # Aggregate statistics (read by the profiler).
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.max_inflight = 0
+
+    # -- internal ----------------------------------------------------------
+
+    def _current_inflight(self, now: float) -> int:
+        window = self.config.drain_window
+        if window <= 0.0:
+            return 0
+        horizon = now - window
+        inflight = self._inflight
+        while inflight and inflight[0] < horizon:
+            inflight.popleft()
+        return len(inflight)
+
+    # -- API used by simmpi --------------------------------------------------
+
+    def send_timing(
+        self, src: int, dst: int, nbytes: int, now: float, messages: int = 1
+    ) -> MessageTiming:
+        """Compute the timing of one message injected at simulated time ``now``.
+
+        ``messages > 1`` models a *burst* of that many back-to-back small
+        messages totalling ``nbytes`` (the LU wavefront sends one burst per
+        grid plane instead of one engine event per 5-word message): the
+        burst pays the per-message overhead ``messages`` times and counts
+        ``messages`` times toward contention, but is simulated as a single
+        event.
+        """
+        if not (0 <= src < self.nprocs and 0 <= dst < self.nprocs):
+            raise CommunicationError(
+                f"message {src}->{dst} outside 0..{self.nprocs - 1}"
+            )
+        if nbytes < 0:
+            raise CommunicationError(f"negative message size {nbytes}")
+        if messages < 1:
+            raise CommunicationError(f"message burst count must be >= 1, got {messages}")
+        cfg = self.config
+        start = max(now, self._nic_free[src])
+        inject = messages * cfg.per_message_overhead + nbytes * cfg.injection_byte_time
+        sender_done = start + inject
+        self._nic_free[src] = sender_done
+        inflight = self._current_inflight(start)
+        contention = 1.0 + cfg.contention_coeff * inflight
+        if src == dst:
+            # Self-message: no wire, just a copy through the adapter.
+            arrival = sender_done
+        else:
+            arrival = sender_done + cfg.latency * contention + nbytes * cfg.byte_time
+        if cfg.drain_window > 0.0:
+            self._inflight.extend([start] * messages)
+            if len(self._inflight) > self.max_inflight:
+                self.max_inflight = len(self._inflight)
+        self.messages_sent += messages
+        self.bytes_sent += nbytes
+        return MessageTiming(
+            start=start,
+            sender_done=sender_done,
+            arrival=arrival,
+            contention=contention,
+        )
+
+    def drain(self) -> None:
+        """Forget the contention backlog (measurement-harness flush).
+
+        Called between timing-loop iterations so an isolated kernel never
+        sees another kernel's messages — mirroring that on the real machine
+        the instrumentation barrier lets the switch quiesce.
+        """
+        self._inflight.clear()

@@ -1,0 +1,49 @@
+"""Optional execution tracing for debugging and the profiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence on a rank."""
+
+    time: float
+    rank: int
+    label: str
+    kind: str   # "compute" | "touch" | "send" | "recv" | "wait" | "phase"
+    info: Any = None
+
+
+class Trace:
+    """Append-only record of simulated activity.
+
+    Tracing is off by default (the experiment runs push too many events);
+    enable it by passing ``trace=True`` to
+    :class:`repro.simmachine.process.Machine`.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def add(self, time: float, rank: int, label: str, kind: str, info: Any = None) -> None:
+        """Record one occurrence."""
+        self.records.append(TraceRecord(time, rank, label, kind, info))
+
+    def by_rank(self, rank: int) -> list[TraceRecord]:
+        """All records of one rank, in time order."""
+        return [r for r in self.records if r.rank == rank]
+
+    def by_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

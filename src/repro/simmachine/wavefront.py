@@ -1,0 +1,121 @@
+"""Analytic wavefront schedules — an independent check on the engine.
+
+LU's triangular sweeps are structured enough that their makespan can be
+computed in closed form by dynamic programming over (rank, plane)
+completion times, with no event queue at all. This module re-derives the
+schedule of :meth:`repro.npb.lu.LU._make_sweep` from first principles —
+deliberately *not* sharing code with the simulator — so the two
+implementations validate each other (see
+``tests/integration/test_wavefront_validation.py``).
+
+Preconditions for exact agreement: deterministic machine (``noise_cv=0``,
+``noise_floor=0``) and no contention (``contention_coeff=0``), because the
+DP below does not model the global backlog.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.npb.lu import LU
+from repro.npb import workloads as w
+from repro.simmachine.machine import MachineConfig
+from repro.simmachine.memory import MemoryHierarchy
+
+__all__ = ["analytic_sweep_makespan"]
+
+
+def _bulk_touch_seconds(bench: LU, config: MachineConfig, rank: int) -> float:
+    """Cold memory time of the sweep's region touches on a fresh machine."""
+    proc = config.processor
+    hierarchy = MemoryHierarchy(
+        [(lv.name, lv.capacity_bytes, lv.byte_time) for lv in proc.cache_levels],
+        proc.memory_byte_time,
+        proc.write_factor,
+    )
+    total = 0.0
+    total += hierarchy.touch(bench.region(rank, "u"), write=False).time
+    total += hierarchy.touch(bench.region(rank, "rsd"), write=True).time
+    total += hierarchy.touch(bench.jac_region(rank), write=True).time
+    return total
+
+
+def analytic_sweep_makespan(
+    bench: LU, config: MachineConfig, lower: bool = True
+) -> float:
+    """Closed-form makespan of one SSOR_LT / SSOR_UT invocation.
+
+    All ranks start at time 0 with cold caches (one fresh invocation on a
+    fresh machine, which is what the equivalence test runs on the engine).
+    """
+    if config.noise_cv != 0.0 or config.noise_floor != 0.0:
+        raise ConfigurationError("analytic schedule requires a noiseless machine")
+    if config.network.contention_coeff != 0.0:
+        raise ConfigurationError("analytic schedule requires zero contention")
+    proc = config.processor
+    net = config.network
+    grid = bench.grid
+    kernel = "SSOR_LT" if lower else "SSOR_UT"
+    nz = bench.size.nz
+
+    # Per-rank constants.
+    plane_seconds: dict[int, float] = {}
+    dims: dict[int, tuple[int, int, int]] = {}
+    for rank in bench.ranks():
+        nx, ny, _nz = bench.layout.local_dims(rank)
+        dims[rank] = (nx, ny, _nz)
+        flops = w.LU_FLOPS_PER_POINT[kernel] * bench.layout.local_points(rank)
+        plane_seconds[rank] = (
+            flops / nz * proc.flop_time
+            + _bulk_touch_seconds(bench, config, rank) / nz
+        )
+
+    into = -1 if lower else +1
+    outof = +1 if lower else -1
+    msg = w.LU_PIPELINE_MESSAGE_BYTES
+
+    def burst(count: int) -> tuple[float, float]:
+        """(injection seconds, wire seconds) of one per-plane burst."""
+        nbytes = msg * count
+        inject = count * net.per_message_overhead + nbytes * net.injection_byte_time
+        wire = net.latency + nbytes * net.byte_time
+        return inject, wire
+
+    # DP state per rank: time its last activity finished, and the arrival
+    # times of the bursts it sent for each plane.
+    free_at = {rank: 0.0 for rank in bench.ranks()}
+    arrival_x: dict[tuple[int, int], float] = {}  # (sender, plane) -> time
+    arrival_y: dict[tuple[int, int], float] = {}
+
+    # Process ranks in wavefront (topological) order per plane; since a
+    # rank's plane k only depends on its own plane k-1 and its
+    # predecessors' plane k, iterating planes outermost with ranks in
+    # dependency order is a valid schedule.
+    order = sorted(
+        bench.ranks(),
+        key=lambda r: sum(grid.coords(r)) * (1 if lower else -1),
+    )
+    makespan = 0.0
+    for k in range(nz):
+        for rank in order:
+            dep_x = grid.neighbor(rank, 0, into)
+            dep_y = grid.neighbor(rank, 1, into)
+            start = free_at[rank]
+            if dep_x is not None:
+                start = max(start, arrival_x[(dep_x, k)])
+            if dep_y is not None:
+                start = max(start, arrival_y[(dep_y, k)])
+            t = start + plane_seconds[rank]
+            out_x = grid.neighbor(rank, 0, outof)
+            out_y = grid.neighbor(rank, 1, outof)
+            nx, ny, _ = dims[rank]
+            if out_x is not None:
+                inject, wire = burst(ny)
+                arrival_x[(rank, k)] = t + inject + wire
+                t += inject  # blocking send: rank busy during injection
+            if out_y is not None:
+                inject, wire = burst(nx)
+                arrival_y[(rank, k)] = t + inject + wire
+                t += inject
+            free_at[rank] = t
+            makespan = max(makespan, t)
+    return makespan

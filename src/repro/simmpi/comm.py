@@ -1,0 +1,478 @@
+"""Point-to-point messaging and tree-based collectives.
+
+See the package docstring for usage. Implementation notes:
+
+* Message matching is by ``(source, tag)`` with per-channel FIFO order.
+  ``MPI_ANY_SOURCE`` semantics are deliberately unsupported — the NPB
+  work-alikes always know their peers, and wildcard matching would make
+  simulations timing-dependent in ways the paper's codes are not.
+* Collectives allocate tags from a private per-communicator sequence, so
+  they never collide with user tags (which must be < :data:`COLL_TAG_BASE`)
+  and consecutive collectives never collide with each other. SPMD discipline
+  (every rank calls the same collectives in the same order) is assumed, as
+  in MPI.
+* Collectives are real algorithms over point-to-point messages: binomial
+  trees for ``bcast``/``reduce``/``barrier``, a ring for ``allgather``,
+  pairwise exchanges for ``alltoall`` — their simulated cost therefore
+  scales with ``P`` the way real MPI implementations do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import CommunicationError
+from repro.simmachine.engine import Event
+from repro.simmachine.process import Machine, RankContext
+from repro.simmpi.request import Request
+
+__all__ = ["COLL_TAG_BASE", "World", "Comm", "attach_world"]
+
+#: User tags must stay below this; collectives use tags at/above it.
+COLL_TAG_BASE = 1_000_000
+
+
+class World:
+    """Shared mailbox state for all ranks of one machine run."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.size = machine.nprocs
+        # pending_msgs[dst][(src, tag)] -> deque of (arrival, nbytes, payload)
+        self.pending_msgs: list[dict[tuple[int, int], deque]] = [
+            {} for _ in range(self.size)
+        ]
+        # pending_recvs[dst][(src, tag)] -> deque of Event
+        self.pending_recvs: list[dict[tuple[int, int], deque]] = [
+            {} for _ in range(self.size)
+        ]
+        #: Fault injection hook for tests: called as ``fn(src, dst, tag)``
+        #: for every message; returning True silently drops it (the sender
+        #: completes, the payload never arrives — the receiver's eventual
+        #: deadlock is reported by the engine). None = no faults.
+        self.fault_injector = None
+        self.dropped_messages = 0
+
+    def unmatched_messages(self) -> int:
+        """Messages delivered but never received (leak detector for tests)."""
+        return sum(
+            len(q) for boxes in self.pending_msgs for q in boxes.values()
+        )
+
+
+class Comm:
+    """Per-rank communicator facade."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self.ctx: RankContext = world.machine.contexts[rank]
+        self.sim = world.machine.sim
+        self._coll_seq = 0
+
+    # -- validation ---------------------------------------------------------
+
+    def _check_peer(self, peer: int) -> None:
+        if not isinstance(peer, int) or isinstance(peer, bool):
+            raise CommunicationError(f"rank must be an int, got {peer!r}")
+        if peer < 0:
+            raise CommunicationError(
+                f"negative rank {peer} (wildcard receives are not supported)"
+            )
+        if peer >= self.size:
+            raise CommunicationError(
+                f"rank {peer} out of range for communicator of size {self.size}"
+            )
+
+    @staticmethod
+    def _check_tag(tag: int, collective: bool = False) -> None:
+        if tag < 0:
+            raise CommunicationError(f"negative tag {tag}")
+        if not collective and tag >= COLL_TAG_BASE:
+            raise CommunicationError(
+                f"user tags must be < {COLL_TAG_BASE}, got {tag}"
+            )
+
+    # -- point to point -------------------------------------------------------
+
+    def isend(
+        self,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+        messages: int = 1,
+        _collective: bool = False,
+    ) -> Request:
+        """Nonblocking send; the request completes when injection finishes.
+
+        ``messages > 1`` sends a burst of small messages totalling
+        ``nbytes`` as one matched unit (see
+        :meth:`repro.simmachine.network.NetworkModel.send_timing`).
+        """
+        self._check_peer(dest)
+        self._check_tag(tag, _collective)
+        timing = self.world.machine.network.send_timing(
+            self.rank, dest, nbytes, self.sim.now, messages
+        )
+        self.ctx.account_send(nbytes)
+        if self.world.fault_injector is not None and self.world.fault_injector(
+            self.rank, dest, tag
+        ):
+            # Message lost in the network: sender proceeds normally.
+            self.world.dropped_messages += 1
+            send_ev = self.sim.timeout(max(0.0, timing.sender_done - self.sim.now))
+            return Request(send_ev, "send", dest, tag, nbytes)
+        key = (self.rank, tag)
+        recv_box = self.world.pending_recvs[dest].get(key)
+        if recv_box:
+            ev = recv_box.popleft()
+            ev.trigger_at(payload, max(0.0, timing.arrival - self.sim.now))
+        else:
+            self.world.pending_msgs[dest].setdefault(key, deque()).append(
+                (timing.arrival, nbytes, payload)
+            )
+        send_ev = self.sim.timeout(max(0.0, timing.sender_done - self.sim.now))
+        return Request(send_ev, "send", dest, tag, nbytes)
+
+    def irecv(self, source: int, tag: int = 0, _collective: bool = False) -> Request:
+        """Nonblocking receive from a specific source and tag."""
+        self._check_peer(source)
+        self._check_tag(tag, _collective)
+        key = (source, tag)
+        boxes = self.world.pending_msgs[self.rank]
+        queue = boxes.get(key)
+        ev: Event = self.sim.event()
+        nbytes = -1
+        if queue:
+            arrival, nbytes, payload = queue.popleft()
+            if not queue:
+                del boxes[key]
+            ev.trigger_at(payload, max(0.0, arrival - self.sim.now))
+        else:
+            self.world.pending_recvs[self.rank].setdefault(key, deque()).append(ev)
+        return Request(ev, "recv", source, tag, nbytes)
+
+    def wait(self, request: Request) -> Generator[Event, Any, Any]:
+        """Block until ``request`` completes; returns the payload (recv)."""
+        t0 = self.sim.now
+        value = yield request.event
+        self.ctx.account_wait(self.sim.now - t0)
+        return value
+
+    def waitany(
+        self, requests: Iterable[Request]
+    ) -> Generator[Event, Any, tuple]:
+        """Block until the first request completes.
+
+        Returns ``(index, payload)`` of the completed request; the others
+        remain pending and must still be waited on eventually.
+        """
+        reqs = list(requests)
+        t0 = self.sim.now
+        index, value = yield self.sim.any_of([r.event for r in reqs])
+        self.ctx.account_wait(self.sim.now - t0)
+        return index, value
+
+    def waitall(self, requests: Iterable[Request]) -> Generator[Event, Any, list]:
+        """Block until every request completes; returns payloads in order."""
+        reqs = list(requests)
+        t0 = self.sim.now
+        values = yield self.sim.all_of([r.event for r in reqs])
+        self.ctx.account_wait(self.sim.now - t0)
+        return values
+
+    def send(
+        self,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+        messages: int = 1,
+        _collective: bool = False,
+    ) -> Generator[Event, Any, None]:
+        """Blocking (buffered) send: returns once the message is injected."""
+        req = self.isend(dest, nbytes, tag, payload, messages, _collective)
+        yield from self.wait(req)
+
+    def recv(
+        self, source: int, tag: int = 0, _collective: bool = False
+    ) -> Generator[Event, Any, Any]:
+        """Blocking receive; returns the payload."""
+        req = self.irecv(source, tag, _collective)
+        return (yield from self.wait(req))
+
+    def sendrecv(
+        self,
+        dest: int,
+        nbytes: int,
+        send_tag: int = 0,
+        source: Optional[int] = None,
+        recv_tag: Optional[int] = None,
+        payload: Any = None,
+        messages: int = 1,
+        _collective: bool = False,
+    ) -> Generator[Event, Any, Any]:
+        """Simultaneous exchange: returns the received payload."""
+        source = dest if source is None else source
+        recv_tag = send_tag if recv_tag is None else recv_tag
+        rreq = self.irecv(source, recv_tag, _collective)
+        sreq = self.isend(dest, nbytes, send_tag, payload, messages, _collective)
+        values = yield from self.waitall([rreq, sreq])
+        return values[0]
+
+    # -- collectives ----------------------------------------------------------
+
+    def _next_coll_tag(self) -> int:
+        self._coll_seq += 1
+        return COLL_TAG_BASE + self._coll_seq
+
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Synchronize all ranks (binomial gather + binomial broadcast)."""
+        tag = self._next_coll_tag()
+        yield from self._reduce_impl(0, 0, tag, None, lambda a, b: None)
+        # Reduce uses child->parent channels, bcast parent->child, so the
+        # same tag cannot mismatch between the two phases.
+        yield from self._bcast_impl(0, 0, tag, None)
+
+    def bcast(
+        self, nbytes: int, root: int = 0, payload: Any = None
+    ) -> Generator[Event, Any, Any]:
+        """Broadcast ``payload`` from ``root``; every rank returns it."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        return (yield from self._bcast_impl(nbytes, root, tag, payload))
+
+    def _bcast_impl(
+        self,
+        nbytes: int,
+        root: int,
+        tag: int,
+        payload: Any,
+    ) -> Generator[Event, Any, Any]:
+        size = self.size
+        relrank = (self.rank - root) % size
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                src = (relrank - mask + root) % size
+                payload = yield from self.recv(src, tag, _collective=True)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if relrank + mask < size:
+                dst = (relrank + mask + root) % size
+                yield from self.send(dst, nbytes, tag, payload, _collective=True)
+            mask >>= 1
+        return payload
+
+    def reduce(
+        self,
+        value: Any,
+        nbytes: int,
+        root: int = 0,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    ) -> Generator[Event, Any, Any]:
+        """Reduce ``value`` across ranks with ``op``; result only at root."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        return (yield from self._reduce_impl(value, nbytes, tag, root, op))
+
+    def _reduce_impl(
+        self,
+        value: Any,
+        nbytes: int,
+        tag: int,
+        root: Optional[int],
+        op: Callable[[Any, Any], Any],
+    ) -> Generator[Event, Any, Any]:
+        size = self.size
+        base = 0 if root is None else root
+        relrank = (self.rank - base) % size
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                dst = ((relrank & ~mask) + base) % size
+                yield from self.send(dst, nbytes, tag, value, _collective=True)
+                return None
+            peer = relrank | mask
+            if peer < size:
+                other = yield from self.recv((peer + base) % size, tag, _collective=True)
+                value = op(value, other)
+            mask <<= 1
+        return value
+
+    def allreduce(
+        self,
+        value: Any,
+        nbytes: int,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        algorithm: str = "auto",
+    ) -> Generator[Event, Any, Any]:
+        """Reduce across ranks; every rank returns the result.
+
+        Algorithms (as in real MPI implementations):
+
+        * ``"recursive_doubling"`` — log2(P) pairwise exchange rounds;
+          power-of-two communicators only. Requires a *commutative* op
+          (partner order differs across ranks).
+        * ``"tree"`` — binomial reduce to rank 0 + binomial broadcast
+          (2 log2(P) rounds); any size and op ordering.
+        * ``"auto"`` — recursive doubling when P is a power of two,
+          otherwise tree.
+        """
+        if algorithm not in ("auto", "tree", "recursive_doubling"):
+            raise CommunicationError(
+                f"unknown allreduce algorithm {algorithm!r}"
+            )
+        pow2 = self.size & (self.size - 1) == 0
+        if algorithm == "recursive_doubling" and not pow2:
+            raise CommunicationError(
+                "recursive doubling needs a power-of-two communicator, "
+                f"got {self.size}"
+            )
+        if algorithm == "tree" or (algorithm == "auto" and not pow2):
+            tag = self._next_coll_tag()
+            result = yield from self._reduce_impl(value, nbytes, tag, 0, op)
+            result = yield from self._bcast_impl(nbytes, 0, tag, result)
+            return result
+        # Recursive doubling: after round k every rank holds the reduction
+        # of its 2^(k+1)-rank block.
+        tag = self._next_coll_tag()
+        self._coll_seq += self.size.bit_length()  # one tag per round
+        mask = 1
+        round_no = 0
+        while mask < self.size:
+            partner = self.rank ^ mask
+            other = yield from self.sendrecv(
+                partner,
+                nbytes,
+                send_tag=tag + round_no,
+                payload=value,
+                _collective=True,
+            )
+            value = op(value, other)
+            mask <<= 1
+            round_no += 1
+        return value
+
+    def allgather(
+        self, value: Any, nbytes: int
+    ) -> Generator[Event, Any, list]:
+        """Ring allgather; every rank returns ``[value_0, ..., value_{P-1}]``."""
+        tag = self._next_coll_tag()
+        size = self.size
+        blocks: list[Any] = [None] * size
+        blocks[self.rank] = value
+        right = (self.rank + 1) % size
+        left = (self.rank - 1) % size
+        send_idx = self.rank
+        for _step in range(size - 1):
+            recv_idx = (send_idx - 1) % size
+            got = yield from self.sendrecv(
+                right,
+                nbytes,
+                send_tag=tag,
+                source=left,
+                payload=(send_idx, blocks[send_idx]),
+                _collective=True,
+            )
+            idx, val = got
+            if idx != recv_idx:
+                raise CommunicationError(
+                    f"allgather ring out of sync: expected block {recv_idx}, "
+                    f"got {idx}"
+                )
+            blocks[recv_idx] = val
+            send_idx = recv_idx
+        return blocks
+
+    def alltoall(
+        self, values: list[Any], nbytes_each: int
+    ) -> Generator[Event, Any, list]:
+        """Pairwise-exchange all-to-all; ``values[d]`` goes to rank ``d``."""
+        if len(values) != self.size:
+            raise CommunicationError(
+                f"alltoall needs {self.size} values, got {len(values)}"
+            )
+        tag = self._next_coll_tag()
+        # Pairwise exchange uses `size - 1` distinct tags; advance the
+        # sequence so the next collective cannot collide with them.
+        self._coll_seq += self.size
+        size = self.size
+        result: list[Any] = [None] * size
+        result[self.rank] = values[self.rank]
+        for step in range(1, size):
+            dst = (self.rank + step) % size
+            src = (self.rank - step) % size
+            result[src] = yield from self.sendrecv(
+                dst,
+                nbytes_each,
+                send_tag=tag + step,
+                source=src,
+                payload=values[dst],
+                _collective=True,
+            )
+        return result
+
+    def gather(
+        self, value: Any, nbytes: int, root: int = 0
+    ) -> Generator[Event, Any, Optional[list]]:
+        """Gather one value per rank to ``root`` (binomial tree)."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        size = self.size
+        relrank = (self.rank - root) % size
+        # Each node accumulates (rank, value) pairs from its subtree.
+        acc: list[tuple[int, Any]] = [(self.rank, value)]
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                dst = ((relrank & ~mask) + root) % size
+                yield from self.send(
+                    dst, nbytes * len(acc), tag, acc, _collective=True
+                )
+                return None
+            peer = relrank | mask
+            if peer < size:
+                got = yield from self.recv((peer + root) % size, tag, _collective=True)
+                acc.extend(got)
+            mask <<= 1
+        out: list[Any] = [None] * size
+        for rank, val in acc:
+            out[rank] = val
+        return out
+
+    def scatter(
+        self, values: Optional[list[Any]], nbytes: int, root: int = 0
+    ) -> Generator[Event, Any, Any]:
+        """Scatter one value per rank from ``root`` (linear)."""
+        self._check_peer(root)
+        tag = self._next_coll_tag()
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CommunicationError(
+                    f"scatter at root needs {self.size} values"
+                )
+            requests = [
+                self.isend(dst, nbytes, tag, values[dst], _collective=True)
+                for dst in range(self.size)
+                if dst != root
+            ]
+            yield from self.waitall(requests)
+            return values[root]
+        return (yield from self.recv(root, tag, _collective=True))
+
+
+def attach_world(machine: Machine) -> World:
+    """Create a :class:`World` for ``machine`` and attach per-rank comms.
+
+    After this call every ``machine.contexts[r].comm`` is a :class:`Comm`.
+    """
+    world = World(machine)
+    for ctx in machine.contexts:
+        ctx.comm = Comm(world, ctx.rank)
+    return world

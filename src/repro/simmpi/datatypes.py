@@ -1,0 +1,39 @@
+"""Elementary datatype sizes for sizing messages.
+
+The paper describes LU's pipelined communication as "a relatively large
+number of small communications of five words each"; a *word* on the IBM SP
+is 8 bytes, hence :data:`WORD`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Datatype", "BYTE", "INT", "DOUBLE", "WORD", "bytes_of"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A named elementary type with a size in bytes."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"datatype {self.name!r} size must be > 0")
+
+
+BYTE = Datatype("byte", 1)
+INT = Datatype("int", 4)
+DOUBLE = Datatype("double", 8)
+WORD = Datatype("word", 8)
+
+
+def bytes_of(count: int, datatype: Datatype = DOUBLE) -> int:
+    """Message size in bytes for ``count`` elements of ``datatype``."""
+    if count < 0:
+        raise ConfigurationError(f"negative element count {count}")
+    return count * datatype.size

@@ -1,0 +1,131 @@
+"""Process-grid topologies used by the NPB work-alikes.
+
+* BT and SP require a **square** number of processes arranged in a 2-D grid
+  (NPB multi-partition scheme).
+* LU requires a **power-of-two** number of processes, obtained "by halving
+  the grid repeatedly in the first two dimensions, alternately x and then
+  y" (paper §4.3) — i.e. a ``2^ceil(k/2) × 2^floor(k/2)`` grid for
+  ``P = 2^k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CartGrid",
+    "partition_sizes",
+    "pow2_grid_shape",
+    "square_grid_shape",
+]
+
+
+def square_grid_shape(nprocs: int) -> tuple[int, int]:
+    """Grid shape for BT/SP; raises unless ``nprocs`` is a perfect square."""
+    if nprocs < 1:
+        raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+    q = math.isqrt(nprocs)
+    if q * q != nprocs:
+        raise ConfigurationError(
+            f"BT/SP require a square number of processes, got {nprocs}"
+        )
+    return (q, q)
+
+
+def pow2_grid_shape(nprocs: int) -> tuple[int, int]:
+    """LU grid shape: halve x, then y, alternately (power of two only)."""
+    if nprocs < 1:
+        raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+    if nprocs & (nprocs - 1):
+        raise ConfigurationError(
+            f"LU requires a power-of-two number of processes, got {nprocs}"
+        )
+    k = nprocs.bit_length() - 1
+    px = 1 << ((k + 1) // 2)  # x is halved first, so it gets the extra cut
+    py = 1 << (k // 2)
+    return (px, py)
+
+
+def partition_sizes(n: int, parts: int) -> list[int]:
+    """Split ``n`` grid points into ``parts`` nearly equal contiguous chunks.
+
+    The first ``n % parts`` chunks get the extra point — the same convention
+    as the NPB block decomposition. This intentional imbalance is one source
+    of load-imbalance coupling.
+    """
+    if parts < 1:
+        raise ConfigurationError(f"parts must be >= 1, got {parts}")
+    if n < parts:
+        raise ConfigurationError(f"cannot split {n} points into {parts} parts")
+    base, extra = divmod(n, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+@dataclass(frozen=True)
+class CartGrid:
+    """A 2-D Cartesian process grid with row-major rank ordering."""
+
+    px: int
+    py: int
+
+    def __post_init__(self) -> None:
+        if self.px < 1 or self.py < 1:
+            raise ConfigurationError(
+                f"grid dims must be >= 1, got {self.px}x{self.py}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks in the grid."""
+        return self.px * self.py
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """``rank -> (i, j)`` with ``i`` the x index (slow) and ``j`` the y."""
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(
+                f"rank {rank} out of range for {self.px}x{self.py} grid"
+            )
+        return divmod(rank, self.py)
+
+    def rank_of(self, i: int, j: int) -> int:
+        """``(i, j) -> rank`` (coordinates must be in range)."""
+        if not (0 <= i < self.px and 0 <= j < self.py):
+            raise ConfigurationError(
+                f"coords ({i},{j}) out of range for {self.px}x{self.py} grid"
+            )
+        return i * self.py + j
+
+    def neighbor(self, rank: int, dim: int, step: int, periodic: bool = False):
+        """Neighbor ``step`` away along ``dim`` (0=x, 1=y); None off-grid.
+
+        With ``periodic=True`` the grid wraps (BT/SP multi-partition
+        successor relation is cyclic).
+        """
+        if dim not in (0, 1):
+            raise ConfigurationError(f"dim must be 0 or 1, got {dim}")
+        i, j = self.coords(rank)
+        if dim == 0:
+            i += step
+            if periodic:
+                i %= self.px
+            elif not 0 <= i < self.px:
+                return None
+        else:
+            j += step
+            if periodic:
+                j %= self.py
+            elif not 0 <= j < self.py:
+                return None
+        return self.rank_of(i, j)
+
+    def neighbors4(self, rank: int, periodic: bool = False) -> list[int]:
+        """Existing von-Neumann neighbors (west, east, south, north)."""
+        out = []
+        for dim, step in ((0, -1), (0, +1), (1, -1), (1, +1)):
+            n = self.neighbor(rank, dim, step, periodic)
+            if n is not None and n != rank:
+                out.append(n)
+        return out

@@ -1,0 +1,32 @@
+"""Shared utilities: statistics helpers, table rendering, validation."""
+
+from repro.util.stats import (
+    geometric_mean,
+    mean,
+    relative_error,
+    percent_relative_error,
+    summary,
+    weighted_average,
+)
+from repro.util.tables import Table, render_table
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in,
+    check_type,
+)
+
+__all__ = [
+    "Table",
+    "check_in",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+    "geometric_mean",
+    "mean",
+    "percent_relative_error",
+    "relative_error",
+    "render_table",
+    "summary",
+    "weighted_average",
+]

@@ -1,0 +1,114 @@
+"""Small statistics helpers used throughout the library.
+
+These are deliberately dependency-light (plain ``math``) because they are
+called inside the discrete-event simulator's hot paths, where constructing
+NumPy arrays for 3-element sequences would dominate the cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Summary",
+    "geometric_mean",
+    "mean",
+    "percent_relative_error",
+    "relative_error",
+    "stddev",
+    "summary",
+    "weighted_average",
+]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean. Raises :class:`ConfigurationError` on empty input."""
+    vals = list(values)
+    if not vals:
+        raise ConfigurationError("mean() of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for fewer than two samples."""
+    vals = list(values)
+    if len(vals) < 2:
+        return 0.0
+    m = mean(vals)
+    return math.sqrt(sum((v - m) ** 2 for v in vals) / (len(vals) - 1))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    vals = list(values)
+    if not vals:
+        raise ConfigurationError("geometric_mean() of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ConfigurationError("geometric_mean() requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def weighted_average(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted average ``sum(v*w)/sum(w)``.
+
+    This is the exact operation the paper uses to turn chain coupling values
+    into per-kernel coefficients (Section 3): the coupling values are the
+    ``values`` and the measured chain times are the ``weights``.
+    """
+    if len(values) != len(weights):
+        raise ConfigurationError(
+            "weighted_average(): %d values but %d weights"
+            % (len(values), len(weights))
+        )
+    if not values:
+        raise ConfigurationError("weighted_average() of empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ConfigurationError("weighted_average() requires positive total weight")
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """Relative error ``|predicted - actual| / |actual|``."""
+    if actual == 0:
+        raise ConfigurationError("relative_error() with zero actual value")
+    return abs(predicted - actual) / abs(actual)
+
+
+def percent_relative_error(predicted: float, actual: float) -> float:
+    """Relative error expressed in percent, as reported in the paper tables."""
+    return 100.0 * relative_error(predicted, actual)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample of measurements."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean); 0 when mean is 0."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+def summary(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` from a sample."""
+    vals = list(values)
+    if not vals:
+        raise ConfigurationError("summary() of empty sequence")
+    return Summary(
+        n=len(vals),
+        mean=mean(vals),
+        std=stddev(vals),
+        min=min(vals),
+        max=max(vals),
+    )

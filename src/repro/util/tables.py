@@ -1,0 +1,110 @@
+"""ASCII table rendering in the layout of the paper's result tables.
+
+Every experiment driver produces a :class:`Table`, which the benchmarks print
+and EXPERIMENTS.md embeds. Cells may be floats (formatted with a per-table
+precision), strings, or ``(value, percent_error)`` pairs rendered as
+``123.45 (6.78 %)`` exactly like the paper's "Execution Time in Seconds
+(% Relative Error)" columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Table", "render_table"]
+
+
+def _format_cell(cell: Any, precision: int) -> str:
+    if cell is None:
+        return ""
+    if isinstance(cell, tuple) and len(cell) == 2:
+        value, err = cell
+        return f"{value:.{precision}f} ({err:.2f} %)"
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with a header row.
+
+    Parameters
+    ----------
+    title:
+        Caption, e.g. ``"Table 3b: Comparison of execution times for BT
+        with Class W using three kernels"``.
+    columns:
+        Header labels; the first column is the row label.
+    rows:
+        Each row is a list whose first element is the row label.
+    precision:
+        Decimal places for float cells.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    precision: int = 2
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, label: str, *cells: Any) -> None:
+        """Append a row; pads/truncation is an error to catch driver bugs."""
+        if len(cells) != len(self.columns) - 1:
+            raise ValueError(
+                f"row {label!r} has {len(cells)} cells, "
+                f"expected {len(self.columns) - 1}"
+            )
+        self.rows.append([label, *cells])
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote rendered under the table."""
+        self.notes.append(note)
+
+    def cell(self, row_label: str, column: str) -> Any:
+        """Look up a cell by row label and column header."""
+        col = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[col]
+        raise KeyError(f"no row labelled {row_label!r}")
+
+    def column_values(self, column: str) -> list[Any]:
+        """All cells in one column, top to bottom."""
+        col = self.columns.index(column)
+        return [row[col] for row in self.rows]
+
+    def row_labels(self) -> list[str]:
+        """Labels of all rows, top to bottom."""
+        return [row[0] for row in self.rows]
+
+    def render(self) -> str:
+        """Render to an aligned ASCII string."""
+        return render_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned monospace text."""
+    text_rows: list[list[str]] = [list(table.columns)]
+    for row in table.rows:
+        text_rows.append(
+            [str(row[0])] + [_format_cell(c, table.precision) for c in row[1:]]
+        )
+    widths = [
+        max(len(r[i]) for r in text_rows) for i in range(len(table.columns))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [table.title, "=" * max(len(table.title), len(sep))]
+    for i, row in enumerate(text_rows):
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append(sep)
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

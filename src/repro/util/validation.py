@@ -1,0 +1,46 @@
+"""Argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Collection
+
+from repro.errors import ConfigurationError
+
+__all__ = ["check_positive", "check_non_negative", "check_in", "check_type"]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Collection[Any]) -> Any:
+    """Require ``value`` to be a member of ``allowed``; return it."""
+    if value not in allowed:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}"
+        )
+    return value
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Require ``isinstance(value, types)``; return it."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else "/".join(t.__name__ for t in types)
+        )
+        raise ConfigurationError(
+            f"{name} must be {expected}, got {type(value).__name__}"
+        )
+    return value

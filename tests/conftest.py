@@ -1,0 +1,45 @@
+"""Shared fixtures: small, fast configurations for the simulated machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument import MeasurementConfig
+from repro.simmachine import Machine, ibm_sp_argonne, linear_test_machine
+from repro.simmpi import attach_world
+
+
+@pytest.fixture
+def sp_config():
+    """The paper's IBM-SP-like machine configuration."""
+    return ibm_sp_argonne()
+
+@pytest.fixture
+def linear_config():
+    """Interaction-free machine (couplings must be exactly 1)."""
+    return linear_test_machine()
+
+
+@pytest.fixture
+def quiet_config():
+    """IBM-SP machine with all noise disabled (deterministic timings)."""
+    return ibm_sp_argonne().with_(noise_cv=0.0, noise_floor=0.0)
+
+
+@pytest.fixture
+def fast_measurement():
+    """Few repetitions — keeps harness-based tests quick."""
+    return MeasurementConfig(repetitions=3, warmup=1, seed=0)
+
+
+def make_machine(config, nprocs, seed=0, run_id="test"):
+    """Machine + attached MPI world, ready to run programs."""
+    machine = Machine(config, nprocs, seed=seed, run_id=run_id)
+    attach_world(machine)
+    return machine
+
+
+@pytest.fixture
+def machine4(quiet_config):
+    """Four-rank deterministic machine with MPI attached."""
+    return make_machine(quiet_config, 4)

@@ -1,0 +1,113 @@
+"""The composition algebra vs the paper's explicit §3 formulas."""
+
+import pytest
+
+from repro.core.coefficients import kernel_coefficients
+from repro.core.coupling import CouplingSet
+from repro.core.kernel import ControlFlow
+
+
+@pytest.fixture
+def flow():
+    return ControlFlow(["A", "B", "C", "D"])
+
+
+def build(flow, length, chains, isolated):
+    return CouplingSet.from_performances(flow, length, chains, isolated)
+
+
+class TestPairwisePaperFormulas:
+    """α = [(C_AB·P_AB) + (C_DA·P_DA)] / (P_AB + P_DA), etc. (§3)."""
+
+    def test_alpha_formula_exact(self, flow):
+        isolated = {"A": 10.0, "B": 12.0, "C": 14.0, "D": 16.0}
+        chains = {
+            ("A", "B"): 20.0,
+            ("B", "C"): 27.0,
+            ("C", "D"): 24.0,
+            ("D", "A"): 28.6,
+        }
+        cs = build(flow, 2, chains, isolated)
+        coeffs = kernel_coefficients(cs)
+        c_ab = 20.0 / 22.0
+        c_bc = 27.0 / 26.0
+        c_cd = 24.0 / 30.0
+        c_da = 28.6 / 26.0
+        assert coeffs["A"] == pytest.approx(
+            (c_ab * 20.0 + c_da * 28.6) / (20.0 + 28.6)
+        )
+        assert coeffs["B"] == pytest.approx(
+            (c_ab * 20.0 + c_bc * 27.0) / (20.0 + 27.0)
+        )
+        assert coeffs["C"] == pytest.approx(
+            (c_bc * 27.0 + c_cd * 24.0) / (27.0 + 24.0)
+        )
+        assert coeffs["D"] == pytest.approx(
+            (c_cd * 24.0 + c_da * 28.6) / (24.0 + 28.6)
+        )
+
+
+class TestChainOfThreePaperFormulas:
+    """α = [(C_ABC·P_ABC)+(C_CDA·P_CDA)+(C_DAB·P_DAB)] / (ΣP) (§3)."""
+
+    def test_alpha_formula_exact(self, flow):
+        isolated = {"A": 10.0, "B": 12.0, "C": 14.0, "D": 16.0}
+        chains = {
+            ("A", "B", "C"): 30.0,
+            ("B", "C", "D"): 40.0,
+            ("C", "D", "A"): 36.0,
+            ("D", "A", "B"): 35.0,
+        }
+        cs = build(flow, 3, chains, isolated)
+        coeffs = kernel_coefficients(cs)
+        c_abc = 30.0 / 36.0
+        c_bcd = 40.0 / 42.0
+        c_cda = 36.0 / 40.0
+        c_dab = 35.0 / 38.0
+        assert coeffs["A"] == pytest.approx(
+            (c_abc * 30.0 + c_cda * 36.0 + c_dab * 35.0) / (30.0 + 36.0 + 35.0)
+        )
+        assert coeffs["B"] == pytest.approx(
+            (c_abc * 30.0 + c_bcd * 40.0 + c_dab * 35.0) / (30.0 + 40.0 + 35.0)
+        )
+        assert coeffs["C"] == pytest.approx(
+            (c_abc * 30.0 + c_bcd * 40.0 + c_cda * 36.0) / (30.0 + 40.0 + 36.0)
+        )
+        assert coeffs["D"] == pytest.approx(
+            (c_bcd * 40.0 + c_cda * 36.0 + c_dab * 35.0) / (40.0 + 36.0 + 35.0)
+        )
+
+
+class TestCoefficientProperties:
+    def test_no_interaction_gives_unit_coefficients(self, flow):
+        isolated = {"A": 1.0, "B": 2.0, "C": 3.0, "D": 4.0}
+        chains = {w: sum(isolated[k] for k in w) for w in flow.windows(2)}
+        coeffs = kernel_coefficients(build(flow, 2, chains, isolated))
+        assert all(c == pytest.approx(1.0) for c in coeffs.values())
+
+    def test_uniform_coupling_passes_through(self, flow):
+        isolated = {"A": 1.0, "B": 2.0, "C": 3.0, "D": 4.0}
+        chains = {
+            w: 0.75 * sum(isolated[k] for k in w) for w in flow.windows(3)
+        }
+        coeffs = kernel_coefficients(build(flow, 3, chains, isolated))
+        assert all(c == pytest.approx(0.75) for c in coeffs.values())
+
+    def test_every_kernel_gets_a_coefficient(self, flow):
+        isolated = {k: 1.0 for k in "ABCD"}
+        chains = {w: 2.0 for w in flow.windows(2)}
+        coeffs = kernel_coefficients(build(flow, 2, chains, isolated))
+        assert set(coeffs) == {"A", "B", "C", "D"}
+
+    def test_heavier_chain_dominates_weighting(self, flow):
+        """A window with big P_w pulls the coefficient toward its C_w."""
+        isolated = {k: 10.0 for k in "ABCD"}
+        chains = {
+            ("A", "B"): 10.0,   # C = 0.5, light
+            ("B", "C"): 20.0,
+            ("C", "D"): 20.0,
+            ("D", "A"): 40.0,   # C = 2.0, heavy
+        }
+        coeffs = kernel_coefficients(build(flow, 2, chains, isolated))
+        # alpha = (0.5*10 + 2.0*40) / 50 = 1.7 — nearer the heavy window.
+        assert coeffs["A"] == pytest.approx(1.7)

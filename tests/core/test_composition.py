@@ -1,0 +1,103 @@
+"""Composition models (Eq. 3 as an object)."""
+
+import pytest
+
+from repro.core.composition import CompositionModel
+from repro.core.kernel import ControlFlow, Kernel
+from repro.core.models import MeasuredModel
+from repro.core.predictor import CouplingPredictor, PredictionInputs
+from repro.errors import PredictionError
+
+
+@pytest.fixture
+def inputs():
+    flow = ControlFlow(["A", "B", "C", "D"])
+    loop = {"A": 1.0, "B": 2.0, "C": 3.0, "D": 4.0}
+    chains = {w: 0.8 * sum(loop[k] for k in w) for w in flow.windows(2)}
+    return PredictionInputs(
+        flow=flow,
+        iterations=50,
+        loop_times=loop,
+        pre_times={"INIT": 5.0},
+        post_times={"FINAL": 2.0},
+        chain_times=chains,
+    )
+
+
+class TestFit:
+    def test_matches_predictor(self, inputs):
+        model = CompositionModel.fit(inputs, chain_length=2)
+        assert model.evaluate() == pytest.approx(
+            CouplingPredictor(2).predict(inputs)
+        )
+
+    def test_coefficients_recorded(self, inputs):
+        model = CompositionModel.fit(inputs, chain_length=2)
+        assert all(
+            c == pytest.approx(0.8) for c in model.coefficients.values()
+        )
+
+    def test_pre_post_included(self, inputs):
+        model = CompositionModel.fit(inputs, chain_length=2)
+        assert model.pre_seconds == 5.0
+        assert model.post_seconds == 2.0
+
+
+class TestEquation:
+    def test_symbolic_form_matches_paper(self, inputs):
+        model = CompositionModel.fit(inputs, chain_length=2)
+        eq = model.equation()
+        assert eq.startswith("T = T_pre + 50*(")
+        assert "alpha*E_A" in eq
+        assert "beta*E_B" in eq
+        assert "delta*E_D" in eq
+        assert eq.endswith("+ T_post")
+
+    def test_numeric_form_substitutes_values(self, inputs):
+        model = CompositionModel.fit(inputs, chain_length=2)
+        assert "0.800*E_A" in model.equation(numeric=True)
+
+    def test_symbols_cycle_beyond_greek_list(self):
+        flow = ControlFlow([f"K{i}" for i in range(10)])
+        loop = {k: 1.0 for k in flow.names}
+        chains = {w: 2.0 for w in flow.windows(2)}
+        inputs = PredictionInputs(
+            flow=flow, iterations=1, loop_times=loop, chain_times=chains
+        )
+        model = CompositionModel.fit(inputs, 2)
+        assert model.symbol_for("K0") == "alpha"
+        assert model.symbol_for("K8") == "alpha2"
+
+    def test_unknown_kernel_symbol(self, inputs):
+        model = CompositionModel.fit(inputs, chain_length=2)
+        with pytest.raises(PredictionError):
+            model.symbol_for("Z")
+
+    def test_coefficient_table(self, inputs):
+        model = CompositionModel.fit(inputs, chain_length=2)
+        rows = model.coefficient_table()
+        assert [r[0] for r in rows] == ["A", "B", "C", "D"]
+        assert rows[0][1] == "alpha"
+
+
+class TestManualAssembly:
+    def test_hand_built_model(self):
+        flow = ControlFlow([Kernel("A", 2), "B"])
+        model = CompositionModel(
+            flow=flow,
+            iterations=10,
+            coefficients={"A": 0.9, "B": 1.1},
+            models={"A": MeasuredModel("A", 1.0), "B": MeasuredModel("B", 2.0)},
+        )
+        # 10 * (0.9*1.0*2 + 1.1*2.0) = 10 * 4.0.
+        assert model.evaluate() == pytest.approx(40.0)
+
+    def test_missing_pieces_rejected(self):
+        flow = ControlFlow(["A", "B"])
+        with pytest.raises(PredictionError, match="missing"):
+            CompositionModel(
+                flow=flow,
+                iterations=1,
+                coefficients={"A": 1.0},
+                models={"A": MeasuredModel("A", 1.0)},
+            )

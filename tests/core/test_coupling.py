@@ -1,0 +1,147 @@
+"""Coupling values: Equations 1-2 and the three-way classification."""
+
+import pytest
+
+from repro.core.coupling import (
+    CouplingClass,
+    CouplingSet,
+    classify,
+    coupling_value,
+)
+from repro.core.kernel import ControlFlow
+from repro.core.metrics import Metric
+from repro.errors import ConfigurationError, PredictionError
+
+
+class TestEquationOne:
+    def test_pair_ratio(self):
+        # C_ij = P_ij / (P_i + P_j)
+        assert coupling_value(8.0, [5.0, 5.0]) == pytest.approx(0.8)
+
+    def test_no_interaction_is_one(self):
+        assert coupling_value(10.0, [4.0, 6.0]) == pytest.approx(1.0)
+
+    def test_destructive_over_one(self):
+        assert coupling_value(12.0, [5.0, 5.0]) == pytest.approx(1.2)
+
+
+class TestEquationTwo:
+    def test_chain_of_three(self):
+        assert coupling_value(24.0, [10.0, 10.0, 10.0]) == pytest.approx(0.8)
+
+    def test_single_kernel_chain_degenerates(self):
+        assert coupling_value(5.0, [5.0]) == pytest.approx(1.0)
+
+    def test_rate_metric_uses_weighted_average(self):
+        # flop/s must combine by weighted average, not summation (§2).
+        value = coupling_value(
+            100.0, [80.0, 120.0], metric=Metric.FLOP_RATE, weights=[1.0, 1.0]
+        )
+        assert value == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            coupling_value(0.0, [1.0])
+        with pytest.raises(ConfigurationError):
+            coupling_value(1.0, [])
+
+
+class TestClassification:
+    def test_constructive(self):
+        assert classify(0.8) is CouplingClass.CONSTRUCTIVE
+
+    def test_destructive(self):
+        assert classify(1.2) is CouplingClass.DESTRUCTIVE
+
+    def test_neutral_within_tolerance(self):
+        assert classify(1.01) is CouplingClass.NEUTRAL
+        assert classify(0.99) is CouplingClass.NEUTRAL
+
+    def test_custom_tolerance(self):
+        assert classify(1.01, tolerance=0.0) is CouplingClass.DESTRUCTIVE
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            classify(0.0)
+        with pytest.raises(ConfigurationError):
+            classify(1.0, tolerance=-0.1)
+
+
+@pytest.fixture
+def flow():
+    return ControlFlow(["A", "B", "C", "D"])
+
+
+@pytest.fixture
+def measurements():
+    isolated = {"A": 10.0, "B": 20.0, "C": 30.0, "D": 40.0}
+    chains = {
+        ("A", "B"): 27.0,
+        ("B", "C"): 45.0,
+        ("C", "D"): 63.0,
+        ("D", "A"): 55.0,
+    }
+    return isolated, chains
+
+
+class TestCouplingSet:
+    def test_builds_all_windows(self, flow, measurements):
+        isolated, chains = measurements
+        cs = CouplingSet.from_performances(flow, 2, chains, isolated)
+        assert len(cs) == 4
+        assert cs[("A", "B")].value == pytest.approx(27.0 / 30.0)
+        assert cs[("D", "A")].value == pytest.approx(55.0 / 50.0)
+
+    def test_stores_chain_performance_for_weighting(self, flow, measurements):
+        isolated, chains = measurements
+        cs = CouplingSet.from_performances(flow, 2, chains, isolated)
+        assert cs[("B", "C")].chain_performance == 45.0
+        assert cs[("B", "C")].isolated_sum == 50.0
+
+    def test_chain_class_property(self, flow, measurements):
+        isolated, chains = measurements
+        cs = CouplingSet.from_performances(flow, 2, chains, isolated)
+        assert cs[("A", "B")].coupling_class is CouplingClass.CONSTRUCTIVE
+        assert cs[("D", "A")].coupling_class is CouplingClass.DESTRUCTIVE
+
+    def test_missing_chain_measurement_raises(self, flow, measurements):
+        isolated, chains = measurements
+        del chains[("C", "D")]
+        with pytest.raises(PredictionError, match="missing chain"):
+            CouplingSet.from_performances(flow, 2, chains, isolated)
+
+    def test_missing_isolated_measurement_raises(self, flow, measurements):
+        isolated, chains = measurements
+        del isolated["B"]
+        with pytest.raises(PredictionError, match="missing isolated"):
+            CouplingSet.from_performances(flow, 2, chains, isolated)
+
+    def test_containing(self, flow, measurements):
+        isolated, chains = measurements
+        cs = CouplingSet.from_performances(flow, 2, chains, isolated)
+        windows = {c.window for c in cs.containing("A")}
+        assert windows == {("A", "B"), ("D", "A")}
+
+    def test_chain_length_bounds(self, flow):
+        with pytest.raises(ConfigurationError):
+            CouplingSet(flow, 1)
+        with pytest.raises(ConfigurationError):
+            CouplingSet(flow, 5)
+
+    def test_unknown_window_lookup(self, flow, measurements):
+        isolated, chains = measurements
+        cs = CouplingSet.from_performances(flow, 2, chains, isolated)
+        with pytest.raises(PredictionError):
+            cs[("A", "C")]
+
+    def test_values_mapping(self, flow, measurements):
+        isolated, chains = measurements
+        cs = CouplingSet.from_performances(flow, 2, chains, isolated)
+        vals = cs.values()
+        assert set(vals) == set(flow.windows(2))
+        assert all(v > 0 for v in vals.values())
+
+    def test_iteration_yields_chain_couplings(self, flow, measurements):
+        isolated, chains = measurements
+        cs = CouplingSet.from_performances(flow, 2, chains, isolated)
+        assert len(list(cs)) == 4

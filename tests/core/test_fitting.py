@@ -1,0 +1,177 @@
+"""Scaling-curve fitting and unmeasured-configuration prediction."""
+
+import math
+
+import pytest
+
+from repro.core.fitting import KernelScalingModel, ScalingModelSet, npb_work_share
+from repro.core.kernel import ControlFlow
+from repro.core.predictor import CouplingPredictor
+from repro.errors import PredictionError
+
+
+class TestKernelScalingModel:
+    def test_recovers_exact_ansatz(self):
+        # t(P) = 0.5 + 8/P + 0.1*log2(P): exactly representable.
+        truth = lambda p: 0.5 + 8.0 / p + 0.1 * math.log2(max(2, p))
+        samples = {p: truth(p) for p in (2, 4, 8, 16)}
+        model = KernelScalingModel.fit("K", samples)
+        assert model.residual < 1e-9
+        assert model.evaluate(32) == pytest.approx(truth(32), rel=1e-9)
+
+    def test_coefficients_non_negative(self):
+        # Data shaped like pure 1/P scaling with noise cannot produce
+        # negative serial/comm terms.
+        samples = {p: 10.0 / p for p in (2, 4, 8)}
+        model = KernelScalingModel.fit("K", samples)
+        assert model.serial >= 0 and model.parallel >= 0 and model.comm >= 0
+
+    def test_interpolation_reasonable(self):
+        samples = {4: 2.5, 16: 1.0}
+        model = KernelScalingModel.fit("K", samples)
+        at9 = model.evaluate(9)
+        assert 1.0 <= at9 <= 2.5
+
+    def test_needs_two_points(self):
+        with pytest.raises(PredictionError, match=">= 2"):
+            KernelScalingModel.fit("K", {4: 1.0})
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(PredictionError):
+            KernelScalingModel.fit("K", {4: 1.0, 0: 2.0})
+        with pytest.raises(PredictionError):
+            KernelScalingModel.fit("K", {4: 1.0, 8: -1.0})
+
+    def test_evaluate_validates_nprocs(self):
+        model = KernelScalingModel.fit("K", {2: 2.0, 4: 1.0})
+        with pytest.raises(PredictionError):
+            model.evaluate(0)
+
+
+class TestScalingModelSetSynthetic:
+    def make_set(self):
+        flow = ControlFlow(["A", "B"])
+        sset = ScalingModelSet(flow, chain_length=2)
+        truth = {
+            "A": lambda p: 1.0 + 16.0 / p,
+            "B": lambda p: 0.5 + 8.0 / p,
+        }
+        sset.fit_loop_kernels(
+            {k: {p: fn(p) for p in (2, 4, 8)} for k, fn in truth.items()}
+        )
+        return flow, sset, truth
+
+    def test_missing_kernel_rejected(self):
+        flow = ControlFlow(["A", "B"])
+        sset = ScalingModelSet(flow, 2)
+        with pytest.raises(PredictionError, match="missing training"):
+            sset.fit_loop_kernels({"A": {2: 1.0, 4: 0.5}})
+
+    def test_loop_times_extrapolate(self):
+        _, sset, truth = self.make_set()
+        times = sset.loop_times_at(16)
+        for kernel, fn in truth.items():
+            assert times[kernel] == pytest.approx(fn(16), rel=1e-6)
+
+    def test_predict_with_uniform_couplings(self):
+        from repro.core.coupling import CouplingSet
+
+        flow, sset, truth = self.make_set()
+        isolated = {k: fn(4) for k, fn in truth.items()}
+        chains = {
+            w: 0.9 * sum(isolated[k] for k in w) for w in flow.windows(2)
+        }
+        sset.add_couplings(
+            "W", 4, CouplingSet.from_performances(flow, 2, chains, isolated)
+        )
+        predicted = sset.predict("W", 16, iterations=10)
+        expected = 10 * 0.9 * sum(fn(16) for fn in truth.values())
+        assert predicted == pytest.approx(expected, rel=1e-6)
+
+    def test_residual_reporting(self):
+        _, sset, _ = self.make_set()
+        assert sset.worst_training_residual() < 1e-6
+
+    def test_empty_set_rejected(self):
+        sset = ScalingModelSet(ControlFlow(["A"]), 2)
+        with pytest.raises(PredictionError):
+            sset.loop_times_at(4)
+        with pytest.raises(PredictionError):
+            sset.worst_training_residual()
+
+
+class TestEndToEndExtrapolation:
+    def test_bt_w_25_procs_from_smaller_counts(self):
+        """Train on 4/9/16 procs, predict 25 — never measured — within a
+        few percent of the simulated actual."""
+        from repro.experiments import ExperimentPipeline, ExperimentSettings
+        from repro.instrument import MeasurementConfig
+
+        pipeline = ExperimentPipeline(
+            ExperimentSettings(
+                measurement=MeasurementConfig(repetitions=4, warmup=2)
+            )
+        )
+        train_procs = (4, 9, 16)
+        results = {
+            p: pipeline.config_result("BT", "W", p, (3,)) for p in train_procs
+        }
+        flow = results[4].flow
+        sset = ScalingModelSet(
+            flow, chain_length=3, work_share=npb_work_share("BT", "W")
+        )
+        sset.fit_loop_kernels(
+            {
+                k: {p: results[p].inputs.loop_times[k] for p in train_procs}
+                for k in flow.names
+            }
+        )
+        sset.fit_one_shots(
+            {
+                k: {
+                    p: results[p].inputs.pre_times[k] for p in train_procs
+                }
+                for k in results[4].inputs.pre_times
+            }
+        )
+        sset.fit_one_shots(
+            {
+                k: {
+                    p: results[p].inputs.post_times[k] for p in train_procs
+                }
+                for k in results[4].inputs.post_times
+            }
+        )
+        for p in train_procs:
+            sset.add_couplings(
+                "W", p, CouplingPredictor(3).coupling_set(results[p].inputs)
+            )
+        target = pipeline.config_result("BT", "W", 25)  # actual only
+        predicted = sset.predict("W", 25, iterations=target.inputs.iterations)
+        error = abs(predicted - target.actual) / target.actual
+        assert error < 0.08, f"extrapolation error {100 * error:.2f} %"
+
+    def test_work_share_basis_beats_even_share(self):
+        """The NPB ceil-imbalance basis must extrapolate the busiest-rank
+        kernels better than the idealized 1/P basis."""
+        from repro.experiments import ExperimentPipeline, ExperimentSettings
+        from repro.instrument import MeasurementConfig
+
+        pipeline = ExperimentPipeline(
+            ExperimentSettings(
+                measurement=MeasurementConfig(repetitions=3, warmup=2)
+            )
+        )
+        train = (4, 9, 16)
+        results = {p: pipeline.config_result("BT", "W", p) for p in (*train, 25)}
+        samples = {
+            p: results[p].inputs.loop_times["X_SOLVE"] for p in train
+        }
+        actual = results[25].inputs.loop_times["X_SOLVE"]
+        naive = KernelScalingModel.fit("X_SOLVE", samples)
+        aware = KernelScalingModel.fit(
+            "X_SOLVE", samples, npb_work_share("BT", "W")
+        )
+        err_naive = abs(naive.evaluate(25) - actual) / actual
+        err_aware = abs(aware.evaluate(25) - actual) / actual
+        assert err_aware < err_naive

@@ -1,0 +1,120 @@
+"""Kernels and control-flow windows."""
+
+import pytest
+
+from repro.core.kernel import ControlFlow, Kernel
+from repro.errors import ConfigurationError
+
+
+class TestKernel:
+    def test_defaults(self):
+        k = Kernel("X")
+        assert k.calls_per_iteration == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel("")
+
+    def test_zero_calls_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel("X", calls_per_iteration=0)
+
+
+class TestControlFlow:
+    def test_names_preserved_in_order(self):
+        flow = ControlFlow(["A", "B", "C"])
+        assert flow.names == ("A", "B", "C")
+        assert len(flow) == 3
+
+    def test_accepts_kernel_objects(self):
+        flow = ControlFlow([Kernel("A", 2), "B"])
+        assert flow.kernels[0].calls_per_iteration == 2
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ControlFlow(["A", "B", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControlFlow([])
+
+    def test_contains(self):
+        flow = ControlFlow(["A", "B"])
+        assert "A" in flow
+        assert "Z" not in flow
+
+
+class TestWindows:
+    def test_cyclic_pairs_match_paper_example(self):
+        """§3: for kernels A,B,C,D the pairwise chains are AB, BC, CD, DA."""
+        flow = ControlFlow(["A", "B", "C", "D"])
+        assert flow.windows(2) == [
+            ("A", "B"), ("B", "C"), ("C", "D"), ("D", "A"),
+        ]
+
+    def test_cyclic_triples_match_paper_example(self):
+        """§3: length-3 chains of A,B,C,D are ABC, BCD, CDA, DAB."""
+        flow = ControlFlow(["A", "B", "C", "D"])
+        assert flow.windows(3) == [
+            ("A", "B", "C"), ("B", "C", "D"), ("C", "D", "A"), ("D", "A", "B"),
+        ]
+
+    def test_cyclic_window_count_is_n(self):
+        flow = ControlFlow(list("ABCDE"))
+        for length in range(2, 6):
+            assert len(flow.windows(length)) == 5
+
+    def test_acyclic_windows(self):
+        flow = ControlFlow(["A", "B", "C", "D"], cyclic=False)
+        assert flow.windows(2) == [("A", "B"), ("B", "C"), ("C", "D")]
+        assert flow.windows(4) == [("A", "B", "C", "D")]
+
+    def test_length_bounds(self):
+        flow = ControlFlow(["A", "B"])
+        with pytest.raises(ConfigurationError):
+            flow.windows(0)
+        with pytest.raises(ConfigurationError):
+            flow.windows(3)
+
+    def test_windows_containing_matches_paper(self):
+        """§3: kernel A (of ABCD) appears in C_ABC, C_CDA, C_DAB for L=3."""
+        flow = ControlFlow(["A", "B", "C", "D"])
+        wins = flow.windows_containing("A", 3)
+        assert set(wins) == {("A", "B", "C"), ("C", "D", "A"), ("D", "A", "B")}
+
+    def test_each_kernel_in_exactly_l_windows(self):
+        flow = ControlFlow(list("ABCDE"))
+        for length in range(2, 6):
+            for kernel in flow.names:
+                assert len(flow.windows_containing(kernel, length)) == length
+
+    def test_windows_containing_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            ControlFlow(["A", "B"]).windows_containing("Z", 2)
+
+    def test_pairwise_windows_containing_matches_paper_alpha(self):
+        """§3: α for A uses C_AB and C_DA."""
+        flow = ControlFlow(["A", "B", "C", "D"])
+        wins = flow.windows_containing("A", 2)
+        assert set(wins) == {("A", "B"), ("D", "A")}
+
+
+class TestAdjacencies:
+    def test_cyclic_wraps(self):
+        flow = ControlFlow(["A", "B", "C"])
+        assert flow.adjacencies() == [("A", "B"), ("B", "C"), ("C", "A")]
+
+    def test_acyclic_does_not_wrap(self):
+        flow = ControlFlow(["A", "B", "C"], cyclic=False)
+        assert flow.adjacencies() == [("A", "B"), ("B", "C")]
+
+
+class TestValidateWindow:
+    def test_accepts_real_window(self):
+        flow = ControlFlow(["A", "B", "C"])
+        assert flow.validate_window(["C", "A"]) == ("C", "A")
+
+    def test_rejects_non_window(self):
+        flow = ControlFlow(["A", "B", "C"])
+        with pytest.raises(ConfigurationError):
+            flow.validate_window(["A", "C"])

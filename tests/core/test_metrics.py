@@ -1,0 +1,41 @@
+"""Metric combination rules (§2)."""
+
+import pytest
+
+from repro.core.metrics import Metric, combine_isolated
+from repro.errors import ConfigurationError
+
+
+class TestAdditiveMetrics:
+    @pytest.mark.parametrize("metric", [Metric.TIME, Metric.CACHE_MISSES])
+    def test_sum(self, metric):
+        assert combine_isolated(metric, [1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("metric", [Metric.TIME, Metric.CACHE_MISSES])
+    def test_additive_flag(self, metric):
+        assert metric.additive
+
+    def test_weights_rejected_for_additive(self):
+        with pytest.raises(ConfigurationError, match="summation"):
+            combine_isolated(Metric.TIME, [1.0, 2.0], weights=[1.0, 1.0])
+
+
+class TestRateMetrics:
+    def test_flop_rate_not_additive(self):
+        assert not Metric.FLOP_RATE.additive
+
+    def test_weighted_average(self):
+        # 100 Mflop/s for 3s and 200 Mflop/s for 1s -> 125 Mflop/s overall.
+        combined = combine_isolated(
+            Metric.FLOP_RATE, [100.0, 200.0], weights=[3.0, 1.0]
+        )
+        assert combined == pytest.approx(125.0)
+
+    def test_default_weights_equal(self):
+        assert combine_isolated(Metric.FLOP_RATE, [100.0, 200.0]) == pytest.approx(150.0)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_isolated(Metric.TIME, [])

@@ -1,0 +1,87 @@
+"""Analytical kernel models vs measured simulator behaviour."""
+
+import pytest
+
+from repro.core.models import (
+    AnalyticalNPBModel,
+    MeasuredModel,
+    analytical_loop_models,
+)
+from repro.errors import ConfigurationError
+from repro.instrument import ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+class TestMeasuredModel:
+    def test_evaluate_returns_per_call(self):
+        assert MeasuredModel("K", 2.5).evaluate() == 2.5
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            MeasuredModel("K", 0.0)
+
+
+class TestAnalyticalModel:
+    def test_cost_components(self):
+        machine = ibm_sp_argonne()
+        model = AnalyticalNPBModel(
+            kernel="K",
+            flops=1e6,
+            cold_bytes=1e6,
+            messages=4,
+            message_bytes=4000,
+            machine=machine,
+        )
+        proc, net = machine.processor, machine.network
+        expected = (
+            1e6 * proc.flop_time
+            + 1e6 * proc.memory_byte_time
+            + 4 * (net.per_message_overhead + net.latency)
+            + 4000 * net.byte_time
+        )
+        assert model.evaluate() == pytest.approx(expected)
+
+
+class TestAnalyticalLoopModels:
+    @pytest.mark.parametrize(
+        "name,cls,procs", [("BT", "S", 4), ("SP", "W", 4), ("LU", "S", 4)]
+    )
+    def test_covers_all_loop_kernels(self, name, cls, procs):
+        bench = make_benchmark(name, cls, procs)
+        models = analytical_loop_models(bench, ibm_sp_argonne())
+        assert set(models) == set(bench.loop_kernel_names)
+        assert all(m.evaluate() > 0 for m in models.values())
+
+    def test_tracks_measured_times_within_factor(self):
+        """The manual models must land in the simulator's ballpark —
+        within 2.5x for every BT loop kernel (they ignore warmth, jitter
+        and pipelining, so exact agreement is not expected)."""
+        machine = ibm_sp_argonne().with_(noise_cv=0.0, noise_floor=0.0)
+        bench = make_benchmark("BT", "W", 4)
+        models = analytical_loop_models(bench, machine)
+        runner = ChainRunner(
+            bench, machine, MeasurementConfig(repetitions=2, warmup=1)
+        )
+        for kernel, model in models.items():
+            measured = runner.measure((kernel,)).mean
+            ratio = model.evaluate() / measured
+            assert 0.4 < ratio < 2.5, (kernel, ratio)
+
+    def test_solve_models_scale_with_grid(self):
+        machine = ibm_sp_argonne()
+        small = analytical_loop_models(make_benchmark("BT", "S", 4), machine)
+        large = analytical_loop_models(make_benchmark("BT", "A", 4), machine)
+        assert large["X_SOLVE"].evaluate() > 50 * small["X_SOLVE"].evaluate()
+
+    def test_z_solve_has_no_messages(self):
+        bench = make_benchmark("BT", "W", 4)
+        models = analytical_loop_models(bench, ibm_sp_argonne())
+        assert models["Z_SOLVE"].messages == 0
+        assert models["X_SOLVE"].messages > 0
+
+    def test_lu_sweeps_are_message_heavy(self):
+        bench = make_benchmark("LU", "W", 4)
+        models = analytical_loop_models(bench, ibm_sp_argonne())
+        nz = bench.layout.local_dims(0)[2]
+        assert models["SSOR_LT"].messages >= nz

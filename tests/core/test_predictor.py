@@ -1,0 +1,140 @@
+"""Summation and coupling predictors."""
+
+import pytest
+
+from repro.core.kernel import ControlFlow, Kernel
+from repro.core.predictor import (
+    CouplingPredictor,
+    PredictionInputs,
+    PredictionReport,
+    SummationPredictor,
+    best_chain_length,
+)
+from repro.errors import PredictionError
+
+
+@pytest.fixture
+def flow():
+    return ControlFlow(["CF", "XS", "YS", "ZS", "ADD"])
+
+
+@pytest.fixture
+def inputs(flow):
+    loop = {"CF": 2.0, "XS": 3.0, "YS": 3.0, "ZS": 3.0, "ADD": 0.5}
+    chains = {w: 0.9 * sum(loop[k] for k in w) for w in flow.windows(2)}
+    chains.update(
+        {w: 0.85 * sum(loop[k] for k in w) for w in flow.windows(3)}
+    )
+    return PredictionInputs(
+        flow=flow,
+        iterations=60,
+        loop_times=loop,
+        pre_times={"INIT": 5.0},
+        post_times={"FINAL": 1.0},
+        chain_times=chains,
+    )
+
+
+class TestSummation:
+    def test_matches_paper_formula(self, inputs):
+        """Summation = Tinit + 60*(Tcf+Txs+Tys+Tzs+Tadd) + Tfinal (§4.1)."""
+        expected = 5.0 + 60 * (2.0 + 3.0 + 3.0 + 3.0 + 0.5) + 1.0
+        assert SummationPredictor().predict(inputs) == pytest.approx(expected)
+
+    def test_respects_calls_per_iteration(self):
+        flow = ControlFlow([Kernel("A", 3), Kernel("B", 1)])
+        inputs = PredictionInputs(
+            flow=flow,
+            iterations=10,
+            loop_times={"A": 1.0, "B": 2.0},
+        )
+        assert SummationPredictor().predict(inputs) == pytest.approx(
+            10 * (3 * 1.0 + 2.0)
+        )
+
+
+class TestCouplingPredictor:
+    def test_uniform_coupling_scales_loop(self, inputs):
+        pred = CouplingPredictor(2).predict(inputs)
+        expected = 6.0 + 60 * 0.9 * 11.5
+        assert pred == pytest.approx(expected)
+
+    def test_chain_length_three(self, inputs):
+        pred = CouplingPredictor(3).predict(inputs)
+        assert pred == pytest.approx(6.0 + 60 * 0.85 * 11.5)
+
+    def test_coefficients_exposed(self, inputs):
+        coeffs = CouplingPredictor(2).coefficients(inputs)
+        assert set(coeffs) == set(inputs.flow.names)
+        assert all(c == pytest.approx(0.9) for c in coeffs.values())
+
+    def test_name_matches_paper_rows(self):
+        assert CouplingPredictor(3).name == "Coupling: 3 kernels"
+
+    def test_length_one_rejected(self):
+        with pytest.raises(PredictionError):
+            CouplingPredictor(1)
+
+    def test_missing_chains_raise(self, flow):
+        inputs = PredictionInputs(
+            flow=flow,
+            iterations=10,
+            loop_times={k: 1.0 for k in flow.names},
+        )
+        with pytest.raises(PredictionError, match="missing chain"):
+            CouplingPredictor(2).predict(inputs)
+
+
+class TestPredictionInputs:
+    def test_missing_loop_time_rejected(self, flow):
+        with pytest.raises(PredictionError, match="missing isolated"):
+            PredictionInputs(flow=flow, iterations=1, loop_times={"CF": 1.0})
+
+    def test_zero_iterations_rejected(self, flow):
+        with pytest.raises(PredictionError):
+            PredictionInputs(
+                flow=flow,
+                iterations=0,
+                loop_times={k: 1.0 for k in flow.names},
+            )
+
+    def test_one_shot_total(self, inputs):
+        assert inputs.one_shot_total == pytest.approx(6.0)
+
+
+class TestPredictionReport:
+    def test_errors_and_best(self):
+        report = PredictionReport(
+            actual=100.0,
+            predictions={"Summation": 120.0, "Coupling: 3 kernels": 101.0},
+        )
+        assert report.relative_error("Summation") == pytest.approx(20.0)
+        assert report.relative_error("Coupling: 3 kernels") == pytest.approx(1.0)
+        assert report.best() == "Coupling: 3 kernels"
+        assert set(report.errors()) == set(report.predictions)
+
+
+class TestBestChainLength:
+    def test_picks_lowest_error(self, inputs):
+        actual = 6.0 + 60 * 0.85 * 11.5  # exactly the L=3 prediction
+        length, err = best_chain_length(inputs, actual)
+        assert length == 3
+        assert err == pytest.approx(0.0, abs=1e-9)
+
+    def test_skips_unmeasured_lengths(self, inputs):
+        # Only lengths 2 and 3 were measured; 4 and 5 must be skipped.
+        length, _ = best_chain_length(inputs, actual=1000.0)
+        assert length in (2, 3)
+
+    def test_no_measured_lengths_raises(self, flow):
+        inputs = PredictionInputs(
+            flow=flow,
+            iterations=1,
+            loop_times={k: 1.0 for k in flow.names},
+        )
+        with pytest.raises(PredictionError):
+            best_chain_length(inputs, actual=1.0)
+
+    def test_explicit_length_subset(self, inputs):
+        length, _ = best_chain_length(inputs, actual=1.0, lengths=[2])
+        assert length == 2

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on the coupling algebra's invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coefficients import kernel_coefficients
+from repro.core.coupling import CouplingSet, coupling_value
+from repro.core.kernel import ControlFlow
+from repro.core.predictor import (
+    CouplingPredictor,
+    PredictionInputs,
+    SummationPredictor,
+)
+
+# -- strategies -------------------------------------------------------------
+
+kernel_names = st.integers(2, 7).map(
+    lambda n: tuple(f"K{i}" for i in range(n))
+)
+
+positive = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def flow_with_measurements(draw, min_length=2):
+    """A cyclic flow plus consistent isolated and chain measurements."""
+    names = draw(kernel_names)
+    flow = ControlFlow(names)
+    length = draw(st.integers(min_length, len(names)))
+    isolated = {k: draw(positive) for k in names}
+    # Chain performance = coupling factor * isolated sum, factor in a
+    # physically sensible range.
+    factors = {
+        w: draw(st.floats(0.5, 1.5, allow_nan=False))
+        for w in flow.windows(length)
+    }
+    chains = {
+        w: factors[w] * sum(isolated[k] for k in w)
+        for w in flow.windows(length)
+    }
+    return flow, length, isolated, chains, factors
+
+
+# -- window structure ---------------------------------------------------------
+
+
+@given(kernel_names, st.data())
+def test_cyclic_windows_cover_each_kernel_exactly_l_times(names, data):
+    flow = ControlFlow(names)
+    length = data.draw(st.integers(2, len(names)))
+    windows = flow.windows(length)
+    assert len(windows) == len(names)
+    for kernel in names:
+        count = sum(1 for w in windows for k in w if k == kernel)
+        assert count == length
+
+
+@given(kernel_names, st.data())
+def test_windows_preserve_cyclic_adjacency(names, data):
+    flow = ControlFlow(names)
+    length = data.draw(st.integers(2, len(names)))
+    adjacency = set(flow.adjacencies())
+    for window in flow.windows(length):
+        for a, b in zip(window, window[1:]):
+            assert (a, b) in adjacency
+
+
+# -- coupling values ------------------------------------------------------------
+
+
+@given(st.lists(positive, min_size=1, max_size=6))
+def test_no_interaction_coupling_is_exactly_one(parts):
+    assert math.isclose(coupling_value(sum(parts), parts), 1.0)
+
+
+@given(st.lists(positive, min_size=1, max_size=6), st.floats(0.1, 10.0))
+def test_coupling_scales_linearly_with_chain_time(parts, factor):
+    base = coupling_value(sum(parts), parts)
+    scaled = coupling_value(factor * sum(parts), parts)
+    assert math.isclose(scaled, factor * base, rel_tol=1e-12)
+
+
+@given(st.lists(positive, min_size=2, max_size=6), st.floats(0.1, 10.0))
+def test_coupling_is_unit_invariant(parts, unit):
+    """Measuring in different units (ms vs s) cannot change C_S."""
+    chain = 0.9 * sum(parts)
+    a = coupling_value(chain, parts)
+    b = coupling_value(unit * chain, [unit * p for p in parts])
+    assert math.isclose(a, b, rel_tol=1e-12)
+
+
+# -- coefficients -----------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(flow_with_measurements())
+def test_coefficients_are_convex_combinations_of_couplings(bundle):
+    flow, length, isolated, chains, factors = bundle
+    cs = CouplingSet.from_performances(flow, length, chains, isolated)
+    coeffs = kernel_coefficients(cs)
+    values = cs.values()
+    lo, hi = min(values.values()), max(values.values())
+    for kernel, coeff in coeffs.items():
+        assert lo - 1e-9 <= coeff <= hi + 1e-9
+        # Tighter: bounded by the couplings of the windows containing it.
+        own = [values[w] for w in flow.windows_containing(kernel, length)]
+        assert min(own) - 1e-9 <= coeff <= max(own) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(flow_with_measurements(), st.floats(0.5, 1.5))
+def test_uniform_coupling_gives_uniform_coefficients(bundle, factor):
+    flow, length, isolated, _, _ = bundle
+    chains = {
+        w: factor * sum(isolated[k] for k in w) for w in flow.windows(length)
+    }
+    cs = CouplingSet.from_performances(flow, length, chains, isolated)
+    for coeff in kernel_coefficients(cs).values():
+        assert math.isclose(coeff, factor, rel_tol=1e-9)
+
+
+# -- predictors -------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(flow_with_measurements(), st.integers(1, 500))
+def test_neutral_couplings_reduce_to_summation(bundle, iterations):
+    flow, length, isolated, _, _ = bundle
+    chains = {w: sum(isolated[k] for k in w) for w in flow.windows(length)}
+    inputs = PredictionInputs(
+        flow=flow,
+        iterations=iterations,
+        loop_times=isolated,
+        chain_times=chains,
+    )
+    coupling = CouplingPredictor(length).predict(inputs)
+    summation = SummationPredictor().predict(inputs)
+    assert math.isclose(coupling, summation, rel_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(flow_with_measurements(), st.integers(1, 500))
+def test_constructive_couplings_predict_below_summation(bundle, iterations):
+    flow, length, isolated, _, _ = bundle
+    chains = {
+        w: 0.8 * sum(isolated[k] for k in w) for w in flow.windows(length)
+    }
+    inputs = PredictionInputs(
+        flow=flow,
+        iterations=iterations,
+        loop_times=isolated,
+        chain_times=chains,
+    )
+    assert CouplingPredictor(length).predict(inputs) < SummationPredictor().predict(inputs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(flow_with_measurements(), st.integers(1, 100), st.floats(0.1, 10.0))
+def test_prediction_scales_with_units(bundle, iterations, unit):
+    """Rescaling every measurement rescales the prediction identically."""
+    flow, length, isolated, chains, _ = bundle
+    inputs = PredictionInputs(
+        flow=flow, iterations=iterations, loop_times=isolated, chain_times=chains
+    )
+    scaled = PredictionInputs(
+        flow=flow,
+        iterations=iterations,
+        loop_times={k: unit * v for k, v in isolated.items()},
+        chain_times={w: unit * v for w, v in chains.items()},
+    )
+    predictor = CouplingPredictor(length)
+    assert math.isclose(
+        predictor.predict(scaled),
+        unit * predictor.predict(inputs),
+        rel_tol=1e-9,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_with_measurements())
+def test_coupling_set_roundtrips_chain_performance(bundle):
+    flow, length, isolated, chains, factors = bundle
+    cs = CouplingSet.from_performances(flow, length, chains, isolated)
+    for window, factor in factors.items():
+        assert math.isclose(cs[window].value, factor, rel_tol=1e-9)

@@ -1,0 +1,63 @@
+"""Paper-style table builders."""
+
+import pytest
+
+from repro.core.report import (
+    average_error,
+    coupling_value_table,
+    dataset_table,
+    execution_time_table,
+)
+
+
+class TestDatasetTable:
+    def test_rows(self):
+        table = dataset_table("Table 1", [("S", (12, 12, 12)), ("A", (64, 64, 64))])
+        assert table.cell("S", "Size") == "12 x 12 x 12"
+        assert table.row_labels() == ["S", "A"]
+
+
+class TestCouplingTable:
+    def test_layout(self):
+        table = coupling_value_table(
+            "Table 2a",
+            [4, 9],
+            {("X", "Y"): [0.8, 0.85], ("Y", "Z"): [0.7, 0.72]},
+        )
+        assert table.columns == ["Kernels", "4 procs", "9 procs"]
+        assert table.cell("X, Y", "9 procs") == pytest.approx(0.85)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            coupling_value_table("t", [4, 9], {("X", "Y"): [0.8]})
+
+
+class TestExecutionTimeTable:
+    def test_errors_embedded_in_cells(self):
+        table = execution_time_table(
+            "Table 3b",
+            [4, 9],
+            actual=[100.0, 50.0],
+            predictions={"Summation": [120.0, 60.0]},
+        )
+        value, err = table.cell("Summation", "4 procs")
+        assert value == 120.0
+        assert err == pytest.approx(20.0)
+        rendered = table.render()
+        assert "120.00 (20.00 %)" in rendered
+        assert "Actual" in rendered
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            execution_time_table(
+                "t", [4], actual=[1.0, 2.0], predictions={}
+            )
+        with pytest.raises(ValueError):
+            execution_time_table(
+                "t", [4], actual=[1.0], predictions={"S": [1.0, 2.0]}
+            )
+
+
+class TestAverageError:
+    def test_mean_of_percent_errors(self):
+        assert average_error([110.0, 90.0], [100.0, 100.0]) == pytest.approx(10.0)

@@ -1,0 +1,92 @@
+"""Coupling-value reuse across configurations (§6 future work)."""
+
+import pytest
+
+from repro.core.coupling import CouplingSet
+from repro.core.kernel import ControlFlow
+from repro.core.reuse import CouplingStore
+from repro.errors import PredictionError
+
+
+@pytest.fixture
+def flow():
+    return ControlFlow(["A", "B", "C"])
+
+
+def coupling_set(flow, factor):
+    isolated = {"A": 1.0, "B": 2.0, "C": 3.0}
+    chains = {w: factor * sum(isolated[k] for k in w) for w in flow.windows(2)}
+    return CouplingSet.from_performances(flow, 2, chains, isolated)
+
+
+class TestStore:
+    def test_add_and_enumerate(self, flow):
+        store = CouplingStore(flow, 2)
+        store.add("W", 4, coupling_set(flow, 0.9))
+        store.add("W", 16, coupling_set(flow, 0.8))
+        assert store.configurations() == [("W", 4), ("W", 16)]
+
+    def test_chain_length_must_match(self, flow):
+        store = CouplingStore(flow, 3)
+        with pytest.raises(PredictionError):
+            store.add("W", 4, coupling_set(flow, 0.9))
+
+    def test_empty_store_raises(self, flow):
+        with pytest.raises(PredictionError, match="empty"):
+            CouplingStore(flow, 2).nearest("W", 4)
+
+
+class TestNearest:
+    def test_prefers_same_class(self, flow):
+        store = CouplingStore(flow, 2)
+        store.add("W", 4, coupling_set(flow, 0.9))
+        store.add("A", 4, coupling_set(flow, 0.8))
+        cls, procs, _ = store.nearest("A", 9)
+        assert (cls, procs) == ("A", 4)
+
+    def test_log_distance_in_procs(self, flow):
+        store = CouplingStore(flow, 2)
+        store.add("W", 4, coupling_set(flow, 0.9))
+        store.add("W", 16, coupling_set(flow, 0.8))
+        # 9 procs: log(9/4)=0.81 vs log(16/9)=0.58 -> 16 is nearer.
+        _, procs, _ = store.nearest("W", 9)
+        assert procs == 16
+
+    def test_falls_back_to_other_class(self, flow):
+        store = CouplingStore(flow, 2)
+        store.add("W", 4, coupling_set(flow, 0.9))
+        cls, _, _ = store.nearest("B", 4)
+        assert cls == "W"
+
+
+class TestReusedPrediction:
+    def test_exact_when_borrowing_from_same_config(self, flow):
+        store = CouplingStore(flow, 2)
+        store.add("W", 4, coupling_set(flow, 0.9))
+        loop = {"A": 1.0, "B": 2.0, "C": 3.0}
+        result = store.predict("W", 4, iterations=10, loop_times=loop)
+        assert not result.borrowed
+        # Uniform 0.9 coupling: prediction = 10 * 0.9 * 6.
+        assert result.predicted == pytest.approx(54.0)
+
+    def test_borrowed_flag_and_source(self, flow):
+        store = CouplingStore(flow, 2)
+        store.add("W", 16, coupling_set(flow, 0.8))
+        result = store.predict(
+            "W", 4, iterations=10, loop_times={"A": 2.0, "B": 4.0, "C": 6.0}
+        )
+        assert result.borrowed
+        assert result.source_nprocs == 16
+        assert result.predicted == pytest.approx(10 * 0.8 * 12.0)
+
+    def test_pre_post_added_unscaled(self, flow):
+        store = CouplingStore(flow, 2)
+        store.add("W", 4, coupling_set(flow, 0.5))
+        result = store.predict(
+            "W",
+            4,
+            iterations=1,
+            loop_times={"A": 1.0, "B": 1.0, "C": 1.0},
+            pre_times={"INIT": 100.0},
+        )
+        assert result.predicted == pytest.approx(100.0 + 1.5)

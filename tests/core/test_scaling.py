@@ -1,0 +1,69 @@
+"""Scaling studies on the simulated machine (small configurations)."""
+
+import pytest
+
+from repro.core.scaling import CouplingScalingStudy
+from repro.errors import ConfigurationError
+from repro.instrument import MeasurementConfig
+from repro.simmachine import ibm_sp_argonne
+
+
+@pytest.fixture(scope="module")
+def study():
+    s = CouplingScalingStudy(
+        "BT",
+        ibm_sp_argonne(),
+        chain_length=2,
+        measurement=MeasurementConfig(repetitions=2, warmup=1),
+    )
+    s.sweep_procs("S", [1, 4])
+    return s
+
+
+class TestSweeps:
+    def test_points_recorded(self, study):
+        assert len(study.points) == 2
+        assert [p.nprocs for p in study.points] == [1, 4]
+
+    def test_footprint_shrinks_with_procs(self, study):
+        a, b = study.points
+        assert b.footprint_bytes < a.footprint_bytes
+
+    def test_couplings_cover_all_windows(self, study):
+        for point in study.points:
+            assert len(point.couplings) == 5  # N windows for 5 kernels
+            assert all(v > 0 for v in point.couplings.values())
+
+    def test_series_extraction(self, study):
+        series = study.series(("X_SOLVE", "Y_SOLVE"))
+        assert len(series) == 2
+
+    def test_unknown_window_rejected(self, study):
+        with pytest.raises(ConfigurationError):
+            study.series(("X_SOLVE", "Z_SOLVE"))
+
+    def test_empty_study_rejected(self):
+        empty = CouplingScalingStudy("BT", ibm_sp_argonne())
+        with pytest.raises(ConfigurationError):
+            empty.series(("X_SOLVE", "Y_SOLVE"))
+
+
+class TestTransitionAnalysis:
+    def test_analysis_fields(self, study):
+        analysis = study.transition_analysis(("X_SOLVE", "Y_SOLVE"))
+        assert analysis.window == ("X_SOLVE", "Y_SOLVE")
+        assert len(analysis.couplings) == 2
+        assert len(analysis.capacities) == 2  # L1 and L2
+        assert analysis.observed >= 0
+        assert analysis.expected >= 0
+
+    def test_class_sweep(self):
+        study = CouplingScalingStudy(
+            "BT",
+            ibm_sp_argonne(),
+            chain_length=2,
+            measurement=MeasurementConfig(repetitions=2, warmup=1),
+        )
+        points = study.sweep_classes(["S", "W"], nprocs=4)
+        assert [p.problem_class for p in points] == ["S", "W"]
+        assert points[1].footprint_bytes > points[0].footprint_bytes

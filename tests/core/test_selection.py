@@ -1,0 +1,82 @@
+"""Cross-validated chain-length selection."""
+
+import pytest
+
+from repro.core.kernel import ControlFlow
+from repro.core.selection import ChainLengthSelector, TrainingCase
+from repro.core.predictor import PredictionInputs
+from repro.errors import PredictionError
+
+
+def make_case(factor_by_length, actual_factor, iterations=10):
+    """A case where chains of length L have coupling factor_by_length[L]."""
+    flow = ControlFlow(["A", "B", "C", "D"])
+    loop = {"A": 1.0, "B": 2.0, "C": 3.0, "D": 4.0}
+    chains = {}
+    for length, factor in factor_by_length.items():
+        for w in flow.windows(length):
+            chains[w] = factor * sum(loop[k] for k in w)
+    inputs = PredictionInputs(
+        flow=flow, iterations=iterations, loop_times=loop, chain_times=chains
+    )
+    actual = iterations * actual_factor * sum(loop.values())
+    return TrainingCase(inputs, actual, label="case")
+
+
+class TestFit:
+    def test_picks_matching_length(self):
+        # Actual behaves like the L=3 chains (factor 0.8); L=2 is off.
+        case = make_case({2: 0.9, 3: 0.8}, actual_factor=0.8)
+        selector = ChainLengthSelector([2, 3]).fit([case])
+        assert selector.best_length == 3
+        assert selector.training_errors[3] == pytest.approx(0.0, abs=1e-9)
+
+    def test_skips_unmeasured_lengths(self):
+        case = make_case({2: 0.9}, actual_factor=0.9)
+        selector = ChainLengthSelector([2, 3, 4]).fit([case])
+        assert selector.best_length == 2
+        assert set(selector.training_errors) == {2}
+
+    def test_no_measurable_length_raises(self):
+        case = make_case({}, actual_factor=1.0)
+        with pytest.raises(PredictionError, match="no candidate"):
+            ChainLengthSelector([2, 3]).fit([case])
+
+    def test_empty_training_raises(self):
+        with pytest.raises(PredictionError):
+            ChainLengthSelector().fit([])
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(PredictionError):
+            ChainLengthSelector([1, 2])
+        with pytest.raises(PredictionError):
+            ChainLengthSelector([])
+
+    def test_averages_over_cases(self):
+        # L=2 slightly better on case1, much worse on case2; on average
+        # L=3 must win: errors L2 = (2.4 + 15.8)/2, L3 = (3.7 + 10.5)/2.
+        case1 = make_case({2: 0.8, 3: 0.85}, actual_factor=0.82)
+        case2 = make_case({2: 0.8, 3: 0.85}, actual_factor=0.95)
+        selector = ChainLengthSelector([2, 3]).fit([case1, case2])
+        assert selector.best_length == 3
+
+
+class TestPredictAndEvaluate:
+    def test_predict_uses_selected_length(self):
+        case = make_case({2: 0.9, 3: 0.8}, actual_factor=0.8)
+        selector = ChainLengthSelector([2, 3]).fit([case])
+        assert selector.predict(case.inputs) == pytest.approx(case.actual)
+
+    def test_predict_before_fit_raises(self):
+        case = make_case({2: 0.9}, actual_factor=0.9)
+        with pytest.raises(PredictionError, match="not fitted"):
+            ChainLengthSelector([2]).predict(case.inputs)
+
+    def test_evaluate_reports_per_case_errors(self):
+        train = make_case({2: 0.8}, actual_factor=0.8)
+        test = make_case({2: 0.8}, actual_factor=0.9)
+        selector = ChainLengthSelector([2]).fit([train])
+        errors = selector.evaluate([test])
+        assert list(errors) == ["case"]
+        # predicted 0.8*sum vs actual 0.9*sum -> |0.8-0.9|/0.9.
+        assert errors["case"] == pytest.approx(100 * (0.1 / 0.9))

@@ -1,0 +1,104 @@
+"""Coupling transition counting and capacity-crossing analysis."""
+
+import pytest
+
+from repro.core.transitions import (
+    TransitionAnalysis,
+    count_transitions,
+    expected_transitions,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCountTransitions:
+    def test_flat_series_has_none(self):
+        assert count_transitions([0.8, 0.8, 0.8, 0.8]) == 0
+
+    def test_small_wiggles_ignored(self):
+        assert count_transitions([0.80, 0.81, 0.80, 0.79], threshold=0.05) == 0
+
+    def test_single_jump(self):
+        assert count_transitions([0.95, 0.95, 0.80, 0.80]) == 1
+
+    def test_gradual_monotone_slide_counts_once(self):
+        # 0.98 -> 0.9 -> 0.82 -> 0.75: one regime change, not three.
+        assert count_transitions([0.98, 0.90, 0.82, 0.75], threshold=0.05) == 1
+
+    def test_two_opposite_transitions(self):
+        assert count_transitions([1.0, 0.8, 0.8, 1.0]) == 2
+
+    def test_plateau_resets_direction(self):
+        # Down, flat plateau, down again: two distinct transitions.
+        assert (
+            count_transitions([1.0, 0.9, 0.9, 0.9, 0.8], threshold=0.05) == 2
+        )
+
+    def test_short_series(self):
+        assert count_transitions([0.8]) == 0
+        assert count_transitions([]) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            count_transitions([1.0, 2.0], threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            count_transitions([1.0, -1.0])
+
+
+class TestExpectedTransitions:
+    def test_no_crossing(self):
+        assert expected_transitions([100, 200, 300], capacities=[1000]) == 0
+
+    def test_one_crossing_per_capacity(self):
+        # Working set shrinks through both cache capacities.
+        assert (
+            expected_transitions(
+                [4000, 1500, 600, 200], capacities=[1000, 2000]
+            )
+            == 2
+        )
+
+    def test_crossing_back_counts_again(self):
+        assert expected_transitions([500, 1500, 500], capacities=[1000]) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_transitions([1, 2], capacities=[])
+        with pytest.raises(ConfigurationError):
+            expected_transitions([1, 2], capacities=[-5])
+
+    def test_short_series(self):
+        assert expected_transitions([100], capacities=[10]) == 0
+
+
+class TestTransitionAnalysis:
+    def make(self, couplings, footprints, capacities=(1000.0, 8000.0)):
+        return TransitionAnalysis(
+            window=("X", "Y"),
+            scale_labels=tuple(str(i) for i in range(len(couplings))),
+            couplings=tuple(couplings),
+            footprints=tuple(footprints),
+            capacities=tuple(capacities),
+        )
+
+    def test_observed_and_expected(self):
+        analysis = self.make(
+            couplings=[0.95, 0.95, 0.80, 0.80],
+            footprints=[20000, 9000, 4000, 3000],
+        )
+        assert analysis.observed == 1
+        assert analysis.expected == 1
+
+    def test_finite_property(self):
+        """The paper's claim: at most one regime change per cache level."""
+        analysis = self.make(
+            couplings=[0.95, 0.85, 0.75, 0.74],
+            footprints=[20000, 5000, 800, 700],
+        )
+        assert analysis.finite
+
+    def test_not_finite_when_oscillating(self):
+        analysis = self.make(
+            couplings=[1.0, 0.7, 1.0, 0.7, 1.0, 0.7],
+            footprints=[100] * 6,
+        )
+        assert not analysis.finite

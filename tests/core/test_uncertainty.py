@@ -1,0 +1,136 @@
+"""Noise propagation into prediction intervals."""
+
+import pytest
+
+from repro.core.kernel import ControlFlow
+from repro.core.predictor import CouplingPredictor, PredictionInputs
+from repro.core.uncertainty import (
+    MeasuredQuantity,
+    prediction_interval,
+)
+from repro.errors import ConfigurationError, PredictionError
+
+
+@pytest.fixture
+def flow():
+    return ControlFlow(["A", "B", "C"])
+
+
+def quantities(flow, sem_frac):
+    loop = {
+        k: MeasuredQuantity(mean, sem_frac * mean)
+        for k, mean in zip(flow.names, (1.0, 2.0, 3.0))
+    }
+    chains = {
+        w: MeasuredQuantity(
+            0.8 * sum(loop[k].mean for k in w),
+            sem_frac * 0.8 * sum(loop[k].mean for k in w),
+        )
+        for w in flow.windows(2)
+    }
+    return loop, chains
+
+
+class TestMeasuredQuantity:
+    def test_from_measurement(self):
+        from repro.instrument.runner import Measurement
+
+        m = Measurement(
+            benchmark="BT",
+            problem_class="S",
+            nprocs=4,
+            kernels=("A",),
+            samples=(1.0, 1.2, 0.8, 1.0),
+            overhead=0.0,
+        )
+        q = MeasuredQuantity.from_measurement(m)
+        assert q.mean == pytest.approx(1.0)
+        assert q.sem > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MeasuredQuantity(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            MeasuredQuantity(1.0, -0.1)
+
+
+class TestInterval:
+    def test_zero_noise_is_point_estimate(self, flow):
+        loop, chains = quantities(flow, sem_frac=0.0)
+        interval = prediction_interval(flow, 10, loop, chains, 2, draws=50)
+        exact = CouplingPredictor(2).predict(
+            PredictionInputs(
+                flow=flow,
+                iterations=10,
+                loop_times={k: q.mean for k, q in loop.items()},
+                chain_times={w: q.mean for w, q in chains.items()},
+            )
+        )
+        assert interval.std == pytest.approx(0.0, abs=1e-12)
+        assert interval.mean == pytest.approx(exact)
+        assert interval.contains(exact)
+
+    def test_interval_widens_with_noise(self, flow):
+        narrow = prediction_interval(
+            flow, 10, *quantities(flow, 0.01), 2, draws=300, seed=1
+        )
+        wide = prediction_interval(
+            flow, 10, *quantities(flow, 0.10), 2, draws=300, seed=1
+        )
+        assert wide.relative_halfwidth > narrow.relative_halfwidth
+
+    def test_seeded_reproducibility(self, flow):
+        a = prediction_interval(flow, 10, *quantities(flow, 0.05), 2, seed=3)
+        b = prediction_interval(flow, 10, *quantities(flow, 0.05), 2, seed=3)
+        assert a == b
+
+    def test_interval_covers_noiseless_truth(self, flow):
+        loop, chains = quantities(flow, 0.05)
+        truth = CouplingPredictor(2).predict(
+            PredictionInputs(
+                flow=flow,
+                iterations=10,
+                loop_times={k: q.mean for k, q in loop.items()},
+                chain_times={w: q.mean for w, q in chains.items()},
+            )
+        )
+        interval = prediction_interval(flow, 10, loop, chains, 2, draws=500, seed=7)
+        assert interval.contains(truth)
+
+    def test_pre_post_included(self, flow):
+        loop, chains = quantities(flow, 0.0)
+        interval = prediction_interval(
+            flow,
+            1,
+            loop,
+            chains,
+            2,
+            pre={"INIT": MeasuredQuantity(100.0, 0.0)},
+            draws=20,
+        )
+        assert interval.mean > 100.0
+
+    def test_minimum_draws_enforced(self, flow):
+        loop, chains = quantities(flow, 0.01)
+        with pytest.raises(PredictionError):
+            prediction_interval(flow, 10, loop, chains, 2, draws=5)
+
+    def test_class_s_magnification(self):
+        """Smaller absolute times with the same absolute noise floor give
+        relatively wider intervals — the paper's class-S observation."""
+        flow = ControlFlow(["A", "B"])
+
+        def build(scale):
+            loop = {
+                "A": MeasuredQuantity(scale, 0.01),
+                "B": MeasuredQuantity(scale, 0.01),
+            }
+            chains = {
+                w: MeasuredQuantity(0.9 * 2 * scale, 0.01)
+                for w in flow.windows(2)
+            }
+            return prediction_interval(flow, 10, loop, chains, 2, draws=300, seed=5)
+
+        small = build(scale=0.1)   # class-S-like
+        large = build(scale=10.0)  # class-A-like
+        assert small.relative_halfwidth > large.relative_halfwidth

@@ -1,0 +1,40 @@
+"""Extension experiment drivers (the fast ones; the rest run as benchmarks)."""
+
+import pytest
+
+from repro.experiments import ExperimentPipeline, ExperimentSettings, run_experiment
+from repro.instrument import MeasurementConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(
+        ExperimentSettings(
+            measurement=MeasurementConfig(repetitions=3, warmup=1)
+        )
+    )
+
+
+class TestMissCoupling:
+    def test_both_metrics_constructive(self, pipeline):
+        result = run_experiment("ext_miss_coupling", pipeline=pipeline)
+        for _pair, time_c, miss_c in result.table.rows:
+            assert 0 < miss_c < time_c < 1.0
+
+    def test_table_covers_all_pairs(self, pipeline):
+        result = run_experiment("ext_miss_coupling", pipeline=pipeline)
+        assert len(result.table.rows) == 5
+
+
+class TestComposition:
+    def test_equations_rendered(self, pipeline):
+        result = run_experiment("ext_composition", pipeline=pipeline)
+        for _config, equation in result.table.rows:
+            assert equation.startswith("T = T_pre + ")
+            assert "*E_" in equation
+
+    def test_evaluation_close_to_actual(self, pipeline):
+        result = run_experiment("ext_composition", pipeline=pipeline)
+        for obs in result.observations:
+            percent = float(obs.rsplit("within ", 1)[1].split(" %")[0])
+            assert percent < 5.0

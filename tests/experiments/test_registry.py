@@ -1,0 +1,117 @@
+"""Experiment registry and paper reference data."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    PAPER_TABLES,
+    ExperimentPipeline,
+    ExperimentSettings,
+    run_experiment,
+)
+from repro.instrument import MeasurementConfig
+
+# Importing the drivers populates the registry.
+import repro.experiments.bt_tables  # noqa: F401
+import repro.experiments.cross_machine  # noqa: F401
+import repro.experiments.extensions  # noqa: F401
+import repro.experiments.extrapolation_exp  # noqa: F401
+import repro.experiments.lu_tables  # noqa: F401
+import repro.experiments.scaling_exp  # noqa: F401
+import repro.experiments.sp_tables  # noqa: F401
+
+ALL_TABLE_IDS = {
+    "table1", "table2a", "table2b", "table3a", "table3b", "table4a",
+    "table4b", "table5", "table6a", "table6b", "table6c", "table7",
+    "table8a", "table8b", "table8c", "scaling",
+}
+
+EXTENSION_IDS = {
+    "ext_best_chain",
+    "ext_miss_coupling",
+    "ext_composition",
+    "ext_cross_machine",
+    "ext_extrapolation",
+}
+
+
+class TestRegistryCompleteness:
+    def test_every_paper_table_has_an_experiment(self):
+        assert set(EXPERIMENTS) == ALL_TABLE_IDS | EXTENSION_IDS
+
+    def test_every_paper_experiment_has_paper_reference(self):
+        assert set(PAPER_TABLES) == ALL_TABLE_IDS
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("table42")
+
+
+class TestPaperData:
+    def test_error_rows_align_with_proc_counts(self):
+        for table in PAPER_TABLES.values():
+            for row in table.errors.values():
+                assert len(row) == len(table.proc_counts)
+
+    def test_paper_coupling_beats_summation_in_big_tables(self):
+        """Sanity on the transcribed numbers themselves."""
+        for tid in ("table3b", "table4b", "table6a", "table6b", "table8b"):
+            table = PAPER_TABLES[tid]
+            summ = table.errors["Summation"]
+            for name, row in table.errors.items():
+                if name == "Summation":
+                    continue
+                assert sum(row) / len(row) < sum(summ) / len(summ)
+
+    def test_averages_match_rows(self):
+        """The prose averages must equal the mean of the table rows —
+        except where the paper itself is internally inconsistent, which
+        the reference data documents via notes."""
+        for table in PAPER_TABLES.values():
+            for name, avg in table.average_errors.items():
+                row = table.errors[name]
+                mean = sum(row) / len(row)
+                if mean != pytest.approx(avg, abs=0.02):
+                    assert any("inconsistency" in n for n in table.notes), (
+                        table.table_id,
+                        name,
+                    )
+
+
+class TestDatasetExperiments:
+    @pytest.mark.parametrize(
+        "tid,expected",
+        [
+            ("table1", ["S", "W", "A"]),
+            ("table5", ["W", "A", "B"]),
+            ("table7", ["W", "A", "B"]),
+        ],
+    )
+    def test_dataset_tables(self, tid, expected):
+        result = run_experiment(tid)
+        assert result.table.row_labels() == expected
+
+
+class TestSmallRun:
+    def test_table2a_and_2b_share_measurements(self):
+        settings = ExperimentSettings(
+            measurement=MeasurementConfig(repetitions=2, warmup=1)
+        )
+        pipeline = ExperimentPipeline(settings)
+        r2a = run_experiment("table2a", pipeline=pipeline)
+        r2b = run_experiment("table2b", pipeline=pipeline)
+        assert len(r2a.table.rows) == 5  # five kernel pairs
+        assert r2b.table.row_labels() == [
+            "Actual", "Summation", "Coupling: 2 kernels",
+        ]
+        assert "Coupling: 2 kernels" in r2b.measured_errors
+
+    def test_comparison_text_mentions_paper(self):
+        settings = ExperimentSettings(
+            measurement=MeasurementConfig(repetitions=2, warmup=1)
+        )
+        result = run_experiment("table2b", pipeline=ExperimentPipeline(settings))
+        text = result.comparison()
+        assert "paper" in text
+        assert "measured errors" in text

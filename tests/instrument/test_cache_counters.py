@@ -1,0 +1,69 @@
+"""Cache-miss counters and the cache-miss coupling metric."""
+
+import pytest
+
+from repro.core import ControlFlow, CouplingSet
+from repro.core.metrics import Metric
+from repro.errors import MeasurementError
+from repro.instrument import ChainRunner, MeasurementConfig, cache_report
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+@pytest.fixture(scope="module")
+def runner():
+    bench = make_benchmark("BT", "S", 4)
+    return ChainRunner(
+        bench, ibm_sp_argonne(), MeasurementConfig(repetitions=3, warmup=1)
+    )
+
+
+class TestCacheReport:
+    def test_aggregates_chain_kernels(self, runner):
+        m = runner.measure(("X_SOLVE", "Y_SOLVE"))
+        report = cache_report(m)
+        assert report.kernels == ("X_SOLVE", "Y_SOLVE")
+        assert report.bytes_touched > 0
+        assert 0.0 <= report.miss_ratio <= 1.0
+
+    def test_subset_selection(self, runner):
+        m = runner.measure(("X_SOLVE", "Y_SOLVE"))
+        sub = cache_report(m, ["Y_SOLVE"])
+        full = cache_report(m)
+        assert sub.bytes_touched < full.bytes_touched
+
+    def test_unknown_kernel_rejected(self, runner):
+        m = runner.measure(("ADD",))
+        with pytest.raises(MeasurementError):
+            cache_report(m, ["X_SOLVE"])
+
+    def test_chain_misses_fewer_than_isolated(self, runner):
+        """Cache-miss coupling: the pair misses less than isolated runs."""
+        x = cache_report(runner.measure(("X_SOLVE",)))
+        y = cache_report(runner.measure(("Y_SOLVE",)))
+        xy = cache_report(runner.measure(("X_SOLVE", "Y_SOLVE")))
+        assert xy.bytes_from_memory < x.bytes_from_memory + y.bytes_from_memory
+
+
+class TestCacheMissCouplingMetric:
+    def test_coupling_set_over_misses(self, runner):
+        """§2: the formulation applies to cache misses (additive metric)."""
+        bench = runner.benchmark
+        flow = ControlFlow(bench.loop_kernel_names)
+        isolated = {
+            k: float(
+                cache_report(runner.measure((k,))).bytes_from_memory
+            )
+            for k in flow.names
+        }
+        chains = {
+            w: float(cache_report(runner.measure(w)).bytes_from_memory)
+            for w in flow.windows(2)
+        }
+        cs = CouplingSet.from_performances(
+            flow, 2, chains, isolated, metric=Metric.CACHE_MISSES
+        )
+        values = list(cs.values().values())
+        assert all(v > 0 for v in values)
+        # The solve chain shares its whole working set: strongly constructive.
+        assert cs[("X_SOLVE", "Y_SOLVE")].value < 0.95

@@ -1,0 +1,80 @@
+"""Prophesy-like performance database."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.instrument import ChainRunner, MeasurementConfig, PerformanceDatabase
+from repro.instrument.runner import Measurement
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+def meas(kernels=("A",), samples=(1.0, 1.1), cls="S", nprocs=4):
+    return Measurement(
+        benchmark="BT",
+        problem_class=cls,
+        nprocs=nprocs,
+        kernels=tuple(kernels),
+        samples=tuple(samples),
+        overhead=0.01,
+    )
+
+
+class TestStoreAndGet:
+    def test_roundtrip(self):
+        with PerformanceDatabase() as db:
+            original = meas()
+            db.store(original)
+            loaded = db.get("BT", "S", 4, ("A",))
+            assert loaded.samples == original.samples
+            assert loaded.overhead == original.overhead
+            assert loaded.mean == pytest.approx(original.mean)
+
+    def test_missing_returns_none(self):
+        with PerformanceDatabase() as db:
+            assert db.get("BT", "S", 4, ("A",)) is None
+
+    def test_duplicate_rejected(self):
+        with PerformanceDatabase() as db:
+            db.store(meas())
+            with pytest.raises(MeasurementError, match="already stored"):
+                db.store(meas())
+
+    def test_replace_allowed(self):
+        with PerformanceDatabase() as db:
+            db.store(meas(samples=(1.0,)))
+            db.store(meas(samples=(2.0,)), replace=True)
+            assert db.get("BT", "S", 4, ("A",)).samples == (2.0,)
+
+    def test_key_includes_chain_order(self):
+        with PerformanceDatabase() as db:
+            db.store(meas(kernels=("A", "B")))
+            db.store(meas(kernels=("B", "A")))
+            assert len(db) == 2
+
+    def test_iteration_in_insert_order(self):
+        with PerformanceDatabase() as db:
+            db.store(meas(kernels=("A",)))
+            db.store(meas(kernels=("B",)))
+            assert [m.kernels for m in db] == [("A",), ("B",)]
+
+    def test_persists_to_file(self, tmp_path):
+        path = str(tmp_path / "perf.sqlite")
+        with PerformanceDatabase(path) as db:
+            db.store(meas())
+        with PerformanceDatabase(path) as db2:
+            assert len(db2) == 1
+            assert db2.get("BT", "S", 4, ("A",)) is not None
+
+
+class TestMemoization:
+    def test_get_or_measure_runs_once(self):
+        bench = make_benchmark("BT", "S", 4)
+        runner = ChainRunner(
+            bench, ibm_sp_argonne(), MeasurementConfig(repetitions=2)
+        )
+        with PerformanceDatabase() as db:
+            first = db.get_or_measure(runner, ("ADD",))
+            second = db.get_or_measure(runner, ("ADD",))
+            assert first.samples == second.samples
+            assert len(db) == 1

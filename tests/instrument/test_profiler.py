@@ -1,0 +1,43 @@
+"""Application profiler."""
+
+import pytest
+
+from repro.instrument import profile_application
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+@pytest.fixture(scope="module")
+def report():
+    bench = make_benchmark("BT", "S", 4)
+    return profile_application(bench, ibm_sp_argonne())
+
+
+class TestProfile:
+    def test_covers_all_kernels(self, report):
+        bench_kernels = make_benchmark("BT", "S", 4).kernel_names()
+        assert set(report.kernels) == set(bench_kernels)
+
+    def test_solves_dominate_bt(self, report):
+        dominant = report.dominant_kernel()
+        assert dominant in ("X_SOLVE", "Y_SOLVE", "Z_SOLVE", "COPY_FACES")
+
+    def test_fractions_bounded(self, report):
+        for prof in report.kernels.values():
+            assert 0.0 <= prof.wait_fraction <= 1.0
+            assert 0.0 <= prof.miss_ratio <= 1.0
+
+    def test_total_time_consistent(self, report):
+        for prof in report.kernels.values():
+            assert prof.total_time == pytest.approx(
+                prof.compute_time + prof.memory_time + prof.wait_time
+            )
+
+    def test_render_mentions_every_kernel(self, report):
+        text = report.render()
+        for kernel in report.kernels:
+            assert kernel in text
+
+    def test_communicating_kernels_show_waits(self, report):
+        assert report.kernels["COPY_FACES"].wait_time > 0
+        assert report.kernels["Z_SOLVE"].wait_time == 0

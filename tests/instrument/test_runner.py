@@ -1,0 +1,181 @@
+"""Measurement harness: the paper's isolation protocol."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.instrument import ApplicationRunner, ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+@pytest.fixture(scope="module")
+def machine_config():
+    return ibm_sp_argonne()
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return make_benchmark("BT", "S", 4)
+
+
+@pytest.fixture(scope="module")
+def runner(bench, machine_config):
+    return ChainRunner(
+        bench, machine_config, MeasurementConfig(repetitions=3, warmup=1)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(repetitions=0)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(warmup=-1)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(isolated_context="bogus")
+
+    def test_context_for_dispatch(self):
+        cfg = MeasurementConfig(isolated_context="flush", chain_context="none")
+        assert cfg.context_for(("A",)) == "flush"
+        assert cfg.context_for(("A", "B")) == "none"
+
+
+class TestMeasure:
+    def test_samples_match_repetitions(self, runner):
+        m = runner.measure(("ADD",))
+        assert len(m.samples) == 3
+        assert m.mean > 0
+
+    def test_overhead_subtracted(self, runner):
+        m = runner.measure(("ADD",))
+        assert m.overhead > 0
+        # Raw per-iteration time must exceed the subtracted value.
+        assert all(s >= 0 for s in m.samples)
+
+    def test_overhead_cached(self, bench, machine_config):
+        runner = ChainRunner(
+            bench, machine_config, MeasurementConfig(repetitions=2)
+        )
+        first = runner.measure_overhead()
+        assert runner.measure_overhead() == first
+
+    def test_chain_measurement_includes_all_kernels(self, runner):
+        m = runner.measure(("X_SOLVE", "Y_SOLVE"))
+        assert m.kernels == ("X_SOLVE", "Y_SOLVE")
+        assert "X_SOLVE" in m.counters and "Y_SOLVE" in m.counters
+
+    def test_empty_chain_rejected(self, runner):
+        with pytest.raises(MeasurementError):
+            runner.measure(())
+
+    def test_unknown_kernel_rejected(self, runner):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            runner.measure(("NOPE",))
+
+    def test_measure_all_isolated(self, runner, bench):
+        out = runner.measure_all_isolated(bench.loop_kernel_names)
+        assert set(out) == set(bench.loop_kernel_names)
+
+    def test_measure_windows(self, runner, bench):
+        from repro.core import ControlFlow
+
+        flow = ControlFlow(bench.loop_kernel_names)
+        out = runner.measure_windows(flow.windows(2))
+        assert len(out) == 5
+
+
+class TestProtocolSemantics:
+    def test_chain_time_below_isolated_sum(self, runner):
+        """On this machine the solve pair is constructively coupled."""
+        x = runner.measure(("X_SOLVE",)).mean
+        y = runner.measure(("Y_SOLVE",)).mean
+        xy = runner.measure(("X_SOLVE", "Y_SOLVE")).mean
+        assert xy < x + y
+
+    def test_replay_context_collapses_couplings(self, bench, machine_config):
+        """Ablation: symmetric in-app context on both isolated and chain
+        measurements makes C ~ 1 (no observable coupling)."""
+        cfg = MeasurementConfig(
+            repetitions=3,
+            warmup=1,
+            isolated_context="replay",
+            chain_context="replay",
+        )
+        runner = ChainRunner(bench, machine_config, cfg)
+        x = runner.measure(("X_SOLVE",)).mean
+        y = runner.measure(("Y_SOLVE",)).mean
+        xy = runner.measure(("X_SOLVE", "Y_SOLVE")).mean
+        assert xy / (x + y) == pytest.approx(1.0, abs=0.06)
+
+    def test_flush_colder_than_replay(self, bench, machine_config):
+        flush = ChainRunner(
+            bench,
+            machine_config,
+            MeasurementConfig(repetitions=3, isolated_context="flush"),
+        ).measure(("X_SOLVE",)).mean
+        replay = ChainRunner(
+            bench,
+            machine_config,
+            MeasurementConfig(repetitions=3, isolated_context="replay"),
+        ).measure(("X_SOLVE",)).mean
+        assert flush >= replay
+
+    def test_context_kernels_are_flow_complement(self, runner):
+        ctx = runner._context_kernels(("X_SOLVE", "Y_SOLVE"))
+        assert ctx == ["Z_SOLVE", "ADD", "COPY_FACES"]
+        ctx = runner._context_kernels(("ADD", "COPY_FACES"))
+        assert ctx == ["X_SOLVE", "Y_SOLVE", "Z_SOLVE"]
+
+    def test_context_for_pre_kernel_is_empty(self, runner):
+        assert runner._context_kernels(("INITIALIZATION",)) == []
+
+    def test_context_for_post_kernel_is_whole_loop(self, runner, bench):
+        assert runner._context_kernels(("FINAL",)) == list(
+            bench.loop_kernel_names
+        )
+
+    def test_non_window_chain_rejected(self, runner):
+        with pytest.raises(MeasurementError, match="contiguous window"):
+            runner._context_kernels(("X_SOLVE", "ADD"))
+
+
+class TestApplicationRunner:
+    def test_full_run_class_s(self, bench, machine_config):
+        result = ApplicationRunner(bench, machine_config).run()
+        assert not result.extrapolated  # 60 iterations -> full run
+        assert result.total_time == pytest.approx(
+            result.pre_time + result.loop_time + result.post_time
+        )
+        assert result.iterations == 60
+
+    def test_extrapolated_run(self, machine_config):
+        bench = make_benchmark("BT", "W", 4)
+        runner = ApplicationRunner(
+            bench, machine_config, warmup_iterations=1, measured_iterations=3
+        )
+        result = runner.run()
+        assert result.extrapolated
+        assert result.measured_iterations == 4
+        assert result.iterations == 200
+        assert result.per_iteration > 0
+
+    def test_forced_full_run(self, machine_config):
+        bench = make_benchmark("BT", "S", 4)
+        result = ApplicationRunner(bench, machine_config).run(extrapolate=False)
+        assert not result.extrapolated
+
+    def test_counters_present(self, bench, machine_config):
+        result = ApplicationRunner(bench, machine_config).run()
+        assert "X_SOLVE" in result.counters
+        assert result.counters["X_SOLVE"].flops > 0
+
+    def test_extrapolation_never_exceeds_iterations(self, machine_config):
+        bench = make_benchmark("BT", "S", 4)  # 60 iterations
+        runner = ApplicationRunner(
+            bench, machine_config, warmup_iterations=50, measured_iterations=50
+        )
+        result = runner.run(extrapolate=True)
+        # 100 simulated > 60 total: falls back to a full run.
+        assert not result.extrapolated

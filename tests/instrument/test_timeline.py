@@ -1,0 +1,62 @@
+"""Text timeline rendering from traces."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.instrument import render_timeline
+from repro.npb import make_benchmark
+from repro.simmachine import Machine, ibm_sp_argonne
+from repro.simmpi import attach_world
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    bench = make_benchmark("BT", "S", 4)
+    machine = Machine(
+        ibm_sp_argonne().with_(noise_cv=0.0, noise_floor=0.0),
+        4,
+        trace=True,
+    )
+    attach_world(machine)
+
+    def program(ctx):
+        for kernel in bench.loop_kernel_names:
+            yield from bench.kernel(kernel)(ctx)
+
+    machine.run(program)
+    return machine
+
+
+class TestRenderTimeline:
+    def test_one_row_per_rank(self, traced_run):
+        text = render_timeline(traced_run.trace, 4, width=40)
+        rows = [l for l in text.splitlines() if l.startswith("rank")]
+        assert len(rows) == 4
+
+    def test_rows_have_requested_width(self, traced_run):
+        text = render_timeline(traced_run.trace, 4, width=40, legend=False)
+        for line in text.splitlines():
+            assert len(line.split("|")[1]) == 40
+
+    def test_kernel_initials_appear_in_order(self, traced_run):
+        text = render_timeline(traced_run.trace, 4, width=60, legend=False)
+        row = text.splitlines()[0].split("|")[1]
+        # COPY_FACES then X/Y/Z solves then ADD: C before X before A.
+        assert row.index("C") < row.index("X")
+        compact = [c for i, c in enumerate(row) if i == 0 or c != row[i - 1]]
+        assert compact[0] == "C"
+
+    def test_legend_lists_labels(self, traced_run):
+        text = render_timeline(traced_run.trace, 4, width=40)
+        assert "legend:" in text
+        assert "C=COPY_FACES" in text
+
+    def test_untraced_run_rejected(self):
+        from repro.simmachine.trace import Trace
+
+        with pytest.raises(MeasurementError, match="no phase records"):
+            render_timeline(Trace(), 2)
+
+    def test_width_validated(self, traced_run):
+        with pytest.raises(MeasurementError):
+            render_timeline(traced_run.trace, 4, width=5)

@@ -1,0 +1,117 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "table3b", "--seed", "5"])
+        assert args.experiment == "table3b"
+        assert args.seed == 5
+
+    def test_predict_arguments(self):
+        args = build_parser().parse_args(["predict", "BT", "W", "9", "-L", "4"])
+        assert args.chain_length == 4
+        assert args.nprocs == 9
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("table2b", "table6a", "table8c", "scaling"):
+            assert exp_id in out
+
+    def test_machine(self, capsys):
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "ibm-sp-argonne" in out
+        assert "120 MHz" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "BT", "S", "4", "-L", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Actual:" in out
+        assert "Summation:" in out
+        assert "Best predictor:" in out
+
+    def test_run_dataset_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "12 x 12 x 12" in out
+        assert "paper note" in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "table99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_small_table_with_low_repetitions(self, capsys):
+        assert main(["run", "table2b", "--repetitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Coupling: 2 kernels" in out
+        assert "Actual" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "BT", "S", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "X_SOLVE" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestSweepCommand:
+    def test_sweep_prints_predictions(self, capsys, tmp_path):
+        db = str(tmp_path / "sweep.sqlite")
+        assert main(
+            [
+                "sweep", "BT",
+                "--classes", "S",
+                "--procs", "1,4",
+                "--repetitions", "2",
+                "--db", db,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "summation" in out and "coupling L=2" in out
+        assert "24 run, 0 reused" in out
+
+    def test_sweep_memoizes_across_invocations(self, capsys, tmp_path):
+        db = str(tmp_path / "sweep.sqlite")
+        args = [
+            "sweep", "BT", "--classes", "S", "--procs", "4",
+            "--repetitions", "2", "--db", db,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "0 run, 12 reused" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, capsys, tmp_path, monkeypatch):
+        # Restrict to the cheap dataset tables via the generator directly;
+        # the CLI path is exercised with a tiny repetition count.
+        from repro.experiments import ExperimentPipeline, ExperimentSettings
+        from repro.experiments.reportgen import generate_markdown
+        from repro.instrument import MeasurementConfig
+
+        text = generate_markdown(
+            ExperimentPipeline(
+                ExperimentSettings(
+                    measurement=MeasurementConfig(repetitions=2, warmup=1)
+                )
+            ),
+            experiment_ids=["table1", "table5", "table7"],
+        )
+        assert text.startswith("# EXPERIMENTS")
+        assert "## table1" in text and "## table7" in text
+        assert "12 x 12 x 12" in text

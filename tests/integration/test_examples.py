@@ -1,0 +1,48 @@
+"""Every example script must run cleanly end-to-end.
+
+Examples are the adoption surface; this smoke suite keeps them from
+rotting. Each script is executed in-process (import + ``main()``) so test
+coverage includes them and failures give real tracebacks.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED = {
+    "quickstart.py",
+    "bt_class_w_tables.py",
+    "coupling_scaling_study.py",
+    "custom_application.py",
+    "lu_latency_sensitivity.py",
+    "coupling_reuse.py",
+    "host_couplings.py",
+    "measurement_campaign.py",
+}
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_example_inventory_is_current():
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert found == EXPECTED, (
+        "examples changed on disk; update EXPECTED (and the README table)"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script, capsys):
+    module = load_module(EXAMPLES_DIR / script)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"

@@ -1,0 +1,94 @@
+"""On an interaction-free machine the whole methodology must be exact.
+
+The linear test machine has no contention, no noise, and an effectively
+infinite cache, so kernels cannot interact: ``P_ij = P_i + P_j`` must hold,
+every coupling must be 1, and both predictors must agree with the actual
+execution time. These tests pin the algebra to its analytic fixed point.
+"""
+
+import pytest
+
+from repro.core import ControlFlow, CouplingPredictor, PredictionInputs, SummationPredictor
+from repro.instrument import ApplicationRunner, ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine import linear_test_machine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = linear_test_machine()
+    bench = make_benchmark("BT", "S", 4)
+    runner = ChainRunner(
+        bench,
+        config,
+        MeasurementConfig(repetitions=2, warmup=1, isolated_context="none",
+                          chain_context="none"),
+    )
+    return config, bench, runner
+
+
+class TestNoInteraction:
+    def test_pair_time_is_sum_of_isolated(self, setup):
+        _, bench, runner = setup
+        x = runner.measure(("X_SOLVE",)).mean
+        y = runner.measure(("Y_SOLVE",)).mean
+        xy = runner.measure(("X_SOLVE", "Y_SOLVE")).mean
+        assert xy == pytest.approx(x + y, rel=1e-6)
+
+    def test_all_pair_couplings_are_one(self, setup):
+        _, bench, runner = setup
+        flow = ControlFlow(bench.loop_kernel_names)
+        isolated = {
+            k: m.mean for k, m in runner.measure_all_isolated(flow.names).items()
+        }
+        for window in flow.windows(2):
+            chain = runner.measure(window).mean
+            coupling = chain / sum(isolated[k] for k in window)
+            assert coupling == pytest.approx(1.0, rel=1e-6)
+
+    def test_chain_of_all_kernels_is_sum(self, setup):
+        _, bench, runner = setup
+        flow = ControlFlow(bench.loop_kernel_names)
+        isolated = {
+            k: m.mean for k, m in runner.measure_all_isolated(flow.names).items()
+        }
+        full = runner.measure(flow.names).mean
+        assert full == pytest.approx(sum(isolated.values()), rel=1e-6)
+
+
+class TestPredictionsExact:
+    def test_summation_matches_actual(self, setup):
+        config, bench, runner = setup
+        flow = ControlFlow(bench.loop_kernel_names)
+        isolated = {
+            k: m.mean for k, m in runner.measure_all_isolated(flow.names).items()
+        }
+        pre = {k: runner.measure((k,)).mean for k in bench.pre_kernel_names}
+        post = {k: runner.measure((k,)).mean for k in bench.post_kernel_names}
+        inputs = PredictionInputs(
+            flow=flow,
+            iterations=bench.iterations,
+            loop_times=isolated,
+            pre_times=pre,
+            post_times=post,
+        )
+        actual = ApplicationRunner(bench, config).run().total_time
+        predicted = SummationPredictor().predict(inputs)
+        assert predicted == pytest.approx(actual, rel=0.01)
+
+    def test_coupling_equals_summation(self, setup):
+        config, bench, runner = setup
+        flow = ControlFlow(bench.loop_kernel_names)
+        isolated = {
+            k: m.mean for k, m in runner.measure_all_isolated(flow.names).items()
+        }
+        chains = {w: runner.measure(w).mean for w in flow.windows(2)}
+        inputs = PredictionInputs(
+            flow=flow,
+            iterations=bench.iterations,
+            loop_times=isolated,
+            chain_times=chains,
+        )
+        assert CouplingPredictor(2).predict(inputs) == pytest.approx(
+            SummationPredictor().predict(inputs), rel=1e-6
+        )

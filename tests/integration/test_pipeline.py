@@ -1,0 +1,126 @@
+"""End-to-end reproduction properties on the simulated IBM SP.
+
+These are the headline assertions: the coupling predictor beats summation
+the way the paper reports, the extrapolated application runner agrees with
+full runs, and everything is deterministic for a fixed seed.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentPipeline, ExperimentSettings
+from repro.instrument import ApplicationRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.simmachine import ibm_sp_argonne
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ExperimentPipeline(
+        ExperimentSettings(
+            measurement=MeasurementConfig(repetitions=4, warmup=2, seed=0)
+        )
+    )
+
+
+class TestCouplingBeatsSummation:
+    """The paper's core result, on small configurations of each code."""
+
+    @pytest.mark.parametrize(
+        "name,cls,procs,length",
+        [
+            ("BT", "S", 4, 2),
+            ("BT", "W", 4, 3),
+            ("SP", "W", 4, 4),
+            ("LU", "W", 4, 3),
+        ],
+    )
+    def test_coupling_more_accurate(self, pipeline, name, cls, procs, length):
+        result = pipeline.config_result(name, cls, procs, (length,))
+        summ_err = abs(result.summation - result.actual) / result.actual
+        coup_err = abs(
+            result.coupling_prediction(length) - result.actual
+        ) / result.actual
+        assert coup_err < summ_err
+        assert coup_err < 0.05  # within a few percent, as in the paper
+
+    def test_summation_overestimates_constructive_workload(self, pipeline):
+        """Constructive coupling => actual < summation (§4.1.2)."""
+        result = pipeline.config_result("BT", "W", 4, (3,))
+        assert result.summation > result.actual
+
+    def test_bt_w_couplings_constructive(self, pipeline):
+        result = pipeline.config_result("BT", "W", 4, (3,))
+        values = result.coupling_values(3)
+        assert all(v < 1.0 for v in values.values())
+
+
+class TestExtrapolationEquivalence:
+    def test_extrapolated_total_close_to_full_run(self):
+        """The experiment drivers' extrapolation must track full runs."""
+        config = ibm_sp_argonne()
+        bench = make_benchmark("BT", "S", 4)  # 60 iterations: cheap full run
+        full = ApplicationRunner(bench, config, seed=7).run(extrapolate=False)
+        extra = ApplicationRunner(
+            bench, config, seed=7, warmup_iterations=2, measured_iterations=6
+        ).run(extrapolate=True)
+        assert extra.extrapolated
+        assert extra.total_time == pytest.approx(full.total_time, rel=0.05)
+
+
+class TestDeterminism:
+    def test_pipeline_reproducible(self):
+        settings = ExperimentSettings(
+            measurement=MeasurementConfig(repetitions=3, warmup=1, seed=11)
+        )
+        r1 = ExperimentPipeline(settings).config_result("BT", "S", 4, (2,))
+        r2 = ExperimentPipeline(settings).config_result("BT", "S", 4, (2,))
+        assert r1.actual == r2.actual
+        assert r1.summation == r2.summation
+        assert r1.coupling_prediction(2) == r2.coupling_prediction(2)
+
+    def test_seed_changes_measurements(self):
+        base = MeasurementConfig(repetitions=3, warmup=1, seed=1)
+        other = MeasurementConfig(repetitions=3, warmup=1, seed=2)
+        r1 = ExperimentPipeline(
+            ExperimentSettings(measurement=base)
+        ).config_result("BT", "S", 4)
+        r2 = ExperimentPipeline(
+            ExperimentSettings(measurement=other)
+        ).config_result("BT", "S", 4)
+        assert r1.inputs.loop_times != r2.inputs.loop_times
+
+
+class TestPipelineCaching:
+    def test_chain_measurements_accumulate(self, pipeline):
+        r2 = pipeline.config_result("BT", "S", 4, (2,))
+        count_after_pairs = len(r2.inputs.chain_times)
+        r3 = pipeline.config_result("BT", "S", 4, (2, 3))
+        assert len(r3.inputs.chain_times) == count_after_pairs + 5
+        # Pair measurements were reused, not remeasured (same object state).
+        for window in r2.flow.windows(2):
+            assert r3.inputs.chain_times[window] == r2.inputs.chain_times[window]
+
+    def test_invalid_chain_length_rejected(self, pipeline):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            pipeline.config_result("BT", "S", 4, (9,))
+
+
+class TestScalingRegimes:
+    """Coupling-value regimes across classes (paper §4.1.x observations)."""
+
+    def test_class_a_couplings_decrease_with_procs(self, pipeline):
+        few = pipeline.config_result("BT", "A", 4, (4,))
+        many = pipeline.config_result("BT", "A", 25, (4,))
+        avg_few = sum(few.coupling_values(4).values()) / 5
+        avg_many = sum(many.coupling_values(4).values()) / 5
+        assert avg_many < avg_few
+
+    def test_class_w_couplings_stable_with_procs(self, pipeline):
+        a = pipeline.config_result("BT", "W", 4, (3,))
+        b = pipeline.config_result("BT", "W", 16, (3,))
+        for window in a.flow.windows(3):
+            va = a.coupling_values(3)[window]
+            vb = b.coupling_values(3)[window]
+            assert abs(va - vb) / va < 0.12  # "changes very little"

@@ -1,0 +1,70 @@
+"""Engine vs closed-form wavefront schedule.
+
+Two completely independent implementations of the LU sweep's timing — the
+discrete-event engine executing the kernel, and a dynamic program over
+(rank, plane) completion times — must agree exactly on a deterministic,
+contention-free machine. This pins down the engine's message timing,
+blocking-send semantics and NIC serialization in one shot.
+"""
+
+import pytest
+
+from repro.npb import make_benchmark
+from repro.simmachine import Machine, ibm_sp_argonne
+from repro.simmachine.wavefront import analytic_sweep_makespan
+from repro.simmpi import attach_world
+from repro.errors import ConfigurationError
+
+
+def quiet_machine_config():
+    base = ibm_sp_argonne().with_(noise_cv=0.0, noise_floor=0.0)
+    return base.with_(
+        network=base.network.__class__(
+            **{**base.network.__dict__, "contention_coeff": 0.0, "drain_window": 0.0}
+        )
+    )
+
+
+def engine_sweep_time(bench, config, kernel):
+    machine = Machine(config, bench.nprocs, seed=0)
+    attach_world(machine)
+
+    def program(ctx):
+        yield from bench.kernel(kernel)(ctx)
+
+    return machine.run(program)
+
+
+@pytest.mark.parametrize(
+    "cls,procs",
+    [("S", 2), ("S", 4), ("W", 4), ("W", 8), ("A", 16)],
+)
+@pytest.mark.parametrize("kernel,lower", [("SSOR_LT", True), ("SSOR_UT", False)])
+def test_engine_matches_analytic_schedule(cls, procs, kernel, lower):
+    config = quiet_machine_config()
+    bench = make_benchmark("LU", cls, procs)
+    engine = engine_sweep_time(bench, config, kernel)
+    analytic = analytic_sweep_makespan(bench, config, lower=lower)
+    assert engine == pytest.approx(analytic, rel=1e-9)
+
+
+def test_single_rank_is_pure_compute_plus_memory():
+    """With one rank there is no communication at all."""
+    config = quiet_machine_config()
+    bench = make_benchmark("LU", "S", 1)
+    engine = engine_sweep_time(bench, config, "SSOR_LT")
+    analytic = analytic_sweep_makespan(bench, config, lower=True)
+    assert engine == pytest.approx(analytic, rel=1e-9)
+
+
+def test_analytic_requires_deterministic_machine():
+    bench = make_benchmark("LU", "S", 4)
+    with pytest.raises(ConfigurationError, match="noiseless"):
+        analytic_sweep_makespan(bench, ibm_sp_argonne())
+
+
+def test_analytic_requires_zero_contention():
+    bench = make_benchmark("LU", "S", 4)
+    config = ibm_sp_argonne().with_(noise_cv=0.0, noise_floor=0.0)
+    with pytest.raises(ConfigurationError, match="contention"):
+        analytic_sweep_makespan(bench, config)

@@ -1,0 +1,148 @@
+"""Benchmark base machinery: layouts, regions, kernel lookup."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb import BT, LU, SP, make_benchmark
+from repro.npb.base import Layout
+from repro.npb.classes import problem_size
+from repro.simmpi.topology import CartGrid
+
+
+class TestLayout:
+    def test_even_decomposition(self):
+        layout = Layout(problem_size("BT", "A"), CartGrid(2, 2))
+        assert layout.local_dims(0) == (32, 32, 64)
+        assert layout.local_points(0) == 32 * 32 * 64
+
+    def test_uneven_decomposition(self):
+        layout = Layout(problem_size("LU", "W"), CartGrid(2, 2))  # 33^3
+        dims = [layout.local_dims(r) for r in range(4)]
+        assert dims[0] == (17, 17, 33)
+        assert dims[3] == (16, 16, 33)
+        total = sum(layout.local_points(r) for r in range(4))
+        assert total == 33**3
+
+    def test_max_local_points(self):
+        layout = Layout(problem_size("LU", "W"), CartGrid(2, 2))
+        assert layout.max_local_points() == 17 * 17 * 33
+
+    def test_too_fine_grid_rejected(self):
+        with pytest.raises(ConfigurationError, match="too fine"):
+            Layout(problem_size("BT", "S"), CartGrid(13, 1))
+
+
+class TestFactory:
+    def test_make_benchmark_types(self):
+        assert isinstance(make_benchmark("BT", "S", 4), BT)
+        assert isinstance(make_benchmark("sp", "W", 4), SP)
+        assert isinstance(make_benchmark("lu", "W", 4), LU)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            make_benchmark("FT", "S", 4)
+
+    def test_bt_requires_square(self):
+        with pytest.raises(ConfigurationError, match="square"):
+            make_benchmark("BT", "S", 8)
+
+    def test_lu_requires_pow2(self):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            make_benchmark("LU", "W", 9)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name,count", [("BT", 7), ("SP", 8), ("LU", 10)])
+    def test_paper_kernel_counts(self, name, count):
+        """§4.1: 7 BT kernels; §4.2: 8 SP kernels; §4.3: 10 LU kernels."""
+        bench = make_benchmark(name, "S" if name != "SP" else "W", 4)
+        assert len(bench.kernel_names()) == count
+
+    def test_bt_loop_kernels_in_paper_order(self):
+        bench = make_benchmark("BT", "S", 4)
+        assert bench.loop_kernel_names == (
+            "COPY_FACES", "X_SOLVE", "Y_SOLVE", "Z_SOLVE", "ADD",
+        )
+
+    def test_sp_has_txinvr(self):
+        bench = make_benchmark("SP", "W", 4)
+        assert "TXINVR" in bench.loop_kernel_names
+
+    def test_lu_loop_kernels(self):
+        bench = make_benchmark("LU", "W", 4)
+        assert bench.loop_kernel_names == (
+            "SSOR_ITER", "SSOR_LT", "SSOR_UT", "SSOR_RS",
+        )
+
+    def test_unknown_kernel_rejected(self):
+        bench = make_benchmark("BT", "S", 4)
+        with pytest.raises(ConfigurationError, match="no kernel"):
+            bench.kernel("NOPE")
+
+    def test_kernel_fields_cover_all_kernels(self):
+        for name, cls in (("BT", "S"), ("SP", "W"), ("LU", "W")):
+            bench = make_benchmark(name, cls, 4)
+            fields = bench.kernel_fields()
+            for kernel in bench.kernel_names():
+                assert kernel in fields, (name, kernel)
+                for field in fields[kernel]:
+                    assert bench.region(0, field).nbytes > 0
+
+
+class TestRegions:
+    def test_region_sizes_scale_with_local_points(self):
+        bench4 = make_benchmark("BT", "A", 4)
+        bench16 = make_benchmark("BT", "A", 16)
+        assert bench4.region(0, "u").nbytes == 4 * bench16.region(0, "u").nbytes
+
+    def test_region_cached(self):
+        bench = make_benchmark("BT", "S", 4)
+        assert bench.region(0, "u") is bench.region(0, "u")
+
+    def test_unknown_field_rejected(self):
+        bench = make_benchmark("BT", "S", 4)
+        with pytest.raises(ConfigurationError, match="no field"):
+            bench.region(0, "bogus")
+
+    def test_footprint_sums_fields(self):
+        bench = make_benchmark("BT", "S", 4)
+        per_point = sum(bench.field_bytes_per_point().values())
+        assert bench.footprint_bytes(0) == per_point * bench.layout.local_points(0)
+
+    def test_lu_jac_region_is_plane_sized(self):
+        bench = make_benchmark("LU", "A", 4)
+        nx, ny, nz = bench.layout.local_dims(0)
+        jac = bench.region(0, "jac")
+        assert jac.nbytes == 100 * 8 * nx * ny  # no nz factor
+
+    def test_lu_footprint_uses_plane_sized_jac(self):
+        bench = make_benchmark("LU", "A", 4)
+        full = bench.footprint_bytes(0)
+        naive = sum(bench.field_bytes_per_point().values()) * bench.layout.local_points(0)
+        assert full < naive
+
+
+class TestWorkingSetRegimes:
+    """The capacity relationships the coupling transitions rely on."""
+
+    def test_class_w_fits_l2_but_not_l1(self):
+        from repro.simmachine import ibm_sp_argonne
+
+        proc = ibm_sp_argonne().processor
+        l1, l2 = (lv.capacity_bytes for lv in proc.cache_levels)
+        bench = make_benchmark("BT", "W", 4)
+        solve_bytes = sum(
+            bench.region(0, f).nbytes for f in ("u", "rhs", "lhs")
+        )
+        assert l1 < solve_bytes <= l2
+
+    def test_class_a_exceeds_l2_at_4_procs(self):
+        from repro.simmachine import ibm_sp_argonne
+
+        proc = ibm_sp_argonne().processor
+        l2 = proc.cache_levels[-1].capacity_bytes
+        bench = make_benchmark("BT", "A", 4)
+        solve_bytes = sum(
+            bench.region(0, f).nbytes for f in ("u", "rhs", "lhs")
+        )
+        assert solve_bytes > l2

@@ -1,0 +1,170 @@
+"""BT/SP/LU kernels executing on the simulated machine."""
+
+import pytest
+
+from repro.npb import make_benchmark
+from tests.conftest import make_machine
+
+
+def run_kernels(machine, bench, kernel_names, repeats=1):
+    """Run a kernel sequence on every rank; returns elapsed sim time."""
+
+    def program(ctx):
+        for _ in range(repeats):
+            for name in kernel_names:
+                yield from bench.kernel(name)(ctx)
+
+    return machine.run(program)
+
+
+@pytest.mark.parametrize(
+    "name,cls,procs",
+    [
+        ("BT", "S", 1),
+        ("BT", "S", 4),
+        ("BT", "S", 9),
+        ("SP", "S", 4),
+        ("SP", "W", 4),
+        ("LU", "S", 2),
+        ("LU", "S", 4),
+        ("LU", "W", 8),
+    ],
+)
+def test_full_kernel_sequence_completes(quiet_config, name, cls, procs):
+    """Every kernel runs deadlock-free at assorted sizes and proc counts."""
+    bench = make_benchmark(name, cls, procs)
+    machine = make_machine(quiet_config, procs)
+    elapsed = run_kernels(machine, bench, bench.kernel_names())
+    assert elapsed > 0
+    world = machine.contexts[0].comm.world
+    assert world.unmatched_messages() == 0
+
+
+class TestBT:
+    def test_each_loop_kernel_runs_alone(self, quiet_config):
+        bench = make_benchmark("BT", "S", 4)
+        for kernel in bench.loop_kernel_names:
+            machine = make_machine(quiet_config, 4)
+            assert run_kernels(machine, bench, [kernel]) > 0
+
+    def test_copy_faces_sends_to_all_neighbors(self, quiet_config):
+        bench = make_benchmark("BT", "S", 9)
+        machine = make_machine(quiet_config, 9)
+        run_kernels(machine, bench, ["COPY_FACES"])
+        # Center rank of the 3x3 grid has 4 neighbors.
+        center = bench.grid.rank_of(1, 1)
+        c = machine.contexts[center].counters["COPY_FACES"]
+        assert c.messages_sent == 4
+
+    def test_solve_kernels_communicate_only_when_decomposed(self, quiet_config):
+        bench = make_benchmark("BT", "S", 1)
+        machine = make_machine(quiet_config, 1)
+        run_kernels(machine, bench, ["X_SOLVE", "Y_SOLVE", "Z_SOLVE"])
+        for kernel in ("X_SOLVE", "Y_SOLVE", "Z_SOLVE"):
+            assert machine.counters_for(kernel).messages_sent == 0
+
+    def test_x_solve_stage_messages(self, quiet_config):
+        bench = make_benchmark("BT", "S", 4)  # 2x2 grid -> 2 stages
+        machine = make_machine(quiet_config, 4)
+        run_kernels(machine, bench, ["X_SOLVE"])
+        c = machine.contexts[0].counters["X_SOLVE"]
+        assert c.messages_sent == 2  # one boundary exchange per stage
+
+    def test_z_solve_is_local(self, quiet_config):
+        bench = make_benchmark("BT", "S", 4)
+        machine = make_machine(quiet_config, 4)
+        run_kernels(machine, bench, ["Z_SOLVE"])
+        assert machine.counters_for("Z_SOLVE").messages_sent == 0
+
+    def test_flop_attribution(self, quiet_config):
+        from repro.npb.workloads import BT_FLOPS_PER_POINT
+
+        bench = make_benchmark("BT", "S", 4)
+        machine = make_machine(quiet_config, 4)
+        run_kernels(machine, bench, ["ADD"])
+        expected = BT_FLOPS_PER_POINT["ADD"] * bench.size.points
+        assert machine.counters_for("ADD").flops == pytest.approx(expected)
+
+    def test_lhs_shared_between_solves(self):
+        bench = make_benchmark("BT", "S", 4)
+        assert bench.region(0, "lhs") is bench.region(0, "lhs")
+        fields = bench.kernel_fields()
+        assert "lhs" in fields["X_SOLVE"]
+        assert "lhs" in fields["Y_SOLVE"]
+        assert "lhs" in fields["Z_SOLVE"]
+
+
+class TestSP:
+    def test_txinvr_follows_copy_faces_sharing_rhs(self):
+        bench = make_benchmark("SP", "W", 4)
+        fields = bench.kernel_fields()
+        assert "rhs" in fields["COPY_FACES"]
+        assert "rhs" in fields["TXINVR"]
+
+    def test_loop_order_matches_paper(self):
+        bench = make_benchmark("SP", "W", 4)
+        assert bench.loop_kernel_names.index("TXINVR") == 1
+
+    def test_final_uses_allreduce(self, quiet_config):
+        bench = make_benchmark("SP", "W", 4)
+        machine = make_machine(quiet_config, 4)
+        run_kernels(machine, bench, ["FINAL"])
+        assert machine.counters_for("FINAL").messages_sent > 0
+
+
+class TestLU:
+    def test_sweep_pipelines_by_plane(self, quiet_config):
+        bench = make_benchmark("LU", "S", 4)  # 2x2 grid, nz=12
+        machine = make_machine(quiet_config, 4)
+        run_kernels(machine, bench, ["SSOR_LT"])
+        # Corner rank (0,0) sends one burst per plane to east and south.
+        c = machine.contexts[0].counters["SSOR_LT"]
+        nx, ny, nz = bench.layout.local_dims(0)
+        assert c.messages_sent == nz * 2  # two neighbor bursts per plane
+
+    def test_sweep_message_bytes_are_five_words_per_point(self, quiet_config):
+        bench = make_benchmark("LU", "S", 2)  # 2x1 grid: only x neighbor
+        machine = make_machine(quiet_config, 2)
+        run_kernels(machine, bench, ["SSOR_LT"])
+        c = machine.contexts[0].counters["SSOR_LT"]
+        nx, ny, nz = bench.layout.local_dims(0)
+        assert c.bytes_sent == nz * 40 * ny
+
+    def test_ut_sweeps_opposite_corner(self, quiet_config):
+        bench = make_benchmark("LU", "S", 4)
+        machine = make_machine(quiet_config, 4)
+        run_kernels(machine, bench, ["SSOR_UT"])
+        # Rank (1,1) (last corner) is the UT source: it sends, never waits
+        # on dependencies.
+        last = bench.grid.rank_of(1, 1)
+        c = machine.contexts[last].counters["SSOR_UT"]
+        nz = bench.layout.local_dims(last)[2]
+        assert c.messages_sent == nz * 2
+
+    def test_latency_sensitivity(self, quiet_config):
+        """The paper: LU 'is very sensitive to the small-message
+        communication performance'. Doubling latency must slow the sweep
+        noticeably more than it slows a local kernel."""
+        bench = make_benchmark("LU", "S", 4)
+        slow_net = quiet_config.with_(
+            network=quiet_config.network.__class__(
+                **{
+                    **quiet_config.network.__dict__,
+                    "latency": quiet_config.network.latency * 10,
+                }
+            )
+        )
+        fast = run_kernels(make_machine(quiet_config, 4), bench, ["SSOR_LT"])
+        slow = run_kernels(make_machine(slow_net, 4), bench, ["SSOR_LT"])
+        fast_local = run_kernels(make_machine(quiet_config, 4), bench, ["SSOR_ITER"])
+        slow_local = run_kernels(make_machine(slow_net, 4), bench, ["SSOR_ITER"])
+        sweep_ratio = slow / fast
+        local_ratio = slow_local / fast_local
+        assert sweep_ratio > 1.1
+        assert sweep_ratio > local_ratio * 1.05
+
+    def test_jac_shared_between_sweeps(self):
+        bench = make_benchmark("LU", "S", 4)
+        fields = bench.kernel_fields()
+        assert "jac" in fields["SSOR_LT"]
+        assert "jac" in fields["SSOR_UT"]

@@ -1,0 +1,106 @@
+"""CG work-alike (library extension beyond the paper's three codes)."""
+
+import pytest
+
+from repro.core import ControlFlow
+from repro.errors import ConfigurationError
+from repro.instrument import ApplicationRunner, ChainRunner, MeasurementConfig
+from repro.npb import make_benchmark
+from repro.npb.cg import CG_SIZES
+from repro.simmachine import ibm_sp_argonne
+from tests.conftest import make_machine
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return make_benchmark("CG", "S", 4)
+
+
+class TestStructure:
+    def test_factory_dispatch(self, bench):
+        assert bench.name == "CG"
+        assert bench.loop_kernel_names == (
+            "MATVEC", "DOT_PQ", "UPDATE_ZR", "RESID_P",
+        )
+
+    @pytest.mark.parametrize("cls,rows", [("S", 1400), ("A", 14000), ("C", 150000)])
+    def test_npb_sizes(self, cls, rows):
+        assert CG_SIZES[cls][0] == rows
+
+    def test_requires_pow2(self):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            make_benchmark("CG", "S", 6)
+
+    def test_unknown_class(self):
+        with pytest.raises(ConfigurationError, match="unknown class"):
+            make_benchmark("CG", "Z", 4)
+
+    def test_one_dimensional_row_distribution(self, bench):
+        assert bench.grid.py == 1
+        total = sum(bench.layout.local_points(r) for r in bench.ranks())
+        assert total == 1400
+
+    def test_p_full_region_is_global_length(self, bench):
+        assert bench.region(0, "p_full").nbytes == 8 * 1400
+        assert bench.region(0, "p").nbytes == 8 * 350
+
+    def test_footprint_includes_gathered_vector(self, bench):
+        assert bench.footprint_bytes(0) > bench.region(0, "p_full").nbytes
+
+
+class TestExecution:
+    def test_full_sequence_runs(self, quiet_config, bench):
+        machine = make_machine(quiet_config, 4)
+
+        def program(ctx):
+            for kernel in bench.kernel_names():
+                yield from bench.kernel(kernel)(ctx)
+
+        assert machine.run(program) > 0
+        world = machine.contexts[0].comm.world
+        assert world.unmatched_messages() == 0
+
+    def test_matvec_allgathers(self, quiet_config, bench):
+        machine = make_machine(quiet_config, 4)
+
+        def program(ctx):
+            yield from bench.kernel("MATVEC")(ctx)
+
+        machine.run(program)
+        # Ring allgather: P-1 messages per rank.
+        assert machine.counters_for("MATVEC").messages_sent == 4 * 3
+
+    def test_dot_kernels_allreduce(self, quiet_config, bench):
+        machine = make_machine(quiet_config, 4)
+
+        def program(ctx):
+            yield from bench.kernel("DOT_PQ")(ctx)
+            yield from bench.kernel("UPDATE_ZR")(ctx)
+
+        machine.run(program)
+        assert machine.counters_for("DOT_PQ").messages_sent > 0
+        assert machine.counters_for("UPDATE_ZR").messages_sent == 0
+
+
+class TestPrediction:
+    def test_coupling_beats_summation(self):
+        from repro.core import CouplingPredictor, PredictionInputs, SummationPredictor
+
+        bench = make_benchmark("CG", "W", 4)
+        machine = ibm_sp_argonne()
+        runner = ChainRunner(
+            bench, machine, MeasurementConfig(repetitions=4, warmup=2)
+        )
+        flow = ControlFlow(bench.loop_kernel_names)
+        iso = {k: m.mean for k, m in runner.measure_all_isolated(flow.names).items()}
+        chains = {w: runner.measure(w).mean for w in flow.windows(2)}
+        pre = {k: runner.measure((k,)).mean for k in bench.pre_kernel_names}
+        post = {k: runner.measure((k,)).mean for k in bench.post_kernel_names}
+        inputs = PredictionInputs(
+            flow=flow, iterations=bench.iterations, loop_times=iso,
+            pre_times=pre, post_times=post, chain_times=chains,
+        )
+        actual = ApplicationRunner(bench, machine).run().total_time
+        summ_err = abs(SummationPredictor().predict(inputs) - actual) / actual
+        coup_err = abs(CouplingPredictor(2).predict(inputs) - actual) / actual
+        assert coup_err < summ_err

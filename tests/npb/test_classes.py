@@ -1,0 +1,62 @@
+"""Problem classes: grids and iteration counts from the paper's tables."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb.classes import iterations_for, problem_size
+
+
+class TestPaperTables:
+    """Tables 1, 5 and 7 of the paper."""
+
+    @pytest.mark.parametrize(
+        "cls,n", [("S", 12), ("W", 32), ("A", 64), ("B", 102)]
+    )
+    def test_bt_grids(self, cls, n):
+        size = problem_size("BT", cls)
+        assert (size.nx, size.ny, size.nz) == (n, n, n)
+
+    @pytest.mark.parametrize("cls,n", [("W", 36), ("A", 64), ("B", 102)])
+    def test_sp_grids(self, cls, n):
+        size = problem_size("SP", cls)
+        assert (size.nx, size.ny, size.nz) == (n, n, n)
+
+    @pytest.mark.parametrize("cls,n", [("W", 33), ("A", 64), ("B", 102)])
+    def test_lu_grids(self, cls, n):
+        size = problem_size("LU", cls)
+        assert (size.nx, size.ny, size.nz) == (n, n, n)
+
+    def test_bt_iteration_counts_from_paper(self):
+        # "called 60 times for Class S, and 200 times for Class W and A."
+        assert iterations_for("BT", "S") == 60
+        assert iterations_for("BT", "W") == 200
+        assert iterations_for("BT", "A") == 200
+
+
+class TestProblemSize:
+    def test_points(self):
+        assert problem_size("BT", "S").points == 12**3
+
+    def test_label(self):
+        assert "BT class A" in problem_size("BT", "A").label
+        assert "64 x 64 x 64" in problem_size("BT", "A").label
+
+    def test_case_insensitive(self):
+        assert problem_size("bt", "a") == problem_size("BT", "A")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            problem_size("CG", "A")
+
+    def test_unknown_class(self):
+        with pytest.raises(ConfigurationError, match="unknown class"):
+            problem_size("BT", "Z")
+
+
+class TestClassC:
+    """Class C (162^3) extends beyond the paper for larger studies."""
+
+    @pytest.mark.parametrize("bench", ["BT", "SP", "LU"])
+    def test_class_c_available(self, bench):
+        size = problem_size(bench, "C")
+        assert size.nx == 162

@@ -1,0 +1,104 @@
+"""MG work-alike (multigrid V-cycle, library extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb import make_benchmark
+from tests.conftest import make_machine
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return make_benchmark("MG", "S", 4)
+
+
+class TestStructure:
+    def test_v_cycle_kernels(self, bench):
+        assert bench.loop_kernel_names == ("RESID", "RPRJ3", "PSINV", "INTERP")
+
+    def test_requires_pow2(self):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            make_benchmark("MG", "S", 6)
+
+    def test_levels_from_grid(self, bench):
+        # 32 -> 16 -> 8 -> 4: three halvings before stopping.
+        assert bench.levels == 3
+
+    def test_class_a_levels(self):
+        assert make_benchmark("MG", "A", 4).levels == 6  # 256 -> 4
+
+    def test_hierarchy_footprint(self, bench):
+        # u and r carry the 8/7 hierarchy factor, v only the finest grid.
+        per_point = bench.field_bytes_per_point()
+        assert per_point["u"] > per_point["v"]
+
+    def test_iterations(self, bench):
+        assert bench.iterations == 4
+
+
+class TestExecution:
+    def test_full_sequence_runs(self, quiet_config, bench):
+        machine = make_machine(quiet_config, 4)
+
+        def program(ctx):
+            for kernel in bench.kernel_names():
+                yield from bench.kernel(kernel)(ctx)
+
+        assert machine.run(program) > 0
+        assert machine.contexts[0].comm.world.unmatched_messages() == 0
+
+    def test_psinv_exchanges_once_per_level(self, quiet_config, bench):
+        machine = make_machine(quiet_config, 4)
+
+        def program(ctx):
+            yield from bench.kernel("PSINV")(ctx)
+
+        machine.run(program)
+        # 2x2 grid: 2 neighbors per rank, one exchange per level.
+        c = machine.contexts[0].counters["PSINV"]
+        assert c.messages_sent == 2 * bench.levels
+
+    def test_resid_exchanges_only_finest(self, quiet_config, bench):
+        machine = make_machine(quiet_config, 4)
+
+        def program(ctx):
+            yield from bench.kernel("RESID")(ctx)
+
+        machine.run(program)
+        assert machine.contexts[0].counters["RESID"].messages_sent == 2
+
+    def test_coarse_messages_smaller(self, quiet_config, bench):
+        """The level hierarchy must shrink message sizes geometrically."""
+        machine = make_machine(quiet_config, 4)
+
+        def program(ctx):
+            yield from bench.kernel("RPRJ3")(ctx)
+
+        machine.run(program)
+        c = machine.contexts[0].counters["RPRJ3"]
+        # Levels 1..2 on a 16x16x32 local block, 2 neighbors each:
+        # faces 8*32 and 4*16 points -> strictly less than two finest faces.
+        finest_face_bytes = 8 * 16 * 32
+        assert c.bytes_sent < 2 * 2 * finest_face_bytes
+
+    def test_single_rank_has_no_messages(self, quiet_config):
+        bench = make_benchmark("MG", "S", 1)
+        machine = make_machine(quiet_config, 1)
+
+        def program(ctx):
+            for kernel in bench.loop_kernel_names:
+                yield from bench.kernel(kernel)(ctx)
+
+        machine.run(program)
+        for kernel in bench.loop_kernel_names:
+            assert machine.counters_for(kernel).messages_sent == 0
+
+
+class TestPrediction:
+    def test_coupling_beats_summation(self):
+        from repro import quick_prediction
+
+        report = quick_prediction("MG", "S", 4, chain_length=2)
+        errors = report.errors()
+        assert errors["Coupling: 2 kernels"] < errors["Summation"]
+        assert errors["Coupling: 2 kernels"] < 5.0

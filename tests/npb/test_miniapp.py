@@ -1,0 +1,55 @@
+"""Host mini-app: real-hardware coupling measurement (smoke-level).
+
+Host timings are nondeterministic, so these tests assert well-formedness
+and basic physical sanity (positive times, complete coupling sets), not
+specific values.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb.miniapp import HostMiniApp
+
+
+@pytest.fixture(scope="module")
+def app():
+    return HostMiniApp(n=24, repetitions=3)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HostMiniApp(n=4)
+        with pytest.raises(ConfigurationError):
+            HostMiniApp(n=24, repetitions=0)
+
+    def test_three_sweep_kernels(self, app):
+        assert app.flow.names == ("X_SWEEP", "Y_SWEEP", "Z_SWEEP")
+
+
+class TestMeasurement:
+    def test_isolated_measurement(self, app):
+        m = app.measure(("X_SWEEP",))
+        assert m.mean > 0
+        assert len(m.samples) == 3
+
+    def test_chain_measurement(self, app):
+        m = app.measure(("X_SWEEP", "Y_SWEEP"))
+        assert m.kernels == ("X_SWEEP", "Y_SWEEP")
+        assert m.mean > 0
+
+    def test_unknown_kernel_rejected(self, app):
+        with pytest.raises(ConfigurationError):
+            app.measure(("NOPE",))
+
+    def test_coupling_set_complete(self, app):
+        cs = app.coupling_set(chain_length=2)
+        assert len(cs) == 3
+        assert all(c.value > 0 for c in cs)
+
+    def test_application_time_positive(self, app):
+        assert app.application_time(iterations=2) > 0
+
+    def test_application_iterations_validated(self, app):
+        with pytest.raises(ConfigurationError):
+            app.application_time(iterations=0)

@@ -1,0 +1,94 @@
+"""Conjugate gradient solver vs SciPy and theory."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg
+
+from repro.errors import ConfigurationError
+from repro.npb.numerics.krylov import (
+    conjugate_gradient,
+    nas_style_sparse_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    matrix = nas_style_sparse_matrix(500, 7, seed=3)
+    rng = np.random.default_rng(4)
+    x_true = rng.standard_normal(500)
+    return matrix, x_true, matrix @ x_true
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, system):
+        matrix, x_true, rhs = system
+        result = conjugate_gradient(lambda v: matrix @ v, rhs, tolerance=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6, atol=1e-8)
+
+    def test_matches_scipy(self, system):
+        matrix, _x_true, rhs = system
+        ours = conjugate_gradient(lambda v: matrix @ v, rhs, tolerance=1e-12)
+        scipys, info = scipy.sparse.linalg.cg(matrix, rhs, rtol=1e-12)
+        assert info == 0
+        np.testing.assert_allclose(ours.x, scipys, rtol=1e-6, atol=1e-8)
+
+    def test_residuals_decrease_overall(self, system):
+        matrix, _x, rhs = system
+        result = conjugate_gradient(lambda v: matrix @ v, rhs)
+        assert result.residual_norms[-1] < 1e-8 * result.residual_norms[0]
+
+    def test_exact_in_n_steps_small_dense(self):
+        """CG terminates in at most n iterations (exact arithmetic ~)."""
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((12, 12))
+        spd = a @ a.T + 12 * np.eye(12)
+        x_true = rng.standard_normal(12)
+        result = conjugate_gradient(
+            lambda v: spd @ v, spd @ x_true, tolerance=1e-12
+        )
+        assert result.iterations <= 12
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-8)
+
+    def test_diagonal_system_one_iteration(self):
+        rhs = np.array([2.0, 4.0, 6.0])
+        result = conjugate_gradient(lambda v: 2.0 * v, rhs)
+        assert result.iterations == 1
+        np.testing.assert_allclose(result.x, rhs / 2.0)
+
+    def test_indefinite_operator_rejected(self):
+        rhs = np.ones(4)
+        with pytest.raises(ConfigurationError, match="positive definite"):
+            conjugate_gradient(lambda v: -v, rhs)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient(lambda v: v, np.ones((2, 2)))
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient(lambda v: v, np.ones(3), tolerance=0.0)
+
+    def test_max_iterations_caps_work(self, system):
+        matrix, _x, rhs = system
+        result = conjugate_gradient(
+            lambda v: matrix @ v, rhs, tolerance=1e-14, max_iterations=2
+        )
+        assert result.iterations == 2
+        assert not result.converged
+
+
+class TestMakea:
+    def test_matrix_is_symmetric(self):
+        m = nas_style_sparse_matrix(100, 5, seed=1)
+        diff = (m - m.T)
+        assert abs(diff).max() < 1e-12
+
+    def test_matrix_is_positive_definite(self):
+        m = nas_style_sparse_matrix(60, 5, seed=2).toarray()
+        eigs = np.linalg.eigvalsh(m)
+        assert eigs.min() > 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            nas_style_sparse_matrix(1, 1)
+        with pytest.raises(ConfigurationError):
+            nas_style_sparse_matrix(10, 11)

@@ -1,0 +1,120 @@
+"""Multigrid V-cycle: transfer operators and mesh-independent convergence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb.numerics.multigrid import (
+    mg_solve,
+    prolong_field,
+    restrict_field,
+    v_cycle,
+)
+from repro.npb.numerics.ssor import apply_operator
+
+
+class TestTransferOperators:
+    def test_restrict_halves_dimensions(self):
+        fine = np.ones((8, 8, 8))
+        assert restrict_field(fine).shape == (4, 4, 4)
+
+    def test_restrict_preserves_constants(self):
+        fine = 3.0 * np.ones((8, 8, 8))
+        np.testing.assert_allclose(restrict_field(fine), 3.0)
+
+    def test_restrict_requires_even_dims(self):
+        with pytest.raises(ConfigurationError, match="even"):
+            restrict_field(np.ones((7, 8, 8)))
+
+    def test_prolong_doubles_dimensions(self):
+        coarse = np.ones((4, 4, 4))
+        assert prolong_field(coarse).shape == (8, 8, 8)
+
+    def test_prolong_then_restrict_is_identity(self):
+        rng = np.random.default_rng(1)
+        coarse = rng.standard_normal((4, 4, 4))
+        np.testing.assert_allclose(
+            restrict_field(prolong_field(coarse)), coarse
+        )
+
+    def test_transfer_adjoint_scaling(self):
+        """<R f, c> = 1/8 <f, P c> — averaging vs injection transpose."""
+        rng = np.random.default_rng(2)
+        fine = rng.standard_normal((8, 8, 8))
+        coarse = rng.standard_normal((4, 4, 4))
+        lhs = np.sum(restrict_field(fine) * coarse)
+        rhs = np.sum(fine * prolong_field(coarse)) / 8.0
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+class TestVCycle:
+    DIAG, OFF = 7.0, 1.0
+
+    def test_reduces_residual(self):
+        rng = np.random.default_rng(3)
+        rhs = rng.standard_normal((16, 16, 16))
+        u0 = np.zeros_like(rhs)
+        u1 = v_cycle(u0, rhs, self.DIAG, self.OFF)
+        r0 = np.linalg.norm(rhs - apply_operator(u0, self.DIAG, self.OFF))
+        r1 = np.linalg.norm(rhs - apply_operator(u1, self.DIAG, self.OFF))
+        assert r1 < 0.6 * r0
+
+    def test_input_unmodified(self):
+        rng = np.random.default_rng(4)
+        rhs = rng.standard_normal((8, 8, 8))
+        u0 = np.zeros_like(rhs)
+        v_cycle(u0, rhs, self.DIAG, self.OFF)
+        assert np.all(u0 == 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            v_cycle(
+                np.zeros((8, 8, 8)), np.zeros((8, 8, 4)), self.DIAG, self.OFF
+            )
+
+    def test_odd_grids_handled_by_coarsest_solve(self):
+        rng = np.random.default_rng(5)
+        rhs = rng.standard_normal((6, 6, 6))  # halves once then goes odd
+        out = v_cycle(np.zeros_like(rhs), rhs, self.DIAG, self.OFF)
+        assert np.all(np.isfinite(out))
+
+
+class TestMGSolve:
+    DIAG, OFF = 7.0, 1.0
+
+    def test_converges_to_solution(self):
+        rng = np.random.default_rng(6)
+        x_true = rng.standard_normal((16, 16, 16))
+        rhs = apply_operator(x_true, self.DIAG, self.OFF)
+        u, history = mg_solve(rhs, self.DIAG, self.OFF, cycles=12)
+        np.testing.assert_allclose(u, x_true, rtol=1e-5, atol=1e-6)
+        assert history[-1] < 1e-6 * history[0]
+
+    def test_mesh_independent_contraction(self):
+        """Multigrid's defining property: the per-cycle contraction factor
+        does not degrade as the grid refines."""
+        rates = []
+        for n in (8, 16, 32):
+            rng = np.random.default_rng(n)
+            rhs = rng.standard_normal((n, n, n))
+            _, history = mg_solve(rhs, self.DIAG, self.OFF, cycles=5)
+            rates.append((history[-1] / history[0]) ** 0.2)
+        assert max(rates) < 0.6
+        assert max(rates) - min(rates) < 0.15
+
+    def test_dominance_required(self):
+        with pytest.raises(ConfigurationError, match="dominant"):
+            mg_solve(np.ones((8, 8, 8)), 5.0, 1.0)
+
+    def test_cycles_validated(self):
+        with pytest.raises(ConfigurationError):
+            mg_solve(np.ones((8, 8, 8)), 7.0, 1.0, cycles=0)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("bench_name", ["CG", "MG"])
+    def test_extended_verify_passes(self, bench_name):
+        from repro.npb.verify import verify
+
+        result = verify(bench_name)
+        assert result.passed, result.detail

@@ -1,0 +1,111 @@
+"""SSOR solver: convergence and operator identities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb.numerics.ssor import apply_operator, ssor_solve, ssor_sweep
+
+
+def dominant(shape=(6, 6, 6)):
+    return 7.0, 1.0, shape
+
+
+class TestOperator:
+    def test_diagonal_only(self):
+        u = np.ones((3, 3, 3))
+        out = apply_operator(u, diag=2.0, offdiag=0.0)
+        np.testing.assert_allclose(out, 2.0 * u)
+
+    def test_matches_dense_matrix(self):
+        rng = np.random.default_rng(3)
+        shape = (3, 4, 2)
+        n = np.prod(shape)
+        diag, offdiag = 7.0, 1.0
+        dense = np.zeros((n, n))
+        idx = np.arange(n).reshape(shape)
+        for i in range(shape[0]):
+            for j in range(shape[1]):
+                for k in range(shape[2]):
+                    row = idx[i, j, k]
+                    dense[row, row] = diag
+                    for di, dj, dk in (
+                        (1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                        (0, -1, 0), (0, 0, 1), (0, 0, -1),
+                    ):
+                        ni, nj, nk = i + di, j + dj, k + dk
+                        if 0 <= ni < shape[0] and 0 <= nj < shape[1] and 0 <= nk < shape[2]:
+                            dense[row, idx[ni, nj, nk]] = -offdiag
+        u = rng.standard_normal(shape)
+        np.testing.assert_allclose(
+            apply_operator(u, diag, offdiag).ravel(), dense @ u.ravel()
+        )
+
+    def test_requires_3d(self):
+        with pytest.raises(ConfigurationError):
+            apply_operator(np.ones((3, 3)), 2.0, 0.1)
+
+
+class TestSweep:
+    def test_omega_range_enforced(self):
+        diag, offdiag, shape = dominant()
+        u = np.zeros(shape)
+        with pytest.raises(ConfigurationError):
+            ssor_sweep(u, u.copy(), diag, offdiag, omega=2.5, lower=True)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ssor_sweep(
+                np.zeros((3, 3, 3)), np.zeros((3, 3, 4)), 7.0, 1.0, 1.0, True
+            )
+
+    def test_gauss_seidel_exact_on_diagonal_system(self):
+        """With offdiag=0 and omega=1 one sweep solves exactly."""
+        rng = np.random.default_rng(4)
+        rhs = rng.standard_normal((4, 4, 4))
+        u = np.zeros_like(rhs)
+        ssor_sweep(u, rhs, diag=3.0, offdiag=0.0, omega=1.0, lower=True)
+        np.testing.assert_allclose(u, rhs / 3.0)
+
+
+class TestSolve:
+    def test_converges_to_true_solution(self):
+        diag, offdiag, shape = dominant()
+        rng = np.random.default_rng(5)
+        x_true = rng.standard_normal(shape)
+        rhs = apply_operator(x_true, diag, offdiag)
+        u, history = ssor_solve(rhs, diag, offdiag, omega=1.1, iterations=40)
+        np.testing.assert_allclose(u, x_true, rtol=1e-6, atol=1e-8)
+        assert history[-1] < 1e-6 * history[0]
+
+    def test_residual_monotone_decreasing(self):
+        diag, offdiag, shape = dominant()
+        rng = np.random.default_rng(6)
+        rhs = rng.standard_normal(shape)
+        _, history = ssor_solve(rhs, diag, offdiag, omega=1.0, iterations=15)
+        assert all(b <= a for a, b in zip(history, history[1:]))
+
+    def test_omega_one_is_symmetric_gauss_seidel(self):
+        diag, offdiag, shape = dominant()
+        rhs = np.ones(shape)
+        u, history = ssor_solve(rhs, diag, offdiag, omega=1.0, iterations=10)
+        assert history[-1] < history[0]
+
+    def test_initial_guess_respected(self):
+        diag, offdiag, shape = dominant()
+        rng = np.random.default_rng(7)
+        x_true = rng.standard_normal(shape)
+        rhs = apply_operator(x_true, diag, offdiag)
+        # Starting at the solution: residual immediately ~0.
+        _, history = ssor_solve(
+            rhs, diag, offdiag, omega=1.0, iterations=1, u0=x_true
+        )
+        assert history[0] < 1e-8
+
+    def test_dominance_required(self):
+        with pytest.raises(ConfigurationError, match="dominant"):
+            ssor_solve(np.ones((3, 3, 3)), diag=5.0, offdiag=1.0)
+
+    def test_iterations_validated(self):
+        with pytest.raises(ConfigurationError):
+            ssor_solve(np.ones((3, 3, 3)), 7.0, 1.0, iterations=0)

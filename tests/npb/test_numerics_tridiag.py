@@ -1,0 +1,189 @@
+"""Line solvers vs SciPy and analytic references."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.npb.numerics.tridiag import (
+    solve_block_tridiagonal,
+    solve_lines_along_axis,
+    solve_pentadiagonal,
+    solve_tridiagonal,
+)
+
+
+def random_tridiagonal(n, rng):
+    lower = rng.standard_normal(n)
+    upper = rng.standard_normal(n)
+    diag = 4.0 + np.abs(rng.standard_normal(n))  # diagonally dominant
+    lower[0] = 0.0
+    upper[-1] = 0.0
+    return lower, diag, upper
+
+
+def dense_from_tridiagonal(lower, diag, upper):
+    n = len(diag)
+    full = np.diag(diag)
+    for i in range(1, n):
+        full[i, i - 1] = lower[i]
+        full[i - 1, i] = upper[i - 1]
+    return full
+
+
+class TestTridiagonal:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+    def test_matches_dense_solve(self, n):
+        rng = np.random.default_rng(n)
+        lower, diag, upper = random_tridiagonal(n, rng)
+        x_true = rng.standard_normal(n)
+        rhs = dense_from_tridiagonal(lower, diag, upper) @ x_true
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        np.testing.assert_allclose(x, x_true, rtol=1e-10)
+
+    def test_vectorized_trailing_dims(self):
+        rng = np.random.default_rng(0)
+        n, m = 20, 7
+        lower, diag, upper = random_tridiagonal(n, rng)
+        full = dense_from_tridiagonal(lower, diag, upper)
+        x_true = rng.standard_normal((n, m))
+        rhs = full @ x_true
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        np.testing.assert_allclose(x, x_true, rtol=1e-10)
+
+    def test_empty_rejected(self):
+        z = np.zeros(0)
+        with pytest.raises(ConfigurationError):
+            solve_tridiagonal(z, z, z, z)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_tridiagonal(np.zeros(3), np.ones(4), np.zeros(4), np.ones(4))
+
+    def test_zero_pivot_rejected(self):
+        n = 3
+        with pytest.raises(ConfigurationError, match="pivot"):
+            solve_tridiagonal(
+                np.zeros(n), np.zeros(n), np.zeros(n), np.ones(n)
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 30), seed=st.integers(0, 10_000))
+    def test_residual_property(self, n, seed):
+        """Solver output must satisfy A x = b for any dominant system."""
+        rng = np.random.default_rng(seed)
+        lower, diag, upper = random_tridiagonal(n, rng)
+        rhs = rng.standard_normal(n)
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        full = dense_from_tridiagonal(lower, diag, upper)
+        np.testing.assert_allclose(full @ x, rhs, rtol=1e-8, atol=1e-10)
+
+
+class TestBlockTridiagonal:
+    def block_system(self, n, b, rng):
+        lower = rng.standard_normal((n, b, b)) * 0.2
+        upper = rng.standard_normal((n, b, b)) * 0.2
+        diag = rng.standard_normal((n, b, b)) * 0.2 + np.eye(b) * (2 * b)
+        lower[0] = 0.0
+        upper[-1] = 0.0
+        return lower, diag, upper
+
+    def dense(self, lower, diag, upper):
+        n, b, _ = diag.shape
+        full = np.zeros((n * b, n * b))
+        for i in range(n):
+            full[i * b:(i + 1) * b, i * b:(i + 1) * b] = diag[i]
+            if i > 0:
+                full[i * b:(i + 1) * b, (i - 1) * b:i * b] = lower[i]
+                full[(i - 1) * b:i * b, i * b:(i + 1) * b] = upper[i - 1]
+        return full
+
+    @pytest.mark.parametrize("n,b", [(1, 5), (3, 5), (12, 5), (8, 3)])
+    def test_matches_dense_solve(self, n, b):
+        """BT's 5x5 block systems (and other block sizes) solve exactly."""
+        rng = np.random.default_rng(n * 100 + b)
+        lower, diag, upper = self.block_system(n, b, rng)
+        x_true = rng.standard_normal((n, b))
+        rhs_dense = self.dense(lower, diag, upper) @ x_true.ravel()
+        x = solve_block_tridiagonal(lower, diag, upper, rhs_dense.reshape(n, b))
+        np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+    def test_non_square_blocks_rejected(self):
+        with pytest.raises(ConfigurationError, match="square"):
+            solve_block_tridiagonal(
+                np.zeros((2, 3, 4)), np.zeros((2, 3, 4)),
+                np.zeros((2, 3, 4)), np.zeros((2, 3)),
+            )
+
+    def test_rhs_shape_checked(self):
+        n, b = 3, 5
+        blocks = np.tile(np.eye(b), (n, 1, 1))
+        with pytest.raises(ConfigurationError, match="rhs"):
+            solve_block_tridiagonal(blocks, blocks, blocks, np.zeros((n, 2)))
+
+
+class TestPentadiagonal:
+    def banded(self, n, rng):
+        bands = np.zeros((5, n))
+        bands[0, 2:] = rng.standard_normal(n - 2) * 0.3
+        bands[1, 1:] = rng.standard_normal(n - 1)
+        bands[2, :] = 8.0 + np.abs(rng.standard_normal(n))
+        bands[3, : n - 1] = rng.standard_normal(n - 1)
+        bands[4, : n - 2] = rng.standard_normal(n - 2) * 0.3
+        return bands
+
+    @pytest.mark.parametrize("n", [3, 5, 12, 36, 100])
+    def test_matches_scipy_banded(self, n):
+        """SP's scalar pentadiagonal lines vs scipy.linalg.solve_banded."""
+        rng = np.random.default_rng(n)
+        bands = self.banded(n, rng)
+        rhs = rng.standard_normal(n)
+        ours = solve_pentadiagonal(bands, rhs)
+        scipys = scipy.linalg.solve_banded((2, 2), bands, rhs)
+        np.testing.assert_allclose(ours, scipys, rtol=1e-9)
+
+    def test_bad_band_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_pentadiagonal(np.zeros((3, 10)), np.zeros(10))
+
+    def test_rhs_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            solve_pentadiagonal(np.ones((5, 10)), np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(3, 40), seed=st.integers(0, 10_000))
+    def test_scipy_agreement_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        bands = self.banded(n, rng)
+        rhs = rng.standard_normal(n)
+        np.testing.assert_allclose(
+            solve_pentadiagonal(bands, rhs),
+            scipy.linalg.solve_banded((2, 2), bands, rhs),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+
+
+class TestLineSweeps:
+    def test_identity_system_returns_field(self):
+        rng = np.random.default_rng(1)
+        field = rng.standard_normal((4, 5, 6))
+        out = solve_lines_along_axis(field, 0, 0.0, 1.0, 0.0)
+        np.testing.assert_allclose(out, field)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_each_axis_solves_its_lines(self, axis):
+        rng = np.random.default_rng(2)
+        shape = (5, 6, 7)
+        x_true = rng.standard_normal(shape)
+        lower, diag, upper = -0.5, 3.0, -0.25
+        # Build rhs by applying the tridiagonal operator along `axis`.
+        moved = np.moveaxis(x_true, axis, 0)
+        rhs = diag * moved.copy()
+        rhs[1:] += lower * moved[:-1]
+        rhs[:-1] += upper * moved[1:]
+        rhs = np.moveaxis(rhs, 0, axis)
+        out = solve_lines_along_axis(rhs, axis, lower, diag, upper)
+        np.testing.assert_allclose(out, x_true, rtol=1e-10)

@@ -1,0 +1,79 @@
+"""Workload constants: consistency with published NPB operation counts."""
+
+import pytest
+
+from repro.npb import make_benchmark, workloads as w
+from repro.npb.classes import problem_size
+
+
+def loop_flops_per_point(table, loop_kernels):
+    return sum(table[k] for k in loop_kernels)
+
+
+class TestPublishedTotals:
+    """Total flop counts must land near the published NPB numbers."""
+
+    def test_bt_class_a_total(self):
+        # Published: BT class A ~ 168 Gflop over 200 iterations.
+        size = problem_size("BT", "A")
+        per_iter = loop_flops_per_point(
+            w.BT_FLOPS_PER_POINT,
+            ("COPY_FACES", "X_SOLVE", "Y_SOLVE", "Z_SOLVE", "ADD"),
+        )
+        total = per_iter * size.points * size.iterations
+        assert total == pytest.approx(168e9, rel=0.1)
+
+    def test_sp_class_a_total(self):
+        # Published: SP class A ~ 102 Gflop over 400 iterations.
+        size = problem_size("SP", "A")
+        per_iter = loop_flops_per_point(
+            w.SP_FLOPS_PER_POINT,
+            ("COPY_FACES", "TXINVR", "X_SOLVE", "Y_SOLVE", "Z_SOLVE", "ADD"),
+        )
+        total = per_iter * size.points * size.iterations
+        assert total == pytest.approx(102e9, rel=0.1)
+
+    def test_lu_class_a_total(self):
+        # Published: LU class A ~ 119 Gflop over 250 iterations.
+        size = problem_size("LU", "A")
+        per_iter = loop_flops_per_point(
+            w.LU_FLOPS_PER_POINT,
+            ("SSOR_ITER", "SSOR_LT", "SSOR_UT", "SSOR_RS"),
+        )
+        total = per_iter * size.points * size.iterations
+        assert total == pytest.approx(119e9, rel=0.1)
+
+
+class TestStructuralConsistency:
+    @pytest.mark.parametrize(
+        "name,cls", [("BT", "S"), ("SP", "W"), ("LU", "S")]
+    )
+    def test_every_kernel_has_flop_count(self, name, cls):
+        bench = make_benchmark(name, cls, 4)
+        table = {
+            "BT": w.BT_FLOPS_PER_POINT,
+            "SP": w.SP_FLOPS_PER_POINT,
+            "LU": w.LU_FLOPS_PER_POINT,
+        }[name]
+        for kernel in bench.kernel_names():
+            assert kernel in table
+            assert table[kernel] > 0
+
+    def test_solver_scratch_dominates_bt_footprint(self):
+        # BT's lhs (3 x 5x5 blocks/point) dwarfs the state vectors —
+        # what makes the solve kernels memory-bound.
+        assert w.BT_FIELD_BYTES["lhs"] > 5 * w.BT_FIELD_BYTES["u"]
+
+    def test_sp_lighter_than_bt_per_point(self):
+        bt = loop_flops_per_point(
+            w.BT_FLOPS_PER_POINT,
+            ("COPY_FACES", "X_SOLVE", "Y_SOLVE", "Z_SOLVE", "ADD"),
+        )
+        sp = loop_flops_per_point(
+            w.SP_FLOPS_PER_POINT,
+            ("COPY_FACES", "TXINVR", "X_SOLVE", "Y_SOLVE", "Z_SOLVE", "ADD"),
+        )
+        assert sp < bt / 2  # scalar vs 5x5 block systems
+
+    def test_lu_pipeline_message_is_five_words(self):
+        assert w.LU_PIPELINE_MESSAGE_BYTES == 40  # "five words each"

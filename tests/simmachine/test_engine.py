@@ -1,0 +1,301 @@
+"""Discrete-event engine: events, timeouts, processes, determinism."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simmachine.engine import AllOf, Event, Simulator, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().value
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event().succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event().succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_trigger_at_fires_later(self, sim):
+        ev = sim.event()
+        ev.trigger_at("hello", 2.5)
+        seen = []
+        ev.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(2.5, "hello")]
+
+    def test_trigger_at_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().trigger_at(None, -1.0)
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event().succeed(7)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_fail_propagates_exception_to_process(self, sim):
+        ev = sim.event()
+
+        def proc():
+            with pytest.raises(ValueError, match="boom"):
+                yield ev
+            return "handled"
+
+        p = sim.process(proc())
+        ev.fail(ValueError("boom"))
+        sim.run()
+        assert p.value == "handled"
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        Timeout(sim, 5.0)
+        assert sim.run() == 5.0
+
+    def test_zero_delay_allowed(self, sim):
+        Timeout(sim, 0.0)
+        assert sim.run() == 0.0
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Timeout(sim, -0.1)
+
+    def test_carries_value(self, sim):
+        results = []
+
+        def proc():
+            v = yield sim.timeout(1.0, value="done")
+            results.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert results == ["done"]
+
+    def test_ordering_is_time_then_fifo(self, sim):
+        order = []
+        for delay, tag in [(2.0, "b"), (1.0, "a"), (2.0, "c")]:
+            sim.timeout(delay).add_callback(lambda e, t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestAllOf:
+    def test_empty_fires_immediately(self, sim):
+        ev = AllOf(sim, [])
+        assert ev.triggered
+        assert ev.value == []
+
+    def test_collects_values_in_order(self, sim):
+        t1 = sim.timeout(2.0, value="late")
+        t2 = sim.timeout(1.0, value="early")
+        done = []
+
+        def proc():
+            vals = yield sim.all_of([t1, t2])
+            done.append((sim.now, vals))
+
+        sim.process(proc())
+        sim.run()
+        assert done == [(2.0, ["late", "early"])]
+
+    def test_failure_propagates(self, sim):
+        bad = sim.event()
+        good = sim.timeout(1.0)
+
+        def proc():
+            with pytest.raises(RuntimeError):
+                yield sim.all_of([good, bad])
+
+        sim.process(proc())
+        bad.fail(RuntimeError("child failed"))
+        sim.run()
+
+
+class TestProcess:
+    def test_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return 99
+
+        p = sim.process(proc())
+        assert sim.run_all([p]) == [99]
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(SimulationError, match="generator"):
+            sim.process(lambda: None)
+
+    def test_yielding_non_event_fails(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="yielded int"):
+            sim.run()
+
+    def test_crash_surfaces(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise KeyError("oops")
+
+        sim.process(proc())
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_two_processes_interleave(self, sim):
+        trace = []
+
+        def proc(name, delays):
+            for d in delays:
+                yield sim.timeout(d)
+                trace.append((sim.now, name))
+
+        sim.process(proc("a", [1.0, 3.0]))
+        sim.process(proc("b", [2.0, 0.5]))
+        sim.run()
+        assert trace == [(1.0, "a"), (2.0, "b"), (2.5, "b"), (4.0, "a")]
+
+    def test_process_completion_is_event(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "child-done"
+
+        def parent():
+            result = yield sim.process(child())
+            return f"saw {result}"
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "saw child-done"
+
+
+class TestDeadlock:
+    def test_blocked_process_raises_deadlock(self, sim):
+        ev = sim.event()  # never triggered
+
+        def proc():
+            yield ev
+
+        sim.process(proc(), name="stuck-rank")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        assert exc.value.blocked == ["stuck-rank"]
+
+    def test_deadlock_lists_all_blocked(self, sim):
+        ev = sim.event()
+
+        def proc():
+            yield ev
+
+        for i in range(3):
+            sim.process(proc(), name=f"r{i}")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        assert exc.value.blocked == ["r0", "r1", "r2"]
+
+    def test_completed_processes_do_not_deadlock(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        assert sim.run() == 1.0
+
+
+class TestRun:
+    def test_run_until_stops_clock(self, sim):
+        sim.timeout(10.0)
+        assert sim.run(until=4.0) == 4.0
+        assert sim.run() == 10.0
+
+    def test_event_count_tracked(self, sim):
+        for _ in range(5):
+            sim.timeout(1.0)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_determinism_same_structure(self):
+        def build():
+            s = Simulator()
+            log = []
+
+            def proc(n):
+                for i in range(5):
+                    yield s.timeout(0.1 * (n + 1))
+                    log.append((round(s.now, 10), n))
+
+            for n in range(4):
+                s.process(proc(n))
+            s.run()
+            return log
+
+        assert build() == build()
+
+
+class TestAnyOf:
+    def test_first_completion_wins(self):
+        from repro.simmachine.engine import AnyOf
+
+        sim = Simulator()
+        slow = sim.timeout(5.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+        seen = []
+
+        def proc():
+            result = yield AnyOf(sim, [slow, fast])
+            seen.append((sim.now, result))
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [(1.0, (1, "fast"))]
+
+    def test_empty_rejected(self):
+        from repro.simmachine.engine import AnyOf
+
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [])
+
+    def test_failure_of_first_child_propagates(self):
+        sim = Simulator()
+        bad = sim.event()
+        slow = sim.timeout(10.0)
+
+        def proc():
+            with pytest.raises(RuntimeError):
+                yield sim.any_of([bad, slow])
+
+        sim.process(proc())
+        bad.fail(RuntimeError("boom"))
+        sim.run()
+
+    def test_later_completions_harmless(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+
+        def proc():
+            idx, val = yield sim.any_of([a, b])
+            assert (idx, val) == (0, "a")
+            # b fires later without error.
+            yield b
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "done"

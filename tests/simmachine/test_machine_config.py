@@ -1,0 +1,110 @@
+"""Machine configuration objects and presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmachine.machine import (
+    CacheLevelConfig,
+    MachineConfig,
+    NetworkConfig,
+    ProcessorConfig,
+    ibm_sp_argonne,
+    linear_test_machine,
+)
+
+
+class TestProcessorConfig:
+    def test_flop_time(self):
+        proc = ibm_sp_argonne().processor
+        assert proc.flop_time == pytest.approx(
+            1.0 / (120e6 * 4.0 * proc.efficiency)
+        )
+
+    def test_peak_flops(self):
+        assert ibm_sp_argonne().processor.peak_flops == pytest.approx(480e6)
+
+    def test_efficiency_over_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig(
+                clock_hz=1e9,
+                flops_per_cycle=1,
+                efficiency=1.5,
+                cache_levels=(CacheLevelConfig("L1", 1024, 1e-9),),
+                memory_byte_time=1e-8,
+            )
+
+    def test_needs_cache_levels(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig(
+                clock_hz=1e9,
+                flops_per_cycle=1,
+                efficiency=0.5,
+                cache_levels=(),
+                memory_byte_time=1e-8,
+            )
+
+    def test_cache_level_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelConfig("L1", 0, 1e-9)
+        with pytest.raises(ConfigurationError):
+            CacheLevelConfig("L1", 1024, 0.0)
+
+
+class TestNetworkConfig:
+    def test_positive_latency_required(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(
+                latency=0.0,
+                byte_time=1e-9,
+                injection_byte_time=1e-10,
+                per_message_overhead=0.0,
+            )
+
+    def test_contention_defaults_off(self):
+        cfg = NetworkConfig(
+            latency=1e-6,
+            byte_time=1e-9,
+            injection_byte_time=1e-10,
+            per_message_overhead=0.0,
+        )
+        assert cfg.contention_coeff == 0.0
+        assert cfg.drain_window == 0.0
+
+
+class TestMachineConfig:
+    def test_with_overrides(self):
+        cfg = ibm_sp_argonne().with_(noise_cv=0.0, max_procs=16)
+        assert cfg.noise_cv == 0.0
+        assert cfg.max_procs == 16
+        # Original untouched (frozen dataclass semantics).
+        assert ibm_sp_argonne().noise_cv > 0
+
+    def test_noise_cv_bounded(self):
+        with pytest.raises(ConfigurationError):
+            ibm_sp_argonne().with_(noise_cv=1.5)
+
+    def test_noise_floor_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            ibm_sp_argonne().with_(noise_floor=-1e-6)
+
+
+class TestPresets:
+    def test_ibm_sp_has_two_cache_levels(self):
+        cfg = ibm_sp_argonne()
+        assert len(cfg.processor.cache_levels) == 2
+        l1, l2 = cfg.processor.cache_levels
+        assert l1.capacity_bytes < l2.capacity_bytes
+        assert l1.byte_time < l2.byte_time < cfg.processor.memory_byte_time
+
+    def test_ibm_sp_eighty_processors(self):
+        # The paper: "This machine consists of 80 processors".
+        assert ibm_sp_argonne().max_procs == 80
+
+    def test_ibm_sp_p2sc_clock(self):
+        assert ibm_sp_argonne().processor.clock_hz == pytest.approx(120e6)
+
+    def test_linear_machine_is_interaction_free(self):
+        cfg = linear_test_machine()
+        assert cfg.noise_cv == 0.0
+        assert cfg.network.contention_coeff == 0.0
+        assert cfg.processor.cache_levels[0].capacity_bytes >= 1 << 40

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) on the cache model's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmachine.memory import DataRegion, MemoryHierarchy
+
+KB = 1024
+
+
+def build(l1_kb, l2_kb):
+    return MemoryHierarchy(
+        [("L1", l1_kb * KB, 1e-9), ("L2", l2_kb * KB, 4e-9)],
+        memory_byte_time=16e-9,
+    )
+
+
+region_sizes = st.integers(0, 512 * KB)
+
+
+@st.composite
+def touch_sequences(draw):
+    """A hierarchy plus a random sequence of region touches."""
+    l1 = draw(st.integers(4, 64))
+    l2 = draw(st.integers(65, 512))
+    names = draw(
+        st.lists(st.sampled_from("abcdef"), min_size=1, max_size=12)
+    )
+    sizes = {n: draw(region_sizes) for n in set(names)}
+    return build(l1, l2), [(n, sizes[n]) for n in names]
+
+
+@settings(max_examples=80, deadline=None)
+@given(touch_sequences())
+def test_occupancy_never_exceeds_capacity(bundle):
+    hierarchy, touches = bundle
+    for name, size in touches:
+        hierarchy.touch(DataRegion(name, size))
+        for level in hierarchy.levels:
+            assert level.occupied <= level.capacity
+            assert level.occupied == sum(level.resident.values())
+            assert all(b >= 0 for b in level.resident.values())
+
+
+@settings(max_examples=80, deadline=None)
+@given(touch_sequences())
+def test_served_bytes_partition_the_touch(bundle):
+    hierarchy, touches = bundle
+    for name, size in touches:
+        result = hierarchy.touch(DataRegion(name, size))
+        assert sum(result.served_by_level) + result.from_memory == result.total
+        assert result.total == min(size, size)
+        assert result.time >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(touch_sequences())
+def test_immediate_retouch_never_slower(bundle):
+    """Touching a region right after touching it can only get cheaper."""
+    hierarchy, touches = bundle
+    for name, size in touches:
+        first = hierarchy.touch(DataRegion(name, size))
+        second = hierarchy.touch(DataRegion(name, size))
+        assert second.time <= first.time + 1e-15
+        assert second.from_memory <= first.from_memory
+
+
+@settings(max_examples=60, deadline=None)
+@given(touch_sequences())
+def test_flush_restores_cold_cost(bundle):
+    hierarchy, touches = bundle
+    for name, size in touches:
+        cold = hierarchy.touch(DataRegion(name, size))
+        hierarchy.flush()
+        again = hierarchy.touch(DataRegion(name, size))
+        assert again.time == cold.time or size == 0
+        hierarchy.flush()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 512 * KB), st.integers(1, 512 * KB))
+def test_touch_cost_monotone_in_size(size_a, size_b):
+    small, large = sorted((size_a, size_b))
+    h1 = build(16, 128)
+    h2 = build(16, 128)
+    t_small = h1.touch(DataRegion("r", small)).time
+    t_large = h2.touch(DataRegion("r", large)).time
+    assert t_small <= t_large + 1e-15

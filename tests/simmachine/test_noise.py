@@ -1,0 +1,75 @@
+"""Noise model: determinism, calibration, independence."""
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmachine.noise import NoiseModel
+
+
+class TestDeterminism:
+    def test_same_stream_reproduces(self):
+        a = NoiseModel(7, 0.05).rank_stream("run", 3)
+        b = NoiseModel(7, 0.05).rank_stream("run", 3)
+        assert [a.factor() for _ in range(20)] == [b.factor() for _ in range(20)]
+
+    def test_ranks_are_independent(self):
+        model = NoiseModel(7, 0.05)
+        s0 = model.rank_stream("run", 0)
+        s1 = model.rank_stream("run", 1)
+        assert [s0.factor() for _ in range(5)] != [s1.factor() for _ in range(5)]
+
+    def test_run_ids_are_independent(self):
+        model = NoiseModel(7, 0.05)
+        a = model.rank_stream("alpha", 0)
+        b = model.rank_stream("beta", 0)
+        assert [a.factor() for _ in range(5)] != [b.factor() for _ in range(5)]
+
+    def test_seed_changes_stream(self):
+        a = NoiseModel(1, 0.05).rank_stream("run", 0)
+        b = NoiseModel(2, 0.05).rank_stream("run", 0)
+        assert [a.factor() for _ in range(5)] != [b.factor() for _ in range(5)]
+
+
+class TestCalibration:
+    def test_zero_cv_is_exactly_one(self):
+        stream = NoiseModel(0, 0.0).rank_stream("run", 0)
+        assert all(stream.factor() == 1.0 for _ in range(10))
+
+    def test_mean_is_one(self):
+        stream = NoiseModel(123, 0.1).rank_stream("run", 0)
+        samples = [stream.factor() for _ in range(20000)]
+        assert statistics.fmean(samples) == pytest.approx(1.0, abs=0.01)
+
+    def test_cv_matches_configuration(self):
+        cv = 0.2
+        stream = NoiseModel(9, cv).rank_stream("run", 0)
+        samples = [stream.factor() for _ in range(20000)]
+        mean = statistics.fmean(samples)
+        sd = statistics.stdev(samples)
+        assert sd / mean == pytest.approx(cv, rel=0.1)
+
+    def test_factors_positive(self):
+        stream = NoiseModel(5, 0.3).rank_stream("run", 0)
+        assert all(stream.factor() > 0 for _ in range(1000))
+
+    def test_negative_cv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(0, -0.1)
+
+
+class TestFloor:
+    def test_zero_scale_is_zero(self):
+        stream = NoiseModel(0, 0.1).rank_stream("run", 0)
+        assert stream.floor_jitter(0.0) == 0.0
+
+    def test_floor_bounded(self):
+        stream = NoiseModel(0, 0.1).rank_stream("run", 0)
+        for _ in range(1000):
+            v = stream.floor_jitter(1e-4)
+            assert 0.0 <= v < 1e-4
+
+    def test_floor_without_cv_is_midpoint(self):
+        stream = NoiseModel(0, 0.0).rank_stream("run", 0)
+        assert stream.floor_jitter(2.0) == 1.0

@@ -1,0 +1,34 @@
+"""Trace recorder."""
+
+from repro.simmachine.trace import Trace, TraceRecord
+
+
+class TestTrace:
+    def test_append_and_iterate(self):
+        trace = Trace()
+        trace.add(0.0, 0, "k", "phase")
+        trace.add(1.0, 1, "k", "compute", {"flops": 10})
+        assert len(trace) == 2
+        assert [r.time for r in trace] == [0.0, 1.0]
+
+    def test_by_rank(self):
+        trace = Trace()
+        trace.add(0.0, 0, "a", "phase")
+        trace.add(0.5, 1, "b", "phase")
+        trace.add(1.0, 0, "c", "phase")
+        assert [r.label for r in trace.by_rank(0)] == ["a", "c"]
+
+    def test_by_kind(self):
+        trace = Trace()
+        trace.add(0.0, 0, "a", "phase")
+        trace.add(0.5, 0, "a", "compute")
+        assert [r.kind for r in trace.by_kind("compute")] == ["compute"]
+
+    def test_records_are_frozen(self):
+        rec = TraceRecord(0.0, 0, "x", "phase")
+        try:
+            rec.time = 5.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,95 @@
+"""Allreduce algorithm variants."""
+
+import operator
+
+import pytest
+
+from repro.errors import CommunicationError
+from tests.conftest import make_machine
+
+
+def run_allreduce(machine, algorithm, op=operator.add):
+    results = []
+
+    def program(ctx):
+        value = yield from ctx.comm.allreduce(
+            ctx.comm.rank + 1, 8, op=op, algorithm=algorithm
+        )
+        results.append(value)
+
+    elapsed = machine.run(program)
+    return results, elapsed
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("algorithm", ["recursive_doubling", "tree", "auto"])
+    def test_sum_all_ranks(self, quiet_config, size, algorithm):
+        machine = make_machine(quiet_config, size)
+        results, _ = run_allreduce(machine, algorithm)
+        expected = sum(range(1, size + 1))
+        assert results == [expected] * size
+
+    @pytest.mark.parametrize("size", [3, 5, 6])
+    def test_auto_handles_non_pow2(self, quiet_config, size):
+        machine = make_machine(quiet_config, size)
+        results, _ = run_allreduce(machine, "auto")
+        assert results == [sum(range(1, size + 1))] * size
+
+    def test_recursive_doubling_rejects_non_pow2(self, quiet_config):
+        machine = make_machine(quiet_config, 6)
+        with pytest.raises(CommunicationError, match="power-of-two"):
+            run_allreduce(machine, "recursive_doubling")
+
+    def test_unknown_algorithm_rejected(self, quiet_config):
+        machine = make_machine(quiet_config, 4)
+        with pytest.raises(CommunicationError, match="unknown allreduce"):
+            run_allreduce(machine, "magic")
+
+    def test_max_op(self, quiet_config):
+        machine = make_machine(quiet_config, 8)
+        results, _ = run_allreduce(machine, "recursive_doubling", op=max)
+        assert results == [8] * 8
+
+
+class TestCost:
+    def test_recursive_doubling_fewer_rounds(self, quiet_config):
+        """log2(P) rounds must beat the tree's reduce+bcast (2 log2 P)."""
+        t_rd = run_allreduce(make_machine(quiet_config, 16), "recursive_doubling")[1]
+        t_tree = run_allreduce(make_machine(quiet_config, 16), "tree")[1]
+        assert t_rd < t_tree
+
+    def test_auto_picks_recursive_doubling_for_pow2(self, quiet_config):
+        t_auto = run_allreduce(make_machine(quiet_config, 16), "auto")[1]
+        t_rd = run_allreduce(make_machine(quiet_config, 16), "recursive_doubling")[1]
+        assert t_auto == pytest.approx(t_rd)
+
+
+class TestFaultInjection:
+    def test_dropped_collective_message_deadlocks(self, quiet_config):
+        from repro.errors import DeadlockError
+
+        machine = make_machine(quiet_config, 4)
+        world = machine.contexts[0].comm.world
+        world.fault_injector = lambda src, dst, tag: src == 2
+        with pytest.raises(DeadlockError):
+            run_allreduce(machine, "tree")
+        assert world.dropped_messages >= 1
+
+    def test_sender_unaffected_by_drop(self, quiet_config):
+        machine = make_machine(quiet_config, 2)
+        world = machine.contexts[0].comm.world
+        world.fault_injector = lambda src, dst, tag: tag == 7
+        done = []
+
+        def program(ctx):
+            if ctx.comm.rank == 0:
+                yield from ctx.comm.send(1, 10, tag=7)
+                done.append("sent")
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        machine.run(program)
+        assert done == ["sent"]
+        assert world.dropped_messages == 1
+        assert world.unmatched_messages() == 0

@@ -1,0 +1,31 @@
+"""Datatype sizes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmpi.datatypes import BYTE, DOUBLE, INT, WORD, Datatype, bytes_of
+
+
+class TestDatatypes:
+    def test_standard_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_word_is_8_bytes(self):
+        # The paper: LU exchanges "five words each" — 40-byte messages.
+        assert bytes_of(5, WORD) == 40
+
+    def test_default_datatype_is_double(self):
+        assert bytes_of(10) == 80
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bytes_of(-1)
+
+    def test_zero_count(self):
+        assert bytes_of(0) == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Datatype("bad", 0)

@@ -1,0 +1,263 @@
+"""Point-to-point messaging: matching, ordering, blocking semantics."""
+
+import pytest
+
+from repro.errors import CommunicationError, DeadlockError
+from repro.simmpi.comm import COLL_TAG_BASE
+from tests.conftest import make_machine
+
+
+def run(machine, program):
+    return machine.run(program)
+
+
+class TestSendRecv:
+    def test_payload_delivered(self, machine4):
+        received = {}
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                yield from comm.send(1, 100, tag=5, payload={"x": 1})
+            elif comm.rank == 1:
+                received["msg"] = yield from comm.recv(0, tag=5)
+
+        run(machine4, program)
+        assert received["msg"] == {"x": 1}
+
+    def test_recv_before_send(self, machine4):
+        """Posting the receive first must not deadlock."""
+        got = []
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 1:
+                got.append((yield from comm.recv(0, tag=1)))
+            elif comm.rank == 0:
+                yield ctx.sim.timeout(1e-3)  # make rank 1 wait
+                yield from comm.send(1, 10, tag=1, payload="late")
+
+        run(machine4, program)
+        assert got == ["late"]
+
+    def test_fifo_per_channel(self, machine4):
+        order = []
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                for i in range(5):
+                    yield from comm.send(1, 10, tag=2, payload=i)
+            elif comm.rank == 1:
+                for _ in range(5):
+                    order.append((yield from comm.recv(0, tag=2)))
+
+        run(machine4, program)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_tags_demultiplex(self, machine4):
+        got = {}
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                yield from comm.send(1, 10, tag=7, payload="seven")
+                yield from comm.send(1, 10, tag=8, payload="eight")
+            elif comm.rank == 1:
+                # Receive in the opposite order of sending.
+                got["eight"] = yield from comm.recv(0, tag=8)
+                got["seven"] = yield from comm.recv(0, tag=7)
+
+        run(machine4, program)
+        assert got == {"eight": "eight", "seven": "seven"}
+
+    def test_sources_demultiplex(self, machine4):
+        got = {}
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank in (0, 2):
+                yield from comm.send(1, 10, tag=1, payload=f"from{comm.rank}")
+            elif comm.rank == 1:
+                got[2] = yield from comm.recv(2, tag=1)
+                got[0] = yield from comm.recv(0, tag=1)
+
+        run(machine4, program)
+        assert got == {0: "from0", 2: "from2"}
+
+    def test_self_send(self, machine4):
+        got = []
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                yield from comm.send(0, 10, tag=3, payload="me")
+                got.append((yield from comm.recv(0, tag=3)))
+
+        run(machine4, program)
+        assert got == ["me"]
+
+    def test_recv_arrival_time_respects_latency(self, machine4):
+        times = {}
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                yield from comm.send(1, 1000, tag=1)
+            elif comm.rank == 1:
+                yield from comm.recv(0, tag=1)
+                times["recv_done"] = ctx.sim.now
+
+        run(machine4, program)
+        net = machine4.config.network
+        assert times["recv_done"] >= net.latency
+
+
+class TestNonBlocking:
+    def test_isend_returns_immediately(self, machine4):
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                req = comm.isend(1, 10, tag=1, payload="x")
+                assert not req.complete
+                yield from comm.wait(req)
+                assert req.complete
+            elif comm.rank == 1:
+                yield from comm.recv(0, tag=1)
+
+        run(machine4, program)
+
+    def test_waitall_gathers_payloads(self, machine4):
+        got = []
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                for peer in (1, 2, 3):
+                    yield from comm.send(peer, 10, tag=4, payload=peer * 10)
+            else:
+                req = comm.irecv(0, tag=4)
+                values = yield from comm.waitall([req])
+                got.append(values[0])
+
+        run(machine4, program)
+        assert sorted(got) == [10, 20, 30]
+
+    def test_request_payload_property(self, machine4):
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                yield from comm.send(1, 10, tag=1, payload="v")
+            elif comm.rank == 1:
+                req = comm.irecv(0, tag=1)
+                assert req.payload is None or req.payload == "v"
+                yield from comm.wait(req)
+                assert req.payload == "v"
+
+        run(machine4, program)
+
+    def test_sendrecv_exchanges(self, machine4):
+        got = {}
+
+        def program(ctx):
+            comm = ctx.comm
+            peer = comm.rank ^ 1
+            got[comm.rank] = yield from comm.sendrecv(
+                peer, 10, send_tag=6, payload=comm.rank
+            )
+
+        run(machine4, program)
+        assert got == {0: 1, 1: 0, 2: 3, 3: 2}
+
+    def test_wait_accounts_wait_time(self, machine4):
+        def program(ctx):
+            comm = ctx.comm
+            ctx.set_label("k")
+            if comm.rank == 1:
+                yield from comm.recv(0, tag=1)
+            elif comm.rank == 0:
+                yield ctx.sim.timeout(1e-2)
+                yield from comm.send(1, 10, tag=1)
+
+        run(machine4, program)
+        waited = machine4.contexts[1].counters["k"].wait_time
+        assert waited >= 1e-2
+
+
+class TestErrors:
+    def test_unmatched_recv_deadlocks(self, machine4):
+        def program(ctx):
+            if ctx.comm.rank == 0:
+                yield from ctx.comm.recv(1, tag=9)
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        with pytest.raises(DeadlockError) as exc:
+            run(machine4, program)
+        assert any("0" in name for name in exc.value.blocked)
+
+    def test_bad_peer_rejected(self, machine4):
+        def program(ctx):
+            yield from ctx.comm.send(99, 10)
+
+        with pytest.raises(CommunicationError):
+            run(machine4, program)
+
+    def test_wildcard_source_rejected(self, machine4):
+        def program(ctx):
+            yield from ctx.comm.recv(-1)
+
+        with pytest.raises(CommunicationError, match="wildcard"):
+            run(machine4, program)
+
+    def test_user_tag_in_collective_space_rejected(self, machine4):
+        def program(ctx):
+            yield from ctx.comm.send(0, 10, tag=COLL_TAG_BASE + 1)
+
+        with pytest.raises(CommunicationError, match="user tags"):
+            run(machine4, program)
+
+    def test_negative_tag_rejected(self, machine4):
+        def program(ctx):
+            yield from ctx.comm.send(0, 10, tag=-1)
+
+        with pytest.raises(CommunicationError):
+            run(machine4, program)
+
+    def test_unreceived_message_detectable(self, quiet_config):
+        machine = make_machine(quiet_config, 2)
+        world = machine.contexts[0].comm.world
+
+        def program(ctx):
+            if ctx.comm.rank == 0:
+                yield from ctx.comm.send(1, 10, tag=1)
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        machine.run(program)
+        assert world.unmatched_messages() == 1
+
+
+class TestWaitany:
+    def test_returns_first_arrival(self, machine4):
+        results = []
+
+        def program(ctx):
+            comm = ctx.comm
+            if comm.rank == 0:
+                r1 = comm.irecv(1, tag=1)
+                r2 = comm.irecv(2, tag=1)
+                idx, val = yield from comm.waitany([r1, r2])
+                results.append((idx, val))
+                # Drain the other request so nothing leaks.
+                yield from comm.waitall([r1 if idx == 1 else r2])
+            elif comm.rank == 1:
+                yield ctx.sim.timeout(1e-2)
+                yield from comm.send(0, 10, tag=1, payload="slow")
+            elif comm.rank == 2:
+                yield from comm.send(0, 10, tag=1, payload="fast")
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        run(machine4, program)
+        assert results == [(1, "fast")]

@@ -1,0 +1,128 @@
+"""Process grids: shapes, coordinate maps, neighbors, partitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmpi.topology import (
+    CartGrid,
+    partition_sizes,
+    pow2_grid_shape,
+    square_grid_shape,
+)
+
+
+class TestSquareGrid:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, (1, 1)), (4, (2, 2)), (9, (3, 3)), (16, (4, 4)), (25, (5, 5))]
+    )
+    def test_perfect_squares(self, n, expected):
+        assert square_grid_shape(n) == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12, 24])
+    def test_non_squares_rejected(self, n):
+        with pytest.raises(ConfigurationError, match="square"):
+            square_grid_shape(n)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            square_grid_shape(0)
+
+
+class TestPow2Grid:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (8, (4, 2)), (16, (4, 4)), (32, (8, 4))],
+    )
+    def test_alternate_halving(self, n, expected):
+        """x is halved first, so it gets the extra factor of two."""
+        assert pow2_grid_shape(n) == expected
+
+    @pytest.mark.parametrize("n", [3, 6, 12, 24])
+    def test_non_pow2_rejected(self, n):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            pow2_grid_shape(n)
+
+
+class TestPartitionSizes:
+    def test_even_split(self):
+        assert partition_sizes(64, 4) == [16, 16, 16, 16]
+
+    def test_remainder_goes_to_leading_parts(self):
+        assert partition_sizes(33, 2) == [17, 16]
+        assert partition_sizes(102, 4) == [26, 26, 25, 25]
+
+    def test_total_preserved(self):
+        for n in (12, 33, 64, 102):
+            for parts in (1, 2, 3, 5):
+                assert sum(partition_sizes(n, parts)) == n
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_sizes(3, 4)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_sizes(10, 0)
+
+
+class TestCartGrid:
+    def test_coords_roundtrip(self):
+        grid = CartGrid(3, 4)
+        for rank in range(grid.size):
+            i, j = grid.coords(rank)
+            assert grid.rank_of(i, j) == rank
+
+    def test_row_major_order(self):
+        grid = CartGrid(2, 3)
+        assert grid.coords(0) == (0, 0)
+        assert grid.coords(2) == (0, 2)
+        assert grid.coords(3) == (1, 0)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            CartGrid(2, 2).coords(4)
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            CartGrid(2, 2).rank_of(2, 0)
+
+    def test_interior_neighbors(self):
+        grid = CartGrid(3, 3)
+        center = grid.rank_of(1, 1)
+        assert grid.neighbor(center, 0, -1) == grid.rank_of(0, 1)
+        assert grid.neighbor(center, 0, +1) == grid.rank_of(2, 1)
+        assert grid.neighbor(center, 1, -1) == grid.rank_of(1, 0)
+        assert grid.neighbor(center, 1, +1) == grid.rank_of(1, 2)
+
+    def test_edge_neighbors_none(self):
+        grid = CartGrid(3, 3)
+        corner = grid.rank_of(0, 0)
+        assert grid.neighbor(corner, 0, -1) is None
+        assert grid.neighbor(corner, 1, -1) is None
+
+    def test_periodic_wraps(self):
+        grid = CartGrid(3, 3)
+        corner = grid.rank_of(0, 0)
+        assert grid.neighbor(corner, 0, -1, periodic=True) == grid.rank_of(2, 0)
+        assert grid.neighbor(corner, 1, -1, periodic=True) == grid.rank_of(0, 2)
+
+    def test_neighbors4_counts(self):
+        grid = CartGrid(3, 3)
+        assert len(grid.neighbors4(grid.rank_of(1, 1))) == 4
+        assert len(grid.neighbors4(grid.rank_of(0, 0))) == 2
+        assert len(grid.neighbors4(grid.rank_of(0, 1))) == 3
+
+    def test_neighbors4_periodic_excludes_self(self):
+        grid = CartGrid(1, 3)
+        # In a 1-wide dimension, periodic neighbors in x would be the rank
+        # itself; they must not be listed.
+        nbrs = grid.neighbors4(0, periodic=True)
+        assert 0 not in nbrs
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CartGrid(2, 2).neighbor(0, 2, 1)
+
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CartGrid(0, 3)

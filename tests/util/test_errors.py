@@ -1,0 +1,49 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+    ExperimentError,
+    MeasurementError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            SimulationError,
+            CommunicationError,
+            MeasurementError,
+            PredictionError,
+            ExperimentError,
+        ],
+    )
+    def test_everything_is_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_simulation_subtypes(self):
+        assert issubclass(DeadlockError, SimulationError)
+        assert issubclass(CommunicationError, SimulationError)
+
+    def test_one_except_clause_catches_all(self):
+        with pytest.raises(ReproError):
+            raise MeasurementError("x")
+
+
+class TestDeadlockError:
+    def test_carries_blocked_names(self):
+        err = DeadlockError(["rank2", "rank0"])
+        assert err.blocked == ["rank2", "rank0"]
+        assert "2 process(es)" in str(err)
+        assert "rank0" in str(err)
+
+    def test_empty_list_allowed(self):
+        assert DeadlockError([]).blocked == []

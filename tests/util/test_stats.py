@@ -1,0 +1,104 @@
+"""Statistics helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.stats import (
+    geometric_mean,
+    mean,
+    percent_relative_error,
+    relative_error,
+    stddev,
+    summary,
+    weighted_average,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_generator_input(self):
+        assert mean(x for x in (2.0, 4.0)) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+
+class TestStddev:
+    def test_sample_stddev(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138089935, rel=1e-6
+        )
+
+    def test_single_value_is_zero(self):
+        assert stddev([5.0]) == 0.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+
+class TestWeightedAverage:
+    def test_paper_weighting(self):
+        """The §3 coefficient formula is this exact operation."""
+        c_ab, c_da = 0.9, 1.1
+        p_ab, p_da = 30.0, 10.0
+        expected = (c_ab * p_ab + c_da * p_da) / (p_ab + p_da)
+        assert weighted_average([c_ab, c_da], [p_ab, p_da]) == pytest.approx(expected)
+
+    def test_equal_weights_is_mean(self):
+        assert weighted_average([1.0, 3.0], [5.0, 5.0]) == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            weighted_average([1.0], [1.0, 2.0])
+
+    def test_zero_total_weight(self):
+        with pytest.raises(ConfigurationError):
+            weighted_average([1.0], [0.0])
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            weighted_average([], [])
+
+
+class TestRelativeError:
+    def test_symmetric_numerator(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_percent(self):
+        assert percent_relative_error(123.0, 100.0) == pytest.approx(23.0)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(1.0, 0.0)
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summary([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.std > 0
+
+    def test_cv(self):
+        s = summary([10.0, 10.0])
+        assert s.cv == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summary([])

@@ -1,0 +1,60 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+@pytest.fixture
+def table():
+    t = Table(title="Demo", columns=["Row", "A", "B"], precision=2)
+    t.add_row("first", 1.234, (10.0, 5.678))
+    t.add_row("second", "text", None)
+    return t
+
+
+class TestTable:
+    def test_add_row_validates_width(self, table):
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row("bad", 1.0)
+
+    def test_cell_lookup(self, table):
+        assert table.cell("first", "A") == 1.234
+        with pytest.raises(KeyError):
+            table.cell("missing", "A")
+
+    def test_column_values(self, table):
+        assert table.column_values("A") == [1.234, "text"]
+
+    def test_row_labels(self, table):
+        assert table.row_labels() == ["first", "second"]
+
+
+class TestRendering:
+    def test_float_precision(self, table):
+        assert "1.23" in table.render()
+
+    def test_tuple_renders_paper_style(self, table):
+        assert "10.00 (5.68 %)" in table.render()
+
+    def test_none_renders_empty(self, table):
+        rendered = table.render()
+        assert "None" not in rendered
+
+    def test_title_and_header_present(self, table):
+        rendered = table.render()
+        assert rendered.startswith("Demo")
+        assert "Row" in rendered and "| A" in rendered
+
+    def test_notes_rendered(self, table):
+        table.add_note("a footnote")
+        assert "note: a footnote" in table.render()
+
+    def test_alignment_consistent(self, table):
+        lines = table.render().splitlines()
+        data_lines = [l for l in lines if "|" in l]
+        pipes = {tuple(i for i, c in enumerate(l) if c == "|") for l in data_lines}
+        assert len(pipes) == 1  # all separator columns align
+
+    def test_str_is_render(self, table):
+        assert str(table) == table.render()

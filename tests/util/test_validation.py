@@ -1,0 +1,46 @@
+"""Validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_in, check_non_negative, check_positive, check_type
+
+
+class TestCheckPositive:
+    def test_passes_through(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -1)
+
+
+class TestCheckIn:
+    def test_member(self):
+        assert check_in("mode", "a", {"a", "b"}) == "a"
+
+    def test_non_member(self):
+        with pytest.raises(ConfigurationError, match="mode must be one of"):
+            check_in("mode", "z", {"a", "b"})
+
+
+class TestCheckType:
+    def test_single_type(self):
+        assert check_type("n", 3, int) == 3
+
+    def test_tuple_of_types(self):
+        assert check_type("n", 3.0, (int, float)) == 3.0
+
+    def test_rejects(self):
+        with pytest.raises(ConfigurationError, match="n must be int"):
+            check_type("n", "3", int)
