@@ -1,0 +1,130 @@
+"""Throughput of the prediction service vs. cold one-shot pipelines.
+
+The serving subsystem exists so that a repeated workload — the same few
+(benchmark, class, nprocs) cells asked for over and over — does not pay
+for a fresh measurement campaign per question.  This benchmark drives a
+100-request workload cycling over four distinct configurations through
+
+* a single warm :class:`~repro.service.PredictionService` (batched,
+  cached, single-flight), and
+* 100 cold one-shots, each building a fresh pipeline with the same
+  measurement protocol,
+
+and asserts the service answers at least 10x faster, backed by the
+service's own metrics (cache hit ratio, batch sizes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import quick_prediction
+from repro.experiments import ExperimentSettings
+from repro.instrument import MeasurementConfig
+from repro.service import PredictRequest, PredictionService
+
+MEASUREMENT = MeasurementConfig(repetitions=2, warmup=1, seed=0)
+
+#: Four distinct questions, cycled 25 times = 100 requests. Two share a
+#: measurement cell (chain lengths 2 and 3 of BT/S/4) so batching has
+#: something to coalesce even on the cold pass.
+DISTINCT = [
+    PredictRequest("BT", "S", 4, chain_length=2),
+    PredictRequest("BT", "S", 4, chain_length=3),
+    PredictRequest("BT", "S", 1, chain_length=2),
+    PredictRequest("BT", "S", 9, chain_length=2),
+]
+CYCLES = 25
+TOTAL = CYCLES * len(DISTINCT)
+
+
+def _cold_one_shot(request: PredictRequest) -> float:
+    """A fresh pipeline per request — no shared state whatsoever."""
+    report = quick_prediction(
+        request.benchmark,
+        request.problem_class,
+        request.nprocs,
+        request.chain_length,
+        settings=ExperimentSettings(measurement=MEASUREMENT),
+    )
+    return report.actual
+
+
+def test_warm_service_beats_cold_one_shots_10x():
+    # Cold baseline: every request rebuilds the world.
+    t0 = time.perf_counter()
+    cold_actuals = [
+        _cold_one_shot(DISTINCT[i % len(DISTINCT)]) for i in range(TOTAL)
+    ]
+    cold_seconds = time.perf_counter() - t0
+
+    # Warm service: one process-lifetime service, bursts of requests.
+    with PredictionService(
+        measurement=MEASUREMENT, max_workers=2, batch_window=0.005
+    ) as service:
+        t0 = time.perf_counter()
+        warm_reports = []
+        for _ in range(CYCLES):
+            warm_reports.extend(service.predict_many(DISTINCT, timeout=120))
+        warm_seconds = time.perf_counter() - t0
+        stats = service.stats()
+
+    assert len(warm_reports) == TOTAL
+    # Same answers as the cold pipelines (same measurement protocol).
+    for i, report in enumerate(warm_reports):
+        assert report.actual == pytest.approx(cold_actuals[i])
+
+    speedup = cold_seconds / warm_seconds
+    print(
+        f"\ncold: {cold_seconds:.2f}s for {TOTAL} one-shots, "
+        f"warm: {warm_seconds:.3f}s via service -> {speedup:.0f}x, "
+        f"hit ratio {stats['cache_hit_ratio']:.2f}"
+    )
+    assert speedup >= 10.0
+
+    # The metrics must corroborate *why* it was fast.
+    assert stats["requests"] == TOTAL
+    # Only the first cycle can miss; everything after is served from L1.
+    assert stats["cache_hit_ratio"] >= 0.9
+    assert stats["l1_hits"] >= TOTAL - len(DISTINCT)
+    # Batching actually grouped the distinct cold requests: the two
+    # chain lengths of BT/S/4 share one measurement plan.
+    assert stats["batches"] >= 1
+    assert stats["batch_size"]["max"] >= 2.0
+    assert stats["simulations"] > 0  # the cold pass did real work
+
+
+def test_single_flight_under_concurrent_identical_load():
+    """Eight threads asking the same question cost one simulation."""
+    import threading
+
+    from repro.service.workers import execute_cell
+
+    calls = []
+    lock = threading.Lock()
+
+    def counting(task, database=None):
+        with lock:
+            calls.append(task)
+        return execute_cell(task, database)
+
+    with PredictionService(
+        measurement=MEASUREMENT, execute=counting, batch_window=0.02
+    ) as service:
+        request = PredictRequest("BT", "S", 4)
+        results = [None] * 8
+
+        def worker(i):
+            results[i] = service.predict(request, timeout=120)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(r == results[0] for r in results)

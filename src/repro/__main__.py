@@ -5,4 +5,9 @@ import sys
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        # Long-lived subcommands (``repro serve``) end with ctrl-c; exit
+        # with the conventional 128+SIGINT code instead of a traceback.
+        sys.exit(130)

@@ -8,6 +8,7 @@ Examples::
     repro predict BT W 9 -L 3       # one-off prediction comparison
     repro machine                   # show the simulated IBM SP
     repro profile LU A 8            # per-kernel application profile
+    repro serve --db perf.sqlite    # JSON-lines prediction service on stdin
 """
 
 from __future__ import annotations
@@ -20,6 +21,32 @@ from repro._version import __version__
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+#: Canonical (upper-case) choice lists; arguments use ``type=str.upper`` so
+#: lower-case spellings normalize before the choices check instead of each
+#: list carrying both cases.
+BENCHMARK_CHOICES = ["BT", "SP", "LU", "CG", "MG"]
+CLASS_CHOICES = ["S", "W", "A", "B", "C"]
+
+
+def _add_configuration_arguments(
+    parser: argparse.ArgumentParser, with_class: bool = True
+) -> None:
+    """The benchmark/class/nprocs triple shared by several subcommands."""
+    parser.add_argument(
+        "benchmark",
+        type=str.upper,
+        choices=BENCHMARK_CHOICES,
+        help="NPB work-alike (case-insensitive)",
+    )
+    if with_class:
+        parser.add_argument(
+            "problem_class",
+            type=str.upper,
+            choices=CLASS_CHOICES,
+            help="problem class (case-insensitive)",
+        )
+        parser.add_argument("nprocs", type=int)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,9 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict = sub.add_parser(
         "predict", help="predict one configuration with every method"
     )
-    predict.add_argument("benchmark", choices=["BT", "SP", "LU", "CG", "MG", "bt", "sp", "lu", "cg", "mg"])
-    predict.add_argument("problem_class", choices=list("SWABCswabc"))
-    predict.add_argument("nprocs", type=int)
+    _add_configuration_arguments(predict)
     predict.add_argument(
         "-L", "--chain-length", type=int, default=3, help="coupling chain length"
     )
@@ -71,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a measurement campaign into a database"
     )
-    sweep.add_argument("benchmark", choices=["BT", "SP", "LU", "CG", "MG", "bt", "sp", "lu", "cg", "mg"])
+    _add_configuration_arguments(sweep, with_class=False)
     sweep.add_argument(
         "--classes", default="S", help="comma-separated problem classes"
     )
@@ -87,9 +112,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--repetitions", type=int, default=6)
 
     profile = sub.add_parser("profile", help="per-kernel application profile")
-    profile.add_argument("benchmark", choices=["BT", "SP", "LU", "CG", "MG", "bt", "sp", "lu", "cg", "mg"])
-    profile.add_argument("problem_class", choices=list("SWABCswabc"))
-    profile.add_argument("nprocs", type=int)
+    _add_configuration_arguments(profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve predictions over JSON lines (stdin) or a TCP socket",
+    )
+    serve.add_argument(
+        "--db", default=":memory:", help="persistent measurement tier (sqlite)"
+    )
+    serve.add_argument("--repetitions", type=int, default=6)
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, help="L1 report LRU capacity"
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=None, help="L1 entry lifetime in seconds"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="simulation worker count"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="max outstanding cells before rejecting with retry-after",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.005,
+        help="seconds to coalesce a burst before dispatching",
+    )
+    serve.add_argument(
+        "--executor", choices=["thread", "process", "inline"], default="thread"
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="serve over TCP on this port instead of stdin (0 = ephemeral)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -149,9 +207,7 @@ def _cmd_predict(
 ) -> int:
     from repro import quick_prediction
 
-    report = quick_prediction(
-        benchmark.upper(), problem_class.upper(), nprocs, chain_length
-    )
+    report = quick_prediction(benchmark, problem_class, nprocs, chain_length)
     print(f"Actual:               {report.actual:.3f} s")
     for name, value in report.predictions.items():
         print(
@@ -220,7 +276,7 @@ def _cmd_sweep(args) -> int:
     from repro.simmachine import ibm_sp_argonne
 
     plan = CampaignPlan(
-        benchmark=args.benchmark.upper(),
+        benchmark=args.benchmark,
         problem_classes=tuple(c.upper() for c in args.classes.split(",")),
         proc_counts=tuple(int(p) for p in args.procs.split(",")),
         chain_lengths=tuple(int(c) for c in args.chains.split(",")),
@@ -253,9 +309,47 @@ def _cmd_profile(benchmark: str, problem_class: str, nprocs: int) -> int:
     from repro.npb import make_benchmark
     from repro.simmachine import ibm_sp_argonne
 
-    bench = make_benchmark(benchmark.upper(), problem_class.upper(), nprocs)
+    bench = make_benchmark(benchmark, problem_class, nprocs)
     report = profile_application(bench, ibm_sp_argonne())
     print(report.render())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.instrument import MeasurementConfig
+    from repro.service import PredictionService, serve_jsonl, serve_socket
+
+    service = PredictionService(
+        measurement=MeasurementConfig(
+            repetitions=args.repetitions, warmup=2, seed=args.seed
+        ),
+        db_path=args.db,
+        cache_capacity=args.cache_size,
+        cache_ttl=args.ttl,
+        batch_window=args.batch_window,
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        executor=args.executor,
+    )
+    try:
+        if args.port is not None:
+            def announce(address: tuple) -> None:
+                print(
+                    f"serving on {address[0]}:{address[1]} (ctrl-c to stop)",
+                    file=sys.stderr,
+                )
+
+            stats = serve_socket(
+                service, args.host, args.port, announce=announce
+            )
+        else:
+            stats = serve_jsonl(service, sys.stdin, sys.stdout)
+    finally:
+        service.close()
+    print("service metrics:", file=sys.stderr)
+    print(json.dumps(stats, indent=2), file=sys.stderr)
     return 0
 
 
@@ -294,6 +388,8 @@ def _dispatch(args) -> int:
         return _cmd_sweep(args)
     if args.command == "profile":
         return _cmd_profile(args.benchmark, args.problem_class, args.nprocs)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover — argparse enforces the command set
 
 

@@ -53,6 +53,18 @@ class ControlFlow:
         """Kernel names in control-flow order."""
         return tuple(k.name for k in self.kernels)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ControlFlow):
+            return NotImplemented
+        return self.kernels == other.kernels and self.cyclic == other.cyclic
+
+    def __hash__(self) -> int:
+        return hash((self.kernels, self.cyclic))
+
+    def __repr__(self) -> str:
+        tail = "" if self.cyclic else ", cyclic=False"
+        return f"ControlFlow({list(self.names)!r}{tail})"
+
     def __len__(self) -> int:
         return len(self.kernels)
 

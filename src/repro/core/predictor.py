@@ -13,11 +13,11 @@ unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.core.coefficients import kernel_coefficients
 from repro.core.coupling import CouplingSet
-from repro.core.kernel import ControlFlow
+from repro.core.kernel import ControlFlow, Kernel
 from repro.errors import PredictionError
 from repro.util.stats import percent_relative_error
 
@@ -62,6 +62,73 @@ class PredictionInputs:
     def one_shot_total(self) -> float:
         """Combined pre + post kernel time."""
         return sum(self.pre_times.values()) + sum(self.post_times.values())
+
+    @property
+    def cache_key(self) -> tuple:
+        """A canonical, hashable identity of these inputs.
+
+        Two inputs with equal measurements (regardless of mapping insertion
+        order) share a key, so memoization layers — e.g.
+        :mod:`repro.service` — can use the inputs themselves as cache keys.
+        """
+        return (
+            tuple((k.name, k.calls_per_iteration) for k in self.flow.kernels),
+            self.flow.cyclic,
+            self.iterations,
+            tuple(sorted(self.loop_times.items())),
+            tuple(sorted(self.pre_times.items())),
+            tuple(sorted(self.post_times.items())),
+            tuple(sorted(self.chain_times.items())),
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PredictionInputs):
+            return NotImplemented
+        return self.cache_key == other.cache_key
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot (chain windows become lists)."""
+        return {
+            "flow": {
+                "kernels": [
+                    {"name": k.name, "calls_per_iteration": k.calls_per_iteration}
+                    for k in self.flow.kernels
+                ],
+                "cyclic": self.flow.cyclic,
+            },
+            "iterations": self.iterations,
+            "loop_times": dict(self.loop_times),
+            "pre_times": dict(self.pre_times),
+            "post_times": dict(self.post_times),
+            "chain_times": [
+                [list(window), t] for window, t in sorted(self.chain_times.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PredictionInputs":
+        """Rebuild inputs from :meth:`to_dict` output."""
+        flow_spec = data["flow"]
+        flow = ControlFlow(
+            [
+                Kernel(k["name"], k.get("calls_per_iteration", 1))
+                for k in flow_spec["kernels"]
+            ],
+            cyclic=flow_spec.get("cyclic", True),
+        )
+        return cls(
+            flow=flow,
+            iterations=data["iterations"],
+            loop_times=dict(data["loop_times"]),
+            pre_times=dict(data.get("pre_times", {})),
+            post_times=dict(data.get("post_times", {})),
+            chain_times={
+                tuple(window): t for window, t in data.get("chain_times", [])
+            },
+        )
 
 
 class SummationPredictor:

@@ -49,3 +49,24 @@ class PredictionError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver failed or was asked for an unknown experiment."""
+
+
+class ServiceError(ReproError):
+    """A failure inside the prediction-serving layer."""
+
+
+class ServiceSaturatedError(ServiceError):
+    """The service's worker queue is full; retry after a backoff.
+
+    Carries ``retry_after`` (seconds), the service's estimate of when
+    capacity will free up, so clients can implement honest backoff instead
+    of hammering a saturated queue.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceClosedError(ServiceError):
+    """A request arrived after the service was shut down."""

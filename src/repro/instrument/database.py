@@ -5,12 +5,20 @@ measurements so models can be built without re-running experiments. This is
 a small sqlite-backed equivalent: measurements are keyed by (benchmark,
 class, nprocs, kernel chain) and store the sample vector, so coupling sets
 and predictors can be reconstructed offline.
+
+The database is safe for concurrent use from multiple threads (the serving
+layer in :mod:`repro.service` hits it from a worker pool): file-backed
+stores open one connection per thread, in-memory stores share a single
+connection behind a lock, and :meth:`store_if_absent` /
+:meth:`get_or_measure` are free of check-then-insert races (``INSERT OR
+IGNORE`` followed by a re-read decides the winner).
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from typing import Iterator, Optional
 
 from repro.errors import MeasurementError
@@ -41,13 +49,47 @@ class PerformanceDatabase:
     """
 
     def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
-        self._conn.execute(_SCHEMA)
-        self._conn.commit()
+        self.path = path
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._closed = False
+        # An in-memory sqlite database exists per connection, so it must be
+        # shared across threads; file-backed stores get per-thread
+        # connections instead (sqlite serializes writers itself).
+        self._shared: Optional[sqlite3.Connection] = None
+        if path == ":memory:":
+            self._shared = sqlite3.connect(path, check_same_thread=False)
+        conn = self._connection()
+        with self._lock:
+            conn.execute(_SCHEMA)
+            conn.commit()
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._closed:
+            raise MeasurementError("performance database is closed")
+        if self._shared is not None:
+            return self._shared
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path)
+            self._local.conn = conn
+            with self._lock:
+                self._connections.append(conn)
+        return conn
 
     def close(self) -> None:
-        """Close the underlying connection."""
-        self._conn.close()
+        """Close every connection this database opened."""
+        with self._lock:
+            self._closed = True
+            if self._shared is not None:
+                self._shared.close()
+            for conn in self._connections:
+                try:
+                    conn.close()
+                except sqlite3.ProgrammingError:  # pragma: no cover
+                    pass  # already closed by its owning thread
+            self._connections.clear()
 
     def __enter__(self) -> "PerformanceDatabase":
         return self
@@ -57,28 +99,62 @@ class PerformanceDatabase:
 
     # -- write ---------------------------------------------------------------
 
+    @staticmethod
+    def _row(measurement: Measurement) -> tuple:
+        return (
+            measurement.benchmark,
+            measurement.problem_class,
+            measurement.nprocs,
+            json.dumps(list(measurement.kernels)),
+            json.dumps(list(measurement.samples)),
+            measurement.overhead,
+        )
+
     def store(self, measurement: Measurement, replace: bool = False) -> None:
         """Insert a measurement; duplicates error unless ``replace``."""
         verb = "INSERT OR REPLACE" if replace else "INSERT"
-        try:
-            self._conn.execute(
-                f"{verb} INTO measurements "
+        with self._lock:
+            conn = self._connection()
+            try:
+                conn.execute(
+                    f"{verb} INTO measurements "
+                    "(benchmark, problem_class, nprocs, kernels, samples, overhead) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    self._row(measurement),
+                )
+            except sqlite3.IntegrityError as exc:
+                raise MeasurementError(
+                    f"measurement {measurement.key} already stored"
+                ) from exc
+            conn.commit()
+
+    def store_if_absent(self, measurement: Measurement) -> Measurement:
+        """Race-free idempotent insert; returns the winning record.
+
+        ``INSERT OR IGNORE`` then re-read: whichever concurrent writer got
+        there first wins, and every caller sees that winner — the pattern
+        the serving layer's workers rely on.
+        """
+        conn = self._connection()
+        with self._lock:
+            conn.execute(
+                "INSERT OR IGNORE INTO measurements "
                 "(benchmark, problem_class, nprocs, kernels, samples, overhead) "
                 "VALUES (?, ?, ?, ?, ?, ?)",
-                (
-                    measurement.benchmark,
-                    measurement.problem_class,
-                    measurement.nprocs,
-                    json.dumps(list(measurement.kernels)),
-                    json.dumps(list(measurement.samples)),
-                    measurement.overhead,
-                ),
+                self._row(measurement),
             )
-        except sqlite3.IntegrityError as exc:
+            conn.commit()
+        stored = self.get(
+            measurement.benchmark,
+            measurement.problem_class,
+            measurement.nprocs,
+            measurement.kernels,
+        )
+        if stored is None:  # pragma: no cover — defensive
             raise MeasurementError(
-                f"measurement {measurement.key} already stored"
-            ) from exc
-        self._conn.commit()
+                f"measurement {measurement.key} vanished during insert"
+            )
+        return stored
 
     # -- read ----------------------------------------------------------------
 
@@ -90,11 +166,12 @@ class PerformanceDatabase:
         kernels: tuple[str, ...],
     ) -> Optional[Measurement]:
         """Fetch one measurement, or None."""
-        row = self._conn.execute(
-            "SELECT samples, overhead FROM measurements WHERE "
-            "benchmark=? AND problem_class=? AND nprocs=? AND kernels=?",
-            (benchmark, problem_class, nprocs, json.dumps(list(kernels))),
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT samples, overhead FROM measurements WHERE "
+                "benchmark=? AND problem_class=? AND nprocs=? AND kernels=?",
+                (benchmark, problem_class, nprocs, json.dumps(list(kernels))),
+            ).fetchone()
         if row is None:
             return None
         samples, overhead = row
@@ -108,10 +185,11 @@ class PerformanceDatabase:
         )
 
     def __iter__(self) -> Iterator[Measurement]:
-        rows = self._conn.execute(
-            "SELECT benchmark, problem_class, nprocs, kernels, samples, overhead "
-            "FROM measurements ORDER BY id"
-        )
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT benchmark, problem_class, nprocs, kernels, samples, overhead "
+                "FROM measurements ORDER BY id"
+            ).fetchall()
         for bench, cls, nprocs, kernels, samples, overhead in rows:
             yield Measurement(
                 benchmark=bench,
@@ -123,13 +201,22 @@ class PerformanceDatabase:
             )
 
     def __len__(self) -> int:
-        (n,) = self._conn.execute("SELECT COUNT(*) FROM measurements").fetchone()
+        with self._lock:
+            (n,) = self._connection().execute(
+                "SELECT COUNT(*) FROM measurements"
+            ).fetchone()
         return n
 
     # -- memoization ------------------------------------------------------------
 
     def get_or_measure(self, runner, kernels: tuple[str, ...]) -> Measurement:
-        """Return the stored measurement or run ``runner.measure`` and store."""
+        """Return the stored measurement or run ``runner.measure`` and store.
+
+        Concurrent callers racing on the same key may both measure, but
+        exactly one result is stored and both see it (single-flight
+        deduplication of the *measurement* itself lives a layer up, in
+        :mod:`repro.service.batching`).
+        """
         bench = runner.benchmark
         found = self.get(
             bench.name, bench.size.problem_class, bench.nprocs, tuple(kernels)
@@ -137,5 +224,4 @@ class PerformanceDatabase:
         if found is not None:
             return found
         measured = runner.measure(kernels)
-        self.store(measured)
-        return measured
+        return self.store_if_absent(measured)

@@ -49,6 +49,30 @@ class CampaignPlan:
             for procs in self.proc_counts
         ]
 
+    @classmethod
+    def for_cell(
+        cls,
+        benchmark: str,
+        problem_class: str,
+        nprocs: int,
+        chain_lengths: Sequence[int] = (2,),
+        include_one_shots: bool = True,
+    ) -> "CampaignPlan":
+        """A single-cell plan — the unit the serving layer batches on.
+
+        :mod:`repro.service.batching` groups coalesced requests by
+        (benchmark, class, nprocs) and turns each group into one of these,
+        so a batch shares the runner warm-up and memoizes through the same
+        database a sweep would.
+        """
+        return cls(
+            benchmark=benchmark,
+            problem_classes=(problem_class,),
+            proc_counts=(nprocs,),
+            chain_lengths=tuple(sorted(set(chain_lengths))),
+            include_one_shots=include_one_shots,
+        )
+
 
 @dataclass
 class Campaign:
@@ -74,9 +98,9 @@ class Campaign:
             self.measurements_reused += 1
             return cached
         measured = runner.measure(kernels)
-        self.database.store(measured)
+        stored = self.database.store_if_absent(measured)
         self.measurements_run += 1
-        return measured
+        return stored
 
     def run_configuration(self, problem_class: str, nprocs: int) -> PredictionInputs:
         """Measure (or load) one cell; returns ready prediction inputs."""

@@ -1,0 +1,53 @@
+"""Prediction serving: batching, caching, single-flight, worker pool.
+
+The one-shot predictor stack answers "how long will BT class W on 9
+processors take?" by re-simulating the full measurement protocol every
+time. This subsystem turns that into a long-lived service:
+
+* :class:`~repro.service.engine.PredictionService` — the engine: accepts
+  :class:`~repro.service.engine.PredictRequest` objects, returns
+  :class:`~repro.core.predictor.PredictionReport` objects;
+* :mod:`~repro.service.cache` — two-tier cache: in-process report LRU
+  (with TTL) over the persistent Prophesy-style measurement database;
+* :mod:`~repro.service.batching` — single-flight deduplication of
+  identical in-flight requests plus coalescing of distinct ones into
+  per-configuration measurement plans;
+* :mod:`~repro.service.workers` — a bounded ``concurrent.futures`` pool
+  (threads or processes) running the simulations, with
+  reject-with-retry-after backpressure;
+* :mod:`~repro.service.metrics` — counters and latency histograms behind
+  :meth:`~repro.service.engine.PredictionService.stats`;
+* :mod:`~repro.service.api` — the :class:`~repro.service.api.ServiceClient`
+  facade and the JSON-lines / TCP front-ends behind ``repro serve``.
+
+Quickstart::
+
+    from repro.service import PredictionService, PredictRequest
+
+    with PredictionService(db_path="perf.sqlite") as service:
+        report = service.predict(PredictRequest("BT", "W", 9, chain_length=3))
+        print(report.errors(), service.stats()["cache_hit_ratio"])
+"""
+
+from repro.service.api import ServiceClient, serve_jsonl, serve_socket
+from repro.service.batching import RequestBatcher
+from repro.service.cache import LRUCache, TieredPredictionCache
+from repro.service.engine import PredictRequest, PredictionService
+from repro.service.metrics import ServiceMetrics, render_stats
+from repro.service.workers import CellTask, WorkerPool, execute_cell
+
+__all__ = [
+    "CellTask",
+    "LRUCache",
+    "PredictRequest",
+    "PredictionService",
+    "RequestBatcher",
+    "ServiceClient",
+    "ServiceMetrics",
+    "TieredPredictionCache",
+    "WorkerPool",
+    "execute_cell",
+    "render_stats",
+    "serve_jsonl",
+    "serve_socket",
+]

@@ -1,0 +1,234 @@
+"""Client facade and wire front-ends for the prediction service.
+
+Three ways in:
+
+* :class:`ServiceClient` — a thread-safe in-process facade with a
+  keyword-friendly ``predict()`` signature;
+* :func:`serve_jsonl` — a JSON-lines request/response loop over any pair of
+  text streams (the ``repro serve`` CLI runs it over stdin/stdout), for
+  piping and load testing;
+* :func:`serve_socket` — the same line protocol over TCP
+  (``repro serve --port N``), one thread per connection.
+
+The line protocol: each input line is either a request object
+(``{"benchmark": "BT", "problem_class": "W", "nprocs": 4, ...}``), an array
+of request objects (answered as one batched response), or a command object
+(``{"cmd": "stats"}``). Every line gets exactly one JSON response line with
+an ``"ok"`` field; saturation rejections carry ``"retry_after"``.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Callable, Iterable, Mapping, Optional, TextIO
+
+from repro.core.predictor import PredictionReport
+from repro.errors import ReproError, ServiceSaturatedError
+from repro.service.engine import PredictRequest, PredictionService
+
+__all__ = [
+    "ServiceClient",
+    "report_to_dict",
+    "handle_line",
+    "serve_jsonl",
+    "serve_socket",
+]
+
+
+def report_to_dict(
+    request: PredictRequest, report: PredictionReport
+) -> dict[str, Any]:
+    """Wire form of one successful prediction."""
+    return {
+        "ok": True,
+        "request": request.to_dict(),
+        "actual": report.actual,
+        "predictions": dict(report.predictions),
+        "errors_percent": report.errors(),
+        "best": report.best(),
+    }
+
+
+def _error_dict(exc: Exception) -> dict[str, Any]:
+    payload: dict[str, Any] = {"ok": False, "error": str(exc)}
+    if isinstance(exc, ServiceSaturatedError):
+        payload["retry_after"] = exc.retry_after
+    return payload
+
+
+class ServiceClient:
+    """Synchronous, thread-safe convenience wrapper around a service.
+
+    Owns the service unless told otherwise: closing the client closes the
+    service it was constructed with (``owns=False`` opts out for shared
+    services).
+    """
+
+    def __init__(self, service: PredictionService, owns: bool = True):
+        self.service = service
+        self._owns = owns
+
+    def predict(
+        self,
+        benchmark: str,
+        problem_class: str,
+        nprocs: int,
+        chain_length: int = 2,
+        seed: int = 0,
+        timeout: Optional[float] = None,
+    ) -> PredictionReport:
+        """Predict one configuration (arguments mirror ``repro predict``)."""
+        request = PredictRequest(
+            benchmark=benchmark,
+            problem_class=problem_class,
+            nprocs=nprocs,
+            chain_length=chain_length,
+            seed=seed,
+        )
+        return self.service.predict(request, timeout=timeout)
+
+    def predict_dict(
+        self, data: Mapping[str, Any], timeout: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Predict from a wire-form request; returns a wire-form response."""
+        request = PredictRequest.from_dict(data)
+        report = self.service.predict(request, timeout=timeout)
+        return report_to_dict(request, report)
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+    def close(self) -> None:
+        if self._owns:
+            self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def handle_line(service: PredictionService, line: str) -> Optional[str]:
+    """One protocol exchange: a request line in, a JSON response line out.
+
+    Returns ``None`` for blank lines (no response owed).
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return json.dumps(_error_dict(ReproError(f"invalid JSON: {exc}")))
+    if isinstance(payload, list):
+        return json.dumps({"ok": True, "results": _handle_batch(service, payload)})
+    if not isinstance(payload, dict):
+        return json.dumps(
+            _error_dict(ReproError("request must be a JSON object or array"))
+        )
+    if payload.get("cmd") == "stats":
+        return json.dumps({"ok": True, "stats": service.stats()})
+    try:
+        request = PredictRequest.from_dict(payload)
+        report = service.predict(request)
+        return json.dumps(report_to_dict(request, report))
+    except ReproError as exc:
+        return json.dumps(_error_dict(exc))
+
+
+def _handle_batch(
+    service: PredictionService, items: list[Any]
+) -> list[dict[str, Any]]:
+    """Answer an array line as one coalesced burst through the batcher."""
+    requests: list[Optional[PredictRequest]] = []
+    responses: list[Optional[dict[str, Any]]] = []
+    for item in items:
+        try:
+            if not isinstance(item, dict):
+                raise ReproError("batch items must be JSON objects")
+            requests.append(PredictRequest.from_dict(item))
+            responses.append(None)
+        except ReproError as exc:
+            requests.append(None)
+            responses.append(_error_dict(exc))
+    live = [r for r in requests if r is not None]
+    outcomes = iter(
+        service.predict_many(live, return_exceptions=True) if live else []
+    )
+    for i, request in enumerate(requests):
+        if request is None:
+            continue
+        outcome = next(outcomes)
+        if isinstance(outcome, Exception):
+            responses[i] = _error_dict(outcome)
+        else:
+            responses[i] = report_to_dict(request, outcome)
+    return responses  # type: ignore[return-value]
+
+
+def serve_jsonl(
+    service: PredictionService,
+    lines: Iterable[str],
+    out: TextIO,
+) -> dict:
+    """Serve a JSON-lines stream until EOF; returns the final stats."""
+    for line in lines:
+        response = handle_line(service, line)
+        if response is not None:
+            out.write(response + "\n")
+            out.flush()
+    return service.stats()
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover — exercised via serve_socket
+        for raw in self.rfile:
+            response = handle_line(self.server.service, raw.decode("utf-8"))
+            if response is not None:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+                self.wfile.flush()
+
+
+class _ServiceServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: PredictionService):
+        super().__init__(address, _LineHandler)
+        self.service = service
+
+
+def serve_socket(
+    service: PredictionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[threading.Event] = None,
+    bound: Optional[list] = None,
+    control: Optional[list] = None,
+    announce: Optional[Callable[[tuple], None]] = None,
+) -> dict:
+    """Serve the line protocol over TCP until interrupted; returns stats.
+
+    ``port=0`` binds an ephemeral port; the bound ``(host, port)`` is
+    appended to ``bound`` (when given), passed to ``announce`` (when
+    given), and ``ready`` is set once accepting. ``control`` (when given)
+    receives the server object so a supervisor — or a test — can call its
+    ``shutdown()`` from another thread.
+    """
+    with _ServiceServer((host, port), service) as server:
+        if bound is not None:
+            bound.append(server.server_address)
+        if control is not None:
+            control.append(server)
+        if announce is not None:
+            announce(server.server_address)
+        if ready is not None:
+            ready.set()
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # pragma: no cover — interactive shutdown
+            pass
+    return service.stats()

@@ -1,0 +1,169 @@
+"""Request coalescing: single-flight deduplication + config batching.
+
+Two distinct ideas live here:
+
+* **Single-flight** — while a request key is being computed, every further
+  identical request attaches to the same :class:`~concurrent.futures.Future`
+  instead of triggering its own simulation. The registry spans the whole
+  in-flight window (queued *and* executing), so N concurrent identical
+  requests cost exactly one cell execution.
+* **Batching** — distinct requests that arrive within the collection
+  ``window`` are grouped by their configuration key
+  (benchmark, class, nprocs, seed) and dispatched as *one* measurement
+  plan, sharing the runner warm-up (the empty-loop overhead measurement)
+  and the campaign's memoization across chain lengths.
+
+The batcher owns one daemon dispatcher thread; the dispatch callable (the
+engine) is invoked on that thread with each group and must not block
+indefinitely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Protocol
+
+from repro.errors import ServiceClosedError
+
+__all__ = ["Flight", "RequestBatcher"]
+
+
+class BatchableRequest(Protocol):
+    """What the batcher needs from a request object."""
+
+    @property
+    def key(self) -> Hashable: ...
+
+    @property
+    def config_key(self) -> Hashable: ...
+
+
+@dataclass
+class Flight:
+    """One unique in-flight request and everyone waiting on it."""
+
+    request: BatchableRequest
+    future: Future = field(default_factory=Future)
+    waiters: int = 1
+
+
+class RequestBatcher:
+    """Coalesce and batch requests onto a dispatch callable.
+
+    ``dispatch(flights)`` receives one config-homogeneous group per call.
+    Flights stay registered (and coalescable) until their future resolves;
+    resolution is the dispatcher's/engine's job.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[list[Flight]], None],
+        window: float = 0.005,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if window < 0:
+            raise ValueError(f"batch window must be >= 0, got {window}")
+        self._dispatch = dispatch
+        self.window = window
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: list[Flight] = []
+        self._live: dict[Hashable, Flight] = {}
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side ----------------------------------------------------------
+
+    def submit(self, request: BatchableRequest) -> tuple[Future, bool]:
+        """Register a request; returns ``(future, coalesced)``.
+
+        ``coalesced`` is True when an identical request was already in
+        flight and this one attached to it (single-flight hit).
+        """
+        key = request.key
+        with self._wakeup:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            flight = self._live.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                return flight.future, True
+            flight = Flight(request=request)
+            flight.future.add_done_callback(
+                lambda _fut, key=key: self._forget(key)
+            )
+            self._live[key] = flight
+            self._queue.append(flight)
+            self._wakeup.notify()
+            return flight.future, False
+
+    def in_flight(self, key: Hashable) -> bool:
+        """Whether this key is currently queued or executing."""
+        with self._lock:
+            return key in self._live
+
+    @property
+    def pending(self) -> int:
+        """Flights collected but not yet dispatched."""
+        with self._lock:
+            return len(self._queue)
+
+    def _forget(self, key: Hashable) -> None:
+        with self._lock:
+            self._live.pop(key, None)
+
+    # -- dispatcher side ------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._queue:
+                    return
+            # Collection window: let concurrent callers pile in before
+            # grouping, so bursts become batches instead of singletons.
+            if self.window:
+                self._sleep(self.window)
+            with self._lock:
+                batch, self._queue = self._queue, []
+            for group in self._group(batch):
+                try:
+                    self._dispatch(group)
+                except BaseException as exc:  # noqa: BLE001 — relay to waiters
+                    for flight in group:
+                        if not flight.future.done():
+                            flight.future.set_exception(exc)
+
+    @staticmethod
+    def _group(flights: list[Flight]) -> list[list[Flight]]:
+        """Config-homogeneous groups, preserving arrival order."""
+        groups: "OrderedDict[Hashable, list[Flight]]" = OrderedDict()
+        for flight in flights:
+            groups.setdefault(flight.request.config_key, []).append(flight)
+        return list(groups.values())
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher; fail anything still queued."""
+        with self._wakeup:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers, self._queue = self._queue, []
+            self._wakeup.notify()
+        for flight in leftovers:
+            if not flight.future.done():
+                flight.future.set_exception(
+                    ServiceClosedError("service shut down before dispatch")
+                )
+        self._thread.join(timeout=timeout)

@@ -1,0 +1,415 @@
+"""The prediction service: requests in, cached/batched reports out.
+
+:class:`PredictionService` turns the one-shot predictor stack
+(:func:`repro.quick_prediction` and friends) into a long-lived serving
+layer:
+
+1. an L1 LRU answers repeated requests in microseconds;
+2. misses are single-flight deduplicated and coalesced into per-config
+   measurement plans (:mod:`repro.service.batching`);
+3. plans run on a bounded worker pool (:mod:`repro.service.workers`)
+   through the persistent measurement tier
+   (:class:`~repro.instrument.database.PerformanceDatabase`), so a warm
+   database answers without simulating at all;
+4. every step is measured (:mod:`repro.service.metrics`).
+
+The public surface is thread-safe: any number of threads may call
+:meth:`PredictionService.predict` concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.core.predictor import (
+    CouplingPredictor,
+    PredictionReport,
+    SummationPredictor,
+)
+from repro.errors import PredictionError, ServiceError, ServiceSaturatedError
+from repro.instrument.database import PerformanceDatabase
+from repro.instrument.runner import MeasurementConfig
+from repro.instrument.sweeps import CampaignPlan
+from repro.npb import BENCHMARKS, CLASS_NAMES, make_benchmark
+from repro.service.batching import Flight, RequestBatcher
+from repro.service.cache import TieredPredictionCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.workers import CellTask, WorkerPool, execute_cell
+from repro.simmachine.machine import MachineConfig, ibm_sp_argonne
+
+__all__ = ["PredictRequest", "PredictionService"]
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One prediction to serve.
+
+    ``seed`` selects the measurement-noise stream (distinct seeds are
+    distinct L1 cache entries; the persistent measurement tier is
+    seed-agnostic, exactly like campaign memoization).
+    """
+
+    benchmark: str
+    problem_class: str
+    nprocs: int
+    chain_length: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmark", str(self.benchmark).upper())
+        object.__setattr__(
+            self, "problem_class", str(self.problem_class).upper()
+        )
+        if self.benchmark not in BENCHMARKS:
+            raise ServiceError(
+                f"unknown benchmark {self.benchmark!r}; "
+                f"choose from {sorted(BENCHMARKS)}"
+            )
+        if self.problem_class not in CLASS_NAMES:
+            raise ServiceError(
+                f"unknown problem class {self.problem_class!r}; "
+                f"choose from {list(CLASS_NAMES)}"
+            )
+        if self.nprocs < 1:
+            raise ServiceError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.chain_length < 2:
+            raise ServiceError(
+                f"chain_length must be >= 2, got {self.chain_length}"
+            )
+
+    @property
+    def key(self) -> tuple:
+        """Full identity — the L1 cache key."""
+        return (
+            self.benchmark,
+            self.problem_class,
+            self.nprocs,
+            self.chain_length,
+            self.seed,
+        )
+
+    @property
+    def config_key(self) -> tuple:
+        """Batching identity: requests sharing it share one measurement plan."""
+        return (self.benchmark, self.problem_class, self.nprocs, self.seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "problem_class": self.problem_class,
+            "nprocs": self.nprocs,
+            "chain_length": self.chain_length,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PredictRequest":
+        """Build from a JSON object; unknown fields are rejected."""
+        known = {"benchmark", "problem_class", "nprocs", "chain_length", "seed"}
+        extra = set(data) - known
+        if extra:
+            raise ServiceError(f"unknown request fields: {sorted(extra)}")
+        try:
+            return cls(
+                benchmark=data["benchmark"],
+                problem_class=data["problem_class"],
+                nprocs=int(data["nprocs"]),
+                chain_length=int(data.get("chain_length", 2)),
+                seed=int(data.get("seed", 0)),
+            )
+        except KeyError as exc:
+            raise ServiceError(f"request missing field {exc.args[0]!r}") from None
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed request: {exc}") from None
+
+
+class PredictionService:
+    """Batched, cached, metered serving of prediction reports.
+
+    Parameters mirror the subsystem layers: cache sizing (``cache_capacity``
+    / ``cache_ttl`` / ``db_path`` or an externally owned ``database``),
+    batching (``batch_window``), the worker pool (``max_workers`` /
+    ``queue_depth`` / ``executor``), and the measurement protocol shared by
+    every cell (``machine`` / ``measurement`` / ``application_seed``).
+
+    ``execute`` swaps the cell executor (tests inject counting/blocking
+    stubs); with ``executor="process"`` the default
+    :func:`~repro.service.workers.execute_cell` must be used and
+    ``db_path`` must point at a database *file* the worker processes can
+    share.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineConfig] = None,
+        measurement: Optional[MeasurementConfig] = None,
+        *,
+        database: Optional[PerformanceDatabase] = None,
+        db_path: str = ":memory:",
+        cache_capacity: int = 1024,
+        cache_ttl: Optional[float] = None,
+        batch_window: float = 0.005,
+        max_workers: int = 2,
+        queue_depth: int = 16,
+        executor: str = "thread",
+        application_seed: int = 7,
+        execute: Optional[Callable[..., Any]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.machine = machine or ibm_sp_argonne()
+        self.measurement = measurement or MeasurementConfig()
+        self.application_seed = application_seed
+        self._clock = clock
+        self._cache = TieredPredictionCache(
+            capacity=cache_capacity,
+            ttl=cache_ttl,
+            database=database,
+            db_path=db_path,
+            clock=clock,
+        )
+        if executor == "process":
+            if execute is not None:
+                raise ServiceError(
+                    "custom execute hooks require a thread/inline executor"
+                )
+            if self._cache.db_path == ":memory:":
+                raise ServiceError(
+                    "process workers need a file-backed db_path to share "
+                    "the persistent tier"
+                )
+        self._executor_kind = executor
+        self._execute = execute or execute_cell
+        self._pool = WorkerPool(
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            kind=executor,
+            retry_after=self._retry_after_estimate,
+        )
+        self.metrics = ServiceMetrics(queue_depth_fn=lambda: self._pool.outstanding)
+        self._batcher = RequestBatcher(self._dispatch_group, window=batch_window)
+        self._closed = False
+
+    # -- serving --------------------------------------------------------------
+
+    def predict(
+        self, request: PredictRequest, timeout: Optional[float] = None
+    ) -> PredictionReport:
+        """Serve one request, blocking until its report is ready.
+
+        Raises :class:`~repro.errors.ServiceSaturatedError` (with a
+        ``retry_after`` hint) instead of queueing when the worker pool is
+        full and the request can neither be answered from cache nor
+        coalesced onto an in-flight duplicate.
+        """
+        outcome, t0 = self._submit(request)
+        if isinstance(outcome, PredictionReport):
+            return outcome
+        return self._await(outcome, t0, timeout)
+
+    def predict_many(
+        self,
+        requests: Sequence[PredictRequest],
+        timeout: Optional[float] = None,
+        return_exceptions: bool = False,
+    ) -> list:
+        """Serve a burst of requests through one batching window."""
+        outcomes = []
+        for request in requests:
+            try:
+                outcomes.append(self._submit(request))
+            except ServiceError as exc:
+                if not return_exceptions:
+                    raise
+                outcomes.append((exc, None))
+        results = []
+        for outcome, t0 in outcomes:
+            if isinstance(outcome, (PredictionReport, Exception)):
+                results.append(outcome)
+                continue
+            try:
+                results.append(self._await(outcome, t0, timeout))
+            except Exception as exc:  # noqa: BLE001 — caller opted in
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    def _submit(self, request: PredictRequest):
+        """L1 lookup, saturation gate, then hand off to the batcher.
+
+        Returns ``(report_or_future, start_time)``.
+        """
+        t0 = self._clock()
+        self.metrics.requests.inc()
+        report = self._cache.get_report(request.key)
+        if report is not None:
+            self.metrics.l1_hits.inc()
+            self.metrics.latency.observe(self._clock() - t0)
+            return report, t0
+        if self._pool.saturated and not self._batcher.in_flight(request.key):
+            self.metrics.rejected.inc()
+            raise ServiceSaturatedError(
+                "service saturated; retry later",
+                retry_after=self._pool.retry_after_hint(),
+            )
+        future, coalesced = self._batcher.submit(request)
+        if coalesced:
+            self.metrics.coalesced.inc()
+        return future, t0
+
+    def _await(
+        self, future: Future, t0: float, timeout: Optional[float]
+    ) -> PredictionReport:
+        try:
+            report = future.result(timeout)
+        except ServiceSaturatedError:
+            self.metrics.rejected.inc()
+            raise
+        except Exception:
+            self.metrics.errors.inc()
+            raise
+        self.metrics.latency.observe(self._clock() - t0)
+        return report
+
+    # -- dispatch (batcher thread) --------------------------------------------
+
+    def _dispatch_group(self, flights: list[Flight]) -> None:
+        """Turn one config-homogeneous group into a cell task on the pool."""
+        first = flights[0].request
+        self.metrics.record_batch(len(flights))
+        # Validate per-request chain lengths against the flow now, so one
+        # impossible request fails alone instead of poisoning its batch.
+        try:
+            bench = make_benchmark(
+                first.benchmark, first.problem_class, first.nprocs
+            )
+        except Exception as exc:  # noqa: BLE001 — relay to waiters
+            self._fail(flights, exc)
+            return
+        flow_length = len(bench.loop_kernel_names)
+        viable = []
+        for flight in flights:
+            if flight.request.chain_length > flow_length:
+                self._fail(
+                    [flight],
+                    PredictionError(
+                        f"chain_length {flight.request.chain_length} exceeds "
+                        f"the {first.benchmark} flow of {flow_length} kernels"
+                    ),
+                )
+            else:
+                viable.append(flight)
+        flights = viable
+        if not flights:
+            return
+        requests = [flight.request for flight in flights]
+        plan = CampaignPlan.for_cell(
+            first.benchmark,
+            first.problem_class,
+            first.nprocs,
+            chain_lengths=sorted({r.chain_length for r in requests}),
+        )
+        task = CellTask(
+            plan=plan,
+            machine=self.machine,
+            measurement=replace(self.measurement, seed=first.seed),
+            application_seed=self.application_seed,
+            db_path=(
+                self._cache.db_path
+                if self._executor_kind == "process"
+                else None
+            ),
+        )
+        try:
+            if self._executor_kind == "process":
+                pool_future = self._pool.submit(self._execute, task)
+            else:
+                pool_future = self._pool.submit(
+                    self._execute, task, self._cache.database
+                )
+        except ServiceError as exc:
+            self._fail(flights, exc)
+            return
+        started = self._clock()
+
+        def _done(fut: Future) -> None:
+            self.metrics.cell_seconds.observe(self._clock() - started)
+            try:
+                outcome = fut.result()
+            except BaseException as exc:  # noqa: BLE001 — relay to waiters
+                self._fail(flights, exc)
+                return
+            self._finish(flights, outcome)
+
+        pool_future.add_done_callback(_done)
+
+    def _finish(self, flights: list[Flight], outcome) -> None:
+        """Build each waiter's report from the cell outcome."""
+        self.metrics.simulations.inc(outcome.simulations)
+        warm = outcome.simulations == 0
+        summation = SummationPredictor().predict(outcome.inputs)
+        for flight in flights:
+            request = flight.request
+            try:
+                coupled = CouplingPredictor(request.chain_length).predict(
+                    outcome.inputs
+                )
+            except Exception as exc:  # noqa: BLE001 — relay to this waiter
+                self._fail([flight], exc)
+                continue
+            report = PredictionReport(
+                actual=outcome.actual,
+                predictions={
+                    SummationPredictor.name: summation,
+                    f"Coupling: {request.chain_length} kernels": coupled,
+                },
+            )
+            self._cache.put_report(request.key, report)
+            (self.metrics.l2_hits if warm else self.metrics.misses).inc()
+            if not flight.future.done():
+                flight.future.set_result(report)
+
+    @staticmethod
+    def _fail(flights: list[Flight], exc: BaseException) -> None:
+        for flight in flights:
+            if not flight.future.done():
+                flight.future.set_exception(exc)
+
+    def _retry_after_estimate(self) -> float:
+        """Expected drain time of the current queue, floored at 100 ms."""
+        mean_cell = self.metrics.cell_seconds.mean
+        if mean_cell <= 0:
+            return 1.0
+        waves = max(1, -(-self._pool.outstanding // self._pool.max_workers))
+        return max(0.1, waves * mean_cell)
+
+    # -- observability / lifecycle --------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters plus cache-tier counters, JSON-friendly."""
+        snapshot = self.metrics.stats()
+        snapshot["cache"] = self._cache.stats()
+        return snapshot
+
+    @property
+    def database(self) -> PerformanceDatabase:
+        """The persistent measurement tier (shared with campaigns/sweeps)."""
+        return self._cache.database
+
+    def close(self) -> None:
+        """Stop batching, drain workers, release the cache tiers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        self._pool.shutdown(wait=True)
+        self._cache.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

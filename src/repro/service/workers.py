@@ -1,0 +1,234 @@
+"""Worker pool and the cell task the workers execute.
+
+The expensive part of a prediction is the discrete-event simulation of the
+measurement protocol (isolated kernels, chain windows, one-shots) plus the
+full application run. :func:`execute_cell` packages exactly that work for
+one (benchmark, class, nprocs) cell; :class:`WorkerPool` runs cells in
+parallel on a bounded ``concurrent.futures`` pool, rejecting new work with
+a retry-after hint once the queue is full (backpressure instead of
+unbounded buffering).
+
+``execute_cell`` is a module-level function over picklable dataclasses so
+the pool can be process-based (``kind="process"``); with processes the
+persistent tier must be a database *file* (``db_path``) — each worker opens
+its own connection, and ``INSERT OR IGNORE`` semantics in
+:class:`~repro.instrument.database.PerformanceDatabase` make concurrent
+writers safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.predictor import PredictionInputs
+from repro.errors import ServiceClosedError, ServiceError, ServiceSaturatedError
+from repro.instrument.database import PerformanceDatabase
+from repro.instrument.runner import ApplicationRunner, Measurement, MeasurementConfig
+from repro.instrument.sweeps import Campaign, CampaignPlan
+from repro.service.cache import ACTUAL_KEY
+from repro.simmachine.machine import MachineConfig
+
+__all__ = ["CellTask", "CellOutcome", "execute_cell", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One unit of worker-pool work: measure a single sweep cell."""
+
+    plan: CampaignPlan
+    machine: MachineConfig
+    measurement: MeasurementConfig
+    application_seed: int = 7
+    db_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.plan.configurations()) != 1:
+            raise ServiceError(
+                "a cell task needs a single-cell plan; "
+                f"got {len(self.plan.configurations())} cells"
+            )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What a worker hands back: inputs + actual + work accounting."""
+
+    benchmark: str
+    problem_class: str
+    nprocs: int
+    inputs: PredictionInputs
+    actual: float
+    simulations: int
+    reused: int
+
+
+def execute_cell(
+    task: CellTask, database: Optional[PerformanceDatabase] = None
+) -> CellOutcome:
+    """Measure one cell through the persistent tier.
+
+    Thread pools pass the service's shared ``database``; process pools leave
+    it ``None`` and the worker opens ``task.db_path`` itself. A fully
+    archived cell runs zero simulations — the campaign memoization *is* the
+    L2 cache replay.
+    """
+    # NB: PerformanceDatabase defines __len__, so an empty one is falsy —
+    # the `is None` test (not truthiness) picks the shared instance.
+    owns_database = database is None
+    db = (
+        PerformanceDatabase(task.db_path or ":memory:")
+        if database is None
+        else database
+    )
+    try:
+        campaign = Campaign(
+            plan=task.plan,
+            machine=task.machine,
+            measurement=task.measurement,
+            database=db,
+        )
+        (problem_class, nprocs) = task.plan.configurations()[0]
+        inputs = campaign.run_configuration(problem_class, nprocs)
+        simulations = campaign.measurements_run
+        reused = campaign.measurements_reused
+        benchmark = task.plan.benchmark
+        cached_actual = db.get(benchmark, problem_class, nprocs, ACTUAL_KEY)
+        if cached_actual is not None:
+            actual = cached_actual.mean
+            reused += 1
+        else:
+            bench_run = ApplicationRunner(
+                campaign_benchmark(benchmark, problem_class, nprocs),
+                task.machine,
+                seed=task.application_seed,
+            ).run()
+            actual = bench_run.total_time
+            db.store_if_absent(
+                Measurement(
+                    benchmark=benchmark,
+                    problem_class=problem_class,
+                    nprocs=nprocs,
+                    kernels=ACTUAL_KEY,
+                    samples=(actual,),
+                    overhead=0.0,
+                )
+            )
+            simulations += 1
+        return CellOutcome(
+            benchmark=benchmark,
+            problem_class=problem_class,
+            nprocs=nprocs,
+            inputs=inputs,
+            actual=actual,
+            simulations=simulations,
+            reused=reused,
+        )
+    finally:
+        if owns_database:
+            db.close()
+
+
+def campaign_benchmark(benchmark: str, problem_class: str, nprocs: int):
+    """Build the benchmark object a cell task refers to."""
+    from repro.npb import make_benchmark
+
+    return make_benchmark(benchmark, problem_class, nprocs)
+
+
+class WorkerPool:
+    """Bounded ``concurrent.futures`` pool with reject-on-saturation.
+
+    ``queue_depth`` caps *outstanding* (queued + running) cells; a submit
+    beyond that raises
+    :class:`~repro.errors.ServiceSaturatedError` carrying a retry-after
+    estimate instead of queueing unboundedly. ``kind`` selects
+    ``"thread"`` (default — shares the in-process database),
+    ``"process"`` (true parallel simulation; needs a file database), or
+    ``"inline"`` (synchronous, for debugging and deterministic tests).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        queue_depth: int = 8,
+        kind: str = "thread",
+        retry_after: Union[float, Callable[[], float]] = 1.0,
+    ):
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if queue_depth < 1:
+            raise ServiceError(f"queue_depth must be >= 1, got {queue_depth}")
+        if kind not in ("thread", "process", "inline"):
+            raise ServiceError(
+                f"worker kind must be thread/process/inline, got {kind!r}"
+            )
+        self.kind = kind
+        self.max_workers = max_workers
+        self.queue_depth = queue_depth
+        self._retry_after = retry_after
+        self._outstanding = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        if kind == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-service"
+            )
+        elif kind == "process":
+            self._executor = ProcessPoolExecutor(max_workers=max_workers)
+        else:
+            self._executor = None
+
+    @property
+    def outstanding(self) -> int:
+        """Cells queued or running right now."""
+        return self._outstanding
+
+    @property
+    def saturated(self) -> bool:
+        return self._outstanding >= self.queue_depth
+
+    def retry_after_hint(self) -> float:
+        """Seconds a rejected client should wait before retrying."""
+        hint = self._retry_after
+        return float(hint() if callable(hint) else hint)
+
+    def submit(self, fn: Callable, *args) -> Future:
+        """Run ``fn(*args)`` on the pool; reject when saturated/closed."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("worker pool is shut down")
+            if self._outstanding >= self.queue_depth:
+                raise ServiceSaturatedError(
+                    f"worker queue full ({self._outstanding} outstanding, "
+                    f"depth {self.queue_depth})",
+                    retry_after=self.retry_after_hint(),
+                )
+            self._outstanding += 1
+
+        def _release(_fut: Future) -> None:
+            with self._lock:
+                self._outstanding -= 1
+
+        if self._executor is None:  # inline
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 — relayed via future
+                future.set_exception(exc)
+            _release(future)
+            return future
+        future = self._executor.submit(fn, *args)
+        future.add_done_callback(_release)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running cells."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)

@@ -13,7 +13,9 @@ from repro.errors import PredictionError
 class TestKernelScalingModel:
     def test_recovers_exact_ansatz(self):
         # t(P) = 0.5 + 8/P + 0.1*log2(P): exactly representable.
-        truth = lambda p: 0.5 + 8.0 / p + 0.1 * math.log2(max(2, p))
+        def truth(p):
+            return 0.5 + 8.0 / p + 0.1 * math.log2(max(2, p))
+
         samples = {p: truth(p) for p in (2, 4, 8, 16)}
         model = KernelScalingModel.fit("K", samples)
         assert model.residual < 1e-9

@@ -1,5 +1,7 @@
 """Prophesy-like performance database."""
 
+import threading
+
 import pytest
 
 from repro.errors import MeasurementError
@@ -78,3 +80,110 @@ class TestMemoization:
             second = db.get_or_measure(runner, ("ADD",))
             assert first.samples == second.samples
             assert len(db) == 1
+
+
+class TestStoreIfAbsent:
+    def test_first_write_wins_and_everyone_sees_it(self):
+        with PerformanceDatabase() as db:
+            winner = db.store_if_absent(meas(samples=(1.0,)))
+            loser = db.store_if_absent(meas(samples=(2.0,)))
+            assert winner.samples == (1.0,)
+            assert loser.samples == (1.0,)  # the stored record, not its own
+            assert len(db) == 1
+
+    def test_plain_store_still_rejects_duplicates(self):
+        with PerformanceDatabase() as db:
+            db.store_if_absent(meas())
+            with pytest.raises(MeasurementError, match="already stored"):
+                db.store(meas())
+
+
+class _StubRunner:
+    """A fake ChainRunner that counts how many times it measures."""
+
+    class _Size:
+        problem_class = "S"
+
+    class _Bench:
+        name = "BT"
+        nprocs = 4
+        size = None  # filled in __init__
+
+    def __init__(self):
+        self.benchmark = self._Bench()
+        self.benchmark.size = self._Size()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def measure(self, kernels):
+        with self._lock:
+            self.calls += 1
+        return Measurement(
+            benchmark="BT",
+            problem_class="S",
+            nprocs=4,
+            kernels=tuple(kernels),
+            samples=(1.0, 1.1),
+            overhead=0.0,
+        )
+
+
+class TestConcurrency:
+    """The serving layer hammers one database from a worker pool."""
+
+    def _hammer(self, db, threads=8, keys=4, rounds=25):
+        runner = _StubRunner()
+        errors = []
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            try:
+                barrier.wait(timeout=10)
+                for i in range(rounds):
+                    chain = (f"K{i % keys}",)
+                    got = db.get_or_measure(runner, chain)
+                    assert got.kernels == chain
+            except Exception as exc:  # pragma: no cover — failure path
+                errors.append(exc)
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert not errors
+        return runner
+
+    def test_threaded_get_or_measure_in_memory(self):
+        with PerformanceDatabase() as db:
+            self._hammer(db)
+            assert len(db) == 4  # one row per distinct chain, no dupes
+
+    def test_threaded_get_or_measure_file_backed(self, tmp_path):
+        path = str(tmp_path / "hammer.sqlite")
+        with PerformanceDatabase(path) as db:
+            self._hammer(db)
+            assert len(db) == 4
+        with PerformanceDatabase(path) as reopened:
+            assert len(reopened) == 4
+
+    def test_racing_store_if_absent_keeps_one_row(self):
+        with PerformanceDatabase() as db:
+            barrier = threading.Barrier(8)
+            results = []
+
+            def worker(value):
+                barrier.wait(timeout=10)
+                results.append(db.store_if_absent(meas(samples=(value,))))
+
+            threads = [
+                threading.Thread(target=worker, args=(float(i),))
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(db) == 1
+            stored = db.get("BT", "S", 4, ("A",))
+            assert all(r.samples == stored.samples for r in results)

@@ -92,3 +92,49 @@ class TestExecution:
         inputs = campaign.run_configuration("S", 4)
         assert SummationPredictor().predict(inputs) > 0
         assert CouplingPredictor(2).predict(inputs) > 0
+
+
+class TestResumability:
+    def test_warm_rerun_measures_nothing(self, plan, monkeypatch):
+        """A second run() on a warm database must not touch the simulator.
+
+        The measurements_run counter already claims this; the spy on
+        ChainRunner.measure proves it at the source.
+        """
+        from repro.instrument.runner import ChainRunner
+
+        calls = []
+        real_measure = ChainRunner.measure
+
+        def spy(self, kernels):
+            calls.append(tuple(kernels))
+            return real_measure(self, kernels)
+
+        monkeypatch.setattr(ChainRunner, "measure", spy)
+        campaign = Campaign(
+            plan=plan,
+            machine=ibm_sp_argonne(),
+            measurement=MeasurementConfig(repetitions=2, warmup=1),
+        )
+        campaign.run()
+        cold_calls = len(calls)
+        assert cold_calls == 24
+        campaign.run()
+        assert len(calls) == cold_calls  # zero new measurements
+
+
+class TestForCell:
+    def test_single_cell_plan(self):
+        plan = CampaignPlan.for_cell("BT", "S", 4, chain_lengths=(3, 2, 3))
+        assert plan.configurations() == [("S", 4)]
+        assert plan.chain_lengths == (2, 3)  # sorted, deduplicated
+
+    def test_cell_runs_like_a_one_cell_campaign(self):
+        campaign = Campaign(
+            plan=CampaignPlan.for_cell("BT", "S", 4),
+            machine=ibm_sp_argonne(),
+            measurement=MeasurementConfig(repetitions=2, warmup=1),
+        )
+        results = campaign.run()
+        assert set(results) == {("S", 4)}
+        assert campaign.measurements_run == 12

@@ -30,7 +30,7 @@ def traced_run():
 class TestRenderTimeline:
     def test_one_row_per_rank(self, traced_run):
         text = render_timeline(traced_run.trace, 4, width=40)
-        rows = [l for l in text.splitlines() if l.startswith("rank")]
+        rows = [line for line in text.splitlines() if line.startswith("rank")]
         assert len(rows) == 4
 
     def test_rows_have_requested_width(self, traced_run):

@@ -1,5 +1,8 @@
 """Command-line interface."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +22,23 @@ class TestParser:
         args = build_parser().parse_args(["predict", "BT", "W", "9", "-L", "4"])
         assert args.chain_length == 4
         assert args.nprocs == 9
+
+    def test_lowercase_arguments_normalize(self):
+        args = build_parser().parse_args(["predict", "bt", "w", "9"])
+        assert args.benchmark == "BT"
+        assert args.problem_class == "W"
+        args = build_parser().parse_args(["profile", "lu", "a", "8"])
+        assert args.benchmark == "LU"
+        assert args.problem_class == "A"
+        args = build_parser().parse_args(["sweep", "cg", "--classes", "s,w"])
+        assert args.benchmark == "CG"
+
+    def test_mixed_case_rejected_only_when_invalid(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "xx", "S", "4"])
+        err = capsys.readouterr().err
+        # The error message offers canonical uppercase choices, no dupes.
+        assert err.count("'BT'") == 1
 
 
 class TestCommands:
@@ -94,6 +114,45 @@ class TestSweepCommand:
         capsys.readouterr()
         assert main(args) == 0
         assert "0 run, 12 reused" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_jsonl_session_over_stdin(self, capsys, monkeypatch):
+        requests = "\n".join(
+            [
+                '{"benchmark": "bt", "problem_class": "s", "nprocs": 4}',
+                '{"benchmark": "BT", "problem_class": "S", "nprocs": 4}',
+                '{"cmd": "stats"}',
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        assert main(
+            ["serve", "--repetitions", "2", "--executor", "inline",
+             "--batch-window", "0"]
+        ) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(responses) == 3
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["request"]["benchmark"] == "BT"  # normalized
+        assert responses[2]["stats"]["l1_hits"] == 1  # repeat hit the cache
+        # Shutdown prints a metrics snapshot to stderr.
+        assert "service metrics:" in captured.err
+        assert '"requests"' in captured.err
+
+    def test_serve_persists_measurements(self, capsys, monkeypatch, tmp_path):
+        db = str(tmp_path / "serve.sqlite")
+        line = '{"benchmark": "BT", "problem_class": "S", "nprocs": 4}\n'
+        monkeypatch.setattr("sys.stdin", io.StringIO(line))
+        assert main(
+            ["serve", "--db", db, "--repetitions", "2",
+             "--executor", "inline", "--batch-window", "0"]
+        ) == 0
+        capsys.readouterr()
+        from repro.instrument import PerformanceDatabase
+
+        with PerformanceDatabase(db) as stored:
+            assert len(stored) == 13  # 12 chain rows + the application total
 
 
 class TestReportCommand:

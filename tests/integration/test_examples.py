@@ -22,6 +22,7 @@ EXPECTED = {
     "coupling_reuse.py",
     "host_couplings.py",
     "measurement_campaign.py",
+    "service_load_test.py",
 }
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import ControlFlow
 from repro.errors import ConfigurationError
 from repro.instrument import ApplicationRunner, ChainRunner, MeasurementConfig
 from repro.npb.custom import CustomApplication, CustomSpec
@@ -114,7 +113,6 @@ class TestExecution:
         runner = ChainRunner(
             app, ibm_sp_argonne(), MeasurementConfig(repetitions=3, warmup=1)
         )
-        flow = ControlFlow(app.loop_kernel_names)
         p = runner.measure(("PRODUCE",)).mean
         c = runner.measure(("CONSUME",)).mean
         pc = runner.measure(("PRODUCE", "CONSUME")).mean

@@ -1,0 +1,146 @@
+"""Wire front-ends: client facade, JSON-lines loop, TCP socket."""
+
+import io
+import json
+import socket
+import threading
+
+from repro.instrument import MeasurementConfig
+from repro.service import (
+    PredictionService,
+    ServiceClient,
+    serve_jsonl,
+    serve_socket,
+)
+from repro.service.api import handle_line
+
+MEASUREMENT = MeasurementConfig(repetitions=2, warmup=1)
+
+
+def make_service():
+    return PredictionService(
+        measurement=MEASUREMENT, executor="inline", batch_window=0.0
+    )
+
+
+class TestServiceClient:
+    def test_predict_keyword_facade(self):
+        with ServiceClient(make_service()) as client:
+            report = client.predict("bt", "s", 4, chain_length=2)
+            assert report.actual > 0
+            assert "Summation" in report.predictions
+            assert client.stats()["requests"] == 1
+
+    def test_predict_dict_returns_wire_form(self):
+        with ServiceClient(make_service()) as client:
+            response = client.predict_dict(
+                {"benchmark": "BT", "problem_class": "S", "nprocs": 4}
+            )
+            assert response["ok"] is True
+            assert response["request"]["benchmark"] == "BT"
+            assert response["best"] in response["predictions"]
+
+    def test_unowned_client_leaves_service_open(self):
+        service = make_service()
+        with ServiceClient(service, owns=False):
+            pass
+        # still serving:
+        with ServiceClient(service):
+            assert service.stats()["requests"] == 0
+
+
+class TestHandleLine:
+    def test_blank_line_owes_no_response(self):
+        with make_service() as service:
+            assert handle_line(service, "   \n") is None
+
+    def test_single_request(self):
+        with make_service() as service:
+            response = json.loads(
+                handle_line(
+                    service,
+                    '{"benchmark": "BT", "problem_class": "S", "nprocs": 4}',
+                )
+            )
+            assert response["ok"] is True
+            assert response["errors_percent"]
+
+    def test_array_is_one_batched_response(self):
+        with make_service() as service:
+            line = json.dumps(
+                [
+                    {"benchmark": "BT", "problem_class": "S", "nprocs": 4},
+                    {"benchmark": "BT", "problem_class": "S", "nprocs": 4,
+                     "chain_length": 3},
+                    {"benchmark": "BT", "problem_class": "S", "nprocs": 4,
+                     "chain_length": 99},
+                ]
+            )
+            response = json.loads(handle_line(service, line))
+            assert response["ok"] is True
+            results = response["results"]
+            assert len(results) == 3
+            assert results[0]["ok"] and results[1]["ok"]
+            assert results[2]["ok"] is False  # chain longer than the flow
+
+    def test_invalid_json_and_bad_shapes(self):
+        with make_service() as service:
+            assert json.loads(handle_line(service, "not json"))["ok"] is False
+            assert json.loads(handle_line(service, '"just a string"'))["ok"] is False
+            bad = json.loads(
+                handle_line(service, '{"benchmark": "BT", "bogus": 1}')
+            )
+            assert bad["ok"] is False and "unknown request fields" in bad["error"]
+
+    def test_stats_command(self):
+        with make_service() as service:
+            response = json.loads(handle_line(service, '{"cmd": "stats"}'))
+            assert response["ok"] is True
+            assert "cache_hit_ratio" in response["stats"]
+
+
+class TestServeJsonl:
+    def test_stream_roundtrip_returns_stats(self):
+        lines = [
+            '{"benchmark": "BT", "problem_class": "S", "nprocs": 4}',
+            "",
+            '{"benchmark": "bt", "problem_class": "s", "nprocs": 4}',
+        ]
+        out = io.StringIO()
+        with make_service() as service:
+            stats = serve_jsonl(service, lines, out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert len(responses) == 2  # blank line produced no response
+        assert all(r["ok"] for r in responses)
+        assert stats["requests"] == 2
+        assert stats["l1_hits"] == 1  # case-normalized repeat hit the cache
+
+
+class TestServeSocket:
+    def test_tcp_line_protocol(self):
+        service = make_service()
+        ready = threading.Event()
+        bound: list = []
+        control: list = []
+        server_thread = threading.Thread(
+            target=serve_socket,
+            args=(service,),
+            kwargs={"ready": ready, "bound": bound, "control": control},
+            daemon=True,
+        )
+        server_thread.start()
+        assert ready.wait(timeout=10)
+        host, port = bound[0]
+        try:
+            with socket.create_connection((host, port), timeout=10) as conn:
+                conn.sendall(
+                    b'{"benchmark": "BT", "problem_class": "S", "nprocs": 4}\n'
+                )
+                response = json.loads(conn.makefile().readline())
+                assert response["ok"] is True
+                assert response["best"]
+        finally:
+            control[0].shutdown()
+            server_thread.join(timeout=10)
+            service.close()
+        assert not server_thread.is_alive()

@@ -1,0 +1,125 @@
+"""Single-flight deduplication and config batching."""
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ServiceClosedError
+from repro.service.batching import RequestBatcher
+
+
+@dataclass(frozen=True)
+class FakeRequest:
+    name: str
+    config: str = "cfg"
+
+    @property
+    def key(self):
+        return ("key", self.name)
+
+    @property
+    def config_key(self):
+        return ("config", self.config)
+
+
+class Collector:
+    """Dispatch target that records groups and resolves futures on demand."""
+
+    def __init__(self, auto_resolve=True):
+        self.groups = []
+        self.auto_resolve = auto_resolve
+        self._lock = threading.Lock()
+
+    def __call__(self, flights):
+        with self._lock:
+            self.groups.append(flights)
+        if self.auto_resolve:
+            for flight in flights:
+                flight.future.set_result(flight.request.name)
+
+    def wait_for_groups(self, n, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self.groups) >= n:
+                    return list(self.groups)
+            time.sleep(0.005)
+        raise AssertionError(f"expected {n} groups, saw {len(self.groups)}")
+
+
+class TestSingleFlight:
+    def test_identical_requests_share_one_future(self):
+        collector = Collector(auto_resolve=False)
+        batcher = RequestBatcher(collector, window=0.05)
+        f1, coalesced1 = batcher.submit(FakeRequest("a"))
+        f2, coalesced2 = batcher.submit(FakeRequest("a"))
+        assert f1 is f2
+        assert not coalesced1 and coalesced2
+        collector.wait_for_groups(1)
+        assert len(collector.groups[0]) == 1
+        assert collector.groups[0][0].waiters == 2
+        f1.set_result("done")
+        batcher.close()
+
+    def test_key_becomes_coalescable_again_after_resolution(self):
+        collector = Collector()
+        batcher = RequestBatcher(collector, window=0.0)
+        f1, _ = batcher.submit(FakeRequest("a"))
+        assert f1.result(timeout=5) == "a"
+        # resolved → no longer in flight → a new submit is a fresh flight
+        for _ in range(100):
+            if not batcher.in_flight(("key", "a")):
+                break
+            time.sleep(0.005)
+        f2, coalesced = batcher.submit(FakeRequest("a"))
+        assert not coalesced
+        assert f2 is not f1
+        assert f2.result(timeout=5) == "a"
+        batcher.close()
+
+
+class TestGrouping:
+    def test_burst_groups_by_config_key(self):
+        collector = Collector()
+        batcher = RequestBatcher(collector, window=0.1)
+        futures = [
+            batcher.submit(FakeRequest(name, config))[0]
+            for name, config in [
+                ("a", "x"), ("b", "x"), ("c", "y"), ("d", "x"),
+            ]
+        ]
+        for f in futures:
+            f.result(timeout=5)
+        groups = collector.wait_for_groups(2)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 3]  # x-group of 3, y-group of 1
+        batcher.close()
+
+    def test_dispatch_exception_fails_the_group(self):
+        def explode(flights):
+            raise RuntimeError("boom")
+
+        batcher = RequestBatcher(explode, window=0.0)
+        future, _ = batcher.submit(FakeRequest("a"))
+        with pytest.raises(RuntimeError, match="boom"):
+            future.result(timeout=5)
+        batcher.close()
+
+
+class TestLifecycle:
+    def test_close_rejects_new_submissions(self):
+        batcher = RequestBatcher(Collector(), window=0.0)
+        batcher.close()
+        with pytest.raises(ServiceClosedError):
+            batcher.submit(FakeRequest("a"))
+
+    def test_close_is_idempotent(self):
+        batcher = RequestBatcher(Collector(), window=0.0)
+        batcher.close()
+        batcher.close()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(Collector(), window=-1)

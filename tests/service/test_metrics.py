@@ -1,0 +1,117 @@
+"""Counters, gauges, histograms, and the stats snapshot."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    ServiceMetrics,
+    render_stats,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_thread_safety(self):
+        c = Counter("x")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_and_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1
+        assert g.high_water == 3
+
+    def test_adjust(self):
+        g = Gauge("depth")
+        g.adjust(+2)
+        g.adjust(-1)
+        assert g.value == 1
+        assert g.high_water == 2
+
+
+class TestHistogram:
+    def test_percentiles_on_known_data(self):
+        h = Histogram("t")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(95) == pytest.approx(95.05)
+        assert h.mean == pytest.approx(50.5)
+        assert h.max == 100.0
+        assert h.count == 100
+
+    def test_empty(self):
+        h = Histogram("t")
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_capacity_bounds_memory_but_not_totals(self):
+        h = Histogram("t", capacity=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.mean == pytest.approx(49.5)
+        assert len(h._samples) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("t", capacity=0)
+        with pytest.raises(ValueError):
+            Histogram("t").percentile(101)
+
+
+class TestServiceMetrics:
+    def test_stats_snapshot_shape(self):
+        m = ServiceMetrics(queue_depth_fn=lambda: 3)
+        m.requests.inc(4)
+        m.l1_hits.inc(2)
+        m.record_batch(2)
+        m.latency.observe(0.5)
+        stats = m.stats()
+        assert stats["requests"] == 4
+        assert stats["queue_depth"] == 3
+        assert stats["batch_size"]["max"] == 2.0
+        assert stats["latency_seconds"]["count"] == 1
+        assert set(stats["latency_seconds"]) == {"count", "mean", "p50", "p95", "max"}
+
+    def test_cache_hit_ratio(self):
+        m = ServiceMetrics()
+        assert m.cache_hit_ratio() == 0.0
+        m.requests.inc(10)
+        m.l1_hits.inc(5)
+        m.l2_hits.inc(2)
+        m.coalesced.inc(1)
+        m.misses.inc(2)
+        assert m.cache_hit_ratio() == pytest.approx(0.8)
+
+    def test_render_stats_is_line_per_signal(self):
+        m = ServiceMetrics()
+        m.requests.inc()
+        text = render_stats(m.stats())
+        assert "requests: 1" in text
+        assert "latency_seconds:" in text

@@ -1,0 +1,129 @@
+"""Worker pool backpressure and cell execution."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceSaturatedError,
+)
+from repro.instrument import MeasurementConfig, PerformanceDatabase
+from repro.instrument.sweeps import CampaignPlan
+from repro.service.cache import ACTUAL_KEY
+from repro.service.workers import CellTask, WorkerPool, execute_cell
+from repro.simmachine import ibm_sp_argonne
+
+
+def cell_task(chain_lengths=(2,), nprocs=4):
+    return CellTask(
+        plan=CampaignPlan.for_cell("BT", "S", nprocs, chain_lengths),
+        machine=ibm_sp_argonne(),
+        measurement=MeasurementConfig(repetitions=2, warmup=1),
+    )
+
+
+class TestCellTask:
+    def test_rejects_multi_cell_plans(self):
+        plan = CampaignPlan("BT", ("S",), (1, 4), (2,))
+        with pytest.raises(ServiceError, match="single-cell"):
+            CellTask(
+                plan=plan,
+                machine=ibm_sp_argonne(),
+                measurement=MeasurementConfig(repetitions=2),
+            )
+
+    def test_for_cell_sorts_and_dedupes_chain_lengths(self):
+        plan = CampaignPlan.for_cell("BT", "S", 4, (3, 2, 3))
+        assert plan.chain_lengths == (2, 3)
+
+
+class TestExecuteCell:
+    def test_runs_and_archives_everything(self):
+        with PerformanceDatabase() as db:
+            outcome = execute_cell(cell_task(), database=db)
+            assert outcome.actual > 0
+            assert outcome.simulations > 0
+            assert outcome.reused == 0
+            # 5 isolated + 2 one-shots + 5 pairs + the application total.
+            assert len(db) == 13
+            assert db.get("BT", "S", 4, ACTUAL_KEY) is not None
+
+    def test_warm_database_runs_zero_simulations(self):
+        with PerformanceDatabase() as db:
+            first = execute_cell(cell_task(), database=db)
+            second = execute_cell(cell_task(), database=db)
+            assert second.simulations == 0
+            assert second.reused == first.simulations
+            assert second.actual == pytest.approx(first.actual)
+            assert second.inputs == first.inputs
+
+    def test_shared_empty_database_is_used_not_replaced(self):
+        # Regression: PerformanceDatabase.__len__ makes empty stores falsy;
+        # execute_cell must adopt the shared store by identity.
+        with PerformanceDatabase() as db:
+            execute_cell(cell_task(), database=db)
+            assert len(db) > 0
+
+
+class TestWorkerPool:
+    def test_inline_executes_synchronously(self):
+        pool = WorkerPool(kind="inline")
+        future = pool.submit(lambda x: x * 2, 21)
+        assert future.result(timeout=0) == 42
+        pool.shutdown()
+
+    def test_inline_relays_exceptions(self):
+        pool = WorkerPool(kind="inline")
+        future = pool.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result(timeout=0)
+        pool.shutdown()
+
+    def test_thread_pool_runs_work(self):
+        pool = WorkerPool(max_workers=2, kind="thread")
+        futures = [pool.submit(lambda i=i: i * i) for i in range(5)]
+        assert [f.result(timeout=5) for f in futures] == [0, 1, 4, 9, 16]
+        pool.shutdown()
+
+    def test_saturation_rejects_with_retry_after(self):
+        release = threading.Event()
+        pool = WorkerPool(
+            max_workers=1, queue_depth=2, kind="thread", retry_after=2.5
+        )
+        blocked = [pool.submit(release.wait, 10) for _ in range(2)]
+        assert pool.saturated
+        with pytest.raises(ServiceSaturatedError) as exc:
+            pool.submit(lambda: None)
+        assert exc.value.retry_after == 2.5
+        release.set()
+        for f in blocked:
+            f.result(timeout=5)
+        assert not pool.saturated
+        pool.shutdown()
+
+    def test_outstanding_drains_after_completion(self):
+        pool = WorkerPool(max_workers=1, queue_depth=4, kind="thread")
+        fut = pool.submit(lambda: "done")
+        assert fut.result(timeout=5) == "done"
+        for _ in range(100):
+            if pool.outstanding == 0:
+                break
+            threading.Event().wait(0.01)
+        assert pool.outstanding == 0
+        pool.shutdown()
+
+    def test_closed_pool_rejects(self):
+        pool = WorkerPool(kind="inline")
+        pool.shutdown()
+        with pytest.raises(ServiceClosedError):
+            pool.submit(lambda: None)
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(max_workers=0)
+        with pytest.raises(ServiceError):
+            WorkerPool(queue_depth=0)
+        with pytest.raises(ServiceError):
+            WorkerPool(kind="fiber")

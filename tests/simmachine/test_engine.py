@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.simmachine.engine import AllOf, Event, Simulator, Timeout
+from repro.simmachine.engine import AllOf, Simulator, Timeout
 
 
 @pytest.fixture

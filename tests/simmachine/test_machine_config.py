@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.simmachine.machine import (
     CacheLevelConfig,
-    MachineConfig,
     NetworkConfig,
     ProcessorConfig,
     ibm_sp_argonne,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.simmachine import Machine, DataRegion, ibm_sp_argonne, linear_test_machine
+from repro.simmachine import Machine, DataRegion, ibm_sp_argonne
 
 
 @pytest.fixture

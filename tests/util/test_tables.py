@@ -52,8 +52,8 @@ class TestRendering:
 
     def test_alignment_consistent(self, table):
         lines = table.render().splitlines()
-        data_lines = [l for l in lines if "|" in l]
-        pipes = {tuple(i for i, c in enumerate(l) if c == "|") for l in data_lines}
+        data_lines = [line for line in lines if "|" in line]
+        pipes = {tuple(i for i, c in enumerate(line) if c == "|") for line in data_lines}
         assert len(pipes) == 1  # all separator columns align
 
     def test_str_is_render(self, table):
