@@ -9,6 +9,8 @@ Examples::
     repro machine                   # show the simulated IBM SP
     repro profile LU A 8            # per-kernel application profile
     repro serve --db perf.sqlite    # JSON-lines prediction service on stdin
+    repro metrics --port 7101       # scrape a running server's metrics
+    repro trace BT S 4 -o t.json    # Chrome/Perfetto timeline of one run
 """
 
 from __future__ import annotations
@@ -149,6 +151,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--seed", type=int, default=0)
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch metrics from a running 'repro serve --port N' server",
+    )
+    metrics.add_argument(
+        "--port", type=int, required=True, help="server TCP port"
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+        help="Prometheus text exposition (default) or the JSON snapshot",
+    )
+    metrics.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout in seconds"
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one application and export a Chrome/Perfetto trace",
+    )
+    _add_configuration_arguments(trace)
+    trace.add_argument(
+        "-o", "--out", default="timeline.json",
+        help="output trace path (open in ui.perfetto.dev or chrome://tracing)",
+    )
+    trace.add_argument(
+        "--max-records", type=int, default=200000,
+        help="simulator trace ring-buffer capacity (newest records kept)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -171,9 +204,11 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(experiment: str, repetitions: Optional[int], seed: int) -> int:
+    from repro import obs
     from repro.experiments import ExperimentPipeline, ExperimentSettings, run_experiment
     from repro.instrument import MeasurementConfig
 
+    obs.configure_logging(stream=sys.stderr)
     measurement = MeasurementConfig(
         repetitions=repetitions if repetitions is not None else 8,
         warmup=2,
@@ -194,7 +229,9 @@ def _cmd_run(experiment: str, repetitions: Optional[int], seed: int) -> int:
     else:
         ids = [experiment]
     for exp_id in ids:
-        result = run_experiment(exp_id, pipeline=pipeline)
+        with obs.span("experiment.run", experiment=exp_id):
+            result = run_experiment(exp_id, pipeline=pipeline)
+        obs.log("experiment.done", experiment=exp_id)
         print(result.table.render())
         print()
         print(result.comparison())
@@ -247,10 +284,12 @@ def _cmd_machine() -> int:
 
 
 def _cmd_report(output: str, repetitions: int, seed: int) -> int:
+    from repro import obs
     from repro.experiments import ExperimentPipeline, ExperimentSettings
     from repro.experiments.reportgen import generate_markdown
     from repro.instrument import MeasurementConfig
 
+    obs.configure_logging(stream=sys.stderr)
     pipeline = ExperimentPipeline(
         ExperimentSettings(
             measurement=MeasurementConfig(
@@ -258,9 +297,11 @@ def _cmd_report(output: str, repetitions: int, seed: int) -> int:
             )
         )
     )
-    text = generate_markdown(pipeline)
+    with obs.span("report.generate"):
+        text = generate_markdown(pipeline)
     with open(output, "w", encoding="utf-8") as fh:
         fh.write(text)
+    obs.log("report.written", path=output, bytes=len(text))
     print(f"wrote {output}")
     return 0
 
@@ -318,9 +359,11 @@ def _cmd_profile(benchmark: str, problem_class: str, nprocs: int) -> int:
 def _cmd_serve(args) -> int:
     import json
 
+    from repro import obs
     from repro.instrument import MeasurementConfig
     from repro.service import PredictionService, serve_jsonl, serve_socket
 
+    obs.configure_logging(stream=sys.stderr)
     service = PredictionService(
         measurement=MeasurementConfig(
             repetitions=args.repetitions, warmup=2, seed=args.seed
@@ -333,23 +376,79 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         executor=args.executor,
     )
+    obs.log(
+        "serve.configured",
+        db=args.db,
+        workers=args.workers,
+        executor=args.executor,
+        queue_depth=args.queue_depth,
+    )
     try:
         if args.port is not None:
-            def announce(address: tuple) -> None:
-                print(
-                    f"serving on {address[0]}:{address[1]} (ctrl-c to stop)",
-                    file=sys.stderr,
-                )
-
-            stats = serve_socket(
-                service, args.host, args.port, announce=announce
-            )
+            stats = serve_socket(service, args.host, args.port)
         else:
             stats = serve_jsonl(service, sys.stdin, sys.stdout)
     finally:
         service.close()
-    print("service metrics:", file=sys.stderr)
+    obs.log("serve.closed", requests=stats.get("requests"))
     print(json.dumps(stats, indent=2), file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+    import socket
+
+    from repro.errors import ReproError
+
+    try:
+        with socket.create_connection(
+            (args.host, args.port), timeout=args.timeout
+        ) as sock:
+            sock.sendall(b'{"cmd": "metrics"}\n')
+            reader = sock.makefile("r", encoding="utf-8")
+            line = reader.readline()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach {args.host}:{args.port}: {exc}"
+        ) from exc
+    if not line:
+        raise ReproError("server closed the connection without responding")
+    payload = json.loads(line)
+    if not payload.get("ok"):
+        raise ReproError(f"server error: {payload.get('error', 'unknown')}")
+    if args.format == "json":
+        print(json.dumps(payload["metrics"], indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(payload["prometheus"])
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.instrument.runner import ApplicationRunner
+    from repro.npb import make_benchmark
+    from repro.simmachine import ibm_sp_argonne
+
+    obs.configure_logging(stream=sys.stderr)
+    bench = make_benchmark(args.benchmark, args.problem_class, args.nprocs)
+    runner = ApplicationRunner(
+        bench, ibm_sp_argonne(), seed=args.seed, trace=args.max_records
+    )
+    result = runner.run()
+    tracer = obs.get_tracer()
+    document = obs.write_chrome_trace(
+        args.out, spans=tracer.spans(), machine_trace=result.trace
+    )
+    obs.log(
+        "trace.written",
+        path=args.out,
+        events=len(document["traceEvents"]),
+        sim_records=len(result.trace) if result.trace else 0,
+        dropped=result.trace.dropped if result.trace else 0,
+        total_time=round(result.total_time, 6),
+    )
+    print(f"wrote {args.out} — open in https://ui.perfetto.dev")
     return 0
 
 
@@ -390,6 +489,10 @@ def _dispatch(args) -> int:
         return _cmd_profile(args.benchmark, args.problem_class, args.nprocs)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # pragma: no cover — argparse enforces the command set
 
 

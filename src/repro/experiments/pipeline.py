@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.kernel import ControlFlow
 from repro.core.predictor import (
     CouplingPredictor,
@@ -89,15 +90,27 @@ class ExperimentPipeline:
         bench = make_benchmark(benchmark, problem_class, nprocs)
         flow = ControlFlow(bench.loop_kernel_names)
         runner = ChainRunner(bench, self.settings.machine, self.settings.measurement)
-        isolated = {
-            k: m.mean
-            for k, m in runner.measure_all_isolated(flow.names).items()
-        }
-        pre = {k: runner.measure((k,)).mean for k in bench.pre_kernel_names}
-        post = {k: runner.measure((k,)).mean for k in bench.post_kernel_names}
-        actual = ApplicationRunner(
-            bench, self.settings.machine, seed=self.settings.application_seed
-        ).run().total_time
+        with obs.span(
+            "pipeline.isolated", benchmark=benchmark, cls=problem_class,
+            nprocs=nprocs,
+        ):
+            isolated = {
+                k: m.mean
+                for k, m in runner.measure_all_isolated(flow.names).items()
+            }
+        with obs.span(
+            "pipeline.one_shots", benchmark=benchmark, cls=problem_class,
+            nprocs=nprocs,
+        ):
+            pre = {k: runner.measure((k,)).mean for k in bench.pre_kernel_names}
+            post = {k: runner.measure((k,)).mean for k in bench.post_kernel_names}
+        with obs.span(
+            "pipeline.application", benchmark=benchmark, cls=problem_class,
+            nprocs=nprocs,
+        ):
+            actual = ApplicationRunner(
+                bench, self.settings.machine, seed=self.settings.application_seed
+            ).run().total_time
         inputs = PredictionInputs(
             flow=flow,
             iterations=bench.iterations,
@@ -116,6 +129,7 @@ class ExperimentPipeline:
         )
         self._results[key] = result
         self._runners[key] = runner
+        obs.get_registry().counter("pipeline_configs_measured").inc()
         return result, runner
 
     def config_result(
@@ -133,16 +147,20 @@ class ExperimentPipeline:
         result, runner = self._base_result(benchmark, problem_class, nprocs)
         chains: dict = dict(result.inputs.chain_times)
         added = False
-        for length in chain_lengths:
-            if not 2 <= length <= len(result.flow):
-                raise ExperimentError(
-                    f"chain length {length} invalid for {benchmark} "
-                    f"(flow of {len(result.flow)})"
-                )
-            for window in result.flow.windows(length):
-                if window not in chains:
-                    chains[window] = runner.measure(window).mean
-                    added = True
+        with obs.span(
+            "pipeline.chains", benchmark=benchmark, cls=problem_class,
+            nprocs=nprocs,
+        ):
+            for length in chain_lengths:
+                if not 2 <= length <= len(result.flow):
+                    raise ExperimentError(
+                        f"chain length {length} invalid for {benchmark} "
+                        f"(flow of {len(result.flow)})"
+                    )
+                for window in result.flow.windows(length):
+                    if window not in chains:
+                        chains[window] = runner.measure(window).mean
+                        added = True
         if added:
             result.inputs = PredictionInputs(
                 flow=result.flow,

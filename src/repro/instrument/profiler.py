@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import MeasurementError
 from repro.instrument.runner import ApplicationResult, ApplicationRunner
 from repro.npb.base import Benchmark
@@ -93,8 +94,14 @@ def profile_application(
     extrapolate: bool | None = None,
 ) -> ProfileReport:
     """Run the application and return its per-kernel profile."""
-    runner = ApplicationRunner(benchmark, machine, seed=seed)
-    result = runner.run(extrapolate=extrapolate)
+    with obs.span(
+        "profile.application",
+        benchmark=benchmark.name,
+        cls=benchmark.size.problem_class,
+        nprocs=benchmark.nprocs,
+    ):
+        runner = ApplicationRunner(benchmark, machine, seed=seed)
+        result = runner.run(extrapolate=extrapolate)
     kernels = {}
     for label, c in result.counters.items():
         kernels[label] = KernelProfile(

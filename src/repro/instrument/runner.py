@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional, Sequence
+from typing import Any, Generator, Optional, Sequence, Union
 
+from repro import obs
 from repro.errors import MeasurementError
 from repro.npb.base import Benchmark
 from repro.simmachine.machine import MachineConfig
 from repro.simmachine.process import KernelCounters, Machine
+from repro.simmachine.trace import Trace
 from repro.simmpi.comm import attach_world
 from repro.util.stats import Summary, summary
 
@@ -232,6 +234,15 @@ class ChainRunner:
             raise MeasurementError("measure() needs at least one kernel")
         for k in kernels:
             self.benchmark.kernel(k)  # validate names early
+        with obs.span(
+            "measure.chain",
+            benchmark=self.benchmark.name,
+            kernels="+".join(kernels),
+            nprocs=self.benchmark.nprocs,
+        ):
+            return self._measure(tuple(kernels))
+
+    def _measure(self, kernels: tuple[str, ...]) -> Measurement:
         overhead = self.measure_overhead() if self.config.subtract_overhead else 0.0
         raw = self._run_loop(tuple(kernels), run_id="+".join(kernels))
         samples = tuple(max(0.0, s - overhead) for s in raw.samples)
@@ -276,6 +287,9 @@ class ApplicationResult:
     measured_iterations: int
     extrapolated: bool
     counters: dict[str, KernelCounters] = field(default_factory=dict, compare=False)
+    #: The run's event trace when the runner was built with ``trace`` on
+    #: (``repro trace`` exports this); ``None`` otherwise.
+    trace: Optional[Trace] = field(default=None, compare=False, repr=False)
 
     @property
     def per_iteration(self) -> float:
@@ -296,12 +310,14 @@ class ApplicationRunner:
         seed: int = 0,
         warmup_iterations: int = 2,
         measured_iterations: int = 6,
+        trace: Union[bool, int, Trace] = False,
     ):
         self.benchmark = benchmark
         self.machine_config = machine_config
         self.seed = seed
         self.warmup_iterations = warmup_iterations
         self.measured_iterations = measured_iterations
+        self.trace = trace
 
     def run(self, extrapolate: Optional[bool] = None) -> ApplicationResult:
         """Simulate the application.
@@ -311,6 +327,15 @@ class ApplicationRunner:
         ``warmup + measured`` iterations and extrapolate the steady-state
         rate (equivalence with full runs is covered by integration tests).
         """
+        with obs.span(
+            "app.run",
+            benchmark=self.benchmark.name,
+            cls=self.benchmark.size.problem_class,
+            nprocs=self.benchmark.nprocs,
+        ):
+            return self._run(extrapolate)
+
+    def _run(self, extrapolate: Optional[bool]) -> ApplicationResult:
         bench = self.benchmark
         iterations = bench.iterations
         if extrapolate is None:
@@ -325,7 +350,11 @@ class ApplicationRunner:
             simulate_iters = iterations
 
         machine = Machine(
-            self.machine_config, bench.nprocs, seed=self.seed, run_id="application"
+            self.machine_config,
+            bench.nprocs,
+            seed=self.seed,
+            run_id="application",
+            trace=self.trace,
         )
         attach_world(machine)
         marks: dict[str, float] = {}
@@ -376,4 +405,5 @@ class ApplicationRunner:
             measured_iterations=simulate_iters,
             extrapolated=extrapolate,
             counters=counters,
+            trace=machine.trace,
         )

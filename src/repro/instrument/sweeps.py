@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.kernel import ControlFlow
 from repro.core.predictor import PredictionInputs
 from repro.errors import MeasurementError
@@ -96,14 +97,29 @@ class Campaign:
         )
         if cached is not None:
             self.measurements_reused += 1
+            obs.get_registry().counter("campaign_measurements_reused").inc()
             return cached
         measured = runner.measure(kernels)
         stored = self.database.store_if_absent(measured)
         self.measurements_run += 1
+        obs.get_registry().counter("campaign_measurements_run").inc()
         return stored
 
     def run_configuration(self, problem_class: str, nprocs: int) -> PredictionInputs:
         """Measure (or load) one cell; returns ready prediction inputs."""
+        with obs.span(
+            "campaign.run",
+            benchmark=self.plan.benchmark,
+            cls=problem_class,
+            nprocs=nprocs,
+        ):
+            inputs = self._run_configuration(problem_class, nprocs)
+        obs.get_registry().counter("campaign_runs_completed").inc()
+        return inputs
+
+    def _run_configuration(
+        self, problem_class: str, nprocs: int
+    ) -> PredictionInputs:
         bench = make_benchmark(self.plan.benchmark, problem_class, nprocs)
         flow = ControlFlow(bench.loop_kernel_names)
         runner = ChainRunner(bench, self.machine, self.measurement)

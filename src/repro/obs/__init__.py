@@ -1,0 +1,138 @@
+"""Unified observability substrate: metrics, spans, logs, exporters.
+
+Every layer of the codebase records into this one package:
+
+* **Metrics** — a process-wide :class:`~repro.obs.registry.MetricsRegistry`
+  (:func:`get_registry`) of counters/gauges/histograms. Histograms use
+  fixed log-scale buckets (O(1) memory forever, Prometheus-compatible).
+  The service keeps its own namespaced registry on top of the same
+  classes (:mod:`repro.service.metrics`); the simulator and campaign
+  pipeline record into the global one.
+* **Spans** — ``with obs.span("campaign.run", benchmark="BT"): ...``
+  times a stage, records its duration into the
+  ``span_seconds{name=...}`` histogram, and keeps the finished span in a
+  bounded ring buffer (:func:`get_tracer`) for the Chrome-trace exporter.
+  Span contexts propagate across threads via
+  :func:`~repro.obs.tracing.current_context` /
+  :func:`~repro.obs.tracing.use_context`, and adopt the wire protocol's
+  correlation IDs (:func:`~repro.obs.tracing.correlation`).
+* **Logs** — :func:`~repro.obs.logging.log` emits structured
+  ``event key=value`` lines stamped with correlation/span IDs.
+* **Exporters** — :func:`~repro.obs.export.to_prometheus`,
+  :func:`~repro.obs.export.to_json`, and
+  :func:`~repro.obs.export.chrome_trace` (Perfetto timelines).
+
+The whole substrate can be switched off (:func:`disable`) for overhead
+measurements; the throughput benchmark pins the enabled-vs-disabled cost
+of the hot serving path below 10 %.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.export import (
+    chrome_trace,
+    to_json,
+    to_prometheus,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.logging import configure_logging, get_logger, log
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_buckets,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    correlation,
+    correlation_id,
+    current_context,
+    current_span,
+    span,
+    use_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "DEFAULT_BUCKETS",
+    "chrome_trace",
+    "configure_logging",
+    "correlation",
+    "correlation_id",
+    "current_context",
+    "current_span",
+    "default_buckets",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "log",
+    "reset",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "use_context",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+_lock = threading.Lock()
+_registry = MetricsRegistry()
+_tracer = Tracer()
+_enabled = True
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (simulator, pipeline, spans)."""
+    return _registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide span ring buffer."""
+    return _tracer
+
+
+def enabled() -> bool:
+    """Whether spans/logs/simulator-flushes record anything."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn the substrate on (the default)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn spans, structured logs, and simulator flushes into no-ops.
+
+    Existing explicit instruments (e.g. the service's own counters) keep
+    working — this switch exists to measure the substrate's overhead and
+    to run the hot path bare.
+    """
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Fresh global registry + tracer (test isolation; re-enables)."""
+    global _registry, _tracer, _enabled
+    with _lock:
+        _registry = MetricsRegistry()
+        _tracer = Tracer()
+        _enabled = True

@@ -1,0 +1,286 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, Chrome traces.
+
+Three consumers, three formats:
+
+* :func:`to_prometheus` — the text exposition format scraped by Prometheus
+  (and answered by the TCP server's ``{"cmd": "metrics"}`` command);
+* :func:`to_json` — one JSON-friendly dict merging any number of
+  registries (the service's private registry plus the global one);
+* :func:`chrome_trace` — the Chrome trace-event format (``chrome://tracing``
+  / Perfetto) built from obs spans and/or a
+  :class:`repro.simmachine.trace.Trace`: pipeline spans become complete
+  ("X") slices on per-thread tracks, simulator rank activity becomes
+  slices/instants on one track per rank.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Optional, Sequence
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span
+
+__all__ = [
+    "to_prometheus",
+    "to_json",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(registry: MetricsRegistry, raw: str) -> str:
+    name = _NAME_RE.sub("_", raw)
+    if registry.namespace:
+        name = f"{_NAME_RE.sub('_', registry.namespace)}_{name}"
+    if name and name[0].isdigit():
+        name = f"_{name}"
+    return name
+
+
+def _render_labels(labels: tuple, extra: str = "") -> str:
+    parts = [
+        f'{_LABEL_RE.sub("_", key)}="{_escape(value)}"'
+        for key, value in labels
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(*registries: MetricsRegistry) -> str:
+    """Render every instrument in exposition format (one trailing newline).
+
+    Counters gain a ``_total`` suffix, gauges also export a
+    ``_high_water`` companion, histograms export cumulative ``_bucket``
+    series plus ``_sum``/``_count`` — all per Prometheus conventions.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for registry in registries:
+        for instrument in registry.collect():
+            labels = _render_labels(instrument.labels)
+            if isinstance(instrument, Counter):
+                name = _metric_name(registry, instrument.name)
+                if not name.endswith("_total"):
+                    name += "_total"
+                _type_line(name, "counter")
+                lines.append(f"{name}{labels} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                name = _metric_name(registry, instrument.name)
+                _type_line(name, "gauge")
+                lines.append(f"{name}{labels} {_format_value(instrument.value)}")
+                high = f"{name}_high_water"
+                _type_line(high, "gauge")
+                lines.append(
+                    f"{high}{labels} {_format_value(instrument.high_water)}"
+                )
+            elif isinstance(instrument, Histogram):
+                name = _metric_name(registry, instrument.name)
+                _type_line(name, "histogram")
+                for bound, cumulative in instrument.bucket_counts():
+                    le = _render_labels(
+                        instrument.labels, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(f"{name}_sum{labels} {_format_value(instrument.sum)}")
+                lines.append(f"{name}_count{labels} {instrument.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(*registries: MetricsRegistry) -> dict:
+    """Merge registries into one JSON-friendly snapshot dict."""
+    merged: dict = {}
+    for registry in registries:
+        snapshot = registry.snapshot()
+        if registry.namespace:
+            snapshot = {
+                f"{registry.namespace}.{key}": value
+                for key, value in snapshot.items()
+            }
+        merged.update(snapshot)
+    return merged
+
+
+# -- Chrome trace-event format -------------------------------------------------
+
+#: Simulator trace record kinds rendered as instant events (phase records
+#: become slices lasting until the rank's next phase).
+_INSTANT_KINDS = ("touch", "send", "recv", "wait")
+
+
+def chrome_trace(
+    spans: Sequence[Span] = (),
+    machine_trace=None,
+    time_unit: float = 1e-6,
+) -> dict:
+    """Build a ``chrome://tracing`` / Perfetto document.
+
+    ``spans`` (wall-clock) land on ``pid=1`` ("pipeline"), one ``tid`` per
+    OS thread; ``machine_trace`` (simulated time, a
+    :class:`repro.simmachine.trace.Trace`) lands on ``pid=2``
+    ("simulator"), one ``tid`` per rank. ``time_unit`` scales simulated
+    seconds to trace microseconds (default: 1 sim second = 1e6 trace µs).
+    """
+    events: list[dict] = []
+    if spans:
+        origin = min(s.start for s in spans)
+        thread_ids: dict[int, int] = {}
+        events.append(
+            {
+                "ph": "M",
+                "ts": 0,
+                "pid": 1,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "pipeline"},
+            }
+        )
+        for finished in spans:
+            tid = thread_ids.setdefault(finished.thread_id, len(thread_ids) + 1)
+            args = {
+                "trace_id": finished.trace_id,
+                "span_id": finished.span_id,
+            }
+            if finished.parent_id:
+                args["parent_id"] = finished.parent_id
+            args.update(
+                {key: str(value) for key, value in finished.attrs.items()}
+            )
+            events.append(
+                {
+                    "ph": "X",
+                    "ts": (finished.start - origin) * 1e6,
+                    "dur": max(finished.duration, 0.0) * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "name": finished.name,
+                    "cat": "span",
+                    "args": args,
+                }
+            )
+    if machine_trace is not None and len(machine_trace):
+        events.append(
+            {
+                "ph": "M",
+                "ts": 0,
+                "pid": 2,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "simulator"},
+            }
+        )
+        records = sorted(machine_trace, key=lambda r: (r.rank, r.time))
+        end_time = max(r.time for r in machine_trace)
+        # Per rank: each "phase" record opens a slice that lasts until the
+        # rank's next phase (or the end of the trace); other kinds are
+        # instants inside it.
+        open_phase: dict[int, object] = {}
+
+        def _close(rank: int, until: float) -> None:
+            record = open_phase.pop(rank, None)
+            if record is None:
+                return
+            events.append(
+                {
+                    "ph": "X",
+                    "ts": record.time / time_unit,
+                    "dur": max(until - record.time, 0.0) / time_unit,
+                    "pid": 2,
+                    "tid": record.rank,
+                    "name": record.label,
+                    "cat": "phase",
+                }
+            )
+
+        for record in records:
+            if record.kind == "phase":
+                _close(record.rank, record.time)
+                open_phase[record.rank] = record
+            else:
+                events.append(
+                    {
+                        "ph": "i",
+                        "ts": record.time / time_unit,
+                        "pid": 2,
+                        "tid": record.rank,
+                        "name": f"{record.label}.{record.kind}",
+                        "cat": record.kind,
+                        "s": "t",
+                        "args": (
+                            {"info": str(record.info)}
+                            if record.info is not None
+                            else {}
+                        ),
+                    }
+                )
+        for rank in list(open_phase):
+            _close(rank, end_time)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span] = (),
+    machine_trace=None,
+    time_unit: float = 1e-6,
+) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the document."""
+    document = chrome_trace(spans, machine_trace, time_unit)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    return document
+
+
+def validate_chrome_trace(document: dict) -> None:
+    """Raise ``ValueError`` unless ``document`` is a loadable Chrome trace.
+
+    Checks the schema Perfetto requires: a ``traceEvents`` array whose
+    entries carry ``ph``/``ts``/``pid``/``tid``/``name``, with durations on
+    complete events.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace needs a 'traceEvents' array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for field in ("ph", "ts", "pid", "tid", "name"):
+            if field not in event:
+                raise ValueError(f"traceEvents[{index}] missing {field!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"traceEvents[{index}] complete event lacks dur")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(f"traceEvents[{index}] bad ts {event['ts']!r}")
+    json.dumps(document)  # every value must be JSON-serialisable

@@ -29,7 +29,13 @@ Quickstart::
         print(report.errors(), service.stats()["cache_hit_ratio"])
 """
 
-from repro.service.api import ServiceClient, serve_jsonl, serve_socket
+from repro.service.api import (
+    ServiceClient,
+    handle_line,
+    metrics_payload,
+    serve_jsonl,
+    serve_socket,
+)
 from repro.service.batching import RequestBatcher
 from repro.service.cache import LRUCache, TieredPredictionCache
 from repro.service.engine import PredictRequest, PredictionService
@@ -47,6 +53,8 @@ __all__ = [
     "TieredPredictionCache",
     "WorkerPool",
     "execute_cell",
+    "handle_line",
+    "metrics_payload",
     "render_stats",
     "serve_jsonl",
     "serve_socket",

@@ -13,8 +13,16 @@ Three ways in:
 The line protocol: each input line is either a request object
 (``{"benchmark": "BT", "problem_class": "W", "nprocs": 4, ...}``), an array
 of request objects (answered as one batched response), or a command object
-(``{"cmd": "stats"}``). Every line gets exactly one JSON response line with
-an ``"ok"`` field; saturation rejections carry ``"retry_after"``.
+(``{"cmd": "stats"}`` or ``{"cmd": "metrics"}`` — the latter is the
+``GET /metrics`` analogue, answering a Prometheus text exposition plus a
+JSON snapshot of every registry). Every line gets exactly one JSON
+response line with an ``"ok"`` field; saturation rejections carry
+``"retry_after"``.
+
+Correlation: any request object may carry an ``"id"`` field. It is echoed
+verbatim in the response, bound as the obs correlation ID for the
+request's spans, and stamped on the structured log lines — so one grep
+ties a wire request to its dispatch, worker cell, and simulator runs.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import socketserver
 import threading
 from typing import Any, Callable, Iterable, Mapping, Optional, TextIO
 
+from repro import obs
 from repro.core.predictor import PredictionReport
 from repro.errors import ReproError, ServiceSaturatedError
 from repro.service.engine import PredictRequest, PredictionService
@@ -78,8 +87,14 @@ class ServiceClient:
         chain_length: int = 2,
         seed: int = 0,
         timeout: Optional[float] = None,
+        correlation_id: Optional[str] = None,
     ) -> PredictionReport:
-        """Predict one configuration (arguments mirror ``repro predict``)."""
+        """Predict one configuration (arguments mirror ``repro predict``).
+
+        ``correlation_id`` (optional) is bound for the duration of the
+        call: the request's spans adopt it as their trace ID and
+        structured log lines carry it.
+        """
         request = PredictRequest(
             benchmark=benchmark,
             problem_class=problem_class,
@@ -87,7 +102,10 @@ class ServiceClient:
             chain_length=chain_length,
             seed=seed,
         )
-        return self.service.predict(request, timeout=timeout)
+        with obs.correlation(correlation_id), obs.span(
+            "client.predict", benchmark=request.benchmark
+        ):
+            return self.service.predict(request, timeout=timeout)
 
     def predict_dict(
         self, data: Mapping[str, Any], timeout: Optional[float] = None
@@ -111,14 +129,28 @@ class ServiceClient:
         self.close()
 
 
+def metrics_payload(service: PredictionService) -> dict[str, Any]:
+    """The ``metrics`` command's body: JSON snapshot + Prometheus text."""
+    registries = service.metrics_registries()
+    return {
+        "ok": True,
+        "metrics": obs.to_json(*registries),
+        "prometheus": obs.to_prometheus(*registries),
+    }
+
+
 def handle_line(service: PredictionService, line: str) -> Optional[str]:
     """One protocol exchange: a request line in, a JSON response line out.
 
-    Returns ``None`` for blank lines (no response owed).
+    Returns ``None`` for blank lines (no response owed). The bare line
+    ``metrics`` (curl-style, no JSON) is accepted as shorthand for
+    ``{"cmd": "metrics"}``.
     """
     line = line.strip()
     if not line:
         return None
+    if line == "metrics":
+        return json.dumps(metrics_payload(service))
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -131,12 +163,20 @@ def handle_line(service: PredictionService, line: str) -> Optional[str]:
         )
     if payload.get("cmd") == "stats":
         return json.dumps({"ok": True, "stats": service.stats()})
+    if payload.get("cmd") == "metrics":
+        return json.dumps(metrics_payload(service))
+    has_id = "id" in payload
+    request_id = payload.pop("id", None)
     try:
-        request = PredictRequest.from_dict(payload)
-        report = service.predict(request)
-        return json.dumps(report_to_dict(request, report))
+        with obs.correlation(request_id if has_id else None):
+            request = PredictRequest.from_dict(payload)
+            report = service.predict(request)
+            response = report_to_dict(request, report)
     except ReproError as exc:
-        return json.dumps(_error_dict(exc))
+        response = _error_dict(exc)
+    if has_id:
+        response["id"] = request_id
+    return json.dumps(response)
 
 
 def _handle_batch(
@@ -145,15 +185,20 @@ def _handle_batch(
     """Answer an array line as one coalesced burst through the batcher."""
     requests: list[Optional[PredictRequest]] = []
     responses: list[Optional[dict[str, Any]]] = []
+    ids: list[tuple[bool, Any]] = []
     for item in items:
+        has_id, request_id = False, None
         try:
             if not isinstance(item, dict):
                 raise ReproError("batch items must be JSON objects")
+            item = dict(item)
+            has_id, request_id = "id" in item, item.pop("id", None)
             requests.append(PredictRequest.from_dict(item))
             responses.append(None)
         except ReproError as exc:
             requests.append(None)
             responses.append(_error_dict(exc))
+        ids.append((has_id, request_id))
     live = [r for r in requests if r is not None]
     outcomes = iter(
         service.predict_many(live, return_exceptions=True) if live else []
@@ -166,6 +211,9 @@ def _handle_batch(
             responses[i] = _error_dict(outcome)
         else:
             responses[i] = report_to_dict(request, outcome)
+    for i, (has_id, request_id) in enumerate(ids):
+        if has_id and responses[i] is not None:
+            responses[i]["id"] = request_id
     return responses  # type: ignore[return-value]
 
 
@@ -175,11 +223,15 @@ def serve_jsonl(
     out: TextIO,
 ) -> dict:
     """Serve a JSON-lines stream until EOF; returns the final stats."""
+    obs.log("serve.jsonl.start")
+    served = 0
     for line in lines:
         response = handle_line(service, line)
         if response is not None:
             out.write(response + "\n")
             out.flush()
+            served += 1
+    obs.log("serve.jsonl.eof", responses=served)
     return service.stats()
 
 
@@ -227,8 +279,14 @@ def serve_socket(
             announce(server.server_address)
         if ready is not None:
             ready.set()
+        obs.log(
+            "serve.listening",
+            host=server.server_address[0],
+            port=server.server_address[1],
+        )
         try:
             server.serve_forever(poll_interval=0.1)
         except KeyboardInterrupt:  # pragma: no cover — interactive shutdown
             pass
+        obs.log("serve.stopped")
     return service.stats()

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Protocol
 
 from repro.errors import ServiceClosedError
+from repro.obs.tracing import correlation_id, current_context
 
 __all__ = ["Flight", "RequestBatcher"]
 
@@ -44,11 +45,18 @@ class BatchableRequest(Protocol):
 
 @dataclass
 class Flight:
-    """One unique in-flight request and everyone waiting on it."""
+    """One unique in-flight request and everyone waiting on it.
+
+    ``context`` and ``corr`` are the submitting thread's span context and
+    correlation ID (captured at submit time) so the dispatcher/worker
+    spans join the same trace as the request that started the flight.
+    """
 
     request: BatchableRequest
     future: Future = field(default_factory=Future)
     waiters: int = 1
+    context: object = None
+    corr: object = None
 
 
 class RequestBatcher:
@@ -96,7 +104,11 @@ class RequestBatcher:
             if flight is not None:
                 flight.waiters += 1
                 return flight.future, True
-            flight = Flight(request=request)
+            flight = Flight(
+                request=request,
+                context=current_context(),
+                corr=correlation_id(),
+            )
             flight.future.add_done_callback(
                 lambda _fut, key=key: self._forget(key)
             )

@@ -24,6 +24,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.core.predictor import (
     CouplingPredictor,
     PredictionReport,
@@ -206,8 +207,12 @@ class PredictionService:
         """
         outcome, t0 = self._submit(request)
         if isinstance(outcome, PredictionReport):
+            # L1 hit: the microsecond path. Deliberately span-free — the
+            # hit is already measured (l1_hits + latency histogram), and
+            # a span here would cost more than the lookup it times.
             return outcome
-        return self._await(outcome, t0, timeout)
+        with obs.span("service.predict", benchmark=request.benchmark):
+            return self._await(outcome, t0, timeout)
 
     def predict_many(
         self,
@@ -277,7 +282,25 @@ class PredictionService:
     # -- dispatch (batcher thread) --------------------------------------------
 
     def _dispatch_group(self, flights: list[Flight]) -> None:
-        """Turn one config-homogeneous group into a cell task on the pool."""
+        """Turn one config-homogeneous group into a cell task on the pool.
+
+        Runs on the batcher thread; adopting the first flight's captured
+        correlation ID and span context stitches the dispatch (and the
+        worker's cell span) into the submitting request's trace.
+        """
+        first = flights[0].request
+        with obs.correlation(flights[0].corr), obs.use_context(
+            flights[0].context
+        ), obs.span(
+            "service.dispatch",
+            benchmark=first.benchmark,
+            cls=first.problem_class,
+            nprocs=first.nprocs,
+            batch=len(flights),
+        ):
+            self._dispatch_batch(flights)
+
+    def _dispatch_batch(self, flights: list[Flight]) -> None:
         first = flights[0].request
         self.metrics.record_batch(len(flights))
         # Validate per-request chain lengths against the flow now, so one
@@ -325,10 +348,15 @@ class PredictionService:
         )
         try:
             if self._executor_kind == "process":
+                # Process workers need a picklable module-level callable;
+                # their spans come from the simulator flush instead.
                 pool_future = self._pool.submit(self._execute, task)
             else:
                 pool_future = self._pool.submit(
-                    self._execute, task, self._cache.database
+                    self._traced_cell,
+                    obs.current_context(),
+                    task,
+                    self._cache.database,
                 )
         except ServiceError as exc:
             self._fail(flights, exc)
@@ -345,6 +373,16 @@ class PredictionService:
             self._finish(flights, outcome)
 
         pool_future.add_done_callback(_done)
+
+    def _traced_cell(self, context, task, database):
+        """Run one cell on a worker thread under the request's trace."""
+        with obs.use_context(context), obs.span(
+            "service.cell",
+            benchmark=task.plan.benchmark,
+            cls=task.plan.problem_classes[0],
+            nprocs=task.plan.proc_counts[0],
+        ):
+            return self._execute(task, database)
 
     def _finish(self, flights: list[Flight], outcome) -> None:
         """Build each waiter's report from the cell outcome."""
@@ -393,6 +431,17 @@ class PredictionService:
         snapshot = self.metrics.stats()
         snapshot["cache"] = self._cache.stats()
         return snapshot
+
+    def metrics_registries(self) -> tuple:
+        """The registries a metrics exporter should render, gauges fresh.
+
+        The service's own (namespaced) registry first, then the global one
+        carrying span-duration histograms and simulator counters — together
+        they are the full picture behind the TCP ``metrics`` command and
+        ``repro metrics``.
+        """
+        self.metrics.refresh_gauges()
+        return (self.metrics.registry, obs.get_registry())
 
     @property
     def database(self) -> PerformanceDatabase:

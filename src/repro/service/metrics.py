@@ -1,156 +1,53 @@
 """Service observability: counters, gauges, and latency histograms.
 
-Everything is thread-safe and cheap on the hot path (a lock plus an
-append); :meth:`ServiceMetrics.stats` takes a consistent snapshot the CLI
-prints on shutdown and the benchmarks assert on.
+Since the :mod:`repro.obs` substrate landed, this module is a thin layer
+over :class:`repro.obs.registry.MetricsRegistry`: the instrument classes
+re-exported here *are* the obs ones, and :class:`ServiceMetrics` creates
+its instruments inside a ``service``-namespaced registry so the TCP
+``metrics`` command and ``repro metrics`` can export them alongside the
+global registry (spans, simulator counters) in one Prometheus/JSON
+document. The public API — named attributes, :meth:`ServiceMetrics.stats`,
+:func:`render_stats` — is unchanged.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Optional
 
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
 __all__ = ["Counter", "Gauge", "Histogram", "ServiceMetrics", "render_stats"]
-
-
-class Counter:
-    """A monotonically increasing event count."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (>= 0) to the counter."""
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-
-class Gauge:
-    """A value that goes up and down (e.g. queue depth)."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self._value = 0
-        self._high_water = 0
-        self._lock = threading.Lock()
-
-    def set(self, value: int) -> None:
-        with self._lock:
-            self._value = value
-            self._high_water = max(self._high_water, value)
-
-    def adjust(self, delta: int) -> None:
-        with self._lock:
-            self._value += delta
-            self._high_water = max(self._high_water, self._value)
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-    @property
-    def high_water(self) -> int:
-        return self._high_water
-
-
-class Histogram:
-    """Sampled distribution with percentile queries.
-
-    Keeps at most ``capacity`` observations; once full, every ``stride``-th
-    observation replaces a slot round-robin so long runs stay bounded while
-    the recent shape survives. Totals (count/sum/max) are exact regardless.
-    """
-
-    def __init__(self, name: str, capacity: int = 4096):
-        if capacity < 1:
-            raise ValueError(f"histogram capacity must be >= 1, got {capacity}")
-        self.name = name
-        self.capacity = capacity
-        self._samples: list[float] = []
-        self._cursor = 0
-        self._count = 0
-        self._sum = 0.0
-        self._max: Optional[float] = None
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        with self._lock:
-            self._count += 1
-            self._sum += value
-            self._max = value if self._max is None else max(self._max, value)
-            if len(self._samples) < self.capacity:
-                self._samples.append(value)
-            else:
-                self._samples[self._cursor] = value
-                self._cursor = (self._cursor + 1) % self.capacity
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        """Exact mean over every observation (0.0 when empty)."""
-        with self._lock:
-            return self._sum / self._count if self._count else 0.0
-
-    @property
-    def max(self) -> float:
-        return self._max if self._max is not None else 0.0
-
-    def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100) of the retained samples."""
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in 0..100, got {p}")
-        with self._lock:
-            data = sorted(self._samples)
-        if not data:
-            return 0.0
-        rank = (p / 100.0) * (len(data) - 1)
-        low = int(rank)
-        high = min(low + 1, len(data) - 1)
-        frac = rank - low
-        return data[low] * (1 - frac) + data[high] * frac
-
-    def snapshot(self) -> dict[str, float]:
-        """count / mean / p50 / p95 / max in one dict."""
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "max": self.max,
-        }
 
 
 class ServiceMetrics:
     """Every signal the prediction service emits.
 
     ``queue_depth_fn`` is polled at snapshot time so the gauge always
-    reflects the live worker queue rather than a stale counter.
+    reflects the live worker queue rather than a stale counter. Each
+    service instance owns its registry (pass ``registry`` to share one),
+    so multiple services in one process do not mix their counts.
     """
 
-    def __init__(self, queue_depth_fn: Optional[Callable[[], int]] = None):
-        self.requests = Counter("requests")
-        self.l1_hits = Counter("l1_hits")
-        self.l2_hits = Counter("l2_hits")
-        self.misses = Counter("misses")
-        self.coalesced = Counter("coalesced")
-        self.rejected = Counter("rejected")
-        self.errors = Counter("errors")
-        self.batches = Counter("batches")
-        self.simulations = Counter("simulations")
-        self.batch_sizes = Histogram("batch_sizes")
-        self.latency = Histogram("latency_seconds")
-        self.cell_seconds = Histogram("cell_seconds")
-        self.queue_depth = Gauge("queue_depth")
+    def __init__(
+        self,
+        queue_depth_fn: Optional[Callable[[], int]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.registry = registry or MetricsRegistry(namespace="service")
+        self.requests = self.registry.counter("requests")
+        self.l1_hits = self.registry.counter("l1_hits")
+        self.l2_hits = self.registry.counter("l2_hits")
+        self.misses = self.registry.counter("misses")
+        self.coalesced = self.registry.counter("coalesced")
+        self.rejected = self.registry.counter("rejected")
+        self.errors = self.registry.counter("errors")
+        self.batches = self.registry.counter("batches")
+        self.simulations = self.registry.counter("simulations")
+        self.batch_sizes = self.registry.histogram("batch_sizes")
+        self.latency = self.registry.histogram("latency_seconds")
+        self.cell_seconds = self.registry.histogram("cell_seconds")
+        self.queue_depth = self.registry.gauge("queue_depth")
+        self._hit_ratio = self.registry.gauge("cache_hit_ratio")
         self._queue_depth_fn = queue_depth_fn
 
     def record_batch(self, size: int) -> None:
@@ -166,10 +63,15 @@ class ServiceMetrics:
         hits = self.l1_hits.value + self.l2_hits.value + self.coalesced.value
         return hits / served
 
-    def stats(self) -> dict:
-        """A consistent JSON-friendly snapshot of every signal."""
+    def refresh_gauges(self) -> None:
+        """Fold the derived/live signals into their gauges (pre-export)."""
         if self._queue_depth_fn is not None:
             self.queue_depth.set(self._queue_depth_fn())
+        self._hit_ratio.set(self.cache_hit_ratio())
+
+    def stats(self) -> dict:
+        """A consistent JSON-friendly snapshot of every signal."""
+        self.refresh_gauges()
         return {
             "requests": self.requests.value,
             "l1_hits": self.l1_hits.value,

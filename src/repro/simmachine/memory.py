@@ -168,6 +168,10 @@ class MemoryHierarchy:
             )
         self.memory_byte_time = memory_byte_time
         self.write_factor = check_positive("write_factor", write_factor)
+        # Aggregate statistics (flushed into the obs registry per run).
+        self.touches = 0
+        self.bytes_hit = 0
+        self.bytes_from_memory = 0
 
     # -- queries ----------------------------------------------------------
 
@@ -213,6 +217,9 @@ class MemoryHierarchy:
         # The touched bytes become the hottest data at every level.
         for level in self.levels:
             level.install(region.name, total)
+        self.touches += 1
+        self.bytes_hit += covered
+        self.bytes_from_memory += from_memory
         return TouchResult(
             time=time,
             served_by_level=tuple(served),

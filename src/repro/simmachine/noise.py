@@ -32,10 +32,11 @@ __all__ = ["NoiseModel", "RankNoise"]
 class RankNoise:
     """Per-rank jitter stream. ``factor()`` has mean 1 and configured cv."""
 
-    __slots__ = ("_rng", "_sigma", "_mu", "cv")
+    __slots__ = ("_rng", "_sigma", "_mu", "cv", "draws")
 
     def __init__(self, seed_material: tuple[int, ...], cv: float):
         self.cv = cv
+        self.draws = 0
         if cv > 0.0:
             self._rng = np.random.Generator(np.random.PCG64(seed_material))
             # Lognormal with E[X] = 1: sigma^2 = ln(1 + cv^2), mu = -sigma^2/2.
@@ -51,6 +52,7 @@ class RankNoise:
         """Next multiplicative jitter factor (exactly 1.0 when cv == 0)."""
         if self._rng is None:
             return 1.0
+        self.draws += 1
         return math.exp(self._mu + self._sigma * self._rng.standard_normal())
 
     def floor_jitter(self, scale: float) -> float:
@@ -63,6 +65,7 @@ class RankNoise:
             return 0.0
         if self._rng is None:
             return 0.5 * scale
+        self.draws += 1
         return scale * self._rng.random()
 
 

@@ -14,8 +14,9 @@ kernel's name), which is what the profiler and cache-miss metrics read.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional, Sequence
+from typing import Any, Callable, Generator, Optional, Sequence, Union
 
+from repro import obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.simmachine.engine import Event, Process, Simulator
 from repro.simmachine.machine import MachineConfig
@@ -180,7 +181,10 @@ class Machine:
         Distinguishes noise streams between runs of the same seed (the
         measurement harness uses one id per repetition).
     trace:
-        Enable event tracing (slow; for debugging/profiling only).
+        Event tracing control: ``False`` (off, the default), ``True``
+        (unbounded trace — debugging only), an ``int`` N (bounded ring
+        buffer of the newest N records, safe for long campaigns), or an
+        existing :class:`Trace` to append into.
     """
 
     def __init__(
@@ -189,7 +193,7 @@ class Machine:
         nprocs: int,
         seed: int = 0,
         run_id: str = "run",
-        trace: bool = False,
+        trace: Union[bool, int, Trace] = False,
     ):
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
@@ -214,7 +218,15 @@ class Machine:
         ]
         noise = NoiseModel(seed, config.noise_cv)
         self.noise_streams = [noise.rank_stream(run_id, r) for r in range(nprocs)]
-        self.trace: Optional[Trace] = Trace() if trace else None
+        if isinstance(trace, Trace):
+            self.trace: Optional[Trace] = trace
+        elif trace is True:
+            self.trace = Trace()
+        elif isinstance(trace, int) and not isinstance(trace, bool) and trace > 0:
+            self.trace = Trace(max_records=trace)
+        else:
+            self.trace = None
+        self._flushed: dict[str, int] = {}
         self.contexts = [RankContext(self, r) for r in range(nprocs)]
 
     # -- running programs ----------------------------------------------------
@@ -227,11 +239,49 @@ class Machine:
         ]
 
     def run(self, program: ProgramFn, name: str = "rank") -> float:
-        """Launch on all ranks, run to completion, return elapsed sim time."""
+        """Launch on all ranks, run to completion, return elapsed sim time.
+
+        When observability is enabled, the run's event/message/cache/noise
+        totals are flushed into the global obs registry afterwards — one
+        lock acquisition per counter per *run*, never per event, so the
+        hot simulation loop stays uninstrumented.
+        """
         start = self.sim.now
+        events_before = self.sim.events_processed
         procs = self.launch(program, name)
         self.sim.run_all(procs)
+        if obs.enabled():
+            self._flush_obs(events_before)
         return self.sim.now - start
+
+    def _flush_obs(self, events_before: int) -> None:
+        """Accumulate this run's activity totals into the obs registry.
+
+        Machine/network/noise totals stay monotone (nothing here mutates
+        them); repeat runs on one machine flush only their delta via the
+        remembered ``_flushed`` watermarks.
+        """
+        registry = obs.get_registry()
+        totals = {
+            "sim_messages": self.network.messages_sent,
+            "sim_message_bytes": self.network.bytes_sent,
+            "sim_cache_bytes_hit": sum(m.bytes_hit for m in self.memories),
+            "sim_cache_bytes_missed": sum(
+                m.bytes_from_memory for m in self.memories
+            ),
+            "sim_noise_draws": sum(s.draws for s in self.noise_streams),
+        }
+        registry.counter("sim_runs").inc()
+        registry.counter("sim_events").inc(
+            self.sim.events_processed - events_before
+        )
+        for name, total in totals.items():
+            registry.counter(name).inc(total - self._flushed.get(name, 0))
+        self._flushed = totals
+        registry.histogram("sim_simulated_seconds").observe(self.sim.now)
+        if self.trace is not None:
+            registry.counter("sim_trace_records").inc(len(self.trace))
+            registry.counter("sim_trace_dropped").inc(self.trace.dropped)
 
     # -- state management (measurement harness) ------------------------------
 

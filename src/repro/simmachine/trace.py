@@ -1,9 +1,10 @@
-"""Optional execution tracing for debugging and the profiler."""
+"""Optional execution tracing for debugging, the profiler, and exporters."""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 __all__ = ["TraceRecord", "Trace"]
 
@@ -20,30 +21,50 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only record of simulated activity.
+    """Record of simulated activity, optionally bounded.
 
     Tracing is off by default (the experiment runs push too many events);
     enable it by passing ``trace=True`` to
-    :class:`repro.simmachine.process.Machine`.
+    :class:`repro.simmachine.process.Machine`. For long campaigns pass
+    ``Trace(max_records=N)`` (or ``trace=N`` to the machine): the trace
+    becomes a ring buffer keeping the **newest** ``N`` records, and
+    :attr:`dropped` counts evictions — so tracing can stay on during real
+    campaigns without exhausting memory.
     """
 
-    def __init__(self) -> None:
-        self.records: list[TraceRecord] = []
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1 or None, got {max_records}"
+            )
+        self.max_records = max_records
+        self._records: deque[TraceRecord] = deque(maxlen=max_records)
+        self.dropped = 0
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained records, oldest first."""
+        return list(self._records)
 
     def add(self, time: float, rank: int, label: str, kind: str, info: Any = None) -> None:
-        """Record one occurrence."""
-        self.records.append(TraceRecord(time, rank, label, kind, info))
+        """Record one occurrence (evicting the oldest when bounded)."""
+        if (
+            self.max_records is not None
+            and len(self._records) == self.max_records
+        ):
+            self.dropped += 1
+        self._records.append(TraceRecord(time, rank, label, kind, info))
 
     def by_rank(self, rank: int) -> list[TraceRecord]:
         """All records of one rank, in time order."""
-        return [r for r in self.records if r.rank == rank]
+        return [r for r in self._records if r.rank == rank]
 
     def by_kind(self, kind: str) -> list[TraceRecord]:
         """All records of one kind, in time order."""
-        return [r for r in self.records if r.kind == kind]
+        return [r for r in self._records if r.kind == kind]
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+        return iter(self._records)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records)

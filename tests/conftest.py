@@ -9,6 +9,16 @@ from repro.simmachine import Machine, ibm_sp_argonne, linear_test_machine
 from repro.simmpi import attach_world
 
 
+@pytest.fixture(autouse=True)
+def fresh_observability():
+    """Isolate every test behind a fresh global registry and tracer."""
+    from repro import obs
+
+    obs.reset()
+    yield
+    obs.reset()
+
+
 @pytest.fixture
 def sp_config():
     """The paper's IBM-SP-like machine configuration."""

@@ -136,8 +136,8 @@ class TestServeCommand:
         assert all(r["ok"] for r in responses)
         assert responses[0]["request"]["benchmark"] == "BT"  # normalized
         assert responses[2]["stats"]["l1_hits"] == 1  # repeat hit the cache
-        # Shutdown prints a metrics snapshot to stderr.
-        assert "service metrics:" in captured.err
+        # Shutdown logs structured lines and prints the stats snapshot.
+        assert "serve.closed requests=2" in captured.err
         assert '"requests"' in captured.err
 
     def test_serve_persists_measurements(self, capsys, monkeypatch, tmp_path):
@@ -174,3 +174,75 @@ class TestReportCommand:
         assert text.startswith("# EXPERIMENTS")
         assert "## table1" in text and "## table7" in text
         assert "12 x 12 x 12" in text
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "timeline.json"
+        assert main(["trace", "BT", "S", "4", "-o", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        validate_chrome_trace(document)
+        events = document["traceEvents"]
+        # Simulator rank activity (pid 2) and pipeline spans (pid 1).
+        assert any(e["pid"] == 2 and e["ph"] == "X" for e in events)
+        assert any(
+            e["pid"] == 1 and e.get("name") == "app.run" for e in events
+        )
+        sim_ranks = {e["tid"] for e in events if e["pid"] == 2 and e["ph"] != "M"}
+        assert sim_ranks == {0, 1, 2, 3}
+
+    def test_trace_ring_buffer_bound(self, capsys, tmp_path):
+        out_path = tmp_path / "timeline.json"
+        assert main(
+            ["trace", "BT", "S", "4", "-o", str(out_path), "--max-records", "50"]
+        ) == 0
+        document = json.loads(out_path.read_text())
+        sim_events = [
+            e for e in document["traceEvents"]
+            if e["pid"] == 2 and e["ph"] != "M"
+        ]
+        assert 0 < len(sim_events) <= 50
+
+
+class TestMetricsCommand:
+    def test_metrics_against_a_live_server(self, capsys):
+        import threading
+
+        from repro.instrument import MeasurementConfig
+        from repro.service import PredictionService, serve_socket
+
+        service = PredictionService(
+            measurement=MeasurementConfig(repetitions=2, warmup=1),
+            executor="inline",
+            batch_window=0.0,
+        )
+        ready = threading.Event()
+        bound: list = []
+        control: list = []
+        thread = threading.Thread(
+            target=serve_socket,
+            args=(service,),
+            kwargs={"ready": ready, "bound": bound, "control": control},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+        port = str(bound[0][1])
+        try:
+            assert main(["metrics", "--port", port]) == 0
+            prometheus = capsys.readouterr().out
+            assert "# TYPE service_requests_total counter" in prometheus
+            assert main(["metrics", "--port", port, "--format", "json"]) == 0
+            snapshot = json.loads(capsys.readouterr().out)
+            assert "service.requests" in snapshot
+        finally:
+            control[0].shutdown()
+            thread.join(timeout=10)
+            service.close()
+
+    def test_metrics_unreachable_server_fails_cleanly(self, capsys):
+        assert main(["metrics", "--port", "1", "--timeout", "0.5"]) == 1
+        assert "error:" in capsys.readouterr().err

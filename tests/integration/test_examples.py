@@ -23,6 +23,7 @@ EXPECTED = {
     "host_couplings.py",
     "measurement_campaign.py",
     "service_load_test.py",
+    "observability_demo.py",
 }
 
 

@@ -1,0 +1,115 @@
+"""Exporters: Prometheus text, JSON snapshots, Chrome trace documents."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    chrome_trace,
+    to_json,
+    to_prometheus,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.simmachine.trace import Trace
+
+
+def _populated_registry(namespace=""):
+    reg = MetricsRegistry(namespace=namespace)
+    reg.counter("requests").inc(3)
+    reg.gauge("queue_depth").set(2)
+    reg.histogram("latency_seconds").observe(0.5)
+    return reg
+
+
+class TestPrometheus:
+    def test_conventions(self):
+        text = to_prometheus(_populated_registry("service"))
+        assert "# TYPE service_requests_total counter" in text
+        assert "service_requests_total 3" in text
+        assert "service_queue_depth 2" in text
+        assert "service_queue_depth_high_water 2" in text
+        assert "# TYPE service_latency_seconds histogram" in text
+        assert 'service_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "service_latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_labels_and_escaping(self):
+        reg = MetricsRegistry()
+        reg.histogram("span_seconds", labels={"name": 'he said "hi"'}).observe(1.0)
+        text = to_prometheus(reg)
+        assert 'name="he said \\"hi\\""' in text
+
+    def test_merges_multiple_registries(self):
+        text = to_prometheus(_populated_registry("service"), _populated_registry())
+        assert "service_requests_total 3" in text
+        assert "\nrequests_total 3" in text
+
+
+class TestJson:
+    def test_namespace_prefixes_keys(self):
+        merged = to_json(_populated_registry("service"), _populated_registry())
+        assert merged["service.requests"] == 3
+        assert merged["requests"] == 3
+        json.dumps(merged)  # must be serializable as-is
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_slices(self):
+        with obs.span("outer", benchmark="BT"):
+            with obs.span("inner"):
+                pass
+        document = chrome_trace(spans=obs.get_tracer().spans())
+        validate_chrome_trace(document)
+        slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"outer", "inner"}
+        assert all(e["pid"] == 1 for e in slices)
+        outer = next(e for e in slices if e["name"] == "outer")
+        assert outer["args"]["benchmark"] == "BT"
+
+    def test_simulator_trace_maps_ranks_to_threads(self):
+        trace = Trace()
+        trace.add(0.0, 0, "copy_faces", "phase")
+        trace.add(1.0, 0, "copy_faces", "send")
+        trace.add(2.0, 0, "x_solve", "phase")
+        trace.add(0.5, 1, "copy_faces", "phase")
+        document = chrome_trace(machine_trace=trace)
+        validate_chrome_trace(document)
+        events = document["traceEvents"]
+        sim = [e for e in events if e["pid"] == 2 and e["ph"] != "M"]
+        assert {e["tid"] for e in sim} == {0, 1}
+        phase = next(e for e in sim if e["name"] == "copy_faces" and e["tid"] == 0)
+        assert phase["ph"] == "X"
+        assert phase["dur"] == pytest.approx(2.0 / 1e-6)  # until next phase
+        instants = [e for e in sim if e["ph"] == "i"]
+        assert instants and instants[0]["name"] == "copy_faces.send"
+
+    def test_write_round_trips_through_disk(self, tmp_path):
+        with obs.span("stage"):
+            pass
+        path = tmp_path / "timeline.json"
+        document = write_chrome_trace(str(path), spans=obs.get_tracer().spans())
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(document))
+        validate_chrome_trace(loaded)
+
+    def test_validate_rejects_malformed_documents(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "ts": 0, "pid": 1, "tid": 1}]}
+            )  # missing name
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"ph": "X", "ts": -1, "pid": 1, "tid": 1, "name": "x",
+                         "dur": 0}
+                    ]
+                }
+            )  # negative timestamp

@@ -1,0 +1,57 @@
+"""Structured log lines and their correlation/span stamping."""
+
+import logging
+
+from repro import obs
+
+
+class _Capture(logging.Handler):
+    def __init__(self):
+        super().__init__()
+        self.lines = []
+
+    def emit(self, record):
+        self.lines.append(record.getMessage())
+
+
+def _capturing():
+    handler = _Capture()
+    logger = obs.get_logger()
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    return handler, logger
+
+
+class TestLog:
+    def test_event_and_fields(self):
+        handler, logger = _capturing()
+        try:
+            obs.log("cache.evict", key="BT/S/4", reason="ttl expired")
+        finally:
+            logger.removeHandler(handler)
+        (line,) = handler.lines
+        assert line.startswith("cache.evict ")
+        assert "key=BT/S/4" in line
+        assert 'reason="ttl expired"' in line  # spaces force quoting
+
+    def test_correlation_and_span_stamping(self):
+        handler, logger = _capturing()
+        try:
+            with obs.correlation("req-7"), obs.span("stage") as current:
+                obs.log("stage.done")
+        finally:
+            logger.removeHandler(handler)
+        (line,) = handler.lines
+        assert "corr=req-7" in line
+        assert f"trace={current.trace_id}" in line
+        assert f"span={current.span_id}" in line
+
+    def test_disabled_logging_is_silent(self):
+        handler, logger = _capturing()
+        obs.disable()
+        try:
+            obs.log("should.not.appear")
+        finally:
+            obs.enable()
+            logger.removeHandler(handler)
+        assert handler.lines == []

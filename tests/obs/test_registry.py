@@ -1,0 +1,99 @@
+"""The metrics registry: instrument identity, labels, snapshots."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_buckets,
+)
+
+
+class TestDefaultBuckets:
+    def test_geometric_and_increasing(self):
+        bounds = default_buckets(low=1.0, high=1000.0, per_decade=2)
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+        # Growth factor is 10**(1/per_decade).
+        assert bounds[1] / bounds[0] == pytest.approx(10 ** 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_buckets(low=0.0)
+        with pytest.raises(ValueError):
+            default_buckets(low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            default_buckets(per_decade=0)
+
+
+class TestRegistryIdentity:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert len(reg) == 3
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("span_seconds", labels={"name": "a"})
+        b = reg.histogram("span_seconds", labels={"name": "b"})
+        assert a is not b
+        # kwarg spelling (for label keys that don't shadow parameters):
+        assert reg.counter("hits", tier="l1") is reg.counter(
+            "hits", labels={"tier": "l1"}
+        )
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_concurrent_get_or_create_is_safe(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def worker():
+            c = reg.counter("shared")
+            c.inc(10)
+            seen.append(c)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+        assert reg.counter("shared").value == 80
+
+
+class TestSnapshot:
+    def test_shapes_per_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(5)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 1
+        assert snap["g.high_water"] == 5
+        assert snap["h"]["count"] == 1
+        assert isinstance(Counter("c"), Counter)  # re-exported types
+        assert isinstance(Gauge("g"), Gauge)
+        assert isinstance(Histogram("h"), Histogram)
+
+    def test_labelled_keys_render_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"tier": "l1"}).inc()
+        assert "hits{tier=l1}" in reg.snapshot()
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert len(reg) == 0

@@ -1,5 +1,7 @@
 """Trace recorder."""
 
+import pytest
+
 from repro.simmachine.trace import Trace, TraceRecord
 
 
@@ -32,3 +34,32 @@ class TestTrace:
         except AttributeError:
             raised = True
         assert raised
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        trace = Trace()
+        for i in range(100):
+            trace.add(float(i), 0, "k", "phase")
+        assert len(trace) == 100
+        assert trace.dropped == 0
+
+    def test_keeps_newest_and_counts_drops(self):
+        trace = Trace(max_records=3)
+        for i in range(10):
+            trace.add(float(i), 0, "k", "phase")
+        assert len(trace) == 3
+        assert trace.dropped == 7
+        assert [r.time for r in trace] == [7.0, 8.0, 9.0]
+
+    def test_filters_see_only_retained_records(self):
+        trace = Trace(max_records=2)
+        trace.add(0.0, 0, "a", "phase")
+        trace.add(1.0, 1, "b", "compute")
+        trace.add(2.0, 0, "c", "phase")
+        assert [r.label for r in trace.by_rank(0)] == ["c"]
+        assert [r.label for r in trace.by_kind("compute")] == ["b"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Trace(max_records=0)
