@@ -150,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="JSON fault plan (repro.faults) to inject while serving",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -359,11 +363,21 @@ def _cmd_profile(benchmark: str, problem_class: str, nprocs: int) -> int:
 def _cmd_serve(args) -> int:
     import json
 
-    from repro import obs
+    from repro import faults, obs
     from repro.instrument import MeasurementConfig
     from repro.service import PredictionService, serve_jsonl, serve_socket
 
     obs.configure_logging(stream=sys.stderr)
+    if args.fault_plan is not None:
+        with open(args.fault_plan, encoding="utf-8") as handle:
+            plan = faults.FaultPlan.from_json(handle.read())
+        faults.install(plan)
+        obs.log(
+            "serve.faults_installed",
+            plan=args.fault_plan,
+            sites=[spec.site for spec in plan.specs],
+            seed=plan.seed,
+        )
     service = PredictionService(
         measurement=MeasurementConfig(
             repetitions=args.repetitions, warmup=2, seed=args.seed
@@ -390,6 +404,7 @@ def _cmd_serve(args) -> int:
             stats = serve_jsonl(service, sys.stdin, sys.stdout)
     finally:
         service.close()
+        faults.clear()
     obs.log("serve.closed", requests=stats.get("requests"))
     print(json.dumps(stats, indent=2), file=sys.stderr)
     return 0

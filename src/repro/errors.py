@@ -70,3 +70,42 @@ class ServiceSaturatedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A request arrived after the service was shut down."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """A request's deadline expired before its report was ready.
+
+    Carries ``timeout`` (seconds), the deadline that was exceeded. The
+    underlying computation may still complete and populate the cache; the
+    error only means *this* caller stopped waiting.
+    """
+
+    def __init__(self, message: str, timeout: float = 0.0):
+        self.timeout = timeout
+        super().__init__(message)
+
+
+class ServiceDegradedError(ServiceError):
+    """The service is in cache-only degraded mode and cannot compute.
+
+    Raised for cache misses while the worker pool is unhealthy (too many
+    consecutive worker crashes). Cached reports are still served; new
+    simulations are refused except for periodic recovery probes.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """A worker died (or was killed by fault injection) while running a cell.
+
+    The pool detects these, counts a respawn, and — after enough
+    consecutive crashes — declares itself unhealthy, flipping the service
+    into degraded mode.
+    """
+
+
+class ClientDisconnectError(ServiceError):
+    """The wire client vanished mid-request; no response can be delivered."""
+
+
+class InjectedFaultError(ServiceError):
+    """A generic failure planted by :mod:`repro.faults` at a named site."""

@@ -19,12 +19,14 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+import zlib
 from typing import Iterator, Optional
 
+from repro import faults
 from repro.errors import MeasurementError
 from repro.instrument.runner import Measurement
 
-__all__ = ["PerformanceDatabase"]
+__all__ = ["PerformanceDatabase", "payload_checksum"]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS measurements (
@@ -35,9 +37,26 @@ CREATE TABLE IF NOT EXISTS measurements (
     kernels TEXT NOT NULL,          -- JSON list, control-flow order
     samples TEXT NOT NULL,          -- JSON list of per-iteration seconds
     overhead REAL NOT NULL,
+    checksum TEXT,                  -- crc32 of samples|overhead (NULL = legacy)
     UNIQUE (benchmark, problem_class, nprocs, kernels)
 );
 """
+
+
+def payload_checksum(samples_json: str, overhead: float) -> str:
+    """Integrity checksum of one stored measurement payload.
+
+    crc32 over the canonical JSON sample vector plus the overhead — enough
+    to catch bit-rot / partial writes; not a cryptographic signature.
+    """
+    return format(
+        zlib.crc32(f"{samples_json}|{overhead!r}".encode("utf-8")), "08x"
+    )
+
+
+def _tamper(samples_json: str) -> str:
+    """Deterministic payload corruption used by the db.* fault sites."""
+    return samples_json.replace("[", "[666333.0, ", 1)
 
 
 class PerformanceDatabase:
@@ -63,6 +82,16 @@ class PerformanceDatabase:
         conn = self._connection()
         with self._lock:
             conn.execute(_SCHEMA)
+            # Legacy databases predate the checksum column; add it in place
+            # (NULL checksums are accepted as unverifiable legacy rows).
+            columns = {
+                row[1]
+                for row in conn.execute("PRAGMA table_info(measurements)")
+            }
+            if "checksum" not in columns:
+                conn.execute(
+                    "ALTER TABLE measurements ADD COLUMN checksum TEXT"
+                )
             conn.commit()
 
     def _connection(self) -> sqlite3.Connection:
@@ -101,13 +130,21 @@ class PerformanceDatabase:
 
     @staticmethod
     def _row(measurement: Measurement) -> tuple:
+        samples_json = json.dumps(list(measurement.samples))
+        checksum = payload_checksum(samples_json, measurement.overhead)
+        # Write-corruption fault: the payload rots on its way to disk while
+        # the checksum (computed from the pristine data) stays honest, so
+        # the corruption is *detectable* on the next read.
+        if faults.check("db.write.corrupt") is not None:
+            samples_json = _tamper(samples_json)
         return (
             measurement.benchmark,
             measurement.problem_class,
             measurement.nprocs,
             json.dumps(list(measurement.kernels)),
-            json.dumps(list(measurement.samples)),
+            samples_json,
             measurement.overhead,
+            checksum,
         )
 
     def store(self, measurement: Measurement, replace: bool = False) -> None:
@@ -118,8 +155,8 @@ class PerformanceDatabase:
             try:
                 conn.execute(
                     f"{verb} INTO measurements "
-                    "(benchmark, problem_class, nprocs, kernels, samples, overhead) "
-                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    "(benchmark, problem_class, nprocs, kernels, samples, "
+                    "overhead, checksum) VALUES (?, ?, ?, ?, ?, ?, ?)",
                     self._row(measurement),
                 )
             except sqlite3.IntegrityError as exc:
@@ -133,28 +170,32 @@ class PerformanceDatabase:
 
         ``INSERT OR IGNORE`` then re-read: whichever concurrent writer got
         there first wins, and every caller sees that winner — the pattern
-        the serving layer's workers rely on.
+        the serving layer's workers rely on. A corrupted winner (checksum
+        mismatch, see :meth:`get`) is purged and the insert retried once,
+        so a single bout of write corruption self-heals.
         """
-        conn = self._connection()
-        with self._lock:
-            conn.execute(
-                "INSERT OR IGNORE INTO measurements "
-                "(benchmark, problem_class, nprocs, kernels, samples, overhead) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                self._row(measurement),
+        for _attempt in range(2):
+            conn = self._connection()
+            with self._lock:
+                conn.execute(
+                    "INSERT OR IGNORE INTO measurements "
+                    "(benchmark, problem_class, nprocs, kernels, samples, "
+                    "overhead, checksum) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    self._row(measurement),
+                )
+                conn.commit()
+            stored = self.get(
+                measurement.benchmark,
+                measurement.problem_class,
+                measurement.nprocs,
+                measurement.kernels,
             )
-            conn.commit()
-        stored = self.get(
-            measurement.benchmark,
-            measurement.problem_class,
-            measurement.nprocs,
-            measurement.kernels,
+            if stored is not None:
+                return stored
+        raise MeasurementError(
+            f"measurement {measurement.key} failed integrity verification "
+            "after retry (persistent corruption)"
         )
-        if stored is None:  # pragma: no cover — defensive
-            raise MeasurementError(
-                f"measurement {measurement.key} vanished during insert"
-            )
-        return stored
 
     # -- read ----------------------------------------------------------------
 
@@ -165,16 +206,30 @@ class PerformanceDatabase:
         nprocs: int,
         kernels: tuple[str, ...],
     ) -> Optional[Measurement]:
-        """Fetch one measurement, or None."""
+        """Fetch one measurement, or None.
+
+        Rows are verified against their stored checksum: a mismatch (disk
+        bit-rot, a torn write, or an injected ``db.*.corrupt`` fault) is
+        counted as ``cache_corruption_detected``, the bad row is purged,
+        and the call reports a miss — so corrupted payloads are re-measured
+        instead of silently poisoning predictions. Legacy rows without a
+        checksum are accepted as-is.
+        """
+        kernels_json = json.dumps(list(kernels))
         with self._lock:
             row = self._connection().execute(
-                "SELECT samples, overhead FROM measurements WHERE "
+                "SELECT samples, overhead, checksum FROM measurements WHERE "
                 "benchmark=? AND problem_class=? AND nprocs=? AND kernels=?",
-                (benchmark, problem_class, nprocs, json.dumps(list(kernels))),
+                (benchmark, problem_class, nprocs, kernels_json),
             ).fetchone()
         if row is None:
             return None
-        samples, overhead = row
+        samples, overhead, checksum = row
+        if faults.check("db.read.corrupt") is not None:
+            samples = _tamper(samples)
+        if checksum is not None and payload_checksum(samples, overhead) != checksum:
+            self._purge_corrupt(benchmark, problem_class, nprocs, kernels_json)
+            return None
         return Measurement(
             benchmark=benchmark,
             problem_class=problem_class,
@@ -182,6 +237,29 @@ class PerformanceDatabase:
             kernels=tuple(kernels),
             samples=tuple(json.loads(samples)),
             overhead=overhead,
+        )
+
+    def _purge_corrupt(
+        self, benchmark: str, problem_class: str, nprocs: int, kernels_json: str
+    ) -> None:
+        """Drop a row that failed verification and account for it."""
+        from repro import obs
+
+        with self._lock:
+            conn = self._connection()
+            conn.execute(
+                "DELETE FROM measurements WHERE benchmark=? AND "
+                "problem_class=? AND nprocs=? AND kernels=?",
+                (benchmark, problem_class, nprocs, kernels_json),
+            )
+            conn.commit()
+        obs.get_registry().counter("cache_corruption_detected").inc()
+        obs.log(
+            "db.corruption_detected",
+            benchmark=benchmark,
+            problem_class=problem_class,
+            nprocs=nprocs,
+            kernels=kernels_json,
         )
 
     def __iter__(self) -> Iterator[Measurement]:

@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from repro.service.api import (
+    RetryPolicy,
     ServiceClient,
     handle_line,
     metrics_payload,
@@ -48,6 +49,7 @@ __all__ = [
     "PredictRequest",
     "PredictionService",
     "RequestBatcher",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceMetrics",
     "TieredPredictionCache",

@@ -28,16 +28,26 @@ ties a wire request to its dispatch, worker cell, and simulator runs.
 from __future__ import annotations
 
 import json
+import random
 import socketserver
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Optional, TextIO
 
-from repro import obs
+from repro import faults, obs
 from repro.core.predictor import PredictionReport
-from repro.errors import ReproError, ServiceSaturatedError
+from repro.errors import (
+    ClientDisconnectError,
+    ReproError,
+    ServiceDegradedError,
+    ServiceSaturatedError,
+    WorkerCrashError,
+)
 from repro.service.engine import PredictRequest, PredictionService
 
 __all__ = [
+    "RetryPolicy",
     "ServiceClient",
     "report_to_dict",
     "handle_line",
@@ -47,10 +57,17 @@ __all__ = [
 
 
 def report_to_dict(
-    request: PredictRequest, report: PredictionReport
+    request: PredictRequest,
+    report: PredictionReport,
+    degraded: bool = False,
 ) -> dict[str, Any]:
-    """Wire form of one successful prediction."""
-    return {
+    """Wire form of one successful prediction.
+
+    ``degraded=True`` flags a response served while the worker pool is
+    unhealthy (a cache hit in cache-only mode) so clients can tell a
+    possibly-stale answer from a fully healthy one.
+    """
+    payload = {
         "ok": True,
         "request": request.to_dict(),
         "actual": report.actual,
@@ -58,13 +75,66 @@ def report_to_dict(
         "errors_percent": report.errors(),
         "best": report.best(),
     }
+    if degraded:
+        payload["degraded"] = True
+    return payload
 
 
 def _error_dict(exc: Exception) -> dict[str, Any]:
-    payload: dict[str, Any] = {"ok": False, "error": str(exc)}
+    payload: dict[str, Any] = {
+        "ok": False,
+        "error": str(exc),
+        "error_type": type(exc).__name__,
+    }
     if isinstance(exc, ServiceSaturatedError):
         payload["retry_after"] = exc.retry_after
+    if isinstance(exc, ServiceDegradedError):
+        payload["degraded"] = True
     return payload
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff + deterministic jitter.
+
+    Governs :class:`ServiceClient` behaviour on *transient* failures —
+    saturation rejections and worker crashes. Timeouts and degraded-mode
+    rejections are **not** retried: a deadline already spent the caller's
+    budget, and degraded mode will not heal within one backoff.
+
+    The delay before retry ``k`` (1-based) is
+    ``min(max_delay, base_delay * 2**(k-1))`` stretched by a jitter factor
+    in ``[1, 1 + jitter]`` drawn from a ``seed``-keyed stream, except that
+    a saturation rejection's ``retry_after`` hint takes precedence when it
+    is larger.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delays(self) -> Iterable[float]:
+        """The backoff sequence for one request (len == max_attempts - 1)."""
+        rng = random.Random(self.seed)
+        for attempt in range(1, self.max_attempts):
+            delay = min(self.max_delay, self.base_delay * 2 ** (attempt - 1))
+            yield delay * (1.0 + self.jitter * rng.random())
+
+
+#: Transient failures :class:`ServiceClient` retries under its policy.
+_RETRYABLE = (ServiceSaturatedError, WorkerCrashError)
 
 
 class ServiceClient:
@@ -73,11 +143,48 @@ class ServiceClient:
     Owns the service unless told otherwise: closing the client closes the
     service it was constructed with (``owns=False`` opts out for shared
     services).
+
+    ``retry`` (a :class:`RetryPolicy`, default one) bounds automatic
+    retries of transient failures — saturation rejections and worker
+    crashes — with exponential backoff and deterministic jitter;
+    ``RetryPolicy(max_attempts=1)`` disables retrying. ``sleep`` is
+    injectable so tests run the backoff schedule without real waiting.
     """
 
-    def __init__(self, service: PredictionService, owns: bool = True):
+    def __init__(
+        self,
+        service: PredictionService,
+        owns: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.service = service
         self._owns = owns
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+
+    def _predict_with_retry(
+        self, request: PredictRequest, timeout: Optional[float]
+    ) -> PredictionReport:
+        delays = self.retry.delays()
+        while True:
+            try:
+                return self.service.predict(request, timeout=timeout)
+            except _RETRYABLE as exc:
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise exc from None
+                hint = getattr(exc, "retry_after", None)
+                if hint is not None:
+                    delay = max(delay, float(hint))
+                obs.get_registry().counter("retry_attempts").inc()
+                obs.log(
+                    "client.retry",
+                    error=type(exc).__name__,
+                    delay=round(delay, 6),
+                )
+                self._sleep(delay)
 
     def predict(
         self,
@@ -105,15 +212,15 @@ class ServiceClient:
         with obs.correlation(correlation_id), obs.span(
             "client.predict", benchmark=request.benchmark
         ):
-            return self.service.predict(request, timeout=timeout)
+            return self._predict_with_retry(request, timeout)
 
     def predict_dict(
         self, data: Mapping[str, Any], timeout: Optional[float] = None
     ) -> dict[str, Any]:
         """Predict from a wire-form request; returns a wire-form response."""
         request = PredictRequest.from_dict(data)
-        report = self.service.predict(request, timeout=timeout)
-        return report_to_dict(request, report)
+        report = self._predict_with_retry(request, timeout)
+        return report_to_dict(request, report, degraded=self.service.degraded)
 
     def stats(self) -> dict:
         return self.service.stats()
@@ -171,7 +278,17 @@ def handle_line(service: PredictionService, line: str) -> Optional[str]:
         with obs.correlation(request_id if has_id else None):
             request = PredictRequest.from_dict(payload)
             report = service.predict(request)
-            response = report_to_dict(request, report)
+            if faults.check("api.disconnect") is not None:
+                # The client dropped mid-request: the work is done (and
+                # cached), but nobody is listening for the answer.
+                raise ClientDisconnectError(
+                    "injected client disconnect (api.disconnect)"
+                )
+            response = report_to_dict(
+                request, report, degraded=service.degraded
+            )
+    except ClientDisconnectError:
+        raise
     except ReproError as exc:
         response = _error_dict(exc)
     if has_id:
@@ -226,7 +343,15 @@ def serve_jsonl(
     obs.log("serve.jsonl.start")
     served = 0
     for line in lines:
-        response = handle_line(service, line)
+        try:
+            response = handle_line(service, line)
+        except ClientDisconnectError:
+            # A stream "client" cannot really vanish, but the injected
+            # disconnect still drops the response on the floor: count it
+            # and move to the next line.
+            obs.get_registry().counter("client_disconnects").inc()
+            obs.log("serve.jsonl.disconnect")
+            continue
         if response is not None:
             out.write(response + "\n")
             out.flush()
@@ -237,11 +362,19 @@ def serve_jsonl(
 
 class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover — exercised via serve_socket
-        for raw in self.rfile:
-            response = handle_line(self.server.service, raw.decode("utf-8"))
-            if response is not None:
-                self.wfile.write(response.encode("utf-8") + b"\n")
-                self.wfile.flush()
+        try:
+            for raw in self.rfile:
+                response = handle_line(
+                    self.server.service, raw.decode("utf-8")
+                )
+                if response is not None:
+                    self.wfile.write(response.encode("utf-8") + b"\n")
+                    self.wfile.flush()
+        except (ClientDisconnectError, ConnectionError, BrokenPipeError):
+            # The peer went away (for real, or via the api.disconnect
+            # fault): close this connection, keep serving the others.
+            obs.get_registry().counter("client_disconnects").inc()
+            obs.log("serve.socket.disconnect")
 
 
 class _ServiceServer(socketserver.ThreadingTCPServer):

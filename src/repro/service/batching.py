@@ -25,9 +25,10 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Protocol
+from typing import Callable, Hashable, Optional, Protocol
 
-from repro.errors import ServiceClosedError
+from repro import faults
+from repro.errors import InjectedFaultError, ServiceClosedError
 from repro.obs.tracing import correlation_id, current_context
 
 __all__ = ["Flight", "RequestBatcher"]
@@ -65,6 +66,12 @@ class RequestBatcher:
     ``dispatch(flights)`` receives one config-homogeneous group per call.
     Flights stay registered (and coalescable) until their future resolves;
     resolution is the dispatcher's/engine's job.
+
+    ``max_batch`` is a flush threshold: once that many flights are
+    pending, the dispatcher skips the remaining collection window and
+    flushes immediately — bounding per-request queueing delay under heavy
+    bursts (the window only exists to *grow* batches; a full batch has
+    nothing to wait for).
     """
 
     def __init__(
@@ -72,11 +79,15 @@ class RequestBatcher:
         dispatch: Callable[[list[Flight]], None],
         window: float = 0.005,
         sleep: Callable[[float], None] = time.sleep,
+        max_batch: Optional[int] = None,
     ):
         if window < 0:
             raise ValueError(f"batch window must be >= 0, got {window}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._dispatch = dispatch
         self.window = window
+        self.max_batch = max_batch
         self._sleep = sleep
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
@@ -143,17 +154,29 @@ class RequestBatcher:
                     return
             # Collection window: let concurrent callers pile in before
             # grouping, so bursts become batches instead of singletons.
-            if self.window:
+            # A full batch (>= max_batch pending) flushes immediately.
+            if self.window and not self._flush_ready():
                 self._sleep(self.window)
             with self._lock:
                 batch, self._queue = self._queue, []
             for group in self._group(batch):
                 try:
+                    if faults.check("batch.dispatch.error") is not None:
+                        raise InjectedFaultError(
+                            "injected dispatch failure (batch.dispatch.error)"
+                        )
                     self._dispatch(group)
                 except BaseException as exc:  # noqa: BLE001 — relay to waiters
                     for flight in group:
                         if not flight.future.done():
                             flight.future.set_exception(exc)
+
+    def _flush_ready(self) -> bool:
+        """Whether the pending queue already justifies an immediate flush."""
+        if self.max_batch is None:
+            return False
+        with self._lock:
+            return len(self._queue) >= self.max_batch
 
     @staticmethod
     def _group(flights: list[Flight]) -> list[list[Flight]]:

@@ -22,6 +22,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional
 
+from repro import faults
 from repro.instrument.database import PerformanceDatabase
 
 __all__ = ["LRUCache", "TieredPredictionCache", "ACTUAL_KEY"]
@@ -87,6 +88,11 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def drop(self, key: Hashable) -> bool:
+        """Remove one entry (if present); True when something was dropped."""
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -139,7 +145,15 @@ class TieredPredictionCache:
     # -- tier 1 ---------------------------------------------------------------
 
     def get_report(self, key: Hashable) -> Any:
-        """The finished report for a request key, or None."""
+        """The finished report for a request key, or None.
+
+        The ``cache.l1.drop`` fault models L1 read corruption: in-process
+        report objects carry no checksum, so the safe failure mode is to
+        treat the entry as lost and recompute (a miss, never garbage).
+        """
+        if faults.check("cache.l1.drop") is not None:
+            self.reports.drop(key)
+            return None
         return self.reports.get(key)
 
     def put_report(self, key: Hashable, report: Any) -> None:

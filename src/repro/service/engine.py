@@ -19,18 +19,27 @@ The public surface is thread-safe: any number of threads may call
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Optional, Sequence
 
-from repro import obs
+from repro import faults, obs
 from repro.core.predictor import (
     CouplingPredictor,
     PredictionReport,
     SummationPredictor,
 )
-from repro.errors import PredictionError, ServiceError, ServiceSaturatedError
+from repro.errors import (
+    InjectedFaultError,
+    PredictionError,
+    ServiceDegradedError,
+    ServiceError,
+    ServiceSaturatedError,
+    ServiceTimeoutError,
+)
 from repro.instrument.database import PerformanceDatabase
 from repro.instrument.runner import MeasurementConfig
 from repro.instrument.sweeps import CampaignPlan
@@ -141,6 +150,16 @@ class PredictionService:
     :func:`~repro.service.workers.execute_cell` must be used and
     ``db_path`` must point at a database *file* the worker processes can
     share.
+
+    Robustness knobs: ``default_timeout`` is the per-request deadline when
+    a :meth:`predict` call passes none (misses that exceed it raise
+    :class:`~repro.errors.ServiceTimeoutError`); ``max_batch`` flushes a
+    collection window early once that many requests are pending;
+    ``crash_threshold`` consecutive worker crashes flip the service into
+    cache-only *degraded mode* (L1 hits are still served, misses raise
+    :class:`~repro.errors.ServiceDegradedError`, and every
+    ``degraded_probe_every``-th miss is let through as a recovery probe —
+    one probe succeeding restores normal service).
     """
 
     def __init__(
@@ -153,12 +172,16 @@ class PredictionService:
         cache_capacity: int = 1024,
         cache_ttl: Optional[float] = None,
         batch_window: float = 0.005,
+        max_batch: Optional[int] = None,
         max_workers: int = 2,
         queue_depth: int = 16,
         executor: str = "thread",
         application_seed: int = 7,
         execute: Optional[Callable[..., Any]] = None,
         clock: Callable[[], float] = time.monotonic,
+        default_timeout: Optional[float] = None,
+        crash_threshold: int = 3,
+        degraded_probe_every: int = 8,
     ):
         self.machine = machine or ibm_sp_argonne()
         self.measurement = measurement or MeasurementConfig()
@@ -181,16 +204,31 @@ class PredictionService:
                     "process workers need a file-backed db_path to share "
                     "the persistent tier"
                 )
+        if default_timeout is not None and default_timeout <= 0:
+            raise ServiceError(
+                f"default_timeout must be positive, got {default_timeout}"
+            )
+        if degraded_probe_every < 1:
+            raise ServiceError(
+                f"degraded_probe_every must be >= 1, got {degraded_probe_every}"
+            )
         self._executor_kind = executor
         self._execute = execute or execute_cell
+        self.default_timeout = default_timeout
         self._pool = WorkerPool(
             max_workers=max_workers,
             queue_depth=queue_depth,
             kind=executor,
             retry_after=self._retry_after_estimate,
+            crash_threshold=crash_threshold,
         )
         self.metrics = ServiceMetrics(queue_depth_fn=lambda: self._pool.outstanding)
-        self._batcher = RequestBatcher(self._dispatch_group, window=batch_window)
+        self._batcher = RequestBatcher(
+            self._dispatch_group, window=batch_window, max_batch=max_batch
+        )
+        self._degraded_probe_every = degraded_probe_every
+        self._degraded_misses = 0
+        self._degraded_lock = threading.Lock()
         self._closed = False
 
     # -- serving --------------------------------------------------------------
@@ -203,7 +241,11 @@ class PredictionService:
         Raises :class:`~repro.errors.ServiceSaturatedError` (with a
         ``retry_after`` hint) instead of queueing when the worker pool is
         full and the request can neither be answered from cache nor
-        coalesced onto an in-flight duplicate.
+        coalesced onto an in-flight duplicate;
+        :class:`~repro.errors.ServiceTimeoutError` when the deadline
+        (``timeout``, defaulting to the service's ``default_timeout``)
+        expires first; and :class:`~repro.errors.ServiceDegradedError` for
+        cache misses while the service is in degraded mode.
         """
         outcome, t0 = self._submit(request)
         if isinstance(outcome, PredictionReport):
@@ -254,6 +296,18 @@ class PredictionService:
             self.metrics.l1_hits.inc()
             self.metrics.latency.observe(self._clock() - t0)
             return report, t0
+        if not self._pool.healthy and not self._batcher.in_flight(request.key):
+            # Degraded mode: cache-only, except for a periodic probe that
+            # tests whether the pool has recovered.
+            with self._degraded_lock:
+                self._degraded_misses += 1
+                probe = self._degraded_misses % self._degraded_probe_every == 0
+            if not probe:
+                self.metrics.degraded_rejects.inc()
+                raise ServiceDegradedError(
+                    "service degraded (worker pool unhealthy); "
+                    "serving cached reports only"
+                )
         if self._pool.saturated and not self._batcher.in_flight(request.key):
             self.metrics.rejected.inc()
             raise ServiceSaturatedError(
@@ -268,8 +322,20 @@ class PredictionService:
     def _await(
         self, future: Future, t0: float, timeout: Optional[float]
     ) -> PredictionReport:
+        if timeout is None:
+            timeout = self.default_timeout
         try:
             report = future.result(timeout)
+        except FuturesTimeoutError:
+            # The flight stays registered: late duplicates still coalesce
+            # and the eventual result still warms the cache — only this
+            # caller's deadline expired.
+            self.metrics.timeouts.inc()
+            obs.get_registry().counter("request_timeout").inc()
+            raise ServiceTimeoutError(
+                f"request deadline of {timeout}s exceeded",
+                timeout=timeout,
+            ) from None
         except ServiceSaturatedError:
             self.metrics.rejected.inc()
             raise
@@ -302,6 +368,14 @@ class PredictionService:
 
     def _dispatch_batch(self, flights: list[Flight]) -> None:
         first = flights[0].request
+        if faults.check("engine.dispatch.error") is not None:
+            self._fail(
+                flights,
+                InjectedFaultError(
+                    "injected engine dispatch failure (engine.dispatch.error)"
+                ),
+            )
+            return
         self.metrics.record_batch(len(flights))
         # Validate per-request chain lengths against the flow now, so one
         # impossible request fails alone instead of poisoning its batch.
@@ -360,6 +434,11 @@ class PredictionService:
                 )
         except ServiceError as exc:
             self._fail(flights, exc)
+            return
+        except Exception as exc:  # noqa: BLE001 — keep waiter errors typed
+            self._fail(
+                flights, ServiceError(f"worker submission failed: {exc}")
+            )
             return
         started = self._clock()
 
@@ -426,10 +505,23 @@ class PredictionService:
 
     # -- observability / lifecycle --------------------------------------------
 
+    @property
+    def degraded(self) -> bool:
+        """True while the worker pool is unhealthy (cache-only serving)."""
+        return not self._pool.healthy
+
+    @property
+    def pool(self) -> "WorkerPool":
+        """The worker pool (health/respawn introspection)."""
+        return self._pool
+
     def stats(self) -> dict:
         """Service counters plus cache-tier counters, JSON-friendly."""
         snapshot = self.metrics.stats()
         snapshot["cache"] = self._cache.stats()
+        snapshot["degraded"] = self.degraded
+        snapshot["worker_respawns"] = self._pool.respawns
+        snapshot["worker_crashes"] = self._pool.crashes
         return snapshot
 
     def metrics_registries(self) -> tuple:

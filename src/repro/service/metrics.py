@@ -41,6 +41,8 @@ class ServiceMetrics:
         self.coalesced = self.registry.counter("coalesced")
         self.rejected = self.registry.counter("rejected")
         self.errors = self.registry.counter("errors")
+        self.timeouts = self.registry.counter("timeouts")
+        self.degraded_rejects = self.registry.counter("degraded_rejects")
         self.batches = self.registry.counter("batches")
         self.simulations = self.registry.counter("simulations")
         self.batch_sizes = self.registry.histogram("batch_sizes")
@@ -80,6 +82,8 @@ class ServiceMetrics:
             "coalesced": self.coalesced.value,
             "rejected": self.rejected.value,
             "errors": self.errors.value,
+            "timeouts": self.timeouts.value,
+            "degraded_rejects": self.degraded_rejects.value,
             "batches": self.batches.value,
             "simulations": self.simulations.value,
             "cache_hit_ratio": self.cache_hit_ratio(),

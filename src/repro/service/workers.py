@@ -19,12 +19,24 @@ writers safe.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
+from repro import faults, obs
 from repro.core.predictor import PredictionInputs
-from repro.errors import ServiceClosedError, ServiceError, ServiceSaturatedError
+from repro.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceSaturatedError,
+    WorkerCrashError,
+)
 from repro.instrument.database import PerformanceDatabase
 from repro.instrument.runner import ApplicationRunner, Measurement, MeasurementConfig
 from repro.instrument.sweeps import Campaign, CampaignPlan
@@ -75,6 +87,11 @@ def execute_cell(
     archived cell runs zero simulations — the campaign memoization *is* the
     L2 cache replay.
     """
+    stall = faults.check("worker.cell.stall")
+    if stall is not None:
+        time.sleep(stall.param)
+    if faults.check("worker.cell.crash") is not None:
+        raise WorkerCrashError("injected worker crash (worker.cell.crash)")
     # NB: PerformanceDatabase defines __len__, so an empty one is falsy —
     # the `is None` test (not truthiness) picks the shared instance.
     owns_database = database is None
@@ -148,6 +165,14 @@ class WorkerPool:
     ``"thread"`` (default — shares the in-process database),
     ``"process"`` (true parallel simulation; needs a file database), or
     ``"inline"`` (synchronous, for debugging and deterministic tests).
+
+    **Worker death.** A task failing with
+    :class:`~repro.errors.WorkerCrashError` (or an executor breaking
+    outright, e.g. a killed worker process) counts as a worker death: the
+    pool records a respawn (recreating a broken executor in place), and
+    after ``crash_threshold`` *consecutive* deaths declares itself
+    unhealthy (:attr:`healthy` — the engine's degraded-mode signal). Any
+    successfully completed task restores health.
     """
 
     def __init__(
@@ -156,6 +181,7 @@ class WorkerPool:
         queue_depth: int = 8,
         kind: str = "thread",
         retry_after: Union[float, Callable[[], float]] = 1.0,
+        crash_threshold: int = 3,
     ):
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -165,21 +191,32 @@ class WorkerPool:
             raise ServiceError(
                 f"worker kind must be thread/process/inline, got {kind!r}"
             )
+        if crash_threshold < 1:
+            raise ServiceError(
+                f"crash_threshold must be >= 1, got {crash_threshold}"
+            )
         self.kind = kind
         self.max_workers = max_workers
         self.queue_depth = queue_depth
+        self.crash_threshold = crash_threshold
         self._retry_after = retry_after
         self._outstanding = 0
         self._lock = threading.Lock()
         self._closed = False
-        if kind == "thread":
-            self._executor = ThreadPoolExecutor(
-                max_workers=max_workers, thread_name_prefix="repro-service"
+        self._consecutive_crashes = 0
+        self._crashes = 0
+        self._respawns = 0
+        self._executor = self._make_executor()
+
+    def _make_executor(self):
+        if self.kind == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-service",
             )
-        elif kind == "process":
-            self._executor = ProcessPoolExecutor(max_workers=max_workers)
-        else:
-            self._executor = None
+        if self.kind == "process":
+            return ProcessPoolExecutor(max_workers=self.max_workers)
+        return None
 
     @property
     def outstanding(self) -> int:
@@ -189,6 +226,63 @@ class WorkerPool:
     @property
     def saturated(self) -> bool:
         return self._outstanding >= self.queue_depth
+
+    @property
+    def healthy(self) -> bool:
+        """False once ``crash_threshold`` consecutive workers have died."""
+        return self._consecutive_crashes < self.crash_threshold
+
+    @property
+    def respawns(self) -> int:
+        """Workers replaced after dying (also ``worker_respawns`` in obs)."""
+        return self._respawns
+
+    @property
+    def crashes(self) -> int:
+        """Total worker deaths observed."""
+        return self._crashes
+
+    @property
+    def consecutive_crashes(self) -> int:
+        return self._consecutive_crashes
+
+    def _note_outcome(self, future: Future) -> None:
+        """Health bookkeeping from a finished task (runs in _release)."""
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if isinstance(exc, (WorkerCrashError, BrokenExecutor)):
+            self._record_crash()
+        elif exc is None:
+            with self._lock:
+                self._consecutive_crashes = 0
+
+    def _record_crash(self) -> None:
+        """One worker died: respawn it and update the health state."""
+        with self._lock:
+            self._crashes += 1
+            self._consecutive_crashes += 1
+            self._respawns += 1
+            if (
+                not self._closed
+                and self._executor is not None
+                and getattr(self._executor, "_broken", False)
+            ):
+                # A broken executor (killed worker process) cannot run
+                # further tasks — replace it wholesale. Thread workers
+                # survive exceptions, so only the accounting applies.
+                try:
+                    self._executor.shutdown(wait=False)
+                except Exception:  # pragma: no cover — best effort
+                    pass
+                self._executor = self._make_executor()
+            unhealthy = self._consecutive_crashes >= self.crash_threshold
+        obs.get_registry().counter("worker_respawns").inc()
+        obs.log(
+            "pool.worker_respawn",
+            consecutive=self._consecutive_crashes,
+            healthy=not unhealthy,
+        )
 
     def retry_after_hint(self) -> float:
         """Seconds a rejected client should wait before retrying."""
@@ -206,21 +300,33 @@ class WorkerPool:
                     f"depth {self.queue_depth})",
                     retry_after=self.retry_after_hint(),
                 )
+            executor = self._executor
             self._outstanding += 1
 
-        def _release(_fut: Future) -> None:
+        def _release(fut: Future) -> None:
             with self._lock:
                 self._outstanding -= 1
+            self._note_outcome(fut)
 
-        if self._executor is None:  # inline
-            future: Future = Future()
-            try:
-                future.set_result(fn(*args))
-            except BaseException as exc:  # noqa: BLE001 — relayed via future
-                future.set_exception(exc)
-            _release(future)
-            return future
-        future = self._executor.submit(fn, *args)
+        try:
+            if faults.check("pool.submit.reject") is not None:
+                raise ServiceSaturatedError(
+                    "injected queue-full rejection (pool.submit.reject)",
+                    retry_after=self.retry_after_hint(),
+                )
+            if executor is None:  # inline
+                future: Future = Future()
+                try:
+                    future.set_result(fn(*args))
+                except BaseException as exc:  # noqa: BLE001 — via future
+                    future.set_exception(exc)
+                _release(future)
+                return future
+            future = executor.submit(fn, *args)
+        except BaseException:
+            with self._lock:
+                self._outstanding -= 1
+            raise
         future.add_done_callback(_release)
         return future
 

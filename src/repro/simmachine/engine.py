@@ -25,6 +25,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro import faults
 from repro.errors import DeadlockError, SimulationError
 
 __all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Process", "Simulator"]
@@ -241,10 +242,15 @@ class Simulator:
         self._seq = 0
         self._alive: set[Process] = set()
         self.events_processed = 0
+        # Fault injection ("sim.run.noise") scales every event delay to
+        # model a machine-wide noise burst; 1.0 outside chaos runs.
+        self._delay_scale = 1.0
 
     # -- scheduling -------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float) -> None:
+        if self._delay_scale != 1.0:
+            delay *= self._delay_scale
         self._seq += 1
         heapq.heappush(self._queue, (self.now + delay, self._seq, event))
 
@@ -288,6 +294,11 @@ class Simulator:
         queue drains while processes are still alive, and
         :class:`SimulationError` if a process crashed.
         """
+        if faults.check("sim.run.error") is not None:
+            raise SimulationError("injected simulator fault (sim.run.error)")
+        burst = faults.check("sim.run.noise")
+        if burst is not None and burst.param > 0:
+            self._delay_scale = burst.param
         while self._queue:
             if until is not None and self._queue[0][0] > until:
                 self.now = until

@@ -83,6 +83,27 @@ class Table:
         """Render to an aligned ASCII string."""
         return render_table(self)
 
+    def to_csv(self) -> str:
+        """Render to CSV with the same cell formatting as the ASCII table.
+
+        The header row is the column labels; ``(value, error)`` pairs and
+        floats use the table's ``precision``, so the output is a stable
+        regression artifact (golden files) rather than a dump of raw
+        floats.
+        """
+        import csv
+        import io
+
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(
+                [str(row[0])]
+                + [_format_cell(c, self.precision) for c in row[1:]]
+            )
+        return out.getvalue()
+
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()
 

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import pytest
 
 from repro.instrument import MeasurementConfig
 from repro.simmachine import Machine, ibm_sp_argonne, linear_test_machine
 from repro.simmpi import attach_world
+
+#: Wall-clock ceiling per test; a hung chaos/service test fails loudly
+#: instead of wedging the whole run. Override per-test with
+#: ``@pytest.mark.timeout(seconds)``.
+DEFAULT_TEST_TIMEOUT = 120.0
 
 
 @pytest.fixture(autouse=True)
@@ -17,6 +25,49 @@ def fresh_observability():
     obs.reset()
     yield
     obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    """No fault plan may leak into (or out of) any test."""
+    from repro import faults
+
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(autouse=True)
+def per_test_timeout(request):
+    """In-repo per-test deadline (pytest-timeout is not vendored).
+
+    Uses ``SIGALRM``, so it only arms on POSIX main-thread runs —
+    elsewhere it degrades to a no-op rather than breaking collection.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT
+    if (
+        seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"test exceeded its {seconds:g}s wall-clock deadline "
+            "(possible deadlock)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

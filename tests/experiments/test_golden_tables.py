@@ -1,0 +1,76 @@
+"""Golden regression tests: table generation pinned against checked-in CSVs.
+
+One table per benchmark family — BT (table2b), SP (table6a), LU (table8a)
+— generated with a small, fixed measurement protocol and compared as
+exact CSV strings. Any drift in the simulator, the measurement harness,
+the coupling algebra, or the table formatter shows up as a diff here.
+
+To intentionally re-pin after a behaviour change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_tables.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.pipeline import ExperimentSettings
+from repro.experiments.registry import run_experiment
+from repro.instrument import MeasurementConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The pinned protocol — tiny but non-trivial (noise on, 2 repetitions).
+SETTINGS = ExperimentSettings(
+    measurement=MeasurementConfig(repetitions=2, warmup=1, seed=0)
+)
+
+#: experiment id -> (benchmark family, golden file)
+GOLDENS = {
+    "table2b": ("BT", "table2b_bt_class_w.csv"),
+    "table6a": ("SP", "table6a_sp_class_a.csv"),
+    "table8a": ("LU", "table8a_lu_class_a.csv"),
+}
+
+
+def regen_requested() -> bool:
+    return os.environ.get("REPRO_REGEN_GOLDENS", "") not in ("", "0")
+
+
+@pytest.mark.parametrize(
+    "experiment_id", sorted(GOLDENS), ids=[f"{GOLDENS[k][0]}-{k}" for k in sorted(GOLDENS)]
+)
+def test_table_matches_golden(experiment_id):
+    family, filename = GOLDENS[experiment_id]
+    golden_path = GOLDEN_DIR / filename
+    result = run_experiment(experiment_id, settings=SETTINGS)
+    generated = result.table.to_csv()
+    if regen_requested():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(generated, encoding="utf-8")
+        pytest.skip(f"regenerated {filename}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        "REPRO_REGEN_GOLDENS=1"
+    )
+    expected = golden_path.read_text(encoding="utf-8")
+    assert generated == expected, (
+        f"{family} {experiment_id} drifted from its golden CSV "
+        f"({filename}); if intentional, re-pin with REPRO_REGEN_GOLDENS=1"
+    )
+
+
+def test_goldens_contain_actual_and_coupling_rows():
+    """The pinned artifacts themselves stay structurally meaningful."""
+    if regen_requested():
+        pytest.skip("regenerating")
+    for _family, filename in GOLDENS.values():
+        text = (GOLDEN_DIR / filename).read_text(encoding="utf-8")
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("Prediction,")
+        labels = [line.split(",", 1)[0] for line in lines[1:]]
+        assert "Actual" in labels
+        assert "Summation" in labels
+        assert any(label.startswith("Coupling:") for label in labels)

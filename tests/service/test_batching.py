@@ -108,6 +108,67 @@ class TestGrouping:
         batcher.close()
 
 
+class TestFlushThresholds:
+    def test_full_batch_skips_the_collection_window(self):
+        naps = []
+
+        def no_sleep(seconds):
+            naps.append(seconds)
+
+        collector = Collector()
+        batcher = RequestBatcher(
+            collector, window=5.0, sleep=no_sleep, max_batch=1
+        )
+        future, _ = batcher.submit(FakeRequest("a"))
+        assert future.result(timeout=5) == "a"
+        # max_batch=1 means every submission is already a full batch: the
+        # 5 s window must never be slept.
+        assert naps == []
+        batcher.close()
+
+    def test_partial_batch_waits_out_the_window(self):
+        slept = threading.Event()
+
+        def tracking_sleep(seconds):
+            slept.set()
+            time.sleep(0.001)
+
+        collector = Collector()
+        batcher = RequestBatcher(
+            collector, window=0.01, sleep=tracking_sleep, max_batch=10
+        )
+        future, _ = batcher.submit(FakeRequest("a"))
+        assert future.result(timeout=5) == "a"
+        assert slept.is_set()  # below the threshold → window applies
+        groups = collector.wait_for_groups(1)
+        assert len(groups[0]) == 1  # the partial batch still dispatches
+        batcher.close()
+
+    def test_burst_reaching_threshold_dispatches_together(self):
+        collector = Collector()
+        gate = threading.Event()
+        batcher = RequestBatcher(
+            collector,
+            window=10.0,
+            sleep=lambda _s: gate.wait(5),
+            max_batch=3,
+        )
+        futures = [
+            batcher.submit(FakeRequest(name))[0] for name in ("a", "b", "c")
+        ]
+        # Three pending >= max_batch: the *next* loop pass flushes without
+        # waiting the 10 s window (the first pass may be parked in sleep).
+        gate.set()
+        for f in futures:
+            f.result(timeout=5)
+        assert sum(len(g) for g in collector.wait_for_groups(1)) == 3
+        batcher.close()
+
+    def test_max_batch_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            RequestBatcher(Collector(), max_batch=0)
+
+
 class TestLifecycle:
     def test_close_rejects_new_submissions(self):
         batcher = RequestBatcher(Collector(), window=0.0)
@@ -123,3 +184,60 @@ class TestLifecycle:
     def test_window_validation(self):
         with pytest.raises(ValueError):
             RequestBatcher(Collector(), window=-1)
+
+    def test_close_fails_queued_but_not_dispatched_flights(self):
+        # A dispatcher wedged in its collection window holds the queue;
+        # close() must fail those flights typed, not strand them.
+        parked = threading.Event()
+        release = threading.Event()
+
+        def stalling_sleep(_seconds):
+            parked.set()
+            release.wait(5)
+
+        collector = Collector(auto_resolve=False)
+        batcher = RequestBatcher(collector, window=1.0, sleep=stalling_sleep)
+        f1, _ = batcher.submit(FakeRequest("a"))
+        assert parked.wait(timeout=5)  # dispatcher now inside the window
+        f2, _ = batcher.submit(FakeRequest("b"))  # queued behind the nap
+
+        closer = threading.Thread(target=batcher.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=5)
+        assert not closer.is_alive()
+        # Every future resolves: dispatched ones via the collector (left
+        # pending here, so the dispatcher relayed no result — they must
+        # have been handed over), queued ones via ServiceClosedError.
+        resolved = {"closed": 0, "dispatched": 0}
+        for f in (f1, f2):
+            try:
+                f.result(timeout=0.1)
+                resolved["dispatched"] += 1
+            except ServiceClosedError:
+                resolved["closed"] += 1
+            except Exception:
+                resolved["dispatched"] += 1
+        assert resolved["closed"] >= 1
+
+    def test_in_flight_work_completes_through_close(self):
+        # Work already handed to the dispatch callable finishes normally
+        # even when close() lands while it is running.
+        dispatch_started = threading.Event()
+        finish = threading.Event()
+
+        def slow_dispatch(flights):
+            dispatch_started.set()
+            assert finish.wait(timeout=5)
+            for flight in flights:
+                flight.future.set_result(flight.request.name)
+
+        batcher = RequestBatcher(slow_dispatch, window=0.0)
+        future, _ = batcher.submit(FakeRequest("a"))
+        assert dispatch_started.wait(timeout=5)
+        closer = threading.Thread(target=batcher.close)
+        closer.start()
+        finish.set()
+        closer.join(timeout=5)
+        assert not closer.is_alive()
+        assert future.result(timeout=5) == "a"

@@ -127,3 +127,94 @@ class TestWorkerPool:
             WorkerPool(queue_depth=0)
         with pytest.raises(ServiceError):
             WorkerPool(kind="fiber")
+        with pytest.raises(ServiceError):
+            WorkerPool(crash_threshold=0)
+
+    def test_shutdown_waits_for_in_flight_work(self):
+        entered = threading.Event()
+        release = threading.Event()
+        done = []
+
+        def slow():
+            entered.set()
+            assert release.wait(timeout=10)
+            done.append(True)
+            return "finished"
+
+        pool = WorkerPool(max_workers=1, kind="thread")
+        future = pool.submit(slow)
+        assert entered.wait(timeout=5)
+
+        shutter = threading.Thread(target=pool.shutdown, kwargs={"wait": True})
+        shutter.start()
+        assert shutter.is_alive()  # blocked on the in-flight cell
+        release.set()
+        shutter.join(timeout=10)
+        assert not shutter.is_alive()
+        assert future.result(timeout=0) == "finished"
+        assert done == [True]
+
+    def test_shutdown_nowait_returns_immediately(self):
+        release = threading.Event()
+        pool = WorkerPool(max_workers=1, kind="thread")
+        pool.submit(release.wait, 10)
+        pool.shutdown(wait=False)  # must not block on the running cell
+        release.set()
+
+
+class TestWorkerHealth:
+    def crash(self):
+        from repro.errors import WorkerCrashError
+
+        raise WorkerCrashError("synthetic death")
+
+    def test_consecutive_crashes_flip_health(self):
+        pool = WorkerPool(max_workers=1, kind="inline", crash_threshold=2)
+        for expected in (1, 2):
+            with pytest.raises(Exception):
+                pool.submit(self.crash).result(timeout=0)
+            assert pool.consecutive_crashes == expected
+        assert not pool.healthy
+        assert pool.crashes == 2
+        assert pool.respawns == 2
+        pool.shutdown()
+
+    def test_success_restores_health(self):
+        pool = WorkerPool(max_workers=1, kind="inline", crash_threshold=1)
+        with pytest.raises(Exception):
+            pool.submit(self.crash).result(timeout=0)
+        assert not pool.healthy
+        pool.submit(lambda: "ok").result(timeout=0)
+        assert pool.healthy
+        assert pool.consecutive_crashes == 0
+        assert pool.crashes == 1  # the total is not reset
+        pool.shutdown()
+
+    def test_ordinary_errors_are_not_worker_deaths(self):
+        pool = WorkerPool(max_workers=1, kind="inline", crash_threshold=1)
+        with pytest.raises(ZeroDivisionError):
+            pool.submit(lambda: 1 / 0).result(timeout=0)
+        assert pool.healthy
+        assert pool.crashes == 0
+        pool.shutdown()
+
+    def test_thread_pool_counts_crashes_and_respawns(self):
+        import time as _time
+
+        from repro import obs
+
+        pool = WorkerPool(max_workers=1, kind="thread", crash_threshold=3)
+        futures = [pool.submit(self.crash) for _ in range(2)]
+        for f in futures:
+            with pytest.raises(Exception):
+                f.result(timeout=5)
+        # _release runs via done-callbacks; give them a beat to land.
+        for _ in range(200):
+            if pool.crashes == 2:
+                break
+            _time.sleep(0.005)
+        assert pool.crashes == 2
+        assert pool.respawns == 2
+        assert pool.healthy  # threshold is 3
+        assert obs.get_registry().counter("worker_respawns").value == 2
+        pool.shutdown()
