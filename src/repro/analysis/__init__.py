@@ -1,0 +1,48 @@
+"""AST-based invariant checking for the repro codebase.
+
+The paper's methodology rests on reproducible measurements; this package
+statically enforces the conventions that keep them reproducible — in the
+spirit of Kerncraft/PPT-style static modeling, applied to our own source:
+
+========  ==================================================================
+REP001    determinism: no wall clocks / global RNGs in the deterministic tier
+REP002    lock discipline: guarded classes mutate state under their lock
+REP003    blocking calls in service/ carry timeouts (deadlock hygiene)
+REP004    fault-site strings match the registered ``faults.SITES`` table
+REP005    wire-path raises use the ``repro.errors`` taxonomy
+REP006    broad excepts in service/ carry an inline justification
+========  ==================================================================
+
+Run it as ``repro lint src/`` (exit 0 = clean, 1 = findings, 2 = usage
+error).  Findings can be suppressed inline (``# repro: ignore[REP001]``)
+or grandfathered in ``analysis-baseline.json``; see docs/DEVELOPMENT.md.
+"""
+
+from repro.analysis.baseline import Baseline, split_against_baseline
+from repro.analysis.findings import Finding, assign_stable_ids
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import (
+    FileContext,
+    Rule,
+    all_rules,
+    register,
+    select_rules,
+)
+from repro.analysis.visitor import Analyzer, analyze_paths, iter_python_files
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "assign_stable_ids",
+    "iter_python_files",
+    "register",
+    "render_json",
+    "render_text",
+    "select_rules",
+    "split_against_baseline",
+]

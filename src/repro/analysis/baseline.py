@@ -1,0 +1,93 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline file is a JSON document listing the stable IDs of findings a
+repo has chosen to tolerate (typically: pre-existing violations at the
+moment a rule was introduced).  ``repro lint`` subtracts baselined findings
+before deciding its exit code, and reports baseline entries that no longer
+match anything as *stale* so the file shrinks as debt is paid down.
+
+Regenerate with ``repro lint src/ --update-baseline`` after deliberately
+accepting new findings; the file is meant to be reviewed in the diff like
+any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+
+__all__ = ["Baseline", "split_against_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The set of grandfathered finding IDs (plus their display info)."""
+
+    ids: frozenset[str]
+    entries: tuple[dict, ...] = ()
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(ids=frozenset(), entries=())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls.empty()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"invalid baseline {path}: {exc}") from None
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ConfigurationError(
+                f"baseline {path} must be a v{_VERSION} JSON object"
+            )
+        entries = tuple(data.get("findings", ()))
+        ids = frozenset(
+            entry["id"] for entry in entries if isinstance(entry, dict)
+        )
+        return cls(ids=ids, entries=entries)
+
+    @staticmethod
+    def save(path: str, findings: Sequence[Finding]) -> None:
+        """Write ``findings`` as the new baseline (sorted, reviewable)."""
+        document = {
+            "version": _VERSION,
+            "findings": [
+                {
+                    "id": f.stable_id,
+                    "rule": f.rule,
+                    "path": f.path,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def split_against_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Partition findings into (new, grandfathered) plus stale baseline IDs."""
+    fresh: list[Finding] = []
+    known: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        if finding.stable_id in baseline.ids:
+            known.append(finding)
+            seen.add(finding.stable_id)
+        else:
+            fresh.append(finding)
+    stale = sorted(baseline.ids - seen)
+    return fresh, known, stale

@@ -1,0 +1,9 @@
+"""Built-in rules; importing this package registers them all."""
+
+from repro.analysis.checks import (  # noqa: F401
+    blocking,
+    determinism,
+    faultsites,
+    locks,
+    taxonomy,
+)

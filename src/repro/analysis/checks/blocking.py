@@ -1,0 +1,107 @@
+"""REP003 — blocking calls in the service layer must carry a timeout.
+
+The chaos harness asserts the serving stack never deadlocks under injected
+faults.  That guarantee is only as good as the blocking primitives: an
+unbounded ``Queue.get()`` / ``Thread.join()`` / ``Condition.wait()`` /
+``Future.result()`` turns one lost notification into a wedged thread.  In
+``service/`` every such call must pass a timeout (positionally or as
+``timeout=``); intentional unbounded waits need an inline suppression
+naming why they cannot hang.
+
+Zero-argument ``.get()`` is also how dicts and ContextVars are read, but
+those always take a key/default in practice; the service layer has no
+legitimate argless spelling of any of these calls.
+
+Socket reads get the same treatment at the class level: a
+``socketserver`` request-handler subclass must set the ``timeout`` class
+attribute (socketserver's own mechanism — ``setup()`` applies it to the
+connection with ``settimeout``), or every ``rfile`` read can block on a
+silent peer forever.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import FileContext, Rule, register
+
+__all__ = ["BlockingCallRule"]
+
+#: Attribute-call names that block indefinitely when called with no
+#: arguments and no ``timeout=``.
+_BLOCKING_NAMES = frozenset({"get", "join", "wait", "result", "acquire"})
+
+#: Request-handler bases whose connection reads honour a ``timeout``
+#: class attribute.
+_HANDLER_BASES = frozenset(
+    {
+        "socketserver.BaseRequestHandler",
+        "socketserver.StreamRequestHandler",
+        "socketserver.DatagramRequestHandler",
+    }
+)
+
+
+def in_service_layer(path: str) -> bool:
+    return "service" in path.split("/")[:-1]
+
+
+@register
+class BlockingCallRule(Rule):
+    rule_id = "REP003"
+    name = "blocking-timeouts"
+    description = (
+        "Queue.get()/join()/wait()/result()/acquire() and socket request "
+        "handlers in service/ must carry a timeout (deadlock hygiene)"
+    )
+    node_types = (ast.Call, ast.ClassDef)
+
+    def applies_to(self, path: str) -> bool:
+        return in_service_layer(path)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.ClassDef):
+            self._check_handler_class(node, ctx)
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _BLOCKING_NAMES:
+            return
+        if node.args:
+            return  # a positional arg is the timeout (or a dict key)
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            return
+        ctx.report(
+            self,
+            node,
+            f".{func.attr}() without a timeout can block forever; pass "
+            "timeout= or justify with a suppression",
+        )
+
+    def _check_handler_class(
+        self, node: ast.ClassDef, ctx: FileContext
+    ) -> None:
+        if not any(
+            ctx.imports.resolve(base) in _HANDLER_BASES for base in node.bases
+        ):
+            return
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "timeout"
+                for t in stmt.targets
+            ):
+                return
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "timeout"
+            ):
+                return
+        ctx.report(
+            self,
+            node,
+            "socketserver request handler without a `timeout` class "
+            "attribute; reads from a silent peer block forever",
+        )

@@ -1,0 +1,149 @@
+"""REP001 — no wall clocks or unseeded randomness in the deterministic tier.
+
+The whole coupling methodology substitutes a *deterministic* simulated
+machine for the paper's 2002 IBM SP: identical inputs must produce
+bit-identical measurements, or cached/memoized results stop being
+interchangeable with fresh runs.  This rule bans ambient-entropy calls —
+wall clocks and process-global or unseeded RNGs — inside the deterministic
+tier (``simmachine/``, ``npb/``, ``core/``, ``faults.py``).  Seeded
+generators (``random.Random(seed)``, ``np.random.default_rng(seed)``,
+``np.random.PCG64(seed)``) are the sanctioned sources.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import FileContext, Rule, register
+
+__all__ = ["DeterminismRule"]
+
+#: Path components that mark a file as part of the deterministic tier.
+DETERMINISTIC_DIRS = frozenset({"simmachine", "npb", "core"})
+DETERMINISTIC_FILES = frozenset({"faults.py"})
+
+#: Canonical callable paths that read wall clocks.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "datetime.today",
+        "datetime.utcnow",
+        "date.today",
+    }
+)
+
+#: ``datetime.now()`` is only ambient without an explicit tz argument; the
+#: issue bans the argless form specifically.
+_ARGLESS_ONLY = frozenset(
+    {"datetime.datetime.now", "datetime.now"}
+)
+
+#: Module-level ``random.*`` functions that draw from the shared global RNG.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` legacy module-level functions (shared global state).
+_NUMPY_GLOBAL_RANDOM = frozenset(
+    {
+        "rand", "randn", "random", "random_sample", "ranf", "sample",
+        "randint", "random_integers", "choice", "shuffle", "permutation",
+        "seed", "normal", "uniform", "standard_normal", "exponential",
+        "poisson", "binomial", "beta", "gamma", "bytes",
+    }
+)
+
+
+def in_deterministic_tier(path: str) -> bool:
+    parts = path.split("/")
+    if parts[-1] in DETERMINISTIC_FILES:
+        return True
+    return any(part in DETERMINISTIC_DIRS for part in parts[:-1])
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "REP001"
+    name = "determinism"
+    description = (
+        "no wall clocks or unseeded/global RNG calls inside the "
+        "deterministic tier (simmachine/, npb/, core/, faults.py)"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        return in_deterministic_tier(path)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        resolved = ctx.imports.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved in _CLOCK_CALLS:
+            ctx.report(
+                self, node,
+                f"wall-clock call {resolved}() in the deterministic tier; "
+                "derive times from the simulated clock",
+            )
+            return
+        if resolved in _ARGLESS_ONLY and not node.args and not node.keywords:
+            ctx.report(
+                self, node,
+                f"argless {resolved}() reads the host clock; the "
+                "deterministic tier must not observe wall time",
+            )
+            return
+        if resolved == "random.Random" and not node.args and not node.keywords:
+            ctx.report(
+                self, node,
+                "unseeded random.Random() seeds from OS entropy; pass an "
+                "explicit seed",
+            )
+            return
+        if resolved == "random.SystemRandom":
+            ctx.report(
+                self, node,
+                "random.SystemRandom is unseedable OS entropy; use a seeded "
+                "random.Random",
+            )
+            return
+        head, _, tail = resolved.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM:
+            ctx.report(
+                self, node,
+                f"module-level random.{tail}() uses the shared global RNG; "
+                "draw from a seeded random.Random instance",
+            )
+            return
+        if head == "numpy.random" and tail in _NUMPY_GLOBAL_RANDOM:
+            ctx.report(
+                self, node,
+                f"numpy.random.{tail}() uses numpy's global RNG state; use "
+                "a seeded np.random.Generator",
+            )
+            return
+        if (
+            resolved == "numpy.random.default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            ctx.report(
+                self, node,
+                "np.random.default_rng() without a seed draws OS entropy; "
+                "pass an explicit seed",
+            )

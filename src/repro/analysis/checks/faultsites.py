@@ -1,0 +1,124 @@
+"""REP004 — fault-site strings and the registered site table stay in sync.
+
+:mod:`repro.faults` owns a ``SITES`` table naming every checkpoint the
+chaos harness can perturb.  Two drift modes silently weaken the harness:
+
+* a ``faults.check("...")`` call with a typo'd or unregistered site is
+  permanently inert (no plan can ever arm it), and
+* a registered site that no code checks any more is dead weight that chaos
+  plans still "cover" on paper.
+
+This is a cross-file rule: it captures the ``SITES`` dict literal when it
+walks ``faults.py`` and collects every literal ``check(...)`` site string,
+then reconciles the two at end of run.  When ``faults.py`` is not part of
+the analyzed set (a partial run), both checks stand down — there is no
+table to reconcile against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+__all__ = ["FaultSiteRule"]
+
+
+@register
+class FaultSiteRule(Rule):
+    rule_id = "REP004"
+    name = "fault-site-consistency"
+    description = (
+        "every faults.check(site) literal is registered in faults.SITES "
+        "and every registered site is checked somewhere"
+    )
+    node_types = (ast.Call, ast.Assign, ast.AnnAssign)
+
+    def __init__(self) -> None:
+        #: site -> list of (path, line, col, scope) where check() names it
+        self._checks: dict[str, list[tuple[str, int, int, str]]] = {}
+        self._sites: Optional[dict[str, int]] = None  # site -> lineno
+        self._sites_path: Optional[str] = None
+        self._sites_line: int = 1
+        self._current_is_faults = False
+
+    def start_file(self, ctx: FileContext) -> None:
+        self._current_is_faults = ctx.path.split("/")[-1] == "faults.py"
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            self._maybe_capture_sites(node, ctx)
+            return
+        if not isinstance(node, ast.Call):
+            return
+        resolved = ctx.imports.resolve(node.func)
+        if resolved is None or not resolved.endswith(".check"):
+            return
+        if "faults" not in resolved.split("."):
+            return
+        if not node.args:
+            return
+        site = node.args[0]
+        if isinstance(site, ast.Constant) and isinstance(site.value, str):
+            self._checks.setdefault(site.value, []).append(
+                (ctx.path, node.lineno, node.col_offset + 1, ctx.scope())
+            )
+
+    def _maybe_capture_sites(self, node: ast.AST, ctx: FileContext) -> None:
+        if not self._current_is_faults:
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        if not any(
+            isinstance(t, ast.Name) and t.id == "SITES" for t in targets
+        ):
+            return
+        if not isinstance(node.value, ast.Dict):
+            return
+        sites: dict[str, int] = {}
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                sites[key.value] = key.lineno
+        self._sites = sites
+        self._sites_path = ctx.path
+        self._sites_line = node.lineno
+
+    def end_run(self, report: Callable[[Finding], None]) -> None:
+        if self._sites is None:
+            return  # partial run without faults.py: nothing to verify
+        for site, uses in sorted(self._checks.items()):
+            if site in self._sites:
+                continue
+            for path, line, col, scope in uses:
+                report(
+                    Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=line,
+                        col=col,
+                        scope=scope,
+                        message=(
+                            f"fault site {site!r} is not registered in "
+                            "faults.SITES; the checkpoint can never fire"
+                        ),
+                    )
+                )
+        for site, lineno in sorted(self._sites.items()):
+            if site in self._checks:
+                continue
+            report(
+                Finding(
+                    rule=self.rule_id,
+                    path=self._sites_path or "faults.py",
+                    line=lineno,
+                    col=1,
+                    scope="SITES",
+                    message=(
+                        f"registered fault site {site!r} is never passed to "
+                        "faults.check(); remove it or wire the checkpoint"
+                    ),
+                )
+            )

@@ -1,0 +1,188 @@
+"""REP002 — lock discipline: guarded classes mutate state under their lock.
+
+Any class that creates a ``threading.Lock``/``RLock``/``Condition``
+attribute has declared that its instances are shared across threads.  From
+that point on, every assignment to a ``self.<attr>`` outside ``__init__``
+must happen lexically inside a ``with self.<lock>:`` block (any of the
+class's lock attributes counts — lock-to-field mapping is a design fact
+this checker cannot infer).  This is a lightweight race detector for the
+service/obs/instrument layers: it catches the easy-to-miss unguarded
+flag flip, not every data race.
+
+Only *direct attribute assignments* are checked (``self.x = ...``,
+``self.x += 1``, tuple-unpacking targets).  Mutating method calls
+(``self._entries.pop(...)``) and subscript stores are out of scope — they
+are usually guarded by the same ``with`` blocks this rule verifies, and
+flagging them would drown the signal in container-API noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules import FileContext, Rule, dotted_name, register
+
+__all__ = ["LockDisciplineRule"]
+
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+    }
+)
+
+#: Methods where unguarded writes are fine: the instance is not yet (or no
+#: longer) visible to other threads.
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _self_attr_targets(node: ast.AST) -> Iterator[ast.Attribute]:
+    """Yield every ``self.x`` inside an assignment target (incl. tuples)."""
+    if _is_self_attr(node):
+        yield node
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _self_attr_targets(element)
+    elif isinstance(node, ast.Starred):
+        yield from _self_attr_targets(node.value)
+
+
+def _lock_factory(node: ast.AST, ctx: FileContext) -> bool:
+    """Whether an expression constructs a lock/condition object."""
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = ctx.imports.resolve(node.func)
+    if resolved in _LOCK_FACTORIES:
+        return True
+    # dataclass-style: field(default_factory=threading.Lock)
+    if resolved is not None and resolved.endswith("field"):
+        for keyword in node.keywords:
+            if keyword.arg == "default_factory":
+                if ctx.imports.resolve(keyword.value) in _LOCK_FACTORIES:
+                    return True
+    return False
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "REP002"
+    name = "lock-discipline"
+    description = (
+        "classes that create a threading lock must mutate self attributes "
+        "inside `with self.<lock>:` (outside __init__)"
+    )
+    node_types = (ast.ClassDef,)
+
+    def visit(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        lock_attrs = self._collect_lock_attrs(node, ctx)
+        if not lock_attrs:
+            return
+        scope_base = ctx.scope()
+        prefix = f"{scope_base}.{node.name}" if scope_base else node.name
+        for method in node.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if method.name in _EXEMPT_METHODS:
+                continue
+            self._check_method(method, node, lock_attrs, ctx, prefix)
+
+    # -- discovery ------------------------------------------------------------
+
+    def _collect_lock_attrs(
+        self, cls: ast.ClassDef, ctx: FileContext
+    ) -> frozenset[str]:
+        attrs: set[str] = set()
+        for sub in ast.walk(cls):
+            if isinstance(sub, ast.Assign):
+                if _lock_factory(sub.value, ctx):
+                    for target in sub.targets:
+                        if _is_self_attr(target):
+                            attrs.add(target.attr)
+                        elif isinstance(target, ast.Name):
+                            # class-level: LOCK = threading.Lock()
+                            attrs.add(target.id)
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                if _lock_factory(sub.value, ctx):
+                    if _is_self_attr(sub.target):
+                        attrs.add(sub.target.attr)
+                    elif isinstance(sub.target, ast.Name):
+                        attrs.add(sub.target.id)
+        return frozenset(attrs)
+
+    # -- enforcement ----------------------------------------------------------
+
+    def _check_method(
+        self,
+        method: ast.AST,
+        cls: ast.ClassDef,
+        lock_attrs: frozenset[str],
+        ctx: FileContext,
+        scope_prefix: str,
+    ) -> None:
+        name = getattr(method, "name", "<lambda>")
+        scope = f"{scope_prefix}.{name}"
+        self._scan(method, cls, lock_attrs, ctx, scope, guarded=False)
+
+    def _scan(
+        self,
+        node: ast.AST,
+        cls: ast.ClassDef,
+        lock_attrs: frozenset[str],
+        ctx: FileContext,
+        scope: str,
+        guarded: bool,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                continue  # nested classes get their own ClassDef dispatch
+            child_guarded = guarded
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                if any(
+                    self._acquires_lock(item.context_expr, lock_attrs)
+                    for item in child.items
+                ):
+                    child_guarded = True
+            if not guarded and isinstance(
+                child, (ast.Assign, ast.AugAssign, ast.AnnAssign)
+            ):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    for attr in _self_attr_targets(target):
+                        if attr.attr in lock_attrs:
+                            continue
+                        ctx.report(
+                            self,
+                            child,
+                            f"self.{attr.attr} assigned outside "
+                            f"`with self.<lock>:` in a lock-guarded class "
+                            f"(locks: {', '.join(sorted(lock_attrs))})",
+                            scope=scope,
+                        )
+            self._scan(child, cls, lock_attrs, ctx, scope, child_guarded)
+
+    @staticmethod
+    def _acquires_lock(expr: ast.AST, lock_attrs: frozenset[str]) -> bool:
+        """``with self._lock:`` or ``with self._cond:`` over a known attr."""
+        name = dotted_name(expr)
+        if name is None and isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+        if name is None:
+            return False
+        parts = name.split(".")
+        return len(parts) >= 2 and parts[0] == "self" and parts[1] in lock_attrs

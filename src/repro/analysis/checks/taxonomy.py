@@ -1,0 +1,113 @@
+"""REP005/REP006 — error taxonomy on the wire path, and broad catches.
+
+REP005: the wire protocol promises every error response an ``error_type``
+drawn from the :mod:`repro.errors` hierarchy (clients switch on it for
+retry/backoff decisions).  A ``raise ValueError(...)`` inside
+``service/api.py`` or ``service/engine.py`` escapes that taxonomy: it
+either crashes the connection handler or surfaces as an untyped 500-style
+failure.  Raises of builtin exception types are flagged there; raises of
+names imported from ``repro.errors`` (or any local subclass) pass.
+
+REP006: a bare/broad ``except`` in the service layer can swallow the typed
+errors the degradation machinery routes on.  Broad catches are allowed
+only with an inline justification — a trailing comment on the ``except``
+line (``# noqa: BLE001 — relay to waiters`` style) or a suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checks.blocking import in_service_layer
+from repro.analysis.rules import FileContext, Rule, register
+
+__all__ = ["ErrorTaxonomyRule", "BroadExceptRule"]
+
+#: Builtin exceptions that must not escape onto the wire untyped.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+        "BufferError", "EOFError", "Exception", "IOError", "IndexError",
+        "KeyError", "LookupError", "MemoryError", "NotImplementedError",
+        "OSError", "OverflowError", "ReferenceError", "RuntimeError",
+        "StopIteration", "SystemError", "TypeError", "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+_WIRE_FILES = ("service/api.py", "service/engine.py")
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    rule_id = "REP005"
+    name = "error-taxonomy"
+    description = (
+        "raise statements on the wire path (service/api.py, "
+        "service/engine.py) must use repro.errors types"
+    )
+    node_types = (ast.Raise,)
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith(_WIRE_FILES)
+
+    def visit(self, node: ast.Raise, ctx: FileContext) -> None:
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise keeps the original type
+        if not isinstance(exc, ast.Call):
+            return  # `raise err` re-raises a caught object; type unknown
+        resolved = ctx.imports.resolve(exc.func)
+        if resolved is None:
+            return
+        if resolved.startswith("repro.errors.") or ".errors." in resolved:
+            return
+        if resolved in _BUILTIN_EXCEPTIONS:
+            ctx.report(
+                self,
+                node,
+                f"raise {resolved} on the wire path escapes the repro.errors "
+                "taxonomy; error_type would be untyped for clients",
+            )
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "REP006"
+    name = "broad-except"
+    description = (
+        "bare/broad except clauses in service/ need an inline justification "
+        "comment"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def applies_to(self, path: str) -> bool:
+        return in_service_layer(path)
+
+    def visit(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if not self._is_broad(node.type, ctx):
+            return
+        # An inline comment on the except line is the justification the
+        # audit trail wants (`# noqa: BLE001 — relay to waiters` and
+        # friends); its absence is the violation.
+        line = ctx.line_text(node.lineno)
+        if "#" in line:
+            return
+        caught = "except:" if node.type is None else "broad except"
+        ctx.report(
+            self,
+            node,
+            f"{caught} without a justification comment; narrow the type or "
+            "explain why everything must be caught",
+        )
+
+    @staticmethod
+    def _is_broad(type_node, ctx: FileContext) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(
+                BroadExceptRule._is_broad(el, ctx) for el in type_node.elts
+            )
+        resolved = ctx.imports.resolve(type_node)
+        return resolved in ("Exception", "BaseException")

@@ -1,0 +1,132 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes follow linter convention: **0** clean (every finding fixed,
+suppressed, or baselined), **1** at least one non-baselined finding (or a
+stale baseline entry — the baseline must shrink as debt is paid), **2**
+usage/configuration errors (bad path, unknown rule id, broken baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline, split_against_baseline
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import select_rules
+from repro.analysis.visitor import Analyzer, iter_python_files
+from repro.errors import ConfigurationError
+
+__all__ = ["add_lint_arguments", "run_lint", "DEFAULT_BASELINE"]
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is the CI artifact form)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the report here instead of stdout",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``; returns the process exit code."""
+    try:
+        selected = (
+            args.select.split(",") if args.select is not None else None
+        )
+        rules = select_rules(selected)
+        files = iter_python_files(args.paths)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    findings = Analyzer(rules).run(files)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        Baseline.save(target, findings)
+        print(
+            f"wrote {target} with {len(findings)} grandfathered finding(s)",
+            file=sys.stderr,
+        )
+        return EXIT_CLEAN
+    try:
+        baseline = (
+            Baseline.load(baseline_path)
+            if baseline_path is not None
+            else Baseline.empty()
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    fresh, known, stale = split_against_baseline(findings, baseline)
+    if args.format == "json":
+        report = render_json(
+            fresh,
+            grandfathered=known,
+            stale_baseline=stale,
+            files_analyzed=len(files),
+            rules=rules,
+        )
+    else:
+        report = render_text(
+            fresh,
+            grandfathered=known,
+            stale_baseline=stale,
+            files_analyzed=len(files),
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    return EXIT_FINDINGS if fresh or stale else EXIT_CLEAN
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST invariant checks for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Findings: what a rule reports, with baseline-stable identities.
+
+A :class:`Finding` pins a rule violation to ``path:line:col``.  Its
+:attr:`Finding.stable_id` deliberately excludes the line number: it hashes
+``(rule, path, scope, message)`` so a finding keeps its identity while
+unrelated edits shift the file, which is what lets a committed baseline
+grandfather old violations without pinning byte offsets.  Two identical
+violations in the same scope are disambiguated by an occurrence index
+(assigned in line order), so fixing one of them retires exactly one
+baseline entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+__all__ = ["Finding", "assign_stable_ids"]
+
+#: Pseudo-rule used for files the analyzer cannot parse.
+PARSE_ERROR_RULE = "REP000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Dotted enclosing scope (``Class.method``), "" at module level.
+    scope: str = ""
+    #: Occurrence index among identical (rule, path, scope, message) keys.
+    occurrence: int = 0
+    #: Populated by :func:`assign_stable_ids`.
+    stable_id: str = field(default="", compare=False)
+
+    @property
+    def identity(self) -> tuple[str, str, str, str]:
+        return (self.rule, self.path, self.scope, self.message)
+
+    def compute_stable_id(self) -> str:
+        digest = hashlib.sha256(
+            "|".join(
+                (self.rule, self.path, self.scope, self.message,
+                 str(self.occurrence))
+            ).encode("utf-8")
+        ).hexdigest()[:12]
+        return f"{self.rule}:{digest}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.stable_id,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "scope": self.scope,
+            "message": self.message,
+        }
+
+
+def assign_stable_ids(findings: Iterable[Finding]) -> list[Finding]:
+    """Sort findings and stamp occurrence indices + stable IDs."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
+    )
+    seen: dict[tuple, int] = {}
+    out: list[Finding] = []
+    for finding in ordered:
+        index = seen.get(finding.identity, 0)
+        seen[finding.identity] = index + 1
+        stamped = replace(finding, occurrence=index)
+        object.__setattr__(stamped, "stable_id", stamped.compute_stable_id())
+        out.append(stamped)
+    return out

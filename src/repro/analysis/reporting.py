@@ -1,0 +1,78 @@
+"""Text and JSON reporters for analysis findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    findings: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+    stale_baseline: Sequence[str] = (),
+    files_analyzed: int = 0,
+) -> str:
+    """Human-readable report: one ``path:line:col`` line per finding."""
+    lines = [
+        f"{f.location()}: {f.rule} {f.message}  [{f.stable_id}]"
+        for f in findings
+    ]
+    if stale_baseline:
+        lines.append("")
+        lines.append(
+            "stale baseline entries (fixed or renamed — regenerate with "
+            "--update-baseline):"
+        )
+        lines.extend(f"  {stale_id}" for stale_id in stale_baseline)
+    lines.append("")
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    breakdown = ", ".join(
+        f"{rule}={count}" for rule, count in sorted(by_rule.items())
+    )
+    summary = (
+        f"{len(findings)} finding(s) in {files_analyzed} file(s)"
+        + (f" ({breakdown})" if breakdown else "")
+        + (f"; {len(grandfathered)} baselined" if grandfathered else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+    stale_baseline: Sequence[str] = (),
+    files_analyzed: int = 0,
+    rules: Optional[Sequence] = None,
+) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    document = {
+        "version": 1,
+        "files_analyzed": files_analyzed,
+        "findings": [f.to_dict() for f in findings],
+        "baselined": [f.to_dict() for f in grandfathered],
+        "stale_baseline": list(stale_baseline),
+        "summary": {
+            "total": len(findings),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    if rules is not None:
+        document["rules"] = [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "description": rule.description,
+            }
+            for rule in rules
+        ]
+    return json.dumps(document, indent=2, sort_keys=True)

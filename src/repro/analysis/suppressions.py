@@ -1,0 +1,71 @@
+"""``# repro: ignore[...]`` suppression comments.
+
+A finding is suppressed when the violating line — or the line directly
+above it — carries a suppression comment naming its rule::
+
+    t0 = time.perf_counter()  # repro: ignore[REP001] — host-clock miniapp
+
+    # repro: ignore[REP002,REP003] reason text is free-form
+    self._closed = True
+
+A bare ``# repro: ignore`` (no bracket list) suppresses every rule on that
+line; prefer the explicit form so the justification names what it excuses.
+Suppressions are parsed from raw source lines (not the AST), so they work
+on lines the parser folds away (decorators, multi-line calls).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+class SuppressionIndex:
+    """Per-file map of line number -> suppressed rule IDs (None = all)."""
+
+    def __init__(self, by_line: dict[int, Optional[frozenset[str]]]):
+        self._by_line = by_line
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is ignored on ``line`` (or from the line above)."""
+        for candidate in (line, line - 1):
+            rules = self._by_line.get(candidate, _MISSING)
+            if rules is _MISSING:
+                continue
+            if rules is None or rule in rules:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+_MISSING: frozenset = frozenset(("\0missing",))
+
+
+def parse_suppressions(lines: Sequence[str]) -> SuppressionIndex:
+    """Scan source lines for suppression comments (1-based line numbers)."""
+    by_line: dict[int, Optional[frozenset[str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            by_line[lineno] = None
+        else:
+            rules = frozenset(
+                token.strip().upper()
+                for token in raw.split(",")
+                if token.strip()
+            )
+            by_line[lineno] = rules or None
+    return SuppressionIndex(by_line)

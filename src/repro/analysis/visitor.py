@@ -1,0 +1,134 @@
+"""The shared single-pass walker and the analyzer driver.
+
+``Analyzer`` owns one instance of each active rule, walks every target
+file's AST exactly once, and dispatches each node to the rules registered
+for its type.  Suppression comments are applied as findings are collected,
+so a suppressed finding never reaches the reporters or the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.findings import (
+    PARSE_ERROR_RULE,
+    Finding,
+    assign_stable_ids,
+)
+from repro.analysis.rules import FileContext, Rule, select_rules
+from repro.analysis.suppressions import parse_suppressions
+
+__all__ = ["Analyzer", "analyze_paths", "iter_python_files"]
+
+
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in files:
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+class Analyzer:
+    """Run a set of rules over a set of files, one AST pass per file."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules = list(rules) if rules is not None else select_rules()
+        self._findings: list[Finding] = []
+        self._suppressions: dict[str, object] = {}
+
+    # -- collection -----------------------------------------------------------
+
+    def run(self, files: Iterable[str], root: Optional[str] = None) -> list[Finding]:
+        """Analyze ``files``; paths in findings are relative to ``root``."""
+        self._findings = []
+        self._suppressions = {}
+        for path in files:
+            self._run_file(path, root)
+        # Cross-file findings honour the suppression comments of the file
+        # they anchor to, same as per-file ones.
+        late: list[Finding] = []
+        for rule in self.rules:
+            rule.end_run(late.append)
+        for finding in late:
+            index = self._suppressions.get(finding.path)
+            if index is None or not index.is_suppressed(
+                finding.rule, finding.line
+            ):
+                self._findings.append(finding)
+        return assign_stable_ids(self._findings)
+
+    def _run_file(self, path: str, root: Optional[str]) -> None:
+        display = os.path.relpath(path, root) if root else path
+        display = display.replace(os.sep, "/")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            self._findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=display,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=1,
+                    message=f"cannot analyze file: {exc}",
+                )
+            )
+            return
+        lines = source.splitlines()
+        suppressions = parse_suppressions(lines)
+        self._suppressions[display] = suppressions
+        collected: list[Finding] = []
+        ctx = FileContext(display, tree, lines, collected.append)
+        active = [rule for rule in self.rules if rule.applies_to(display)]
+        if not active:
+            return
+        dispatch: dict[type, list[Rule]] = {}
+        for rule in active:
+            rule.start_file(ctx)
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        self._walk(tree, ctx, dispatch)
+        for rule in active:
+            rule.end_file(ctx)
+        for finding in collected:
+            if not suppressions.is_suppressed(finding.rule, finding.line):
+                self._findings.append(finding)
+
+    def _walk(
+        self,
+        node: ast.AST,
+        ctx: FileContext,
+        dispatch: dict[type, list[Rule]],
+    ) -> None:
+        for rule in dispatch.get(type(node), ()):
+            rule.visit(node, ctx)
+        ctx.ancestors.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx, dispatch)
+        finally:
+            ctx.ancestors.pop()
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[str] = None,
+) -> list[Finding]:
+    """Convenience: expand ``paths`` and run the (default) rule set."""
+    return Analyzer(rules).run(iter_python_files(paths), root=root)

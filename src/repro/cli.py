@@ -11,6 +11,7 @@ Examples::
     repro serve --db perf.sqlite    # JSON-lines prediction service on stdin
     repro metrics --port 7101       # scrape a running server's metrics
     repro trace BT S 4 -o t.json    # Chrome/Perfetto timeline of one run
+    repro lint src                  # AST invariant checks (REP001-REP006)
 """
 
 from __future__ import annotations
@@ -154,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="PATH",
         help="JSON fault plan (repro.faults) to inject while serving",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant checks (repro.analysis) over source paths",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     metrics = sub.add_parser(
         "metrics",
@@ -504,6 +513,10 @@ def _dispatch(args) -> int:
         return _cmd_profile(args.benchmark, args.problem_class, args.nprocs)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "trace":

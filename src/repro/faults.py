@@ -20,21 +20,9 @@ drawn from a per-site stream derived from ``(seed, site)``, so:
   :meth:`FaultInjector.fires` and the ``fault_injected{site=...}``
   counter in the global obs registry.
 
-Registered sites (grep for ``faults.check`` to verify the list):
-
-========================  ====================================================
-``worker.cell.crash``     cell execution raises :class:`WorkerCrashError`
-``worker.cell.stall``     cell execution sleeps ``param`` wall seconds first
-``pool.submit.reject``    worker pool pretends its queue is full
-``engine.dispatch.error`` dispatch fails the whole batch with a typed error
-``batch.dispatch.error``  the batcher's dispatch callable raises
-``cache.l1.drop``         the L1 report entry evaporates (read corruption)
-``db.write.corrupt``      sqlite-tier samples are corrupted on write
-``db.read.corrupt``       sqlite-tier samples bit-rot on read
-``api.disconnect``        the wire client disconnects mid-request
-``sim.run.error``         the discrete-event simulator crashes
-``sim.run.noise``         event delays this run are scaled by ``param``
-========================  ====================================================
+The registered site table lives in :data:`SITES`; the static analyzer's
+REP004 rule (``repro lint``) keeps it in sync with the ``faults.check``
+checkpoints threaded through the codebase in both directions.
 """
 
 from __future__ import annotations
@@ -50,6 +38,7 @@ from typing import Any, Iterator, Mapping, Optional, Sequence
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "SITES",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
@@ -59,6 +48,25 @@ __all__ = [
     "active",
     "check",
 ]
+
+#: The registered fault sites: every string production code passes to
+#: :func:`check` must appear here, and every entry here must have a live
+#: checkpoint (REP004 in ``repro lint`` enforces both directions).  Tests
+#: may use ad-hoc site names; plans built against unregistered sites are
+#: simply inert.
+SITES: Mapping[str, str] = {
+    "worker.cell.crash": "cell execution raises WorkerCrashError",
+    "worker.cell.stall": "cell execution sleeps `param` wall seconds first",
+    "pool.submit.reject": "worker pool pretends its queue is full",
+    "engine.dispatch.error": "dispatch fails the whole batch with a typed error",
+    "batch.dispatch.error": "the batcher's dispatch callable raises",
+    "cache.l1.drop": "the L1 report entry evaporates (read corruption)",
+    "db.write.corrupt": "sqlite-tier samples are corrupted on write",
+    "db.read.corrupt": "sqlite-tier samples bit-rot on read",
+    "api.disconnect": "the wire client disconnects mid-request",
+    "sim.run.error": "the discrete-event simulator crashes",
+    "sim.run.noise": "event delays this run are scaled by `param`",
+}
 
 
 @dataclass(frozen=True)

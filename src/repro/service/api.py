@@ -39,6 +39,7 @@ from repro import faults, obs
 from repro.core.predictor import PredictionReport
 from repro.errors import (
     ClientDisconnectError,
+    ConfigurationError,
     ReproError,
     ServiceDegradedError,
     ServiceSaturatedError,
@@ -117,13 +118,13 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
             )
         if self.base_delay < 0 or self.max_delay < 0:
-            raise ValueError("retry delays must be >= 0")
+            raise ConfigurationError("retry delays must be >= 0")
         if self.jitter < 0:
-            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
 
     def delays(self) -> Iterable[float]:
         """The backoff sequence for one request (len == max_attempts - 1)."""
@@ -361,6 +362,11 @@ def serve_jsonl(
 
 
 class _LineHandler(socketserver.StreamRequestHandler):
+    #: Per-connection socket timeout (socketserver applies it in setup()):
+    #: a peer that goes silent for this long is disconnected instead of
+    #: pinning its handler thread forever.
+    timeout = 600.0
+
     def handle(self) -> None:  # pragma: no cover — exercised via serve_socket
         try:
             for raw in self.rfile:
@@ -370,7 +376,8 @@ class _LineHandler(socketserver.StreamRequestHandler):
                 if response is not None:
                     self.wfile.write(response.encode("utf-8") + b"\n")
                     self.wfile.flush()
-        except (ClientDisconnectError, ConnectionError, BrokenPipeError):
+        except (TimeoutError, ClientDisconnectError, ConnectionError,
+                BrokenPipeError):
             # The peer went away (for real, or via the api.disconnect
             # fault): close this connection, keep serving the others.
             obs.get_registry().counter("client_disconnects").inc()

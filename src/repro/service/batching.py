@@ -149,7 +149,9 @@ class RequestBatcher:
         while True:
             with self._wakeup:
                 while not self._queue and not self._closed:
-                    self._wakeup.wait()
+                    # The timeout is belt-and-braces deadlock hygiene: a
+                    # lost notify costs one period, not a wedged dispatcher.
+                    self._wakeup.wait(timeout=1.0)
                 if self._closed and not self._queue:
                     return
             # Collection window: let concurrent callers pile in before

@@ -228,7 +228,9 @@ class PredictionService:
         )
         self._degraded_probe_every = degraded_probe_every
         self._degraded_misses = 0
-        self._degraded_lock = threading.Lock()
+        # Guards the degraded-probe counter and the closed flag (the two
+        # pieces of service state mutated after construction).
+        self._state_lock = threading.Lock()
         self._closed = False
 
     # -- serving --------------------------------------------------------------
@@ -299,7 +301,7 @@ class PredictionService:
         if not self._pool.healthy and not self._batcher.in_flight(request.key):
             # Degraded mode: cache-only, except for a periodic probe that
             # tests whether the pool has recovered.
-            with self._degraded_lock:
+            with self._state_lock:
                 self._degraded_misses += 1
                 probe = self._degraded_misses % self._degraded_probe_every == 0
             if not probe:
@@ -339,7 +341,7 @@ class PredictionService:
         except ServiceSaturatedError:
             self.metrics.rejected.inc()
             raise
-        except Exception:
+        except Exception:  # noqa: BLE001 — count every failure kind, re-raise
             self.metrics.errors.inc()
             raise
         self.metrics.latency.observe(self._clock() - t0)
@@ -445,6 +447,7 @@ class PredictionService:
         def _done(fut: Future) -> None:
             self.metrics.cell_seconds.observe(self._clock() - started)
             try:
+                # repro: ignore[REP003] — done-callback: fut already resolved
                 outcome = fut.result()
             except BaseException as exc:  # noqa: BLE001 — relay to waiters
                 self._fail(flights, exc)
@@ -542,9 +545,10 @@ class PredictionService:
 
     def close(self) -> None:
         """Stop batching, drain workers, release the cache tiers."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._batcher.close()
         self._pool.shutdown(wait=True)
         self._cache.close()

@@ -323,7 +323,7 @@ class WorkerPool:
                 _release(future)
                 return future
             future = executor.submit(fn, *args)
-        except BaseException:
+        except BaseException:  # noqa: BLE001 — undo the reservation, re-raise
             with self._lock:
                 self._outstanding -= 1
             raise

@@ -1,0 +1,30 @@
+"""Helpers for analysis tests: write a fixture tree, lint it, inspect."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths, select_rules
+
+
+def write_tree(root, files):
+    """Materialize ``{relative_path: source}`` under ``root``."""
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Lint a fixture tree; returns the finding list (paths tree-relative)."""
+
+    def _lint(files, select=None):
+        write_tree(tmp_path, files)
+        rules = select_rules(select) if select is not None else None
+        return analyze_paths([str(tmp_path)], rules=rules, root=str(tmp_path))
+
+    return _lint

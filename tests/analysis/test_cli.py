@@ -1,0 +1,119 @@
+"""``repro lint`` exit codes, reporters, and baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import DEFAULT_BASELINE, main
+from tests.analysis.conftest import write_tree
+
+CLEAN = {
+    "service/pipe.py": """\
+    def drain(q):
+        return q.get(timeout=1.0)
+    """
+}
+
+VIOLATING = {
+    "service/pipe.py": """\
+    def drain(q):
+        return q.get()
+    """
+}
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch):
+        write_tree(tmp_path, CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert main(["."]) == 0
+
+    def test_findings_exit_one(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+        assert main(["."]) == 1
+        out = capsys.readouterr().out
+        assert "REP003" in out
+        assert "service/pipe.py:2" in out
+        assert "1 finding(s)" in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--select", "REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["does-not-exist"]) == 2
+        assert "does-not-exist" in capsys.readouterr().err
+
+    def test_select_restricts_rules(self, tmp_path, monkeypatch):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--select", "REP001"]) == 0
+
+    def test_unparseable_file_reports_rep000(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write_tree(tmp_path, {"broken.py": "def f(:\n"})
+        monkeypatch.chdir(tmp_path)
+        assert main(["."]) == 1
+        assert "REP000" in capsys.readouterr().out
+
+
+class TestJsonReport:
+    def test_json_artifact_shape(self, tmp_path, monkeypatch):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--format", "json", "-o", "report.json"]) == 1
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["version"] == 1
+        assert report["files_analyzed"] == 1
+        assert report["summary"] == {"total": 1, "by_rule": {"REP003": 1}}
+        (finding,) = report["findings"]
+        assert finding["rule"] == "REP003"
+        assert finding["path"].endswith("service/pipe.py")
+        assert finding["id"].startswith("REP003:")
+        catalog = {rule["id"] for rule in report["rules"]}
+        assert {"REP001", "REP006"} <= catalog
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean_then_stale(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+
+        # Grandfather the existing violation.
+        assert main([".", "--update-baseline"]) == 0
+        baseline = json.loads((tmp_path / DEFAULT_BASELINE).read_text())
+        assert len(baseline["findings"]) == 1
+        capsys.readouterr()
+
+        # The default baseline in cwd is picked up automatically.
+        assert main(["."]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # Fixing the violation turns the entry stale: the baseline must
+        # shrink as debt is paid, so this still fails the run.
+        write_tree(tmp_path, CLEAN)
+        assert main(["."]) == 1
+        assert "stale baseline" in capsys.readouterr().out
+        assert main([".", "--update-baseline"]) == 0
+        assert main(["."]) == 0
+
+    def test_explicit_baseline_path(self, tmp_path, monkeypatch):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--update-baseline", "--baseline", "bl.json"]) == 0
+        assert main([".", "--baseline", "bl.json"]) == 0
+        assert main(["."]) == 1  # without the baseline the finding is live
+
+    def test_corrupt_baseline_is_usage_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write_tree(tmp_path, CLEAN)
+        (tmp_path / "bl.json").write_text("{", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--baseline", "bl.json"]) == 2
+        assert "invalid baseline" in capsys.readouterr().err

@@ -1,0 +1,166 @@
+"""Framework behavior: suppressions, stable IDs, baseline round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, split_against_baseline
+from repro.analysis.suppressions import parse_suppressions
+from repro.errors import ConfigurationError
+
+VIOLATION = {
+    "service/pipe.py": """\
+    def drain(q):
+        return q.get()
+    """
+}
+
+
+class TestSuppressions:
+    def test_parse_inline_and_line_above(self):
+        index = parse_suppressions(
+            [
+                "x = 1  # repro: ignore[REP003]",
+                "# repro: ignore[REP001, REP002]",
+                "y = 2",
+            ]
+        )
+        assert index.is_suppressed("REP003", 1)
+        assert index.is_suppressed("REP001", 3)  # comment on the line above
+        assert index.is_suppressed("REP002", 3)
+        assert not index.is_suppressed("REP003", 3)
+
+    def test_bare_ignore_suppresses_every_rule(self):
+        index = parse_suppressions(["q.get()  # repro: ignore — startup only"])
+        assert index.is_suppressed("REP003", 1)
+        assert index.is_suppressed("REP001", 1)
+
+    def test_inline_suppression_hides_finding(self, lint):
+        findings = lint(
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    return q.get()  # repro: ignore[REP003] — drained on close
+                """
+            },
+            select=["REP003"],
+        )
+        assert findings == []
+
+    def test_suppression_on_line_above_hides_finding(self, lint):
+        findings = lint(
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    # repro: ignore[REP003] — producer joined first
+                    return q.get()
+                """
+            },
+            select=["REP003"],
+        )
+        assert findings == []
+
+    def test_wrong_rule_id_does_not_suppress(self, lint):
+        findings = lint(
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    return q.get()  # repro: ignore[REP001]
+                """
+            },
+            select=["REP003"],
+        )
+        assert [f.rule for f in findings] == ["REP003"]
+
+    def test_cross_file_findings_honour_suppressions(self, lint):
+        findings = lint(
+            {
+                "faults.py": """\
+                SITES = {"a.one": "first"}
+
+                def check(site):
+                    return None
+                """,
+                "service/mod.py": """\
+                import faults
+
+                def go():
+                    # repro: ignore[REP004] — site registered dynamically
+                    faults.check("c.three")
+                    faults.check("a.one")
+                """,
+            },
+            select=["REP004"],
+        )
+        assert findings == []
+
+
+class TestStableIds:
+    def test_duplicate_findings_get_distinct_ids(self, lint):
+        findings = lint(
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    q.get()
+                    q.get()
+                """
+            },
+            select=["REP003"],
+        )
+        ids = [f.stable_id for f in findings]
+        assert len(ids) == 2
+        assert len(set(ids)) == 2
+        assert [f.occurrence for f in findings] == [0, 1]
+
+    def test_ids_survive_line_shifts(self, lint, tmp_path):
+        before = lint(VIOLATION, select=["REP003"])
+        shifted = {
+            "service/pipe.py": """\
+            # a new leading comment
+            # shifting everything down
+
+            def drain(q):
+                return q.get()
+            """
+        }
+        after = lint(shifted, select=["REP003"])
+        assert [f.stable_id for f in before] == [f.stable_id for f in after]
+        assert before[0].line != after[0].line
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, lint, tmp_path):
+        findings = lint(VIOLATION, select=["REP003"])
+        path = tmp_path / "baseline.json"
+        Baseline.save(str(path), findings)
+        fresh, known, stale = split_against_baseline(
+            findings, Baseline.load(str(path))
+        )
+        assert fresh == []
+        assert [f.stable_id for f in known] == [f.stable_id for f in findings]
+        assert stale == []
+
+    def test_fixed_finding_goes_stale(self, lint, tmp_path):
+        findings = lint(VIOLATION, select=["REP003"])
+        path = tmp_path / "baseline.json"
+        Baseline.save(str(path), findings)
+        fresh, known, stale = split_against_baseline(
+            [], Baseline.load(str(path))
+        )
+        assert fresh == [] and known == []
+        assert stale == [findings[0].stable_id]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.json"))
+        assert baseline.ids == frozenset()
+
+    def test_invalid_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="invalid baseline"):
+            Baseline.load(str(bad))
+        bad.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="v1"):
+            Baseline.load(str(bad))

@@ -288,11 +288,11 @@ class TestRetryPolicy:
             assert base <= delay <= base * 1.5
 
     def test_validation(self):
-        with pytest.raises(ValueError, match="max_attempts"):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
             RetryPolicy(max_attempts=0)
-        with pytest.raises(ValueError, match="jitter"):
+        with pytest.raises(ConfigurationError, match="jitter"):
             RetryPolicy(jitter=-0.1)
-        with pytest.raises(ValueError, match="delays"):
+        with pytest.raises(ConfigurationError, match="delays"):
             RetryPolicy(base_delay=-1)
 
 
