@@ -1,29 +1,18 @@
-"""Minimal, fast discrete-event simulation core.
+"""Frozen pre-optimization engine, vendored for A/B benchmarking.
 
-The design follows the classic process-interaction style (as popularised by
-SimPy) but is trimmed to exactly what the simulated machine needs, because
-large experiments push millions of events through this queue:
-
-* :class:`Event` — one-shot triggerable occurrence with callbacks;
-* :class:`Timeout` — event scheduled a fixed delay in the future;
-* :class:`AllOf` — barrier over a set of events (used for ``waitall``);
-* :class:`Process` — a Python generator that ``yield``\\ s events and is
-  resumed when they fire; a process is itself an event that triggers on
-  completion with the generator's return value;
-* :class:`Simulator` — the event queue and clock.
-
-Determinism: ties in time are broken by an insertion sequence number, so a
-simulation is bit-for-bit reproducible for a given seed.
-
-Deadlock: when the queue drains while processes are still alive,
-:class:`repro.errors.DeadlockError` is raised naming the blocked processes —
-this turns hung message-matching bugs into crisp test failures.
+This is the event engine exactly as it stood before the hot-loop
+optimization (single-waiter callback slot, allocation-light Timeout,
+inlined run() dispatch).  ``test_engine_bench_artifact`` runs the same
+workloads against this module and the live :mod:`repro.simmachine.engine`
+in interleaved rounds, so the recorded speedup is immune to host-speed
+drift between benchmark runs.  Do not "fix" or optimise this file — its
+whole value is staying identical to the old engine.
 """
+
 
 from __future__ import annotations
 
 import heapq
-from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro import faults
@@ -41,19 +30,13 @@ class Event:
     on the simulator's queue at the current time; when the queue reaches it,
     it becomes *processed* and its callbacks run. Each callback receives the
     event itself.
-
-    Waiter storage is optimized for the overwhelmingly common case of a
-    single waiter (a process ``yield``\\ ing the event): the first callback
-    lives in the ``_cb`` slot and no list is allocated unless a second
-    waiter registers (``callbacks`` stays ``None`` for most events).
     """
 
-    __slots__ = ("sim", "_cb", "callbacks", "_value", "_exc", "processed")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._cb: Optional[Callable[["Event"], None]] = None
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
         self.processed = False
@@ -75,9 +58,7 @@ class Event:
         if self.triggered:
             raise SimulationError("event triggered twice")
         self._value = value
-        sim = self.sim
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._queue, (sim.now, seq, self))
+        self.sim._schedule(self, 0.0)
         return self
 
     def trigger_at(self, value: Any, delay: float) -> "Event":
@@ -87,12 +68,7 @@ class Event:
         if delay < 0:
             raise SimulationError(f"negative trigger delay {delay!r}")
         self._value = value
-        sim = self.sim
-        scale = sim._delay_scale
-        if scale != 1.0:
-            delay *= scale
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._queue, (sim.now + delay, seq, self))
+        self.sim._schedule(self, delay)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -106,13 +82,8 @@ class Event:
 
     def _process(self) -> None:
         self.processed = True
-        cb = self._cb
-        if cb is not None:
-            self._cb = None
-            cb(self)
-        callbacks = self.callbacks
-        if callbacks is not None:
-            self.callbacks = None
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
             for cb in callbacks:
                 cb(self)
 
@@ -122,12 +93,8 @@ class Event:
         If the event was already processed the callback runs immediately —
         this lets a process ``yield`` an event that fired in the past.
         """
-        if self.processed:
+        if self.callbacks is None:
             cb(self)
-        elif self._cb is None:
-            self._cb = cb
-        elif self.callbacks is None:
-            self.callbacks = [cb]
         else:
             self.callbacks.append(cb)
 
@@ -138,22 +105,11 @@ class Timeout(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        # Allocation-light fast path: set every slot directly and push the
-        # heap entry inline — this constructor runs once per simulated
-        # timeout and dominates compute-kernel event traffic.
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        self.sim = sim
-        self._cb = None
-        self.callbacks = None
+        super().__init__(sim)
         self._value = value
-        self._exc = None
-        self.processed = False
-        scale = sim._delay_scale
-        if scale != 1.0:
-            delay *= scale
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._queue, (sim.now + delay, seq, self))
+        sim._schedule(self, delay)
 
 
 class AllOf(Event):
@@ -220,7 +176,7 @@ class Process(Event):
     event's value (or has the event's exception thrown into it).
     """
 
-    __slots__ = ("name", "_gen", "_resume_cb")
+    __slots__ = ("name", "_gen")
 
     def __init__(
         self,
@@ -236,23 +192,18 @@ class Process(Event):
             )
         self.name = name
         self._gen = gen
-        # One bound method reused for every resume — rebinding self._resume
-        # per yielded event would allocate a method object each time.
-        self._resume_cb = self._resume
         sim._alive.add(self)
         # Kick off at the current time so process start order is
         # deterministic and time-consistent.
         start = Timeout(sim, 0.0)
-        start._cb = self._resume_cb
+        start.add_callback(self._resume)
 
     def _resume(self, event: Event) -> None:
         try:
             if event._exc is not None:
                 target = self._gen.throw(event._exc)
             else:
-                # event is always triggered here; skip the `value` property's
-                # defensive check on this per-event path.
-                target = self._gen.send(event._value)
+                target = self._gen.send(event.value)
         except StopIteration as stop:
             self.sim._alive.discard(self)
             self.succeed(stop.value)
@@ -261,23 +212,15 @@ class Process(Event):
             self.sim._alive.discard(self)
             self.fail(exc)
             raise
-        # Inlined single-waiter add_callback: the yielded event almost never
-        # has another waiter, and this resume step runs once per event.
-        if isinstance(target, Event):
-            if target.processed:
-                self._resume(target)
-            elif target._cb is None:
-                target._cb = self._resume_cb
-            else:
-                target.add_callback(self._resume_cb)
-            return
-        self.sim._alive.discard(self)
-        exc = SimulationError(
-            f"process {self.name!r} yielded {type(target).__name__}, "
-            "expected an Event"
-        )
-        self.fail(exc)
-        raise exc
+        if not isinstance(target, Event):
+            self.sim._alive.discard(self)
+            exc = SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+            self.fail(exc)
+            raise exc
+        target.add_callback(self._resume)
 
 
 class Simulator:
@@ -346,46 +289,11 @@ class Simulator:
         burst = faults.check("sim.run.noise")
         if burst is not None and burst.param > 0:
             self._delay_scale = burst.param
-        # Hot loop: equivalent to `while queue: self.step()` with the method
-        # call and bounds checks peeled out — this loop retires every event
-        # of every simulation, so each saved bytecode is measurable.
-        # The `_process` body is inlined below (no Event subclass overrides
-        # it): one method call per event is the single biggest remaining
-        # per-event cost.
-        queue = self._queue
-        if until is None:
-            while queue:
-                time, _seq, event = heappop(queue)
-                self.now = time
-                self.events_processed += 1
-                event.processed = True
-                cb = event._cb
-                if cb is not None:
-                    event._cb = None
-                    cb(event)
-                callbacks = event.callbacks
-                if callbacks is not None:
-                    event.callbacks = None
-                    for cb in callbacks:
-                        cb(event)
-        else:
-            while queue:
-                if queue[0][0] > until:
-                    self.now = until
-                    return until
-                time, _seq, event = heappop(queue)
-                self.now = time
-                self.events_processed += 1
-                event.processed = True
-                cb = event._cb
-                if cb is not None:
-                    event._cb = None
-                    cb(event)
-                callbacks = event.callbacks
-                if callbacks is not None:
-                    event.callbacks = None
-                    for cb in callbacks:
-                        cb(event)
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
         if self._alive:
             raise DeadlockError(sorted(p.name for p in self._alive))
         return self.now

@@ -5,5 +5,6 @@ from repro.analysis.checks import (  # noqa: F401
     determinism,
     faultsites,
     locks,
+    picklable,
     taxonomy,
 )

@@ -1,0 +1,150 @@
+"""REP007 — process-pool submissions must carry only picklable state.
+
+Everything handed to a ``ProcessPoolExecutor`` crosses a pickle boundary:
+the callable and every argument are serialized into the worker. Lambdas
+and nested functions cannot be pickled at all (and a nested function drags
+its closure with it), and live resources — ``threading`` locks, sockets,
+the observability tracer — fail or silently detach when they do. The
+:mod:`repro.parallel` design rule is therefore: pools run *module-level*
+functions over *value-only* specs (frozen dataclasses, paths, plain data).
+This check enforces that shape in ``parallel/`` code by flagging
+``submit``/``map`` calls whose callable is a lambda or a function nested in
+the enclosing scope, and arguments that are (or were assigned from) known
+unpicklable factories.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import FileContext, Rule, register
+
+__all__ = ["PicklablePoolRule"]
+
+#: Path components marking files that feed process pools.
+_POOL_DIRS = frozenset({"parallel"})
+
+#: Factory calls whose results cannot cross a pickle boundary.
+_UNPICKLABLE_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "socket.socket",
+        "socket.create_connection",
+        "obs.get_tracer",
+        "repro.obs.get_tracer",
+    }
+)
+
+#: Method names that ship work to an executor.
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+@register
+class PicklablePoolRule(Rule):
+    rule_id = "REP007"
+    name = "picklable-pool-args"
+    description = (
+        "parallel/ code must submit module-level callables and picklable "
+        "arguments to process pools (no lambdas, nested functions, locks, "
+        "sockets, or tracers)"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, path: str) -> bool:
+        parts = path.split("/")
+        return any(part in _POOL_DIRS for part in parts[:-1])
+
+    def start_file(self, ctx: FileContext) -> None:
+        # Names assigned from unpicklable factories anywhere in the file:
+        # passing one to submit()/map() ships the live object.
+        self._tainted: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.value.func)
+            if resolved in _UNPICKLABLE_FACTORIES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._tainted[target.id] = resolved
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        if (
+            not isinstance(node.func, ast.Attribute)
+            or node.func.attr not in _SUBMIT_METHODS
+            or not node.args
+        ):
+            return
+        callable_arg, *payload = node.args
+        self._check_callable(callable_arg, node, ctx)
+        for arg in payload:
+            self._check_argument(arg, node, ctx)
+        for keyword in node.keywords:
+            if keyword.value is not None:
+                self._check_argument(keyword.value, node, ctx)
+
+    # -- the callable ------------------------------------------------------
+
+    def _check_callable(
+        self, arg: ast.AST, call: ast.Call, ctx: FileContext
+    ) -> None:
+        if isinstance(arg, ast.Lambda):
+            ctx.report(
+                self, call,
+                "lambda submitted to a process pool cannot be pickled; "
+                "use a module-level function",
+            )
+            return
+        if isinstance(arg, ast.Name) and self._is_nested_function(
+            arg.id, ctx
+        ):
+            ctx.report(
+                self, call,
+                f"nested function {arg.id!r} submitted to a process pool "
+                "captures enclosing scope and cannot be pickled; hoist it "
+                "to module level",
+            )
+
+    @staticmethod
+    def _is_nested_function(name: str, ctx: FileContext) -> bool:
+        """Whether ``name`` is a function defined inside an enclosing one."""
+        for ancestor in ctx.ancestors:
+            if not isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            for sub in ast.walk(ancestor):
+                if (
+                    isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and sub is not ancestor
+                    and sub.name == name
+                ):
+                    return True
+        return False
+
+    # -- the arguments -----------------------------------------------------
+
+    def _check_argument(
+        self, arg: ast.AST, call: ast.Call, ctx: FileContext
+    ) -> None:
+        if isinstance(arg, ast.Call):
+            resolved = ctx.imports.resolve(arg.func)
+            if resolved in _UNPICKLABLE_FACTORIES:
+                ctx.report(
+                    self, call,
+                    f"{resolved}() result passed to a process pool cannot "
+                    "cross the pickle boundary; pass plain data instead",
+                )
+            return
+        if isinstance(arg, ast.Name) and arg.id in self._tainted:
+            ctx.report(
+                self, call,
+                f"{arg.id!r} holds a {self._tainted[arg.id]}() result and "
+                "cannot cross the pickle boundary; pass plain data instead",
+            )

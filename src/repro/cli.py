@@ -9,6 +9,8 @@ Examples::
     repro machine                   # show the simulated IBM SP
     repro profile LU A 8            # per-kernel application profile
     repro serve --db perf.sqlite    # JSON-lines prediction service on stdin
+    repro campaign BT --classes S,W --procs 4,9 --jobs 4 \
+        --cache-dir .repro-cache    # parallel sweep with simulation memo
     repro metrics --port 7101       # scrape a running server's metrics
     repro trace BT S 4 -o t.json    # Chrome/Perfetto timeline of one run
     repro lint src                  # AST invariant checks (REP001-REP006)
@@ -114,6 +116,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--repetitions", type=int, default=6)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help=(
+            "full prediction campaign over a sweep grid, optionally across "
+            "worker processes with a content-addressed simulation cache"
+        ),
+    )
+    _add_configuration_arguments(campaign, with_class=False)
+    campaign.add_argument(
+        "--classes", default="S", help="comma-separated problem classes"
+    )
+    campaign.add_argument(
+        "--procs", default="4", help="comma-separated processor counts"
+    )
+    campaign.add_argument(
+        "--chains", default="2", help="comma-separated coupling chain lengths"
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent sweep cells",
+    )
+    campaign.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="simulation memo directory (e.g. .repro-cache); reruns skip "
+        "already-simulated work",
+    )
+    campaign.add_argument("--repetitions", type=int, default=6)
+    campaign.add_argument("--seed", type=int, default=0)
+
     profile = sub.add_parser("profile", help="per-kernel application profile")
     _add_configuration_arguments(profile)
 
@@ -151,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="simulation memo directory shared with 'repro campaign'; "
+        "warm cells are served without simulating",
+    )
     serve.add_argument(
         "--fault-plan", default=None, metavar="PATH",
         help="JSON fault plan (repro.faults) to inject while serving",
@@ -358,6 +394,59 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    import time
+
+    from repro import obs
+    from repro.experiments import ExperimentPipeline, ExperimentSettings
+    from repro.instrument import MeasurementConfig
+
+    obs.configure_logging(stream=sys.stderr)
+    chain_lengths = tuple(int(c) for c in args.chains.split(","))
+    pipeline = ExperimentPipeline(
+        ExperimentSettings(
+            measurement=MeasurementConfig(
+                repetitions=args.repetitions, warmup=2, seed=args.seed
+            )
+        ),
+        memo=args.cache_dir,
+        jobs=args.jobs,
+    )
+    proc_counts = [int(p) for p in args.procs.split(",")]
+    started = time.perf_counter()
+    rows = []
+    for cls in (c.upper() for c in args.classes.split(",")):
+        for result in pipeline.sweep(
+            args.benchmark, cls, proc_counts, chain_lengths=chain_lengths
+        ):
+            rows.append(result)
+    elapsed = time.perf_counter() - started
+    header = f"{'class':>5} {'procs':>5} {'actual':>10} {'summation':>12}"
+    for length in chain_lengths:
+        header += f" {'coupling L=' + str(length):>14}"
+    print(header)
+    for result in rows:
+        line = (
+            f"{result.problem_class:>5} {result.nprocs:>5} "
+            f"{result.actual:>10.3f} {result.summation:>12.3f}"
+        )
+        for length in chain_lengths:
+            line += f" {result.coupling_prediction(length):>14.3f}"
+        print(line)
+    summary = f"{len(rows)} cells in {elapsed:.2f} s (jobs={args.jobs})"
+    if pipeline.memo is not None:
+        # Worker counter deltas merge into the global registry, so these
+        # totals cover parallel cells too (unlike the parent-only stats()).
+        registry = obs.get_registry()
+        hits = registry.counter("parallel_memo_hits").value
+        stores = registry.counter("parallel_memo_stores").value
+        summary += (
+            f"; memo: {hits} hits, {stores} stores in {args.cache_dir}"
+        )
+    print(summary)
+    return 0
+
+
 def _cmd_profile(benchmark: str, problem_class: str, nprocs: int) -> int:
     from repro.instrument import profile_application
     from repro.npb import make_benchmark
@@ -398,6 +487,7 @@ def _cmd_serve(args) -> int:
         max_workers=args.workers,
         queue_depth=args.queue_depth,
         executor=args.executor,
+        cache_dir=args.cache_dir,
     )
     obs.log(
         "serve.configured",
@@ -405,6 +495,7 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         executor=args.executor,
         queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir,
     )
     try:
         if args.port is not None:
@@ -509,6 +600,8 @@ def _dispatch(args) -> int:
         return _cmd_report(args.output, args.repetitions, args.seed)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "profile":
         return _cmd_profile(args.benchmark, args.problem_class, args.nprocs)
     if args.command == "serve":

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro import obs
+from repro import faults, obs
 from repro.core.kernel import ControlFlow
 from repro.core.predictor import (
     CouplingPredictor,
@@ -19,6 +20,15 @@ from repro.instrument.runner import (
     MeasurementConfig,
 )
 from repro.npb import make_benchmark
+from repro.parallel.executor import execute_cells
+from repro.parallel.memo import SimulationMemoStore
+from repro.parallel.worker import (
+    CellResult,
+    CellSpec,
+    measure_chain,
+    prime_runner_overhead,
+    run_application,
+)
 from repro.simmachine.machine import MachineConfig, ibm_sp_argonne
 
 __all__ = ["ExperimentSettings", "ConfigResult", "ExperimentPipeline"]
@@ -43,7 +53,11 @@ class ConfigResult:
     flow: ControlFlow
     actual: float
     inputs: PredictionInputs
-    _coupling_cache: dict[int, float] = field(default_factory=dict)
+    #: Derived-value memo only — excluded from comparison and from pickling
+    #: so results cross process boundaries as pure measurement data.
+    _coupling_cache: dict[int, float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     @property
     def summation(self) -> float:
@@ -66,6 +80,14 @@ class ConfigResult:
             .values()
         )
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_coupling_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 class ExperimentPipeline:
     """Measures configurations on demand and caches everything.
@@ -74,43 +96,83 @@ class ExperimentPipeline:
     chain length 3 after another table measured length 2 only runs the new
     windows — mirroring how the paper reuses one experimental campaign
     across its tables.
+
+    ``memo`` (a directory path or a :class:`SimulationMemoStore`) plugs in
+    the content-addressed simulation cache: every chain/application
+    simulation is looked up before it runs and stored after. ``jobs > 1``
+    fans independent sweep cells across worker processes. Both are safe
+    because the simulation tier is deterministic (REP001): serial,
+    parallel, and cache-warm runs produce bit-identical numbers.
     """
 
-    def __init__(self, settings: Optional[ExperimentSettings] = None):
+    def __init__(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        memo: Union[SimulationMemoStore, str, os.PathLike, None] = None,
+        jobs: int = 1,
+    ):
         self.settings = settings or ExperimentSettings()
+        if memo is None or isinstance(memo, SimulationMemoStore):
+            self.memo = memo
+        else:
+            self.memo = SimulationMemoStore(memo)
+        self.jobs = jobs
         self._results: dict[tuple[str, str, int], ConfigResult] = {}
         self._runners: dict[tuple[str, str, int], ChainRunner] = {}
+
+    def _runner_for(self, key: tuple[str, str, int]) -> ChainRunner:
+        """The (lazily created) measurement runner for one configuration."""
+        runner = self._runners.get(key)
+        if runner is None:
+            bench = make_benchmark(*key)
+            runner = ChainRunner(
+                bench, self.settings.machine, self.settings.measurement
+            )
+            prime_runner_overhead(runner, self.memo)
+            self._runners[key] = runner
+        return runner
 
     def _base_result(
         self, benchmark: str, problem_class: str, nprocs: int
     ) -> tuple[ConfigResult, ChainRunner]:
         key = (benchmark, problem_class, nprocs)
         if key in self._results:
-            return self._results[key], self._runners[key]
-        bench = make_benchmark(benchmark, problem_class, nprocs)
+            return self._results[key], self._runner_for(key)
+        runner = self._runner_for(key)
+        bench = runner.benchmark
         flow = ControlFlow(bench.loop_kernel_names)
-        runner = ChainRunner(bench, self.settings.machine, self.settings.measurement)
         with obs.span(
             "pipeline.isolated", benchmark=benchmark, cls=problem_class,
             nprocs=nprocs,
         ):
             isolated = {
-                k: m.mean
-                for k, m in runner.measure_all_isolated(flow.names).items()
+                k: measure_chain(runner, (k,), self.memo).mean
+                for k in flow.names
             }
         with obs.span(
             "pipeline.one_shots", benchmark=benchmark, cls=problem_class,
             nprocs=nprocs,
         ):
-            pre = {k: runner.measure((k,)).mean for k in bench.pre_kernel_names}
-            post = {k: runner.measure((k,)).mean for k in bench.post_kernel_names}
+            pre = {
+                k: measure_chain(runner, (k,), self.memo).mean
+                for k in bench.pre_kernel_names
+            }
+            post = {
+                k: measure_chain(runner, (k,), self.memo).mean
+                for k in bench.post_kernel_names
+            }
         with obs.span(
             "pipeline.application", benchmark=benchmark, cls=problem_class,
             nprocs=nprocs,
         ):
-            actual = ApplicationRunner(
-                bench, self.settings.machine, seed=self.settings.application_seed
-            ).run().total_time
+            actual = run_application(
+                ApplicationRunner(
+                    bench,
+                    self.settings.machine,
+                    seed=self.settings.application_seed,
+                ),
+                self.memo,
+            )
         inputs = PredictionInputs(
             flow=flow,
             iterations=bench.iterations,
@@ -128,7 +190,6 @@ class ExperimentPipeline:
             inputs=inputs,
         )
         self._results[key] = result
-        self._runners[key] = runner
         obs.get_registry().counter("pipeline_configs_measured").inc()
         return result, runner
 
@@ -159,7 +220,9 @@ class ExperimentPipeline:
                     )
                 for window in result.flow.windows(length):
                     if window not in chains:
-                        chains[window] = runner.measure(window).mean
+                        chains[window] = measure_chain(
+                            runner, window, self.memo
+                        ).mean
                         added = True
         if added:
             result.inputs = PredictionInputs(
@@ -173,14 +236,64 @@ class ExperimentPipeline:
             result._coupling_cache.clear()
         return result
 
+    def _adopt(self, cell: CellResult) -> ConfigResult:
+        """Fold a worker's :class:`CellResult` into the pipeline's caches."""
+        inputs = PredictionInputs.from_dict(cell.inputs)
+        result = ConfigResult(
+            benchmark=cell.benchmark,
+            problem_class=cell.problem_class,
+            nprocs=cell.nprocs,
+            flow=inputs.flow,
+            actual=cell.actual,
+            inputs=inputs,
+        )
+        key = (cell.benchmark, cell.problem_class, cell.nprocs)
+        self._results[key] = result
+        obs.get_registry().counter("pipeline_configs_measured").inc()
+        return result
+
     def sweep(
         self,
         benchmark: str,
         problem_class: str,
         proc_counts: Sequence[int],
         chain_lengths: Sequence[int] = (),
+        jobs: Optional[int] = None,
     ) -> list[ConfigResult]:
-        """Config results across processor counts (one table column each)."""
+        """Config results across processor counts (one table column each).
+
+        With ``jobs > 1`` the not-yet-measured cells run across a process
+        pool (each worker re-installs the active fault plan and shares the
+        memo store by path); results come back in ``proc_counts`` order
+        either way.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        missing = [
+            p
+            for p in proc_counts
+            if (benchmark, problem_class, p) not in self._results
+        ]
+        if jobs > 1 and len(missing) > 1:
+            injector = faults.get_injector()
+            cache_dir = (
+                str(self.memo.root) if self.memo is not None else None
+            )
+            specs = [
+                CellSpec(
+                    benchmark=benchmark,
+                    problem_class=problem_class,
+                    nprocs=p,
+                    chain_lengths=tuple(chain_lengths),
+                    machine=self.settings.machine,
+                    measurement=self.settings.measurement,
+                    application_seed=self.settings.application_seed,
+                    cache_dir=cache_dir,
+                    fault_plan=injector.plan if injector else None,
+                )
+                for p in missing
+            ]
+            for cell in execute_cells(specs, jobs=jobs):
+                self._adopt(cell)
         return [
             self.config_result(benchmark, problem_class, p, chain_lengths)
             for p in proc_counts

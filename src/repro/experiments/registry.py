@@ -92,8 +92,16 @@ def run_experiment(
     experiment_id: str,
     pipeline: Optional[ExperimentPipeline] = None,
     settings: Optional[ExperimentSettings] = None,
+    memo=None,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"table3b"``)."""
+    """Run one experiment by id (e.g. ``"table3b"``).
+
+    ``memo`` (a :class:`repro.parallel.SimulationMemoStore` or a cache
+    directory path) and ``jobs`` are forwarded to the freshly built
+    pipeline when no ``pipeline`` is passed in, so table regeneration can
+    reuse a campaign's simulation cache and fan out across processes.
+    """
     # Import the drivers lazily so the registry fills itself on first use
     # without import cycles.
     from repro.experiments import bt_tables, cross_machine, extensions, extrapolation_exp, lu_tables, scaling_exp, sp_tables  # noqa: F401
@@ -104,5 +112,5 @@ def run_experiment(
             f"{sorted(EXPERIMENTS)}"
         )
     if pipeline is None:
-        pipeline = ExperimentPipeline(settings)
+        pipeline = ExperimentPipeline(settings, memo=memo, jobs=jobs)
     return EXPERIMENTS[experiment_id].run(pipeline)

@@ -226,6 +226,15 @@ class ChainRunner:
             self._overhead = raw.mean
         return self._overhead
 
+    def prime_overhead(self, value: float) -> None:
+        """Preload the cached empty-loop overhead (memoization layers).
+
+        The value must come from an identical configuration's
+        :meth:`measure_overhead` — the simulator's determinism (REP001)
+        makes such replayed values bit-identical to a fresh run.
+        """
+        self._overhead = value
+
     # -- public API --------------------------------------------------------------
 
     def measure(self, kernels: Sequence[str]) -> Measurement:

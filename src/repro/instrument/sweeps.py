@@ -21,6 +21,8 @@ from repro.errors import MeasurementError
 from repro.instrument.database import PerformanceDatabase
 from repro.instrument.runner import ChainRunner, MeasurementConfig
 from repro.npb import make_benchmark
+from repro.parallel.memo import SimulationMemoStore
+from repro.parallel.worker import measure_chain, prime_runner_overhead
 from repro.simmachine.machine import MachineConfig
 
 __all__ = ["CampaignPlan", "Campaign"]
@@ -83,6 +85,11 @@ class Campaign:
     machine: MachineConfig
     measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
     database: Optional[PerformanceDatabase] = None
+    #: Optional content-addressed simulation memo (see
+    #: :mod:`repro.parallel.memo`) layered *under* the database: a database
+    #: miss consults the memo before simulating, so campaigns share
+    #: already-simulated work with pipelines and the serving engine.
+    memo: Optional[SimulationMemoStore] = None
 
     def __post_init__(self) -> None:
         if self.database is None:
@@ -99,7 +106,7 @@ class Campaign:
             self.measurements_reused += 1
             obs.get_registry().counter("campaign_measurements_reused").inc()
             return cached
-        measured = runner.measure(kernels)
+        measured = measure_chain(runner, kernels, self.memo)
         stored = self.database.store_if_absent(measured)
         self.measurements_run += 1
         obs.get_registry().counter("campaign_measurements_run").inc()
@@ -123,6 +130,7 @@ class Campaign:
         bench = make_benchmark(self.plan.benchmark, problem_class, nprocs)
         flow = ControlFlow(bench.loop_kernel_names)
         runner = ChainRunner(bench, self.machine, self.measurement)
+        prime_runner_overhead(runner, self.memo)
         loop_times = {
             k: self._measure(runner, (k,)).mean for k in flow.names
         }

@@ -1,0 +1,56 @@
+"""Parallel campaign execution and the content-addressed simulation memo.
+
+Reproducing a full table suite means simulating many independent
+(benchmark, class, nprocs) cells. This package makes that fast twice over:
+
+* :mod:`repro.parallel.memo` — a process-safe, content-addressed on-disk
+  store (:class:`SimulationMemoStore`) keyed by digests from
+  :mod:`repro.parallel.keys`; any already-simulated measurement or
+  application run is replayed from disk instead of re-simulated.
+* :mod:`repro.parallel.executor` / :mod:`repro.parallel.worker` — sweep
+  cells fanned out across a ``ProcessPoolExecutor`` with a deterministic
+  merge back into submission order and observability counters carried
+  across the pool boundary.
+
+The correctness bedrock is REP001: the simulation tier is deterministic,
+so equal cache keys imply bit-identical results, and serial, parallel, and
+cache-warm runs all produce the same numbers (tier-1 tests assert this).
+"""
+
+from repro.parallel.executor import execute_cells
+from repro.parallel.keys import (
+    SCHEMA_VERSION,
+    application_key,
+    canonical_json,
+    cell_key,
+    config_fingerprint,
+    digest,
+    measurement_key,
+)
+from repro.parallel.memo import SimulationMemoStore
+from repro.parallel.worker import (
+    CellResult,
+    CellSpec,
+    measure_chain,
+    prime_runner_overhead,
+    run_application,
+    run_cell,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SimulationMemoStore",
+    "CellResult",
+    "CellSpec",
+    "application_key",
+    "canonical_json",
+    "cell_key",
+    "config_fingerprint",
+    "digest",
+    "execute_cells",
+    "measure_chain",
+    "measurement_key",
+    "prime_runner_overhead",
+    "run_application",
+    "run_cell",
+]

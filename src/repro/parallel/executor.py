@@ -1,0 +1,77 @@
+"""Fan sweep cells across processes, merge results deterministically.
+
+:func:`execute_cells` is the one entry point: given an ordered list of
+:class:`~repro.parallel.worker.CellSpec`, it returns the matching
+:class:`~repro.parallel.worker.CellResult` list *in submission order*
+regardless of which worker finished first — the caller's ConfigResult
+ordering (and therefore every table row) is identical to a serial run.
+
+Observability crosses the pool boundary as data: each worker reports its
+counter deltas, which are merged into the parent registry here, and each
+cell's wall time feeds the ``parallel_cell_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Sequence
+
+from repro import obs
+from repro.parallel.worker import CellResult, CellSpec, run_cell
+
+__all__ = ["execute_cells"]
+
+
+def _merge_counters(result: CellResult) -> None:
+    registry = obs.get_registry()
+    for name, labels, delta in result.counters:
+        registry.counter(name, dict(labels)).inc(delta)
+
+
+def _record(result: CellResult) -> None:
+    obs.get_registry().histogram("parallel_cell_seconds").observe(
+        result.duration
+    )
+    obs.log(
+        "parallel.cell_done",
+        benchmark=result.benchmark,
+        cls=result.problem_class,
+        nprocs=result.nprocs,
+        duration=f"{result.duration:.3f}",
+    )
+
+
+def execute_cells(
+    specs: Sequence[CellSpec], jobs: int = 1
+) -> list[CellResult]:
+    """Run every cell, serially or across ``jobs`` worker processes.
+
+    ``jobs <= 1`` (or a single spec) runs inline — same code path the
+    workers use, so the results are identical by construction.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        results = [run_cell(spec) for spec in specs]
+        for result in results:
+            _record(result)
+        return results
+    ordered: list[CellResult] = [None] * len(specs)  # type: ignore[list-item]
+    with obs.span("parallel.execute", cells=len(specs), jobs=jobs):
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs))
+        ) as pool:
+            index_of = {
+                pool.submit(run_cell, spec): i
+                for i, spec in enumerate(specs)
+            }
+            pending = set(index_of)
+            while pending:
+                done, pending = wait(
+                    pending, timeout=600.0, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    result = future.result(timeout=600.0)
+                    ordered[index_of[future]] = result
+                    _merge_counters(result)
+                    _record(result)
+    return ordered

@@ -1,0 +1,127 @@
+"""Content-addressed identities for memoized simulation results.
+
+Every record in the :class:`~repro.parallel.memo.SimulationMemoStore` is
+named by a SHA-256 digest of a *key description*: a canonical JSON object
+spelling out everything the simulated number depends on — the full machine
+configuration, the measurement protocol (repetitions, contexts, noise
+seed), the benchmark/class/nprocs cell, and the kernel chain (or the
+application-run parameters). REP001 guarantees the simulation tier is
+deterministic, so two runs with equal keys produce bit-identical samples —
+which is exactly what makes the digest a safe substitute for re-simulating.
+
+Three key kinds exist:
+
+* ``measurement`` — one :meth:`ChainRunner.measure` result (samples +
+  overhead) for a specific kernel window;
+* ``application`` — one :meth:`ApplicationRunner.run` total time;
+* ``cell`` — a whole sweep cell (prediction inputs + actual), the unit the
+  parallel executor and the serving engine skip work on.
+
+Bumping :data:`SCHEMA_VERSION` invalidates every existing entry at once —
+do that whenever the simulator's numeric behaviour changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.instrument.runner import MeasurementConfig
+from repro.simmachine.machine import MachineConfig
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "config_fingerprint",
+    "measurement_key",
+    "application_key",
+    "cell_key",
+    "digest",
+]
+
+#: Bump to invalidate every memoized simulation at once (numeric changes).
+SCHEMA_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, plain floats."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: Any) -> dict:
+    """A frozen dataclass (MachineConfig/MeasurementConfig) as plain JSON."""
+    return dataclasses.asdict(config)
+
+
+def measurement_key(
+    machine: MachineConfig,
+    measurement: MeasurementConfig,
+    benchmark: str,
+    problem_class: str,
+    nprocs: int,
+    kernels: Sequence[str],
+) -> dict:
+    """Identity of one chain (or isolated-kernel) measurement."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "measurement",
+        "machine": config_fingerprint(machine),
+        "measurement": config_fingerprint(measurement),
+        "benchmark": benchmark,
+        "problem_class": problem_class,
+        "nprocs": nprocs,
+        "kernels": list(kernels),
+    }
+
+
+def application_key(
+    machine: MachineConfig,
+    benchmark: str,
+    problem_class: str,
+    nprocs: int,
+    seed: int,
+    warmup_iterations: int = 2,
+    measured_iterations: int = 6,
+) -> dict:
+    """Identity of one full application run (the tables' "Actual")."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "application",
+        "machine": config_fingerprint(machine),
+        "benchmark": benchmark,
+        "problem_class": problem_class,
+        "nprocs": nprocs,
+        "seed": seed,
+        "warmup_iterations": warmup_iterations,
+        "measured_iterations": measured_iterations,
+    }
+
+
+def cell_key(
+    machine: MachineConfig,
+    measurement: MeasurementConfig,
+    benchmark: str,
+    problem_class: str,
+    nprocs: int,
+    chain_lengths: Sequence[int],
+    application_seed: int,
+) -> dict:
+    """Identity of a whole sweep cell (inputs for every predictor + actual)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "cell",
+        "machine": config_fingerprint(machine),
+        "measurement": config_fingerprint(measurement),
+        "benchmark": benchmark,
+        "problem_class": problem_class,
+        "nprocs": nprocs,
+        "chain_lengths": sorted(set(int(length) for length in chain_lengths)),
+        "application_seed": application_seed,
+    }
+
+
+def digest(key: Mapping[str, Any]) -> str:
+    """The content address: SHA-256 over the canonical key JSON."""
+    return hashlib.sha256(canonical_json(dict(key)).encode("utf-8")).hexdigest()

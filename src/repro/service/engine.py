@@ -29,6 +29,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from repro import faults, obs
 from repro.core.predictor import (
     CouplingPredictor,
+    PredictionInputs,
     PredictionReport,
     SummationPredictor,
 )
@@ -47,7 +48,9 @@ from repro.npb import BENCHMARKS, CLASS_NAMES, make_benchmark
 from repro.service.batching import Flight, RequestBatcher
 from repro.service.cache import TieredPredictionCache
 from repro.service.metrics import ServiceMetrics
-from repro.service.workers import CellTask, WorkerPool, execute_cell
+from repro.parallel.keys import cell_key
+from repro.parallel.memo import SimulationMemoStore
+from repro.service.workers import CellOutcome, CellTask, WorkerPool, execute_cell
 from repro.simmachine.machine import MachineConfig, ibm_sp_argonne
 
 __all__ = ["PredictRequest", "PredictionService"]
@@ -160,6 +163,11 @@ class PredictionService:
     :class:`~repro.errors.ServiceDegradedError`, and every
     ``degraded_probe_every``-th miss is let through as a recovery probe —
     one probe succeeding restores normal service).
+
+    ``cache_dir`` points at a :mod:`repro.parallel` simulation memo
+    directory: whole cells found there are served without enqueueing any
+    simulation work, and freshly simulated cells are stored back, so the
+    serving layer shares warmed state with ``repro campaign --cache-dir``.
     """
 
     def __init__(
@@ -182,8 +190,15 @@ class PredictionService:
         default_timeout: Optional[float] = None,
         crash_threshold: int = 3,
         degraded_probe_every: int = 8,
+        cache_dir: Optional[str] = None,
     ):
         self.machine = machine or ibm_sp_argonne()
+        # Content-addressed simulation memo (repro.parallel): consulted
+        # before a cell task is enqueued, so a warm directory serves whole
+        # cells without touching the worker pool at all.
+        self._memo = (
+            SimulationMemoStore(cache_dir) if cache_dir is not None else None
+        )
         self.measurement = measurement or MeasurementConfig()
         self.application_seed = application_seed
         self._clock = clock
@@ -411,10 +426,38 @@ class PredictionService:
             first.nprocs,
             chain_lengths=sorted({r.chain_length for r in requests}),
         )
+        measurement = replace(self.measurement, seed=first.seed)
+        memo_key = None
+        if self._memo is not None:
+            memo_key = cell_key(
+                self.machine,
+                measurement,
+                first.benchmark,
+                first.problem_class,
+                first.nprocs,
+                plan.chain_lengths,
+                self.application_seed,
+            )
+            hit = self._memo.get(memo_key)
+            if hit is not None:
+                self.metrics.cell_seconds.observe(0.0)
+                self._finish(
+                    flights,
+                    CellOutcome(
+                        benchmark=first.benchmark,
+                        problem_class=first.problem_class,
+                        nprocs=first.nprocs,
+                        inputs=PredictionInputs.from_dict(hit["inputs"]),
+                        actual=hit["actual"],
+                        simulations=0,
+                        reused=hit.get("reused", 0),
+                    ),
+                )
+                return
         task = CellTask(
             plan=plan,
             machine=self.machine,
-            measurement=replace(self.measurement, seed=first.seed),
+            measurement=measurement,
             application_seed=self.application_seed,
             db_path=(
                 self._cache.db_path
@@ -452,6 +495,15 @@ class PredictionService:
             except BaseException as exc:  # noqa: BLE001 — relay to waiters
                 self._fail(flights, exc)
                 return
+            if self._memo is not None and memo_key is not None:
+                self._memo.put(
+                    memo_key,
+                    {
+                        "inputs": outcome.inputs.to_dict(),
+                        "actual": outcome.actual,
+                        "reused": outcome.reused,
+                    },
+                )
             self._finish(flights, outcome)
 
         pool_future.add_done_callback(_done)
@@ -522,6 +574,8 @@ class PredictionService:
         """Service counters plus cache-tier counters, JSON-friendly."""
         snapshot = self.metrics.stats()
         snapshot["cache"] = self._cache.stats()
+        if self._memo is not None:
+            snapshot["memo"] = self._memo.stats()
         snapshot["degraded"] = self.degraded
         snapshot["worker_respawns"] = self._pool.respawns
         snapshot["worker_crashes"] = self._pool.crashes

@@ -16,7 +16,7 @@ class TestRegistry:
         ids = [cls.rule_id for cls in all_rules()]
         assert ids == sorted(ids)
         for expected in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                         "REP006"):
+                         "REP006", "REP007"):
             assert expected in ids
 
     def test_every_rule_documented(self):
@@ -378,6 +378,119 @@ class TestErrorTaxonomyREP005:
                 """
             },
             select=["REP005"],
+        )
+        assert findings == []
+
+
+class TestPicklablePoolREP007:
+    def test_lambda_submission_flagged(self, lint):
+        findings = lint(
+            {
+                "parallel/executor.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def fan_out(items):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(lambda: item) for item in items]
+                """
+            },
+            select=["REP007"],
+        )
+        assert rule_ids(findings) == ["REP007"]
+        assert "lambda" in findings[0].message
+
+    def test_nested_function_flagged(self, lint):
+        findings = lint(
+            {
+                "parallel/executor.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def fan_out(items):
+                    def work(item):
+                        return item * 2
+
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(work, items))
+                """
+            },
+            select=["REP007"],
+        )
+        assert rule_ids(findings) == ["REP007"]
+        assert "'work'" in findings[0].message
+
+    def test_lock_argument_flagged_direct_and_via_name(self, lint):
+        findings = lint(
+            {
+                "parallel/executor.py": """\
+                import threading
+                from concurrent.futures import ProcessPoolExecutor
+
+                from repro.parallel.worker import run_cell
+
+                shared = threading.Lock()
+
+                def fan_out(specs):
+                    with ProcessPoolExecutor() as pool:
+                        pool.submit(run_cell, threading.Lock())
+                        pool.submit(run_cell, shared)
+                """
+            },
+            select=["REP007"],
+        )
+        assert rule_ids(findings) == ["REP007", "REP007"]
+        messages = " ".join(f.message for f in findings)
+        assert "threading.Lock" in messages
+        assert "'shared'" in messages
+
+    def test_tracer_argument_flagged(self, lint):
+        findings = lint(
+            {
+                "parallel/executor.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                from repro import obs
+                from repro.parallel.worker import run_cell
+
+                def fan_out(spec):
+                    with ProcessPoolExecutor() as pool:
+                        return pool.submit(run_cell, spec, obs.get_tracer())
+                """
+            },
+            select=["REP007"],
+        )
+        assert rule_ids(findings) == ["REP007"]
+        assert "get_tracer" in findings[0].message
+
+    def test_module_level_callable_with_plain_specs_passes(self, lint):
+        findings = lint(
+            {
+                "parallel/executor.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                from repro.parallel.worker import run_cell
+
+                def fan_out(specs):
+                    with ProcessPoolExecutor() as pool:
+                        futures = [pool.submit(run_cell, s) for s in specs]
+                    return [f.result(timeout=600.0) for f in futures]
+                """
+            },
+            select=["REP007"],
+        )
+        assert findings == []
+
+    def test_rule_only_applies_to_parallel_layer(self, lint):
+        findings = lint(
+            {
+                "service/workers.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def fan_out(items):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(lambda: item) for item in items]
+                """
+            },
+            select=["REP007"],
         )
         assert findings == []
 

@@ -1,0 +1,120 @@
+"""REP001 pays off: serial, parallel, and cached runs are bit-identical."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentPipeline, ExperimentSettings
+from repro.instrument import MeasurementConfig
+from repro.service import PredictRequest, PredictionService
+
+SETTINGS = ExperimentSettings(
+    measurement=MeasurementConfig(repetitions=3, warmup=1)
+)
+PROCS = [1, 4]
+CHAINS = [2]
+
+
+def sweep(**pipeline_kwargs):
+    pipeline = ExperimentPipeline(SETTINGS, **pipeline_kwargs)
+    return pipeline, pipeline.sweep("BT", "S", PROCS, chain_lengths=CHAINS)
+
+
+def assert_identical(results_a, results_b):
+    assert len(results_a) == len(results_b)
+    for a, b in zip(results_a, results_b):
+        assert (a.benchmark, a.problem_class, a.nprocs) == (
+            b.benchmark, b.problem_class, b.nprocs,
+        )
+        assert a.actual == b.actual
+        assert a.summation == b.summation
+        for length in CHAINS:
+            assert a.coupling_prediction(length) == b.coupling_prediction(
+                length
+            )
+        assert a.inputs == b.inputs
+        assert a == b
+
+
+class TestSerialVsParallel:
+    def test_jobs4_matches_jobs1_bit_for_bit(self):
+        _, serial = sweep(jobs=1)
+        _, parallel = sweep(jobs=4)
+        assert_identical(serial, parallel)
+
+    def test_results_come_back_in_proc_count_order(self):
+        _, parallel = sweep(jobs=4)
+        assert [r.nprocs for r in parallel] == PROCS
+
+    def test_parallel_merges_worker_counters(self):
+        from repro import obs
+
+        sweep(jobs=4)
+        flushed = [
+            c for c in obs.get_registry().collect() if c.name == "sim_events"
+        ]
+        assert flushed and all(c.value > 0 for c in flushed)
+
+
+class TestColdVsWarmMemo:
+    def test_cold_and_warm_runs_identical(self, tmp_path):
+        cache = tmp_path / "memo"
+        _, baseline = sweep()
+        cold_pipeline, cold = sweep(memo=cache)
+        warm_pipeline, warm = sweep(memo=cache)
+        assert_identical(baseline, cold)
+        assert_identical(cold, warm)
+        assert warm_pipeline.memo.stats()["misses"] == 0
+        assert warm_pipeline.memo.stats()["stores"] == 0
+        assert warm_pipeline.memo.stats()["hits"] > 0
+
+    def test_parallel_workers_share_the_memo(self, tmp_path):
+        cache = tmp_path / "memo"
+        _, cold = sweep(memo=cache, jobs=4)
+        warm_pipeline, warm = sweep(memo=cache)
+        assert_identical(cold, warm)
+        assert warm_pipeline.memo.stats()["misses"] == 0
+
+    def test_corrupted_entry_self_heals_without_changing_numbers(
+        self, tmp_path
+    ):
+        cache = tmp_path / "memo"
+        _, cold = sweep(memo=cache)
+        entries = sorted(cache.glob("*/*.json"))
+        assert entries
+        victim = entries[0]
+        wrapper = json.loads(victim.read_text(encoding="utf-8"))
+        wrapper["payload"] = {"samples": [1e9], "overhead": 0.0}
+        victim.write_text(json.dumps(wrapper), encoding="utf-8")
+        healed_pipeline, healed = sweep(memo=cache)
+        assert_identical(cold, healed)
+        assert healed_pipeline.memo.stats()["corruptions"] == 1
+        # The purged entry was re-simulated and re-stored intact.
+        rerun_pipeline, rerun = sweep(memo=cache)
+        assert_identical(cold, rerun)
+        assert rerun_pipeline.memo.stats()["corruptions"] == 0
+
+
+@pytest.mark.timeout(180)
+class TestServingMemo:
+    def test_warm_cache_dir_serves_without_simulating(self, tmp_path):
+        cache = str(tmp_path / "memo")
+        request = PredictRequest("BT", "S", 4)
+        with PredictionService(
+            measurement=MeasurementConfig(repetitions=3, warmup=1),
+            cache_dir=cache,
+        ) as service:
+            first = service.predict(request, timeout=120)
+            assert service.stats()["misses"] == 1
+        with PredictionService(
+            measurement=MeasurementConfig(repetitions=3, warmup=1),
+            cache_dir=cache,
+        ) as service:
+            second = service.predict(request, timeout=120)
+            stats = service.stats()
+            assert stats["simulations"] == 0
+            assert stats["memo"]["hits"] == 1
+        assert first.actual == second.actual
+        assert first.predictions == second.predictions

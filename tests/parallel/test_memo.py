@@ -1,0 +1,104 @@
+"""SimulationMemoStore: round-trips, verification, self-healing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.instrument import MeasurementConfig
+from repro.parallel import SimulationMemoStore, measurement_key
+from repro.simmachine import ibm_sp_argonne
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SimulationMemoStore(tmp_path / "memo")
+
+
+def key_for(kernels=("solve_x",), nprocs=4):
+    return measurement_key(
+        ibm_sp_argonne(), MeasurementConfig(), "BT", "S", nprocs, kernels
+    )
+
+
+class TestRoundTrip:
+    def test_get_before_put_is_a_miss(self, store):
+        assert store.get(key_for()) is None
+        assert store.stats()["misses"] == 1
+
+    def test_put_then_get(self, store):
+        payload = {"samples": [0.25, 0.5], "overhead": 0.002}
+        store.put(key_for(), payload)
+        assert store.get(key_for()) == payload
+        assert store.stats() == {
+            "hits": 1, "misses": 0, "stores": 1, "corruptions": 0,
+        }
+
+    def test_distinct_keys_do_not_alias(self, store):
+        store.put(key_for(("solve_x",)), {"overhead": 1.0})
+        store.put(key_for(("solve_y",)), {"overhead": 2.0})
+        assert store.get(key_for(("solve_x",)))["overhead"] == 1.0
+        assert store.get(key_for(("solve_y",)))["overhead"] == 2.0
+        assert len(store) == 2
+
+    def test_floats_survive_bit_exactly(self, store):
+        samples = [0.1 + 0.2, 1e-17, 123456.789012345]
+        store.put(key_for(), {"samples": samples, "overhead": 0.0})
+        assert store.get(key_for())["samples"] == samples
+
+    def test_last_write_wins(self, store):
+        store.put(key_for(), {"overhead": 1.0})
+        store.put(key_for(), {"overhead": 2.0})
+        assert store.get(key_for())["overhead"] == 2.0
+        assert len(store) == 1
+
+    def test_sharded_layout(self, store):
+        store.put(key_for(), {"overhead": 1.0})
+        path = store.path_for(key_for())
+        assert path.exists()
+        assert path.parent.name == path.name[:2]
+        assert path.parent.parent == store.root
+
+
+class TestSelfHeal:
+    def test_truncated_entry_purged_and_missed(self, store):
+        store.put(key_for(), {"overhead": 1.0})
+        path = store.path_for(key_for())
+        path.write_text(path.read_text()[: 10], encoding="utf-8")
+        assert store.get(key_for()) is None
+        assert not path.exists()
+        assert store.stats()["corruptions"] == 1
+
+    def test_bitflip_fails_checksum_and_purges(self, store):
+        store.put(key_for(), {"overhead": 1.0})
+        path = store.path_for(key_for())
+        wrapper = json.loads(path.read_text(encoding="utf-8"))
+        wrapper["payload"]["overhead"] = 999.0  # checksum now stale
+        path.write_text(json.dumps(wrapper), encoding="utf-8")
+        assert store.get(key_for()) is None
+        assert not path.exists()
+        assert store.stats()["corruptions"] == 1
+
+    def test_schema_bump_invalidates(self, store):
+        store.put(key_for(), {"overhead": 1.0})
+        path = store.path_for(key_for())
+        wrapper = json.loads(path.read_text(encoding="utf-8"))
+        wrapper["schema"] = 999
+        path.write_text(json.dumps(wrapper), encoding="utf-8")
+        assert store.get(key_for()) is None
+
+    def test_wrong_key_in_file_rejected(self, store):
+        store.put(key_for(("solve_x",)), {"overhead": 1.0})
+        src = store.path_for(key_for(("solve_x",)))
+        dst = store.path_for(key_for(("solve_y",)))
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text(encoding="utf-8"), encoding="utf-8")
+        assert store.get(key_for(("solve_y",))) is None
+
+    def test_heal_after_purge(self, store):
+        store.put(key_for(), {"overhead": 1.0})
+        store.path_for(key_for()).write_text("garbage", encoding="utf-8")
+        assert store.get(key_for()) is None
+        store.put(key_for(), {"overhead": 1.0})
+        assert store.get(key_for()) == {"overhead": 1.0}
