@@ -72,15 +72,20 @@ def quick_prediction(
     nprocs: int,
     chain_length: int = 3,
     settings: "ExperimentSettings | None" = None,
+    tier: str = "exact",
 ) -> PredictionReport:
     """Measure one configuration and compare all predictors to actual.
 
     The one-call entry point: runs the full measurement protocol on the
     simulated IBM SP and returns a :class:`PredictionReport` with the
     actual time, the summation prediction, and the coupling prediction for
-    ``chain_length``.
+    ``chain_length``. ``tier`` selects the serving-ladder policy
+    (``"fast"`` / ``"balanced"`` / ``"exact"``): under ``fast``/``balanced``
+    the analytic closed forms answer in microseconds when their
+    self-reported confidence fits the policy's error budget; the default
+    ``exact`` always runs the simulation protocol.
     """
-    pipeline = ExperimentPipeline(settings)
+    pipeline = ExperimentPipeline(settings, tier_policy=tier)
     result = pipeline.config_result(
         benchmark, problem_class, nprocs, (chain_length,)
     )
@@ -92,4 +97,5 @@ def quick_prediction(
                 chain_length
             ),
         },
+        tier=result.tier,
     )

@@ -7,4 +7,5 @@ from repro.analysis.checks import (  # noqa: F401
     locks,
     picklable,
     taxonomy,
+    tierpurity,
 )

@@ -1,0 +1,88 @@
+"""REP008 — the analytic tier must not import the event-loop simulator.
+
+``repro.analytic`` is the serving ladder's fast rung: closed-form models
+answering in microseconds precisely *because* they never run the
+discrete-event engine.  An import of :mod:`repro.simmachine.engine` from
+inside the package would silently turn the fast path into a slow one (or
+entangle its numbers with event-loop state), so the boundary is enforced
+structurally.  The rest of :mod:`repro.simmachine` stays importable — the
+analytic model deliberately replays the *cache* model
+(:mod:`repro.simmachine.memory`) and flattens :class:`MachineConfig`
+parameters (:mod:`repro.simmachine.machine`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import FileContext, Rule, register
+
+__all__ = ["TierPurityRule"]
+
+#: Path component marking a file as part of the analytic tier.
+ANALYTIC_DIR = "analytic"
+
+#: The module the analytic tier must never import.
+FORBIDDEN_MODULE = "repro.simmachine.engine"
+
+
+def in_analytic_tier(path: str) -> bool:
+    parts = path.split("/")
+    return ANALYTIC_DIR in parts[:-1]
+
+
+def _is_forbidden(module: str) -> bool:
+    """Whether a dotted module path names (or lives under) the engine.
+
+    Relative spellings (``..simmachine.engine``) are matched by suffix so
+    the rule cannot be dodged with ``from ..simmachine import engine``.
+    """
+    stripped = module.lstrip(".")
+    return (
+        stripped == FORBIDDEN_MODULE
+        or stripped.startswith(FORBIDDEN_MODULE + ".")
+        or stripped == "simmachine.engine"
+        or stripped.endswith(".simmachine.engine")
+    )
+
+
+@register
+class TierPurityRule(Rule):
+    rule_id = "REP008"
+    name = "tier-purity"
+    description = (
+        "the analytic fast path (repro/analytic/) must not import "
+        "repro.simmachine.engine — closed forms never run the event loop"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def applies_to(self, path: str) -> bool:
+        return in_analytic_tier(path)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_forbidden(alias.name):
+                    ctx.report(
+                        self, node,
+                        f"analytic tier imports {alias.name}; the fast path "
+                        "must stay free of the event-loop simulator",
+                    )
+            return
+        module = "." * node.level + (node.module or "")
+        if _is_forbidden(module):
+            ctx.report(
+                self, node,
+                f"analytic tier imports from {module}; the fast path must "
+                "stay free of the event-loop simulator",
+            )
+            return
+        stripped = module.lstrip(".")
+        if stripped == "repro.simmachine" or stripped.endswith("simmachine"):
+            for alias in node.names:
+                if alias.name == "engine":
+                    ctx.report(
+                        self, node,
+                        f"analytic tier imports engine from {module}; the "
+                        "fast path must stay free of the event-loop simulator",
+                    )

@@ -1,0 +1,122 @@
+"""Tier policies: who is allowed to answer a prediction request.
+
+The serving ladder has three rungs, fastest first:
+
+1. **analytic** — closed-form models (:mod:`repro.analytic.model`),
+   microseconds, no event loop;
+2. **memo** — the content-addressed simulation cache
+   (:mod:`repro.parallel.memo`), milliseconds;
+3. **simulation** — the full discrete-event run, seconds.
+
+A :class:`TierPolicy` decides how far down the ladder a request may stop.
+The analytic model self-reports an *expected relative error*
+(:attr:`~repro.analytic.model.AnalyticReport.expected_rel_error`); when it
+exceeds the policy's ``max_rel_error`` budget the request *escalates* to
+the memo/simulation rungs, so low-confidence closed forms never masquerade
+as ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TIER_ANALYTIC",
+    "TIER_MEMO",
+    "TIER_SIMULATION",
+    "TIERS",
+    "TierPolicy",
+    "POLICIES",
+    "policy_names",
+    "resolve_tier_policy",
+    "tier_policy_name",
+]
+
+#: Canonical tier labels (metric label values, memo key material).
+TIER_ANALYTIC = "analytic"
+TIER_MEMO = "memo"
+TIER_SIMULATION = "simulation"
+TIERS = (TIER_ANALYTIC, TIER_MEMO, TIER_SIMULATION)
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """How far down the tier ladder a request is allowed to stop.
+
+    Attributes
+    ----------
+    name:
+        Policy label (shows up in metrics and CLI output).
+    use_analytic:
+        Whether the analytic rung may answer at all. When False every
+        request goes straight to the memo/simulation rungs — the existing
+        (bit-identical) behaviour.
+    max_rel_error:
+        Error budget: requests whose analytic report self-reports an
+        expected relative error above this escalate to simulation.
+        ``inf`` trusts every analytic answer; ``0`` trusts none.
+    """
+
+    name: str
+    use_analytic: bool
+    max_rel_error: float
+
+    def __post_init__(self) -> None:
+        if self.max_rel_error < 0:
+            raise ConfigurationError(
+                f"max_rel_error must be >= 0, got {self.max_rel_error}"
+            )
+
+    def accepts(self, expected_rel_error: float) -> bool:
+        """Whether an analytic answer with this self-report may be served."""
+        return self.use_analytic and expected_rel_error <= self.max_rel_error
+
+    def with_budget(self, max_rel_error: float) -> "TierPolicy":
+        """This policy with a different error budget."""
+        return TierPolicy(self.name, self.use_analytic, max_rel_error)
+
+
+#: Built-in policies. ``exact`` is the default everywhere: it never touches
+#: the analytic rung, so serial/parallel/cached results stay bit-identical
+#: to the pre-ladder behaviour.
+POLICIES: dict[str, TierPolicy] = {
+    "fast": TierPolicy("fast", use_analytic=True, max_rel_error=math.inf),
+    "balanced": TierPolicy("balanced", use_analytic=True, max_rel_error=0.35),
+    "exact": TierPolicy("exact", use_analytic=False, max_rel_error=0.0),
+}
+
+
+def policy_names() -> list[str]:
+    """The known policy names, sorted."""
+    return sorted(POLICIES)
+
+
+def resolve_tier_policy(policy) -> TierPolicy:
+    """A :class:`TierPolicy` from a policy object or a (any-case) name.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names —
+    the CLI's ``--tier``/``--tier-policy`` options route through here, so
+    typos surface as the taxonomy's configuration failure, not a crash.
+    """
+    if isinstance(policy, TierPolicy):
+        return policy
+    name = str(policy).strip().lower()
+    resolved = POLICIES.get(name)
+    if resolved is None:
+        raise ConfigurationError(
+            f"unknown tier policy {policy!r}; choose from {policy_names()}"
+        )
+    return resolved
+
+
+def tier_policy_name(value: str) -> str:
+    """Argparse ``type=`` callback: canonical (lower-case) policy name.
+
+    Case-insensitive; unknown names raise
+    :class:`~repro.errors.ConfigurationError`, which ``repro``'s ``main``
+    reports as ``error: ...`` with exit code 1.
+    """
+    return resolve_tier_policy(value).name

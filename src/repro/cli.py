@@ -23,6 +23,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro._version import __version__
+from repro.analytic.tiers import tier_policy_name
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -83,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_configuration_arguments(predict)
     predict.add_argument(
         "-L", "--chain-length", type=int, default=3, help="coupling chain length"
+    )
+    predict.add_argument(
+        "--tier", type=tier_policy_name, default="exact", metavar="POLICY",
+        help="serving-ladder policy: fast | balanced | exact "
+        "(case-insensitive; exact always simulates)",
     )
 
     sub.add_parser("machine", help="describe the simulated machine")
@@ -191,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="PATH",
         help="JSON fault plan (repro.faults) to inject while serving",
     )
+    serve.add_argument(
+        "--tier-policy", type=tier_policy_name, default="exact",
+        metavar="POLICY",
+        help="serving-ladder policy: fast | balanced | exact "
+        "(case-insensitive; fast/balanced answer from the analytic tier "
+        "and escalate on low confidence)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -289,11 +302,17 @@ def _cmd_run(experiment: str, repetitions: Optional[int], seed: int) -> int:
 
 
 def _cmd_predict(
-    benchmark: str, problem_class: str, nprocs: int, chain_length: int
+    benchmark: str,
+    problem_class: str,
+    nprocs: int,
+    chain_length: int,
+    tier: str = "exact",
 ) -> int:
     from repro import quick_prediction
 
-    report = quick_prediction(benchmark, problem_class, nprocs, chain_length)
+    report = quick_prediction(
+        benchmark, problem_class, nprocs, chain_length, tier=tier
+    )
     print(f"Actual:               {report.actual:.3f} s")
     for name, value in report.predictions.items():
         print(
@@ -301,6 +320,7 @@ def _cmd_predict(
             f"({report.relative_error(name):.2f} % relative error)"
         )
     print(f"Best predictor: {report.best()}")
+    print(f"Tier: {report.tier} (policy: {tier})")
     return 0
 
 
@@ -488,6 +508,7 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         executor=args.executor,
         cache_dir=args.cache_dir,
+        tier_policy=args.tier_policy,
     )
     obs.log(
         "serve.configured",
@@ -496,6 +517,7 @@ def _cmd_serve(args) -> int:
         executor=args.executor,
         queue_depth=args.queue_depth,
         cache_dir=args.cache_dir,
+        tier_policy=args.tier_policy,
     )
     try:
         if args.port is not None:
@@ -568,9 +590,14 @@ def _cmd_trace(args) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit code.
+
+    Parsing happens inside the error boundary: ``type=`` callbacks (e.g.
+    ``--tier``'s policy lookup) raise :class:`ConfigurationError`, which
+    must print as a clean CLI error, not a traceback.
+    """
     try:
+        args = build_parser().parse_args(argv)
         return _dispatch(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.
@@ -592,7 +619,11 @@ def _dispatch(args) -> int:
         return _cmd_run(args.experiment, args.repetitions, args.seed)
     if args.command == "predict":
         return _cmd_predict(
-            args.benchmark, args.problem_class, args.nprocs, args.chain_length
+            args.benchmark,
+            args.problem_class,
+            args.nprocs,
+            args.chain_length,
+            args.tier,
         )
     if args.command == "machine":
         return _cmd_machine()

@@ -185,10 +185,18 @@ class CouplingPredictor:
 
 @dataclass(frozen=True)
 class PredictionReport:
-    """Actual vs predicted times with paper-style relative errors."""
+    """Actual vs predicted times with paper-style relative errors.
+
+    ``tier`` names the serving-ladder rung that produced the numbers
+    ("analytic" | "memo" | "simulation"); the default keeps pre-ladder
+    producers (and pickled reports) valid. It is serving metadata, not
+    prediction content: a memoized report equals the simulated report it
+    was reconstructed from, so ``tier`` stays out of equality.
+    """
 
     actual: float
     predictions: dict[str, float]
+    tier: str = field(default="simulation", compare=False)
 
     def relative_error(self, name: str) -> float:
         """Percent relative error of one predictor."""

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from repro import faults, obs
+from repro.analytic.tiers import TIER_ANALYTIC, TierPolicy, resolve_tier_policy
 from repro.core.kernel import ControlFlow
 from repro.core.predictor import (
     CouplingPredictor,
@@ -53,6 +54,9 @@ class ConfigResult:
     flow: ControlFlow
     actual: float
     inputs: PredictionInputs
+    #: The serving-ladder rung that produced these numbers
+    #: ("analytic" | "simulation"); memoized cells replay simulation data.
+    tier: str = "simulation"
     #: Derived-value memo only — excluded from comparison and from pickling
     #: so results cross process boundaries as pure measurement data.
     _coupling_cache: dict[int, float] = field(
@@ -103,6 +107,14 @@ class ExperimentPipeline:
     fans independent sweep cells across worker processes. Both are safe
     because the simulation tier is deterministic (REP001): serial,
     parallel, and cache-warm runs produce bit-identical numbers.
+
+    ``tier_policy`` (a :class:`~repro.analytic.tiers.TierPolicy` or name)
+    turns on the closed-form fast path: under ``fast``/``balanced``,
+    configurations the analytic tier answers within the policy's error
+    budget skip measurement entirely (``ConfigResult.tier == "analytic"``);
+    everything else — and every configuration under the default ``exact``
+    policy — takes the unchanged simulation path, so ``exact`` results stay
+    bit-identical to pre-ladder pipelines.
     """
 
     def __init__(
@@ -110,6 +122,7 @@ class ExperimentPipeline:
         settings: Optional[ExperimentSettings] = None,
         memo: Union[SimulationMemoStore, str, os.PathLike, None] = None,
         jobs: int = 1,
+        tier_policy: "str | TierPolicy" = "exact",
     ):
         self.settings = settings or ExperimentSettings()
         if memo is None or isinstance(memo, SimulationMemoStore):
@@ -117,8 +130,12 @@ class ExperimentPipeline:
         else:
             self.memo = SimulationMemoStore(memo)
         self.jobs = jobs
+        self.tier_policy = resolve_tier_policy(tier_policy)
         self._results: dict[tuple[str, str, int], ConfigResult] = {}
         self._runners: dict[tuple[str, str, int], ChainRunner] = {}
+        #: Analytic answers are per-(config, chain lengths) — more windows
+        #: mean a fresh closed-form pass, never a partial mutation.
+        self._analytic_results: dict[tuple, ConfigResult] = {}
 
     def _runner_for(self, key: tuple[str, str, int]) -> ChainRunner:
         """The (lazily created) measurement runner for one configuration."""
@@ -193,6 +210,52 @@ class ExperimentPipeline:
         obs.get_registry().counter("pipeline_configs_measured").inc()
         return result, runner
 
+    def _analytic_result(
+        self,
+        benchmark: str,
+        problem_class: str,
+        nprocs: int,
+        chain_lengths: Sequence[int],
+    ) -> Optional[ConfigResult]:
+        """The closed-form tier's answer, or None to escalate to simulation.
+
+        Escalates when the benchmark has no descriptor tables, when a chain
+        length is invalid (the simulation path raises the matching
+        :class:`ExperimentError`), or when the self-reported confidence
+        misses the policy's error budget.
+        """
+        from repro.errors import PredictionError
+
+        lengths = tuple(sorted(set(int(length) for length in chain_lengths)))
+        key = (benchmark, problem_class, nprocs, lengths)
+        if key in self._analytic_results:
+            return self._analytic_results[key]
+        from repro.analytic.model import AnalyticPredictor
+
+        try:
+            predictor = AnalyticPredictor.for_config(
+                self.settings.machine, benchmark, problem_class, nprocs
+            )
+            report = predictor.report(lengths)
+        except PredictionError:
+            return None
+        if not self.tier_policy.accepts(report.expected_rel_error):
+            return None
+        result = ConfigResult(
+            benchmark=report.benchmark,
+            problem_class=report.problem_class,
+            nprocs=report.nprocs,
+            flow=report.flow,
+            actual=report.actual,
+            inputs=report.inputs,
+            tier=TIER_ANALYTIC,
+        )
+        self._analytic_results[key] = result
+        obs.get_registry().counter(
+            "pipeline_tier_results", tier=TIER_ANALYTIC
+        ).inc()
+        return result
+
     def config_result(
         self,
         benchmark: str,
@@ -205,6 +268,12 @@ class ExperimentPipeline:
         ``chain_lengths`` lists the coupling chain lengths the caller will
         query; their windows are measured (once) here.
         """
+        if self.tier_policy.use_analytic:
+            analytic = self._analytic_result(
+                benchmark, problem_class, nprocs, chain_lengths
+            )
+            if analytic is not None:
+                return analytic
         result, runner = self._base_result(benchmark, problem_class, nprocs)
         chains: dict = dict(result.inputs.chain_times)
         added = False
@@ -273,6 +342,17 @@ class ExperimentPipeline:
             for p in proc_counts
             if (benchmark, problem_class, p) not in self._results
         ]
+        if self.tier_policy.use_analytic:
+            # Cells the analytic tier answers never reach the worker pool;
+            # only escalated ones are worth a process fan-out.
+            missing = [
+                p
+                for p in missing
+                if self._analytic_result(
+                    benchmark, problem_class, p, chain_lengths
+                )
+                is None
+            ]
         if jobs > 1 and len(missing) > 1:
             injector = faults.get_injector()
             cache_dir = (

@@ -48,6 +48,16 @@ additionally lost in the available text. What *is* compared, per table:
 Regenerate this file with `repro report -o EXPERIMENTS.md` (or
 `python -m repro report ...`). Each table also has a benchmark under
 `benchmarks/` asserting its shape criteria.
+
+**Analytic-tier accuracy bound.** All tables below are simulation ground
+truth (the `exact` tier policy). The analytic fast path
+(`repro.analytic`, selected with `--tier fast|balanced`) answers the
+same BT/SP/LU cells from closed forms instead; its per-kernel `E_k`,
+chain times, and application totals are cross-validated against these
+tables and stay within a **10 % relative-error bound**
+(`repro.analytic.model.ANALYTIC_REL_ERROR_BOUND`) — enforced by
+`tests/analytic/test_cross_validation.py` (class W) and the
+`bench-tiers` CI job (class A, recorded in `BENCH_tiers.json`).
 """
 
 

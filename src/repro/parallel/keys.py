@@ -42,7 +42,9 @@ __all__ = [
 ]
 
 #: Bump to invalidate every memoized simulation at once (numeric changes).
-SCHEMA_VERSION = 1
+#: v2: cell keys carry the producing tier, so analytic-tier artifacts can
+#: never shadow simulation ground truth under the same address.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(value: Any) -> str:
@@ -107,8 +109,15 @@ def cell_key(
     nprocs: int,
     chain_lengths: Sequence[int],
     application_seed: int,
+    tier: str = "simulation",
 ) -> dict:
-    """Identity of a whole sweep cell (inputs for every predictor + actual)."""
+    """Identity of a whole sweep cell (inputs for every predictor + actual).
+
+    ``tier`` names the serving-ladder rung that produced the numbers; it is
+    part of the canonical key material so results from different rungs
+    (analytic closed forms vs discrete-event simulation) occupy distinct
+    addresses in the memo store.
+    """
     return {
         "schema": SCHEMA_VERSION,
         "kind": "cell",
@@ -119,6 +128,7 @@ def cell_key(
         "nprocs": nprocs,
         "chain_lengths": sorted(set(int(length) for length in chain_lengths)),
         "application_seed": application_seed,
+        "tier": str(tier),
     }
 
 

@@ -75,6 +75,7 @@ def report_to_dict(
         "predictions": dict(report.predictions),
         "errors_percent": report.errors(),
         "best": report.best(),
+        "tier": report.tier,
     }
     if degraded:
         payload["degraded"] = True

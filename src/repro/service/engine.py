@@ -27,6 +27,13 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro import faults, obs
+from repro.analytic.tiers import (
+    TIER_ANALYTIC,
+    TIER_MEMO,
+    TIER_SIMULATION,
+    TierPolicy,
+    resolve_tier_policy,
+)
 from repro.core.predictor import (
     CouplingPredictor,
     PredictionInputs,
@@ -168,6 +175,13 @@ class PredictionService:
     directory: whole cells found there are served without enqueueing any
     simulation work, and freshly simulated cells are stored back, so the
     serving layer shares warmed state with ``repro campaign --cache-dir``.
+
+    ``tier_policy`` selects the serving-ladder rung order (a
+    :class:`~repro.analytic.tiers.TierPolicy` or a policy name): under
+    ``fast``/``balanced`` the closed-form analytic tier answers first and
+    escalates to memo/simulation when its self-reported confidence misses
+    the policy's error budget; the default ``exact`` bypasses the analytic
+    tier entirely, preserving bit-identical simulation results.
     """
 
     def __init__(
@@ -191,8 +205,10 @@ class PredictionService:
         crash_threshold: int = 3,
         degraded_probe_every: int = 8,
         cache_dir: Optional[str] = None,
+        tier_policy: "str | TierPolicy" = "exact",
     ):
         self.machine = machine or ibm_sp_argonne()
+        self.tier_policy = resolve_tier_policy(tier_policy)
         # Content-addressed simulation memo (repro.parallel): consulted
         # before a cell task is enqueued, so a warm directory serves whole
         # cells without touching the worker pool at all.
@@ -302,7 +318,7 @@ class PredictionService:
         return results
 
     def _submit(self, request: PredictRequest):
-        """L1 lookup, saturation gate, then hand off to the batcher.
+        """Tier ladder: L1, analytic rung, saturation gate, batcher.
 
         Returns ``(report_or_future, start_time)``.
         """
@@ -311,8 +327,17 @@ class PredictionService:
         report = self._cache.get_report(request.key)
         if report is not None:
             self.metrics.l1_hits.inc()
-            self.metrics.latency.observe(self._clock() - t0)
+            dt = self._clock() - t0
+            self.metrics.latency.observe(dt)
+            self.metrics.record_tier(report.tier, dt)
             return report, t0
+        if self.tier_policy.use_analytic:
+            # The analytic rung sits *above* the degraded/saturation gates:
+            # closed forms need no workers, so a degraded pool still serves
+            # every request the policy's error budget accepts.
+            report = self._serve_analytic(request, t0)
+            if report is not None:
+                return report, t0
         if not self._pool.healthy and not self._batcher.in_flight(request.key):
             # Degraded mode: cache-only, except for a periodic probe that
             # tests whether the pool has recovered.
@@ -335,6 +360,54 @@ class PredictionService:
         if coalesced:
             self.metrics.coalesced.inc()
         return future, t0
+
+    # -- the analytic rung ----------------------------------------------------
+
+    def _serve_analytic(
+        self, request: PredictRequest, t0: float
+    ) -> Optional[PredictionReport]:
+        """Answer from the closed-form tier, or None to escalate."""
+        analytic_key = request.key + (TIER_ANALYTIC,)
+        report = self._cache.get_report(analytic_key)
+        if report is not None:
+            self.metrics.l1_hits.inc()
+        else:
+            report = self._analytic_report(request)
+            if report is None:
+                return None
+            self._cache.put_report(analytic_key, report)
+        dt = self._clock() - t0
+        self.metrics.latency.observe(dt)
+        self.metrics.record_tier(TIER_ANALYTIC, dt)
+        return report
+
+    def _analytic_report(
+        self, request: PredictRequest
+    ) -> Optional[PredictionReport]:
+        """One fresh closed-form evaluation, or None (counted escalation).
+
+        Escalates on unsupported benchmarks (the descriptor tables cover
+        BT/SP/LU), on invalid chain lengths (the simulation path raises the
+        matching typed error to the waiter), and whenever the self-reported
+        confidence misses the policy's error budget.
+        """
+        from repro.analytic.model import AnalyticPredictor
+
+        try:
+            predictor = AnalyticPredictor.for_config(
+                self.machine,
+                request.benchmark,
+                request.problem_class,
+                request.nprocs,
+            )
+            analytic = predictor.report((request.chain_length,))
+        except Exception:  # noqa: BLE001 — any analytic failure escalates
+            self.metrics.analytic_escalations.inc()
+            return None
+        if not self.tier_policy.accepts(analytic.expected_rel_error):
+            self.metrics.analytic_escalations.inc()
+            return None
+        return analytic.prediction_report((request.chain_length,))
 
     def _await(
         self, future: Future, t0: float, timeout: Optional[float]
@@ -359,7 +432,9 @@ class PredictionService:
         except Exception:  # noqa: BLE001 — count every failure kind, re-raise
             self.metrics.errors.inc()
             raise
-        self.metrics.latency.observe(self._clock() - t0)
+        dt = self._clock() - t0
+        self.metrics.latency.observe(dt)
+        self.metrics.record_tier(report.tier, dt)
         return report
 
     # -- dispatch (batcher thread) --------------------------------------------
@@ -522,6 +597,8 @@ class PredictionService:
         """Build each waiter's report from the cell outcome."""
         self.metrics.simulations.inc(outcome.simulations)
         warm = outcome.simulations == 0
+        tier = TIER_MEMO if warm else TIER_SIMULATION
+        self._record_analytic_error(flights[0].request, outcome.actual)
         summation = SummationPredictor().predict(outcome.inputs)
         for flight in flights:
             request = flight.request
@@ -538,11 +615,40 @@ class PredictionService:
                     SummationPredictor.name: summation,
                     f"Coupling: {request.chain_length} kernels": coupled,
                 },
+                tier=tier,
             )
             self._cache.put_report(request.key, report)
             (self.metrics.l2_hits if warm else self.metrics.misses).inc()
             if not flight.future.done():
                 flight.future.set_result(report)
+
+    def _record_analytic_error(
+        self, request: PredictRequest, actual: float
+    ) -> None:
+        """Signed analytic-vs-ground-truth error, when both tiers answered.
+
+        Ground truth (a simulated or memoized cell) just landed; if the
+        active policy runs the analytic tier, score its application total
+        against it so ``tier_signed_rel_error{tier=analytic}`` accumulates
+        live cross-validation data — including for escalated cells.
+        """
+        if not self.tier_policy.use_analytic or actual <= 0:
+            return
+        from repro.analytic.model import AnalyticPredictor
+
+        try:
+            predictor = AnalyticPredictor.for_config(
+                self.machine,
+                request.benchmark,
+                request.problem_class,
+                request.nprocs,
+            )
+            analytic = predictor.report()
+        except Exception:  # noqa: BLE001 — unsupported configs score nothing
+            return
+        self.metrics.record_signed_error(
+            (analytic.actual - actual) / actual
+        )
 
     @staticmethod
     def _fail(flights: list[Flight], exc: BaseException) -> None:

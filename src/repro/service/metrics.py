@@ -14,9 +14,17 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.analytic.tiers import TIER_ANALYTIC, TIERS
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["Counter", "Gauge", "Histogram", "ServiceMetrics", "render_stats"]
+
+#: Symmetric buckets for *signed* relative error (analytic vs simulation
+#: ground truth); the default log buckets only resolve positive values.
+SIGNED_ERROR_BUCKETS = (
+    -1.0, -0.5, -0.25, -0.1, -0.05, -0.02, -0.01,
+    0.0, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
 
 
 class ServiceMetrics:
@@ -50,7 +58,43 @@ class ServiceMetrics:
         self.cell_seconds = self.registry.histogram("cell_seconds")
         self.queue_depth = self.registry.gauge("queue_depth")
         self._hit_ratio = self.registry.gauge("cache_hit_ratio")
+        # Tier-ladder instruments: one request counter and one latency
+        # histogram per rung, plus the analytic tier's escalation counter
+        # and its signed relative error against simulation ground truth.
+        self.tier_requests = {
+            tier: self.registry.counter("tier_requests", tier=tier)
+            for tier in TIERS
+        }
+        self.tier_latency = {
+            tier: self.registry.histogram("tier_latency_seconds", tier=tier)
+            for tier in TIERS
+        }
+        self.analytic_escalations = self.registry.counter(
+            "analytic_escalations"
+        )
+        self.analytic_signed_rel_error = self.registry.histogram(
+            "tier_signed_rel_error",
+            buckets=SIGNED_ERROR_BUCKETS,
+            tier=TIER_ANALYTIC,
+        )
         self._queue_depth_fn = queue_depth_fn
+
+    def record_tier(self, tier: str, seconds: float) -> None:
+        """One request answered by ladder rung ``tier`` in ``seconds``."""
+        counter = self.tier_requests.get(tier)
+        if counter is None:  # unknown rung: still count, never drop
+            counter = self.registry.counter("tier_requests", tier=tier)
+            histogram = self.registry.histogram(
+                "tier_latency_seconds", tier=tier
+            )
+        else:
+            histogram = self.tier_latency[tier]
+        counter.inc()
+        histogram.observe(seconds)
+
+    def record_signed_error(self, error: float) -> None:
+        """Signed relative error of an analytic answer vs simulation truth."""
+        self.analytic_signed_rel_error.observe(error)
 
     def record_batch(self, size: int) -> None:
         """One dispatched batch of ``size`` coalesced request groups."""
@@ -87,6 +131,18 @@ class ServiceMetrics:
             "batches": self.batches.value,
             "simulations": self.simulations.value,
             "cache_hit_ratio": self.cache_hit_ratio(),
+            "tier_requests": {
+                tier: counter.value
+                for tier, counter in self.tier_requests.items()
+            },
+            "tier_latency_seconds": {
+                tier: histogram.snapshot()
+                for tier, histogram in self.tier_latency.items()
+            },
+            "analytic_escalations": self.analytic_escalations.value,
+            "analytic_signed_rel_error": (
+                self.analytic_signed_rel_error.snapshot()
+            ),
             "batch_size": self.batch_sizes.snapshot(),
             "latency_seconds": self.latency.snapshot(),
             "cell_seconds": self.cell_seconds.snapshot(),
@@ -100,7 +156,13 @@ def render_stats(stats: dict, indent: int = 0) -> str:
     pad = " " * indent
     lines = []
     for key, value in stats.items():
-        if isinstance(value, dict):
+        if isinstance(value, dict) and any(
+            isinstance(v, dict) for v in value.values()
+        ):
+            # Per-tier families: one indented line per tier label.
+            lines.append(f"{pad}{key}:")
+            lines.append(render_stats(value, indent=indent + 2))
+        elif isinstance(value, dict):
             inner = ", ".join(
                 f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
                 for k, v in value.items()

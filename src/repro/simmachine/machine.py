@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = [
+    "AnalyticMachineProfile",
     "CacheLevelConfig",
     "ProcessorConfig",
     "NetworkConfig",
@@ -119,6 +120,37 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class AnalyticMachineProfile:
+    """Flattened machine parameters, as consumed by closed-form models.
+
+    :mod:`repro.analytic` predicts kernel times without running the event
+    loop, and the descriptor extraction lives *here* (next to the configs it
+    flattens) so the analytic package depends only on this module — never on
+    :mod:`repro.simmachine.engine` (enforced by analysis rule REP008).
+    """
+
+    flop_time: float
+    #: ``(name, capacity_bytes, byte_time)`` innermost first — the exact
+    #: tuple shape :class:`repro.simmachine.memory.MemoryHierarchy` accepts.
+    level_specs: tuple[tuple[str, int, float], ...]
+    memory_byte_time: float
+    write_factor: float
+    latency: float
+    byte_time: float
+    injection_byte_time: float
+    per_message_overhead: float
+    contention_coeff: float
+    drain_window: float
+    noise_cv: float
+    noise_floor: float
+
+    @property
+    def expected_floor_jitter(self) -> float:
+        """Mean additive jitter per work call (uniform on [0, floor))."""
+        return 0.5 * self.noise_floor
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """A complete machine: processors + network + noise level."""
 
@@ -145,6 +177,28 @@ class MachineConfig:
     def with_(self, **overrides) -> "MachineConfig":
         """Return a copy with fields replaced (config sweeps, ablations)."""
         return replace(self, **overrides)
+
+    def analytic_profile(self) -> AnalyticMachineProfile:
+        """Extract the flat parameter set the analytic tier consumes."""
+        proc = self.processor
+        net = self.network
+        return AnalyticMachineProfile(
+            flop_time=proc.flop_time,
+            level_specs=tuple(
+                (lv.name, lv.capacity_bytes, lv.byte_time)
+                for lv in proc.cache_levels
+            ),
+            memory_byte_time=proc.memory_byte_time,
+            write_factor=proc.write_factor,
+            latency=net.latency,
+            byte_time=net.byte_time,
+            injection_byte_time=net.injection_byte_time,
+            per_message_overhead=net.per_message_overhead,
+            contention_coeff=net.contention_coeff,
+            drain_window=net.drain_window,
+            noise_cv=self.noise_cv,
+            noise_floor=self.noise_floor,
+        )
 
 
 def ibm_sp_argonne() -> MachineConfig:

@@ -16,7 +16,7 @@ class TestRegistry:
         ids = [cls.rule_id for cls in all_rules()]
         assert ids == sorted(ids)
         for expected in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                         "REP006", "REP007"):
+                         "REP006", "REP007", "REP008"):
             assert expected in ids
 
     def test_every_rule_documented(self):
@@ -542,3 +542,57 @@ class TestBroadExceptREP006:
             select=["REP006"],
         )
         assert rule_ids(findings) == ["REP006"]
+
+
+class TestTierPurityREP008:
+    def test_engine_imports_in_analytic_tier(self, lint):
+        findings = lint(
+            {
+                "analytic/model.py": """\
+                import repro.simmachine.engine
+                from repro.simmachine.engine import Machine
+                from repro.simmachine import engine
+                from ..simmachine.engine import Machine as M
+                from ..simmachine import engine as eng
+                """
+            },
+            select=["REP008"],
+        )
+        assert rule_ids(findings) == ["REP008"] * 5
+
+    def test_allowed_simmachine_imports(self, lint):
+        findings = lint(
+            {
+                "analytic/model.py": """\
+                from repro.simmachine.machine import MachineConfig
+                from repro.simmachine.memory import MemoryHierarchy
+                from repro.simmachine import machine
+                """
+            },
+            select=["REP008"],
+        )
+        assert findings == []
+
+    def test_engine_imports_outside_analytic_are_fine(self, lint):
+        findings = lint(
+            {
+                "instrument/runner.py": """\
+                from repro.simmachine.engine import Machine
+                """
+            },
+            select=["REP008"],
+        )
+        assert findings == []
+
+    def test_real_analytic_package_is_clean(self):
+        import os
+
+        from repro import analytic
+        from repro.analysis import analyze_paths, select_rules
+
+        pkg_dir = os.path.dirname(analytic.__file__)
+        src_root = os.path.dirname(os.path.dirname(pkg_dir))
+        findings = analyze_paths(
+            [pkg_dir], rules=select_rules(["REP008"]), root=src_root
+        )
+        assert findings == []

@@ -1,0 +1,58 @@
+"""Golden-table cross-validation: analytic closed forms vs simulation.
+
+The documented accuracy contract (:data:`ANALYTIC_REL_ERROR_BOUND`) is that
+on the golden BT/SP/LU tables the analytic tier's per-kernel ``E_k``, chain
+times, and application total stay within the bound of the simulation ground
+truth. Class-W cells keep this tier-1 fast (< 1 s of simulation total); the
+``bench-tiers`` job cross-validates the expensive class-A cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.model import ANALYTIC_REL_ERROR_BOUND, AnalyticPredictor
+from repro.experiments import ExperimentPipeline, ExperimentSettings
+from repro.instrument import MeasurementConfig
+from repro.simmachine.machine import ibm_sp_argonne
+
+GOLDEN_CELLS = [("BT", "W", 4), ("SP", "W", 4), ("LU", "W", 4)]
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(
+        measurement=MeasurementConfig(repetitions=4, warmup=1)
+    )
+
+
+@pytest.mark.parametrize(
+    "bench,problem_class,nprocs",
+    GOLDEN_CELLS,
+    ids=[f"{b}-{c}-{p}" for b, c, p in GOLDEN_CELLS],
+)
+class TestGoldenCrossValidation:
+    def test_analytic_matches_simulation_within_bound(
+        self, settings, bench, problem_class, nprocs
+    ):
+        simulated = ExperimentPipeline(settings).config_result(
+            bench, problem_class, nprocs, (2,)
+        )
+        analytic = AnalyticPredictor.for_config(
+            ibm_sp_argonne(), bench, problem_class, nprocs
+        ).report((2,))
+
+        for kernel, actual in simulated.inputs.loop_times.items():
+            rel = abs(analytic.inputs.loop_times[kernel] - actual) / actual
+            assert rel <= ANALYTIC_REL_ERROR_BOUND, (
+                f"E_k for {kernel}: {rel:.3f} above bound"
+            )
+        for window, actual in simulated.inputs.chain_times.items():
+            rel = abs(analytic.inputs.chain_times[window] - actual) / actual
+            assert rel <= ANALYTIC_REL_ERROR_BOUND, (
+                f"chain {window}: {rel:.3f} above bound"
+            )
+        app_rel = abs(analytic.actual - simulated.actual) / simulated.actual
+        assert app_rel <= ANALYTIC_REL_ERROR_BOUND, (
+            f"application total: {app_rel:.3f} above bound"
+        )

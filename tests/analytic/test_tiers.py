@@ -1,0 +1,86 @@
+"""Tier labels and policy parsing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analytic.tiers import (
+    POLICIES,
+    TIER_ANALYTIC,
+    TIER_MEMO,
+    TIER_SIMULATION,
+    TIERS,
+    TierPolicy,
+    policy_names,
+    resolve_tier_policy,
+    tier_policy_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTierLabels:
+    def test_ladder_order(self):
+        assert TIERS == (TIER_ANALYTIC, TIER_MEMO, TIER_SIMULATION)
+
+    def test_builtin_policy_names(self):
+        assert policy_names() == ["balanced", "exact", "fast"]
+        assert set(POLICIES) == {"fast", "balanced", "exact"}
+
+
+class TestResolveTierPolicy:
+    @pytest.mark.parametrize("spelling", ["fast", "FAST", "Fast", "fAsT"])
+    def test_case_insensitive(self, spelling):
+        assert resolve_tier_policy(spelling) is POLICIES["fast"]
+
+    @pytest.mark.parametrize("spelling", ["EXACT", "Balanced"])
+    def test_other_policies_normalize(self, spelling):
+        policy = resolve_tier_policy(spelling)
+        assert policy.name == spelling.lower()
+
+    @pytest.mark.parametrize("bad", ["bogus", "", "fastest", "exactly"])
+    def test_unknown_names_raise_configuration_error(self, bad):
+        with pytest.raises(ConfigurationError, match="tier policy"):
+            resolve_tier_policy(bad)
+
+    def test_policy_instances_pass_through(self):
+        policy = TierPolicy("custom", use_analytic=True, max_rel_error=0.2)
+        assert resolve_tier_policy(policy) is policy
+
+
+class TestTierPolicyNameCallback:
+    def test_returns_canonical_name(self):
+        assert tier_policy_name("BALANCED") == "balanced"
+        assert tier_policy_name("exact") == "exact"
+
+    def test_unknown_name_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            tier_policy_name("warp-speed")
+
+
+class TestTierPolicy:
+    def test_exact_bypasses_the_analytic_tier(self):
+        policy = POLICIES["exact"]
+        assert not policy.use_analytic
+        assert not policy.accepts(0.0)
+
+    def test_fast_accepts_any_confidence(self):
+        policy = POLICIES["fast"]
+        assert policy.use_analytic
+        assert math.isinf(policy.max_rel_error)
+        assert policy.accepts(10.0)
+
+    def test_balanced_escalates_past_its_budget(self):
+        policy = POLICIES["balanced"]
+        assert policy.accepts(policy.max_rel_error)
+        assert not policy.accepts(policy.max_rel_error * 1.01)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TierPolicy("broken", use_analytic=True, max_rel_error=-0.1)
+
+    def test_with_budget_tightens_the_ceiling(self):
+        tight = POLICIES["fast"].with_budget(0.05)
+        assert tight.accepts(0.05)
+        assert not tight.accepts(0.06)
