@@ -1,0 +1,84 @@
+"""Shared helper: append benchmark artifacts to the unified perf ledger.
+
+Each benchmark keeps writing its legacy ``BENCH_*.json`` artifact (CI and
+humans read those), and additionally appends the same numbers as a
+ledger entry to ``PERF_LEDGER.json`` so ``repro bench check`` can gate on
+the trajectory. The metric extraction reuses the exact mappings the
+one-time migration uses (:mod:`repro.obs.ledger`), so migrated history
+and freshly appended entries chain into one comparable series.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.obs import ledger as _ledger
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: series name -> extractor producing {metric: {value, unit, direction}}
+_EXTRACTORS = {
+    "engine": _ledger._engine_metrics,
+    "campaign": _ledger._campaign_metrics,
+    "tiers": _ledger._tiers_metrics,
+}
+
+
+def _commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def record_bench(
+    series: str,
+    doc: dict[str, Any],
+    samples: int = 1,
+    meta: Optional[dict[str, Any]] = None,
+) -> None:
+    """Append one ledger entry extracted from a legacy-shaped bench doc."""
+    metrics = _EXTRACTORS[series](doc)
+    if not metrics:
+        return
+    ledger = _ledger.PerfLedger(REPO_ROOT / _ledger.LEDGER_FILENAME)
+    ledger.append(
+        _ledger.make_entry(
+            series,
+            metrics,
+            timestamp=time.time(),
+            commit=_commit(),
+            samples=samples,
+            meta=meta,
+        )
+    )
+
+
+def record_metrics(
+    series: str,
+    metrics: dict[str, dict[str, Any]],
+    samples: int = 1,
+    meta: Optional[dict[str, Any]] = None,
+) -> None:
+    """Append one ledger entry from already-shaped metrics."""
+    ledger = _ledger.PerfLedger(REPO_ROOT / _ledger.LEDGER_FILENAME)
+    ledger.append(
+        _ledger.make_entry(
+            series,
+            metrics,
+            timestamp=time.time(),
+            commit=_commit(),
+            samples=samples,
+            meta=meta,
+        )
+    )

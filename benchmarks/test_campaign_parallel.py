@@ -19,6 +19,7 @@ import os
 import time
 from pathlib import Path
 
+from benchmarks._ledger import record_bench
 from repro.experiments import ExperimentPipeline, ExperimentSettings
 from repro.instrument import MeasurementConfig
 
@@ -107,6 +108,7 @@ def test_parallel_campaign_speedup(tmp_path):
         json.dumps(record, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    record_bench("campaign", record, meta={"cpu_count": cpu_count})
 
     # Warm-cache speedup is hardware-independent: lookups beat simulation.
     assert warm_speedup >= 10.0, record

@@ -10,6 +10,7 @@ import json
 import time
 from pathlib import Path
 
+from benchmarks._ledger import record_bench
 from repro.npb import make_benchmark
 from repro.simmachine import Machine, Simulator, ibm_sp_argonne
 from repro.simmpi import attach_world
@@ -128,6 +129,7 @@ def test_engine_bench_artifact():
         json.dumps(record, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    record_bench("engine", record, samples=5)
     # Both loads must stay comfortably ahead of the old engine; the
     # timeout-heavy path is the one the optimization targeted.
     assert record["speedup"]["timeout_heavy"] >= 1.15, record

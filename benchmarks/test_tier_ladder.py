@@ -14,6 +14,7 @@ import json
 import time
 from pathlib import Path
 
+from benchmarks._ledger import record_bench
 from repro.analytic.model import ANALYTIC_REL_ERROR_BOUND, AnalyticPredictor
 from repro.experiments import ExperimentPipeline, ExperimentSettings
 from repro.instrument import MeasurementConfig
@@ -89,6 +90,7 @@ def test_analytic_tier_speedup_and_accuracy():
         json.dumps(record, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    record_bench("tiers", record, samples=TIER_MEASUREMENT.repetitions)
 
     for cell in cells:
         assert cell["speedup"] >= MIN_SPEEDUP, cell

@@ -5,6 +5,7 @@ from repro.analysis.checks import (  # noqa: F401
     determinism,
     faultsites,
     locks,
+    obsdiscipline,
     picklable,
     taxonomy,
     tierpurity,

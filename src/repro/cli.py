@@ -151,8 +151,72 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--repetitions", type=int, default=6)
     campaign.add_argument("--seed", type=int, default=0)
 
-    profile = sub.add_parser("profile", help="per-kernel application profile")
-    _add_configuration_arguments(profile)
+    profile = sub.add_parser(
+        "profile",
+        help=(
+            "per-kernel application profile, or the sampling profiler "
+            "('profile run ...' / 'profile report --in ...')"
+        ),
+    )
+    # Three spellings share this subparser, so the positionals are loose
+    # and validated in the handler: the legacy kernel profile
+    # (``profile BT S 4``), the sampling profiler (``profile run BT S 4``,
+    # arguments shifted one slot right), and saved-profile reporting
+    # (``profile report --in PROFILE.json``).
+    profile.add_argument(
+        "benchmark",
+        type=str.upper,
+        help="NPB work-alike, or the verb 'run' / 'report'",
+    )
+    profile.add_argument(
+        "problem_class", type=str.upper, nargs="?", default=None
+    )
+    profile.add_argument("nprocs", nargs="?", default=None)
+    profile.add_argument("extra", nargs="*", default=[])
+    profile.add_argument(
+        "--interval", type=float, default=0.005,
+        help="sampling period in seconds (profile run)",
+    )
+    profile.add_argument(
+        "--backend", choices=["auto", "signal", "thread"], default="auto",
+        help="sampler backend (profile run)",
+    )
+    profile.add_argument(
+        "--jobs", type=int, default=1,
+        help="campaign worker processes; their samples merge back "
+        "(profile run)",
+    )
+    profile.add_argument(
+        "--chains", default="2",
+        help="comma-separated coupling chain lengths (profile run)",
+    )
+    profile.add_argument(
+        "--repetitions", type=int, default=6, help="(profile run)"
+    )
+    profile.add_argument(
+        "-o", "--out", default="PROFILE.json", metavar="PATH",
+        help="where 'profile run' saves the raw profile",
+    )
+    profile.add_argument(
+        "--flamegraph", default=None, metavar="PATH",
+        help="also write collapsed stacks (flamegraph.pl / speedscope)",
+    )
+    profile.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also write a Chrome-trace sample timeline",
+    )
+    profile.add_argument(
+        "--in", dest="profile_in", default=None, metavar="PATH",
+        help="saved profile to report on (profile report)",
+    )
+    profile.add_argument(
+        "--sort", choices=["self", "cumulative"], default="self",
+        help="report ordering (profile report)",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=20,
+        help="rows in the report table (profile report)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -243,6 +307,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator trace ring-buffer capacity (newest records kept)",
     )
     trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--format", choices=["chrome", "collapsed"], default="chrome",
+        help="chrome (Perfetto timeline, default) or collapsed "
+        "(flamegraph stacks of the span tree, self-time weighted)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="inspect/gate the performance ledger (PERF_LEDGER.json)",
+    )
+    bench.add_argument(
+        "action", choices=["check", "show", "migrate"],
+        help="check = regression gate (exit 1 on regression), "
+        "show = print series history, migrate = fold legacy BENCH_*.json in",
+    )
+    bench.add_argument(
+        "--ledger", default="PERF_LEDGER.json", metavar="PATH",
+        help="ledger file (default: ./PERF_LEDGER.json)",
+    )
+    bench.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding legacy BENCH_*.json files (migrate)",
+    )
+    bench.add_argument(
+        "--series", default=None,
+        help="restrict to one series (e.g. engine, campaign, tiers)",
+    )
+    bench.add_argument(
+        "--min-history", type=int, default=3,
+        help="same-host entries required before the gate arms "
+        "(fewer = cold, warn-only)",
+    )
+    bench.add_argument(
+        "--mads", type=float, default=4.0,
+        help="tolerance in median-absolute-deviations",
+    )
+    bench.add_argument(
+        "--rel-floor", type=float, default=0.10,
+        help="minimum relative tolerance band",
+    )
+    bench.add_argument(
+        "--strict-cold", action="store_true",
+        help="treat cold history as a failure instead of a warning",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="rolling SLO report from a running 'repro serve --port N' "
+        "server (per-tier p50/p95/p99, error-budget burn)",
+    )
+    slo.add_argument("--port", type=int, required=True, help="server TCP port")
+    slo.add_argument("--host", default="127.0.0.1")
+    slo.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="human-readable table (default) or the raw JSON judgement",
+    )
+    slo.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout in seconds"
+    )
 
     return parser
 
@@ -467,14 +590,166 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
-def _cmd_profile(benchmark: str, problem_class: str, nprocs: int) -> int:
+def _cmd_profile(args) -> int:
+    if args.benchmark == "RUN":
+        return _cmd_profile_run(args)
+    if args.benchmark == "REPORT":
+        return _cmd_profile_report(args)
+    return _cmd_profile_kernels(
+        args.benchmark, args.problem_class, args.nprocs
+    )
+
+
+def _cmd_profile_kernels(
+    benchmark: str, problem_class: Optional[str], nprocs
+) -> int:
     from repro.instrument import profile_application
     from repro.npb import make_benchmark
     from repro.simmachine import ibm_sp_argonne
 
+    if benchmark not in BENCHMARK_CHOICES:
+        raise ReproError(
+            f"unknown benchmark {benchmark!r}; choose from "
+            f"{BENCHMARK_CHOICES} (or the verbs 'run' / 'report')"
+        )
+    if problem_class not in CLASS_CHOICES:
+        raise ReproError(
+            f"profile needs a problem class from {CLASS_CHOICES}, "
+            f"got {problem_class!r}"
+        )
+    try:
+        nprocs = int(nprocs)
+    except (TypeError, ValueError):
+        raise ReproError(f"nprocs must be an integer, got {nprocs!r}")
     bench = make_benchmark(benchmark, problem_class, nprocs)
     report = profile_application(bench, ibm_sp_argonne())
     print(report.render())
+    return 0
+
+
+def _cmd_profile_run(args) -> int:
+    """Sample a small campaign: ``repro profile run BT S 4 [options]``.
+
+    The positionals arrive shifted one slot right of the legacy form
+    (``benchmark`` holds the verb), so the real triple is
+    (problem_class, nprocs, extra[0]).
+    """
+    import json
+    import time
+
+    from repro import obs
+    from repro.experiments import ExperimentPipeline, ExperimentSettings
+    from repro.instrument import MeasurementConfig
+
+    shifted = [args.problem_class, args.nprocs, *args.extra]
+    if len(shifted) < 3 or shifted[0] is None or shifted[1] is None:
+        raise ReproError(
+            "usage: repro profile run BENCHMARK CLASS NPROCS [options]"
+        )
+    benchmark = str(shifted[0]).upper()
+    problem_class = str(shifted[1]).upper()
+    if benchmark not in BENCHMARK_CHOICES:
+        raise ReproError(
+            f"unknown benchmark {benchmark!r}; choose from {BENCHMARK_CHOICES}"
+        )
+    if problem_class not in CLASS_CHOICES:
+        raise ReproError(
+            f"unknown problem class {problem_class!r}; "
+            f"choose from {CLASS_CHOICES}"
+        )
+    try:
+        nprocs = int(shifted[2])
+    except ValueError:
+        raise ReproError(f"nprocs must be an integer, got {shifted[2]!r}")
+    obs.configure_logging(stream=sys.stderr)
+    chain_lengths = tuple(int(c) for c in args.chains.split(","))
+    pipeline = ExperimentPipeline(
+        ExperimentSettings(
+            measurement=MeasurementConfig(
+                repetitions=args.repetitions, warmup=2
+            )
+        ),
+        jobs=args.jobs,
+    )
+    profiler = obs.start_profiler(
+        interval=args.interval, backend=args.backend
+    )
+    started = time.perf_counter()
+    try:
+        pipeline.sweep(
+            benchmark, problem_class, [nprocs], chain_lengths=chain_lengths
+        )
+    finally:
+        data = profiler.stop()
+    elapsed = time.perf_counter() - started
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(data.to_dict(), fh, indent=2, sort_keys=True)
+    if args.flamegraph is not None:
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write(data.collapsed())
+    if args.chrome is not None:
+        document = data.chrome_trace()
+        obs.validate_chrome_trace(document)
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+    obs.log(
+        "profile.run_done",
+        benchmark=benchmark,
+        backend=profiler.backend,
+        samples=data.sample_count,
+        stacks=len(data.samples),
+        out=args.out,
+    )
+    print(
+        f"profiled {benchmark}/{problem_class}/{nprocs}: "
+        f"{data.sample_count} samples over {elapsed:.2f} s "
+        f"({profiler.backend} backend) -> {args.out}"
+    )
+    _print_profile_table(data, sort=args.sort, limit=args.limit)
+    return 0
+
+
+def _print_profile_table(data, sort: str, limit: int) -> None:
+    table = (
+        data.self_seconds() if sort == "self" else data.cumulative_seconds()
+    )
+    rows = sorted(table.items(), key=lambda kv: -kv[1])[:limit]
+    if not rows:
+        print("(no samples)")
+        return
+    print(f"{sort + ' seconds':>14}  location")
+    for label, seconds in rows:
+        print(f"{seconds:>14.4f}  {label}")
+    spans = data.span_seconds()
+    if spans:
+        print("by span/tag:")
+        for name, seconds in sorted(spans.items(), key=lambda kv: -kv[1])[
+            :limit
+        ]:
+            print(f"{seconds:>14.4f}  {name}")
+
+
+def _cmd_profile_report(args) -> int:
+    import json
+
+    from repro.obs.profile import ProfileData
+
+    if args.profile_in is None:
+        raise ReproError(
+            "usage: repro profile report --in PROFILE.json "
+            "[--sort self|cumulative] [--limit N]"
+        )
+    with open(args.profile_in, encoding="utf-8") as fh:
+        data = ProfileData.from_dict(json.load(fh))
+    print(
+        f"{args.profile_in}: {data.sample_count} samples @ "
+        f"{data.interval * 1e3:g} ms over {data.duration:.2f} s"
+    )
+    _print_profile_table(data, sort=args.sort, limit=args.limit)
+    if args.flamegraph is not None:
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write(data.collapsed())
+        print(f"wrote {args.flamegraph}")
     return 0
 
 
@@ -561,6 +836,156 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _git_commit() -> Optional[str]:
+    """The current short commit hash, or None outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _cmd_bench(args) -> int:
+    import time
+
+    from repro.obs.ledger import PerfLedger, check_entries, migrate_legacy
+
+    ledger = PerfLedger(args.ledger)
+    if args.action == "migrate":
+        migrated = migrate_legacy(
+            ledger, args.root, timestamp=time.time(), commit=_git_commit()
+        )
+        if migrated:
+            print(
+                f"migrated {', '.join(sorted(migrated))} into {args.ledger}"
+            )
+        else:
+            print("nothing to migrate (no legacy files, or already done)")
+        return 0
+
+    entries = ledger.entries
+    if args.series is not None:
+        entries = [e for e in entries if e.get("series") == args.series]
+        if not entries:
+            raise ReproError(
+                f"no entries for series {args.series!r} in {args.ledger}; "
+                f"known: {ledger.series_names() or '(none)'}"
+            )
+
+    if args.action == "show":
+        for entry in entries:
+            meta = entry.get("meta", {})
+            origin = (
+                f" (migrated from {meta['migrated_from']})"
+                if meta.get("migrated_from")
+                else ""
+            )
+            print(
+                f"{entry['series']}: commit={entry.get('commit') or '?'} "
+                f"samples={entry.get('samples', 1)}{origin}"
+            )
+            for name, metric in sorted(entry.get("metrics", {}).items()):
+                print(
+                    f"  {name} = {metric['value']:g} {metric['unit']} "
+                    f"({metric['direction']} is better)"
+                )
+        if not entries:
+            print(f"{args.ledger}: empty")
+        return 0
+
+    # action == "check": the regression gate.
+    findings = check_entries(
+        entries,
+        min_history=args.min_history,
+        mads=args.mads,
+        rel_floor=args.rel_floor,
+    )
+    regressions = 0
+    cold = 0
+    for finding in findings:
+        label = f"{finding.metric.series}/{finding.metric.name}"
+        if finding.status == "regression":
+            regressions += 1
+            print(f"REGRESSION {label}: {finding.detail}")
+        elif finding.status == "cold":
+            cold += 1
+            print(f"cold       {label}: {finding.detail}")
+        elif finding.status == "improved":
+            print(f"improved   {label}: {finding.detail}")
+        else:
+            print(f"ok         {label}: {finding.detail}")
+    if not findings:
+        print(f"{args.ledger}: no entries to check")
+    summary = (
+        f"{len(findings)} metrics: {regressions} regressions, {cold} cold"
+    )
+    print(summary)
+    if regressions:
+        return 1
+    if cold and args.strict_cold:
+        return 1
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import json
+    import socket
+
+    try:
+        with socket.create_connection(
+            (args.host, args.port), timeout=args.timeout
+        ) as sock:
+            sock.sendall(b'{"cmd": "slo"}\n')
+            reader = sock.makefile("r", encoding="utf-8")
+            line = reader.readline()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach {args.host}:{args.port}: {exc}"
+        ) from exc
+    if not line:
+        raise ReproError("server closed the connection without responding")
+    payload = json.loads(line)
+    if not payload.get("ok"):
+        raise ReproError(f"server error: {payload.get('error', 'unknown')}")
+    report = payload["slo"]
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    window = report["window"]
+    print(
+        f"window: {window.get('requests', 0)} requests over "
+        f"{window.get('snapshots', 1)} snapshots"
+    )
+    print(f"{'tier':<12} {'requests':>9} {'p50':>10} {'p95':>10} {'p99':>10}")
+    rows = {"overall": report["overall"], **report["tiers"]}
+    for tier, doc in rows.items():
+        print(
+            f"{tier:<12} {doc['requests']:>9} {doc['p50']:>10.4g} "
+            f"{doc['p95']:>10.4g} {doc['p99']:>10.4g}"
+        )
+    print(
+        f"{'objective':<18} {'kind':<11} {'target':>7} {'compliance':>11} "
+        f"{'burn':>7}  met"
+    )
+    for verdict in report["objectives"]:
+        print(
+            f"{verdict['name']:<18} {verdict['kind']:<11} "
+            f"{verdict['target']:>7.3g} {verdict['compliance']:>11.4g} "
+            f"{verdict['burn_rate']:>7.3g}  "
+            f"{'yes' if verdict['met'] else 'NO'}"
+        )
+    print(f"breaches: {report['breaches']}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro import obs
     from repro.instrument.runner import ApplicationRunner
@@ -574,6 +999,22 @@ def _cmd_trace(args) -> int:
     )
     result = runner.run()
     tracer = obs.get_tracer()
+    if args.format == "collapsed":
+        text = obs.collapsed_spans(tracer.spans())
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        obs.log(
+            "trace.written",
+            path=args.out,
+            format="collapsed",
+            stacks=len(text.splitlines()),
+            total_time=round(result.total_time, 6),
+        )
+        print(
+            f"wrote {args.out} — feed to flamegraph.pl or "
+            "https://www.speedscope.app"
+        )
+        return 0
     document = obs.write_chrome_trace(
         args.out, spans=tracer.spans(), machine_trace=result.trace
     )
@@ -634,7 +1075,7 @@ def _dispatch(args) -> int:
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "profile":
-        return _cmd_profile(args.benchmark, args.problem_class, args.nprocs)
+        return _cmd_profile(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "lint":
@@ -643,6 +1084,10 @@ def _dispatch(args) -> int:
         return run_lint(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "slo":
+        return _cmd_slo(args)
     if args.command == "trace":
         return _cmd_trace(args)
     return 2  # pragma: no cover — argparse enforces the command set

@@ -369,6 +369,7 @@ class ExperimentPipeline:
                     application_seed=self.settings.application_seed,
                     cache_dir=cache_dir,
                     fault_plan=injector.plan if injector else None,
+                    profile_interval=obs.profile.worker_interval(),
                 )
                 for p in missing
             ]

@@ -33,12 +33,22 @@ import threading
 
 from repro.obs.export import (
     chrome_trace,
+    collapsed_spans,
     to_json,
     to_prometheus,
     validate_chrome_trace,
     write_chrome_trace,
 )
 from repro.obs.logging import configure_logging, get_logger, log
+from repro.obs.profile import (
+    ProfileData,
+    SamplingProfiler,
+    merge_child_profile,
+    tag,
+)
+from repro.obs.profile import active as profiler_active
+from repro.obs.profile import start as start_profiler
+from repro.obs.profile import stop as stop_profiler
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -64,11 +74,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProfileData",
+    "SamplingProfiler",
     "Span",
     "SpanContext",
     "Tracer",
     "DEFAULT_BUCKETS",
     "chrome_trace",
+    "collapsed_spans",
     "configure_logging",
     "correlation",
     "correlation_id",
@@ -82,8 +95,13 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "log",
+    "merge_child_profile",
+    "profiler_active",
     "reset",
     "span",
+    "start_profiler",
+    "stop_profiler",
+    "tag",
     "to_json",
     "to_prometheus",
     "use_context",

@@ -27,6 +27,7 @@ __all__ = [
     "to_prometheus",
     "to_json",
     "chrome_trace",
+    "collapsed_spans",
     "write_chrome_trace",
     "validate_chrome_trace",
 ]
@@ -246,6 +247,51 @@ def chrome_trace(
         for rank in list(open_phase):
             _close(rank, end_time)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def collapsed_spans(spans: Sequence[Span]) -> str:
+    """Render finished spans as collapsed flamegraph stacks.
+
+    Each span contributes one ``root;child;...;leaf <microseconds>`` line
+    weighted by its **self** time (duration minus the time covered by its
+    direct children), so the totals sum to real wall time and
+    ``flamegraph.pl`` / speedscope render the span hierarchy directly.
+    Weights are integer microseconds; spans whose self time rounds to zero
+    are dropped.
+    """
+    by_id = {s.span_id: s for s in spans}
+    child_time: dict[str, float] = {}
+    for s in spans:
+        if s.parent_id and s.parent_id in by_id:
+            child_time[s.parent_id] = child_time.get(s.parent_id, 0.0) + (
+                s.duration
+            )
+
+    def _path(s: Span) -> tuple[str, ...]:
+        names: list[str] = []
+        seen: set[str] = set()
+        node: Optional[Span] = s
+        while node is not None and node.span_id not in seen:
+            seen.add(node.span_id)
+            names.append(node.name)
+            node = by_id.get(node.parent_id) if node.parent_id else None
+        names.reverse()
+        return tuple(names)
+
+    weights: dict[tuple[str, ...], int] = {}
+    for s in spans:
+        self_us = round(
+            max(s.duration - child_time.get(s.span_id, 0.0), 0.0) * 1e6
+        )
+        if self_us <= 0:
+            continue
+        path = _path(s)
+        weights[path] = weights.get(path, 0) + self_us
+    lines = [
+        ";".join(path) + f" {weight}"
+        for path, weight in sorted(weights.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def write_chrome_trace(

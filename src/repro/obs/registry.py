@@ -38,6 +38,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "default_buckets",
+    "quantile_from_counts",
 ]
 
 
@@ -193,6 +194,41 @@ class Histogram:
     def max(self) -> float:
         return self._max if self._max is not None else 0.0
 
+    def state(self) -> dict:
+        """Raw cumulative state for window-delta consumers (SLO monitor).
+
+        A consistent copy of ``(counts, count, sum, min, max)`` taken under
+        the lock; subtracting two states of the same histogram yields the
+        observations that landed between them (see
+        :func:`quantile_from_counts`).
+        """
+        with self._lock:
+            return {
+                "bounds": self.bounds,
+                "counts": tuple(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-th quantile (0.0-1.0) with log interpolation.
+
+        Unlike :meth:`percentile` (linear inside the winning bucket), this
+        interpolates *geometrically*, matching the log-scale bucket layout:
+        the estimate for a uniform-in-log bucket is exact, and the
+        worst-case relative error stays at half a bucket width regardless
+        of where in the decade the value falls. The estimate is clamped to
+        the observed ``[min, max]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in 0..1, got {q}")
+        with self._lock:
+            return quantile_from_counts(
+                self.bounds, self._counts, q, self._min, self._max
+            )
+
     def percentile(self, p: float) -> float:
         """Estimate the ``p``-th percentile (0-100) from the buckets."""
         if not 0 <= p <= 100:
@@ -252,6 +288,58 @@ class Histogram:
             "p95": self.percentile(95),
             "max": self.max,
         }
+
+
+def quantile_from_counts(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    observed_min: Optional[float] = None,
+    observed_max: Optional[float] = None,
+) -> float:
+    """The ``q``-th quantile of a bucketed sample, log-interpolated.
+
+    ``counts`` has one slot per bound plus the overflow slot (the layout
+    :meth:`Histogram.state` exposes); it may be a *delta* between two
+    states of the same histogram, which is how the SLO monitor derives
+    rolling quantiles from cumulative instruments. ``observed_min`` /
+    ``observed_max`` (when known) clamp the estimate to the really-seen
+    range; for window deltas they are simply the lifetime extremes, which
+    keeps the clamp conservative.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in 0..1, got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            lo = bounds[index - 1] if index > 0 else 0.0
+            hi = (
+                bounds[index]
+                if index < len(bounds)
+                else (observed_max if observed_max is not None else bounds[-1])
+            )
+            if observed_min is not None:
+                lo = max(lo, observed_min)
+            if observed_max is not None:
+                hi = min(hi, observed_max)
+            if hi <= lo:
+                return lo
+            frac = min(1.0, max(0.0, (rank - cumulative) / bucket_count))
+            if lo > 0:
+                # Geometric interpolation: exact for mass uniform in log
+                # space, which is the natural prior for log-scale buckets.
+                return lo * (hi / lo) ** frac
+            return lo + (hi - lo) * frac
+        cumulative += bucket_count
+    if observed_max is not None:
+        return observed_max
+    return bounds[-1]  # pragma: no cover — defensive
 
 
 def _label_key(labels: dict) -> tuple:

@@ -32,6 +32,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Iterator, NamedTuple, Optional
 
+from repro.obs import profile as _profile
+
 __all__ = [
     "Span",
     "SpanContext",
@@ -224,12 +226,19 @@ class _SpanScope:
             attrs=self._attrs,
         )
         self._token = _CURRENT.set(SpanContext(trace_id, open_span.span_id))
+        # Profiler attribution: while a sampling profiler is installed,
+        # tell it which span is active on this thread. The ``is None``
+        # check is the entire disabled-path cost.
+        if _profile._active is not None:
+            _profile._span_push(open_span.thread_id, self._name)
         return open_span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         open_span = self._span
         if open_span is None:
             return False
+        if _profile._active is not None:
+            _profile._span_pop(open_span.thread_id)
         _CURRENT.reset(self._token)
         open_span.end = time.perf_counter()
         obs = _obs_module()

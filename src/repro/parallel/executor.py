@@ -7,14 +7,27 @@ regardless of which worker finished first — the caller's ConfigResult
 ordering (and therefore every table row) is identical to a serial run.
 
 Observability crosses the pool boundary as data: each worker reports its
-counter deltas, which are merged into the parent registry here, and each
-cell's wall time feeds the ``parallel_cell_seconds`` histogram.
+counter deltas, which are merged into the parent registry here, its
+sampling profile (when the campaign is profiled), which is absorbed into
+the parent's active profiler, and each cell's wall time feeds the
+``parallel_cell_seconds`` histogram.
+
+Worker death is survivable: when the pool breaks (a worker segfaults or is
+OOM-killed mid-cell), the executor rebuilds the pool and resubmits exactly
+the cells that have no result yet — completed cells are never re-run, and
+because cells are deterministic (REP001) a re-run produces the same floats
+the lost attempt would have. Counter deltas only merge from *completed*
+results, so a killed attempt contributes nothing and the respawned
+attempt contributes exactly once. Each rebuild increments the
+``parallel_worker_respawns`` counter; ``max_respawns`` bounds the retries
+before the underlying ``BrokenProcessPool`` propagates.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
 
 from repro import obs
 from repro.parallel.worker import CellResult, CellSpec, run_cell
@@ -41,37 +54,72 @@ def _record(result: CellResult) -> None:
     )
 
 
+def _drain(
+    specs: Sequence[CellSpec],
+    indices: Sequence[int],
+    ordered: list,
+    jobs: int,
+    run: Callable[[CellSpec], CellResult],
+) -> None:
+    """Run the given spec indices on one fresh pool, merging as they land.
+
+    Raises :class:`BrokenProcessPool` if a worker dies; ``ordered`` then
+    holds every result that completed before the break, so the caller can
+    compute what is left to resubmit.
+    """
+    with ProcessPoolExecutor(max_workers=min(jobs, len(indices))) as pool:
+        index_of = {pool.submit(run, specs[i]): i for i in indices}
+        pending = set(index_of)
+        while pending:
+            done, pending = wait(
+                pending, timeout=600.0, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                result = future.result(timeout=600.0)
+                ordered[index_of[future]] = result
+                _merge_counters(result)
+                obs.merge_child_profile(result.profile)
+                _record(result)
+
+
 def execute_cells(
-    specs: Sequence[CellSpec], jobs: int = 1
+    specs: Sequence[CellSpec],
+    jobs: int = 1,
+    max_respawns: int = 2,
+    _run: Callable[[CellSpec], CellResult] = run_cell,
 ) -> list[CellResult]:
     """Run every cell, serially or across ``jobs`` worker processes.
 
     ``jobs <= 1`` (or a single spec) runs inline — same code path the
-    workers use, so the results are identical by construction.
+    workers use, so the results are identical by construction. ``_run`` is
+    a test seam for injecting worker behaviour (e.g. a self-killing cell);
+    it must stay a picklable module-level callable (REP007).
     """
     specs = list(specs)
     if jobs <= 1 or len(specs) <= 1:
-        results = [run_cell(spec) for spec in specs]
+        results = [_run(spec) for spec in specs]
         for result in results:
             _record(result)
         return results
     ordered: list[CellResult] = [None] * len(specs)  # type: ignore[list-item]
+    respawns = 0
     with obs.span("parallel.execute", cells=len(specs), jobs=jobs):
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(specs))
-        ) as pool:
-            index_of = {
-                pool.submit(run_cell, spec): i
-                for i, spec in enumerate(specs)
-            }
-            pending = set(index_of)
-            while pending:
-                done, pending = wait(
-                    pending, timeout=600.0, return_when=FIRST_COMPLETED
+        remaining = list(range(len(specs)))
+        while remaining:
+            try:
+                _drain(specs, remaining, ordered, jobs, _run)
+                remaining = []
+            except BrokenProcessPool:
+                remaining = [
+                    i for i in range(len(specs)) if ordered[i] is None
+                ]
+                respawns += 1
+                obs.get_registry().counter("parallel_worker_respawns").inc()
+                obs.log(
+                    "parallel.pool_respawn",
+                    attempt=respawns,
+                    lost_cells=len(remaining),
                 )
-                for future in done:
-                    result = future.result(timeout=600.0)
-                    ordered[index_of[future]] = result
-                    _merge_counters(result)
-                    _record(result)
+                if respawns > max_respawns or not remaining:
+                    raise
     return ordered

@@ -65,6 +65,9 @@ class CellSpec:
     application_seed: int = 7
     cache_dir: Optional[str] = None
     fault_plan: Optional[faults.FaultPlan] = None
+    #: When the parent campaign is being profiled, workers run their own
+    #: thread-backend sampler at this interval and ship the profile home.
+    profile_interval: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,9 @@ class CellResult:
     memo_stats: dict
     counters: tuple[tuple[str, tuple, int], ...]
     duration: float
+    #: ``ProfileData.to_dict()`` of the worker's sampler when the parent
+    #: asked for profiling (``CellSpec.profile_interval``), else ``None``.
+    profile: Optional[dict] = None
 
 
 # -- memo-aware measurement helpers (shared with the serial pipeline) -----
@@ -215,6 +221,13 @@ def run_cell(spec: CellSpec) -> CellResult:
         if spec.cache_dir is not None
         else None
     )
+    profiler = None
+    if spec.profile_interval is not None and obs.profiler_active() is None:
+        # Thread backend: pool workers may not own a usable ITIMER slot,
+        # and the thread sampler behaves identically under fork and spawn.
+        profiler = obs.SamplingProfiler(
+            interval=spec.profile_interval, backend="thread"
+        ).start()
     before = _counter_snapshot()
     start = time.perf_counter()
     bench = make_benchmark(spec.benchmark, spec.problem_class, spec.nprocs)
@@ -227,32 +240,41 @@ def run_cell(spec: CellSpec) -> CellResult:
             )
     runner = ChainRunner(bench, spec.machine, spec.measurement)
     prime_runner_overhead(runner, store)
-    with obs.span(
-        "parallel.cell",
-        benchmark=spec.benchmark,
-        cls=spec.problem_class,
-        nprocs=spec.nprocs,
-    ):
-        isolated = {
-            k: measure_chain(runner, (k,), store).mean for k in flow.names
-        }
-        pre = {
-            k: measure_chain(runner, (k,), store).mean
-            for k in bench.pre_kernel_names
-        }
-        post = {
-            k: measure_chain(runner, (k,), store).mean
-            for k in bench.post_kernel_names
-        }
-        chains: dict[tuple[str, ...], float] = {}
-        for length in spec.chain_lengths:
-            for window in flow.windows(length):
-                if window not in chains:
-                    chains[window] = measure_chain(runner, window, store).mean
-        actual = run_application(
-            ApplicationRunner(bench, spec.machine, seed=spec.application_seed),
-            store,
-        )
+    try:
+        with obs.span(
+            "parallel.cell",
+            benchmark=spec.benchmark,
+            cls=spec.problem_class,
+            nprocs=spec.nprocs,
+        ):
+            isolated = {
+                k: measure_chain(runner, (k,), store).mean for k in flow.names
+            }
+            pre = {
+                k: measure_chain(runner, (k,), store).mean
+                for k in bench.pre_kernel_names
+            }
+            post = {
+                k: measure_chain(runner, (k,), store).mean
+                for k in bench.post_kernel_names
+            }
+            chains: dict[tuple[str, ...], float] = {}
+            for length in spec.chain_lengths:
+                for window in flow.windows(length):
+                    if window not in chains:
+                        chains[window] = measure_chain(
+                            runner, window, store
+                        ).mean
+            actual = run_application(
+                ApplicationRunner(
+                    bench, spec.machine, seed=spec.application_seed
+                ),
+                store,
+            )
+    finally:
+        # Always uninstall, even on a raising cell — a pool worker is
+        # reused for the next cell and must come back profiler-free.
+        profile_data = profiler.stop() if profiler is not None else None
     inputs = PredictionInputs(
         flow=flow,
         iterations=bench.iterations,
@@ -271,4 +293,7 @@ def run_cell(spec: CellSpec) -> CellResult:
         memo_stats=store.stats() if store is not None else {},
         counters=_counter_deltas(before),
         duration=time.perf_counter() - start,
+        profile=(
+            profile_data.to_dict() if profile_data is not None else None
+        ),
     )

@@ -13,9 +13,11 @@ Three ways in:
 The line protocol: each input line is either a request object
 (``{"benchmark": "BT", "problem_class": "W", "nprocs": 4, ...}``), an array
 of request objects (answered as one batched response), or a command object
-(``{"cmd": "stats"}`` or ``{"cmd": "metrics"}`` — the latter is the
-``GET /metrics`` analogue, answering a Prometheus text exposition plus a
-JSON snapshot of every registry). Every line gets exactly one JSON
+(``{"cmd": "stats"}``, ``{"cmd": "metrics"}`` — the ``GET /metrics``
+analogue, answering a Prometheus text exposition plus a JSON snapshot of
+every registry — or ``{"cmd": "slo"}``, answering a rolling SLO judgement
+with per-tier p50/p95/p99 and error-budget burn). Every line gets exactly
+one JSON
 response line with an ``"ok"`` field; saturation rejections carry
 ``"retry_after"``.
 
@@ -51,6 +53,8 @@ __all__ = [
     "RetryPolicy",
     "ServiceClient",
     "report_to_dict",
+    "metrics_payload",
+    "slo_payload",
     "handle_line",
     "serve_jsonl",
     "serve_socket",
@@ -248,18 +252,25 @@ def metrics_payload(service: PredictionService) -> dict[str, Any]:
     }
 
 
+def slo_payload(service: PredictionService) -> dict[str, Any]:
+    """The ``slo`` command's body: one rolling SLO judgement."""
+    return {"ok": True, "slo": service.slo_report()}
+
+
 def handle_line(service: PredictionService, line: str) -> Optional[str]:
     """One protocol exchange: a request line in, a JSON response line out.
 
-    Returns ``None`` for blank lines (no response owed). The bare line
-    ``metrics`` (curl-style, no JSON) is accepted as shorthand for
-    ``{"cmd": "metrics"}``.
+    Returns ``None`` for blank lines (no response owed). The bare lines
+    ``metrics`` and ``slo`` (curl-style, no JSON) are accepted as
+    shorthand for the matching ``{"cmd": ...}`` objects.
     """
     line = line.strip()
     if not line:
         return None
     if line == "metrics":
         return json.dumps(metrics_payload(service))
+    if line == "slo":
+        return json.dumps(slo_payload(service))
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -274,6 +285,8 @@ def handle_line(service: PredictionService, line: str) -> Optional[str]:
         return json.dumps({"ok": True, "stats": service.stats()})
     if payload.get("cmd") == "metrics":
         return json.dumps(metrics_payload(service))
+    if payload.get("cmd") == "slo":
+        return json.dumps(slo_payload(service))
     has_id = "id" in payload
     request_id = payload.pop("id", None)
     try:

@@ -55,6 +55,7 @@ from repro.npb import BENCHMARKS, CLASS_NAMES, make_benchmark
 from repro.service.batching import Flight, RequestBatcher
 from repro.service.cache import TieredPredictionCache
 from repro.service.metrics import ServiceMetrics
+from repro.service.slo import DEFAULT_OBJECTIVES, SLOMonitor, SLOObjective
 from repro.parallel.keys import cell_key
 from repro.parallel.memo import SimulationMemoStore
 from repro.service.workers import CellOutcome, CellTask, WorkerPool, execute_cell
@@ -182,6 +183,11 @@ class PredictionService:
     escalates to memo/simulation when its self-reported confidence misses
     the policy's error budget; the default ``exact`` bypasses the analytic
     tier entirely, preserving bit-identical simulation results.
+
+    ``slo_objectives``/``slo_window`` configure the rolling SLO monitor
+    behind :meth:`slo_report` (defaults:
+    :data:`repro.service.slo.DEFAULT_OBJECTIVES` over a 60-snapshot
+    window); the monitor only runs when polled, never per request.
     """
 
     def __init__(
@@ -206,6 +212,8 @@ class PredictionService:
         degraded_probe_every: int = 8,
         cache_dir: Optional[str] = None,
         tier_policy: "str | TierPolicy" = "exact",
+        slo_objectives: Optional[Sequence[SLOObjective]] = None,
+        slo_window: int = 60,
     ):
         self.machine = machine or ibm_sp_argonne()
         self.tier_policy = resolve_tier_policy(tier_policy)
@@ -254,6 +262,15 @@ class PredictionService:
             crash_threshold=crash_threshold,
         )
         self.metrics = ServiceMetrics(queue_depth_fn=lambda: self._pool.outstanding)
+        self.slo = SLOMonitor(
+            self.metrics,
+            objectives=(
+                slo_objectives
+                if slo_objectives is not None
+                else DEFAULT_OBJECTIVES
+            ),
+            window=slo_window,
+        )
         self._batcher = RequestBatcher(
             self._dispatch_group, window=batch_window, max_batch=max_batch
         )
@@ -686,6 +703,15 @@ class PredictionService:
         snapshot["worker_respawns"] = self._pool.respawns
         snapshot["worker_crashes"] = self._pool.crashes
         return snapshot
+
+    def slo_report(self) -> dict:
+        """One rolling SLO judgement (tier quantiles, budget burn).
+
+        Each call also advances the monitor's snapshot window and updates
+        the ``slo_*`` instruments in the service registry — polling *is*
+        the tick (nothing on the serving path pays for SLO accounting).
+        """
+        return self.slo.observe()
 
     def metrics_registries(self) -> tuple:
         """The registries a metrics exporter should render, gauges fresh.

@@ -244,12 +244,16 @@ class Machine:
         When observability is enabled, the run's event/message/cache/noise
         totals are flushed into the global obs registry afterwards — one
         lock acquisition per counter per *run*, never per event, so the
-        hot simulation loop stays uninstrumented.
+        hot simulation loop stays uninstrumented. The same discipline
+        applies to profiling: one ``obs.tag`` per run (a single pointer
+        check when no profiler is installed, REP009) labels every sample
+        taken inside the engine loop with the simulated program's name.
         """
         start = self.sim.now
         events_before = self.sim.events_processed
         procs = self.launch(program, name)
-        self.sim.run_all(procs)
+        with obs.tag(f"sim.run:{name}"):
+            self.sim.run_all(procs)
         if obs.enabled():
             self._flush_obs(events_before)
         return self.sim.now - start

@@ -16,7 +16,7 @@ class TestRegistry:
         ids = [cls.rule_id for cls in all_rules()]
         assert ids == sorted(ids)
         for expected in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                         "REP006", "REP007", "REP008"):
+                         "REP006", "REP007", "REP008", "REP009"):
             assert expected in ids
 
     def test_every_rule_documented(self):
@@ -594,5 +594,88 @@ class TestTierPurityREP008:
         src_root = os.path.dirname(os.path.dirname(pkg_dir))
         findings = analyze_paths(
             [pkg_dir], rules=select_rules(["REP008"]), root=src_root
+        )
+        assert findings == []
+
+
+class TestObsDisciplineREP009:
+    def test_spans_and_profile_imports_on_hot_path(self, lint):
+        findings = lint(
+            {
+                "simmachine/engine.py": """\
+                import repro.obs.profile
+                from repro.obs import profile
+                from repro.obs.profile import SamplingProfiler
+                from ..obs import profile as prof
+                from repro import obs
+
+                def run_all(self):
+                    with obs.span("engine.step"):
+                        pass
+                """
+            },
+            select=["REP009"],
+        )
+        assert rule_ids(findings) == ["REP009"] * 5
+
+    def test_memory_is_also_hot(self, lint):
+        findings = lint(
+            {
+                "simmachine/memory.py": """\
+                from repro.obs.tracing import span
+
+                def touch(self):
+                    with span("mem.touch"):
+                        pass
+                """
+            },
+            select=["REP009"],
+        )
+        assert rule_ids(findings) == ["REP009"]
+
+    def test_allowed_obs_uses_pass(self, lint):
+        # Logging and counters are fine; so is obs elsewhere in simmachine.
+        findings = lint(
+            {
+                "simmachine/engine.py": """\
+                from repro.obs.logging import get_logger
+                from repro import obs
+
+                def run_all(self):
+                    obs.counter("events").inc()
+                """,
+                "simmachine/process.py": """\
+                from repro import obs
+
+                def run(self):
+                    with obs.span("sim.run"):
+                        pass
+                """,
+            },
+            select=["REP009"],
+        )
+        assert findings == []
+
+    def test_suppression_comment_is_honoured(self, lint):
+        findings = lint(
+            {
+                "simmachine/engine.py": """\
+                from repro.obs import profile  # repro: ignore[REP009] bench seam
+                """
+            },
+            select=["REP009"],
+        )
+        assert findings == []
+
+    def test_real_hot_path_is_clean(self):
+        import os
+
+        from repro import simmachine
+        from repro.analysis import analyze_paths, select_rules
+
+        pkg_dir = os.path.dirname(simmachine.__file__)
+        src_root = os.path.dirname(os.path.dirname(pkg_dir))
+        findings = analyze_paths(
+            [pkg_dir], rules=select_rules(["REP009"]), root=src_root
         )
         assert findings == []

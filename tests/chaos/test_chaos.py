@@ -152,3 +152,53 @@ def test_same_seed_same_schedule_across_runs():
         prefix_a = SMOKE_PLAN.schedule(site, a.hits[site])[:hits]
         prefix_b = SMOKE_PLAN.schedule(site, b.hits[site])[:hits]
         assert prefix_a == prefix_b
+
+
+@pytest.mark.timeout(100)
+def test_slo_counters_move_under_faults():
+    """Injected faults burn the error budget and the SLO monitor sees it.
+
+    A tight availability objective (99 %) against a plan that errors every
+    third dispatch: the window's bad fraction is ~an order of magnitude
+    over budget, so ``slo_report`` must flag the breach and mirror it into
+    the registry counters the chaos dashboards read.
+    """
+    from repro import faults
+    from repro.service import PredictionService, handle_line
+    from repro.service.slo import SLOObjective
+
+    from .harness import request_stream, synthetic_execute
+
+    chaos_plan = plan(
+        FaultSpec(site="batch.dispatch.error", every_nth=3),
+        seed=7,
+    )
+    service = PredictionService(
+        executor="thread",
+        max_workers=2,
+        batch_window=0.0,
+        execute=synthetic_execute,
+        slo_objectives=(
+            SLOObjective(name="availability", kind="error_rate", target=0.99),
+        ),
+    )
+    faults.install(chaos_plan)
+    try:
+        assert service.slo_report()["breaches"] == 0  # calm before
+        for line in request_stream(seed=5, n_requests=60):
+            handle_line(service, line)
+        report = service.slo_report()
+    finally:
+        service.close()
+        faults.clear()
+
+    verdict = report["objectives"][0]
+    assert report["window"]["requests"] >= 60
+    assert verdict["bad"] > 0
+    assert verdict["burn_rate"] > 1.0
+    assert not verdict["met"]
+    assert report["breaches"] == 1
+
+    snapshot = service.metrics.registry.snapshot()
+    assert snapshot["slo_breaches{objective=availability}"] >= 1
+    assert snapshot["slo_burn_rate{objective=availability}"] > 1.0

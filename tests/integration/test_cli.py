@@ -246,3 +246,178 @@ class TestMetricsCommand:
     def test_metrics_unreachable_server_fails_cleanly(self, capsys):
         assert main(["metrics", "--port", "1", "--timeout", "0.5"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestProfileRunCommand:
+    def test_profile_run_writes_profile_and_exports(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace
+        from repro.obs.profile import ProfileData
+
+        out = tmp_path / "PROFILE.json"
+        flame = tmp_path / "profile.folded"
+        chrome = tmp_path / "profile-trace.json"
+        assert main([
+            "profile", "run", "BT", "S", "4",
+            "--repetitions", "2", "--interval", "0.002",
+            "-o", str(out), "--flamegraph", str(flame),
+            "--chrome", str(chrome),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "profiled BT/S/4" in printed
+        data = ProfileData.from_dict(json.loads(out.read_text()))
+        assert sum(data.samples.values()) > 0
+        # Collapsed lines are "frame;frame;... count".
+        lines = flame.read_text().strip().splitlines()
+        assert lines and all(
+            line.rsplit(" ", 1)[1].isdigit() for line in lines
+        )
+        validate_chrome_trace(json.loads(chrome.read_text()))
+
+    def test_profile_report_reads_saved_profile(self, capsys, tmp_path):
+        from repro.obs.profile import ProfileData
+
+        data = ProfileData(0.01)
+        data.record(("app:main", "app:solve"), ("sim.run:x",), 0.0, 1)
+        data.record(("app:main",), (), 0.01, 1)
+        data.duration = 0.02
+        saved = tmp_path / "saved.json"
+        saved.write_text(json.dumps(data.to_dict()))
+        assert main(["profile", "report", "--in", str(saved)]) == 0
+        printed = capsys.readouterr().out
+        assert "app:solve" in printed
+        assert "sim.run:x" in printed
+
+    def test_profile_report_without_input_fails(self, capsys):
+        assert main(["profile", "report"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_legacy_profile_rejects_bad_triple(self, capsys):
+        assert main(["profile", "XX", "S", "4"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCollapsedFormat:
+    def test_trace_collapsed_writes_span_stacks(self, capsys, tmp_path):
+        out_path = tmp_path / "spans.folded"
+        assert main([
+            "trace", "BT", "S", "4", "-o", str(out_path),
+            "--format", "collapsed",
+        ]) == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert lines
+        # Self-time-weighted span paths, e.g. "app.run;chain.measure 1234".
+        assert any("app.run" in line for line in lines)
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert path and weight.isdigit()
+
+
+class TestBenchCommand:
+    @staticmethod
+    def _seed_ledger(path, values, series="engine"):
+        import time as _time
+
+        from repro.obs.ledger import PerfLedger, make_entry
+
+        ledger = PerfLedger(path)
+        for index, value in enumerate(values):
+            ledger.append(make_entry(
+                series,
+                {"events_per_sec": {
+                    "value": value, "unit": "ev/s", "direction": "higher",
+                }},
+                timestamp=1_000_000.0 + index,
+                commit=f"c{index}",
+            ))
+        return ledger
+
+    def test_check_passes_on_stable_history(self, capsys, tmp_path):
+        path = tmp_path / "PERF_LEDGER.json"
+        self._seed_ledger(path, [100.0, 101.0, 99.0, 100.5])
+        assert main(["bench", "check", "--ledger", str(path)]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_check_fails_on_injected_regression(self, capsys, tmp_path):
+        path = tmp_path / "PERF_LEDGER.json"
+        self._seed_ledger(path, [100.0, 101.0, 99.0, 100.5, 55.0])
+        assert main(["bench", "check", "--ledger", str(path)]) == 1
+        printed = capsys.readouterr().out
+        assert "REGRESSION" in printed
+        assert "events_per_sec" in printed
+
+    def test_check_cold_history_warns_by_default(self, capsys, tmp_path):
+        path = tmp_path / "PERF_LEDGER.json"
+        self._seed_ledger(path, [100.0])
+        assert main(["bench", "check", "--ledger", str(path)]) == 0
+        assert "cold" in capsys.readouterr().out
+        assert main([
+            "bench", "check", "--ledger", str(path), "--strict-cold",
+        ]) == 1
+
+    def test_show_renders_series(self, capsys, tmp_path):
+        path = tmp_path / "PERF_LEDGER.json"
+        self._seed_ledger(path, [100.0, 101.0])
+        assert main([
+            "bench", "show", "--ledger", str(path), "--series", "engine",
+        ]) == 0
+        assert "events_per_sec" in capsys.readouterr().out
+
+    def test_migrate_then_check_on_real_artifacts(self, capsys, tmp_path):
+        import shutil
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        legacy = repo_root / "BENCH_engine.json"
+        if not legacy.exists():
+            pytest.skip("no BENCH_engine.json artifact in this checkout")
+        shutil.copy(legacy, tmp_path / "BENCH_engine.json")
+        path = tmp_path / "PERF_LEDGER.json"
+        assert main([
+            "bench", "migrate", "--ledger", str(path),
+            "--root", str(tmp_path),
+        ]) == 0
+        assert main(["bench", "check", "--ledger", str(path)]) == 0
+        assert "cold" in capsys.readouterr().out
+
+
+class TestSloCommand:
+    def test_slo_against_a_live_server(self, capsys):
+        import threading
+
+        from repro.instrument import MeasurementConfig
+        from repro.service import PredictionService, serve_socket
+
+        service = PredictionService(
+            measurement=MeasurementConfig(repetitions=2, warmup=1),
+            executor="inline",
+            batch_window=0.0,
+        )
+        ready = threading.Event()
+        bound: list = []
+        control: list = []
+        thread = threading.Thread(
+            target=serve_socket,
+            args=(service,),
+            kwargs={"ready": ready, "bound": bound, "control": control},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+        port = str(bound[0][1])
+        try:
+            assert main(["slo", "--port", port]) == 0
+            text = capsys.readouterr().out
+            assert "latency.overall" in text
+            assert "breaches:" in text
+            assert main(["slo", "--port", port, "--format", "json"]) == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["breaches"] == 0
+            assert "objectives" in report
+        finally:
+            control[0].shutdown()
+            thread.join(timeout=10)
+            service.close()
+
+    def test_slo_unreachable_server_fails_cleanly(self, capsys):
+        assert main(["slo", "--port", "1", "--timeout", "0.5"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -24,6 +24,7 @@ EXPECTED = {
     "measurement_campaign.py",
     "service_load_test.py",
     "observability_demo.py",
+    "profiling_demo.py",
 }
 
 

@@ -7,11 +7,13 @@ import pytest
 from repro import obs
 from repro.obs.export import (
     chrome_trace,
+    collapsed_spans,
     to_json,
     to_prometheus,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.tracing import Span
 from repro.obs.registry import MetricsRegistry
 from repro.simmachine.trace import Trace
 
@@ -54,6 +56,49 @@ class TestJson:
         assert merged["service.requests"] == 3
         assert merged["requests"] == 3
         json.dumps(merged)  # must be serializable as-is
+
+
+class TestCollapsedSpans:
+    @staticmethod
+    def _span(name, span_id, parent_id, start, end):
+        return Span(
+            name=name,
+            trace_id="t1",
+            span_id=span_id,
+            parent_id=parent_id,
+            start=start,
+            end=end,
+        )
+
+    def test_self_time_weights_sum_to_wall_time(self):
+        spans = [
+            self._span("root", "s1", None, 0.0, 1.0),
+            self._span("child", "s2", "s1", 0.1, 0.5),
+            self._span("child", "s3", "s1", 0.6, 0.9),
+        ]
+        text = collapsed_spans(spans)
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.strip().splitlines()
+        )
+        # root's self time excludes both child slices; children merge
+        # into one stack line. Everything sums back to the root's 1s.
+        assert int(lines["root"]) == pytest.approx(300_000)
+        assert int(lines["root;child"]) == pytest.approx(700_000)
+        assert sum(int(v) for v in lines.values()) == pytest.approx(
+            1_000_000
+        )
+
+    def test_orphan_parent_and_empty_input(self):
+        assert collapsed_spans([]) == ""
+        orphan = self._span("leaf", "s9", "missing", 0.0, 0.25)
+        assert collapsed_spans([orphan]) == "leaf 250000\n"
+
+    def test_real_spans_round_trip(self):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        text = collapsed_spans(obs.get_tracer().spans())
+        assert "outer;inner" in text
 
 
 class TestChromeTrace:

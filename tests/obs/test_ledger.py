@@ -1,0 +1,220 @@
+"""The perf ledger: schema, persistence, regression gate, migration."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    PerfLedger,
+    check_entries,
+    host_fingerprint,
+    make_entry,
+    migrate_legacy,
+)
+
+
+def _entry(value, series="engine", host=None, name="events_per_sec", **kw):
+    return make_entry(
+        series=series,
+        metrics={
+            name: {"value": value, "unit": "1/s", "direction": "higher"}
+        },
+        timestamp=1_000.0,
+        host=host,
+        **kw,
+    )
+
+
+class TestEntrySchema:
+    def test_make_entry_shape(self):
+        entry = _entry(100.0, commit="abc123", samples=5, meta={"n": 2})
+        assert entry["series"] == "engine"
+        assert entry["commit"] == "abc123"
+        assert entry["samples"] == 5
+        assert entry["meta"] == {"n": 2}
+        assert entry["metrics"]["events_per_sec"]["direction"] == "higher"
+        assert entry["host"] == host_fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_entry("", {"m": {"value": 1}}, timestamp=0.0)
+        with pytest.raises(ReproError):
+            make_entry("s", {}, timestamp=0.0)
+        with pytest.raises(ReproError):
+            make_entry("s", {"m": {"unit": "s"}}, timestamp=0.0)
+        with pytest.raises(ReproError):
+            make_entry(
+                "s", {"m": {"value": 1, "direction": "up"}}, timestamp=0.0
+            )
+
+    def test_direction_defaults_to_lower(self):
+        entry = make_entry("s", {"m": {"value": 1.0}}, timestamp=0.0)
+        assert entry["metrics"]["m"]["direction"] == "lower"
+
+
+class TestPersistence:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "PERF_LEDGER.json"
+        ledger = PerfLedger(path)
+        ledger.append(_entry(100.0))
+        ledger.append(_entry(5.0, series="campaign", name="serial_seconds"))
+        reloaded = PerfLedger(path)
+        assert len(reloaded) == 2
+        assert reloaded.series_names() == ["engine", "campaign"]
+        assert reloaded.series("engine")[0]["metrics"][
+            "events_per_sec"
+        ]["value"] == pytest.approx(100.0)
+        document = json.loads(path.read_text())
+        assert document["schema"] == LEDGER_SCHEMA
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "PERF_LEDGER.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ReproError):
+            PerfLedger(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(PerfLedger(tmp_path / "nope.json")) == 0
+
+
+class TestRegressionGate:
+    def test_cold_below_min_history(self):
+        findings = check_entries(
+            [_entry(100.0), _entry(101.0)], min_history=3
+        )
+        assert [f.status for f in findings] == ["cold"]
+        assert not findings[0].is_regression
+
+    def test_stable_history_is_ok(self):
+        entries = [_entry(v) for v in (100.0, 102.0, 99.0, 101.0, 100.5)]
+        findings = check_entries(entries, min_history=3)
+        assert [f.status for f in findings] == ["ok"]
+        assert findings[0].history == 4
+
+    def test_injected_regression_detected(self):
+        # "higher is better" metric collapses by 40 % → regression.
+        entries = [_entry(v) for v in (100.0, 102.0, 99.0, 101.0)]
+        entries.append(_entry(60.0))
+        findings = check_entries(entries, min_history=3)
+        assert [f.status for f in findings] == ["regression"]
+        assert findings[0].ratio < 0.7
+
+    def test_lower_is_better_direction(self):
+        def seconds(value):
+            return make_entry(
+                "campaign",
+                {"serial_seconds": {"value": value, "direction": "lower"}},
+                timestamp=0.0,
+            )
+
+        worse = [seconds(v) for v in (1.0, 1.02, 0.98, 1.01)] + [
+            seconds(1.6)
+        ]
+        assert check_entries(worse)[0].status == "regression"
+        better = worse[:-1] + [seconds(0.5)]
+        assert check_entries(better)[0].status == "improved"
+
+    def test_noise_widens_tolerance(self):
+        # Noisy history (MAD ~15) must tolerate a value that a tight
+        # relative floor alone would flag.
+        noisy = [_entry(v) for v in (100.0, 130.0, 85.0, 115.0, 70.0)]
+        noisy.append(_entry(80.0))
+        assert check_entries(noisy)[0].status == "ok"
+
+    def test_other_host_history_does_not_count(self):
+        other = dict(host_fingerprint(), cpus=999)
+        entries = [_entry(100.0, host=other) for _ in range(5)]
+        entries.append(_entry(50.0))
+        findings = check_entries(entries, min_history=3)
+        assert [f.status for f in findings] == ["cold"]
+
+    def test_multiple_series_judged_independently(self):
+        entries = [_entry(v) for v in (100.0, 101.0, 99.0, 100.0, 55.0)]
+        entries += [
+            _entry(v, series="tiers", name="speedup")
+            for v in (10.0, 10.1, 9.9, 10.0, 10.2)
+        ]
+        by_series = {
+            f.metric.series: f.status for f in check_entries(entries)
+        }
+        assert by_series == {"engine": "regression", "tiers": "ok"}
+
+
+class TestMigration:
+    def _write_legacy(self, root):
+        (root / "BENCH_engine.json").write_text(
+            json.dumps(
+                {
+                    "current_events_per_sec": {"message_like": 690000.0},
+                    "speedup": {"message_like": 1.6},
+                }
+            )
+        )
+        (root / "BENCH_campaign.json").write_text(
+            json.dumps(
+                {
+                    "serial_seconds": 0.77,
+                    "parallel_warm_seconds": 0.05,
+                    "warm_speedup": 14.0,
+                    "cpu_count": 4,
+                }
+            )
+        )
+        (root / "BENCH_tiers.json").write_text(
+            json.dumps(
+                {
+                    "golden_cells": [
+                        {
+                            "benchmark": "BT",
+                            "problem_class": "A",
+                            "nprocs": 16,
+                            "speedup": 141.5,
+                            "expected_rel_error": 0.0872,
+                        }
+                    ]
+                }
+            )
+        )
+
+    def test_migrates_all_three_without_losing_history(self, tmp_path):
+        self._write_legacy(tmp_path)
+        ledger = PerfLedger(tmp_path / "PERF_LEDGER.json")
+        migrated = migrate_legacy(ledger, tmp_path, timestamp=123.0)
+        assert sorted(migrated) == ["campaign", "engine", "tiers"]
+        engine = ledger.series("engine")[0]
+        assert engine["metrics"]["message_like.events_per_sec"][
+            "value"
+        ] == pytest.approx(690000.0)
+        assert engine["meta"]["migrated_from"] == "BENCH_engine.json"
+        # The original document is preserved verbatim.
+        assert engine["meta"]["legacy"]["speedup"] == {
+            "message_like": 1.6
+        }
+        tiers = ledger.series("tiers")[0]
+        assert "BT.A.16.analytic_speedup" in tiers["metrics"]
+        assert (
+            tiers["metrics"]["BT.A.16.expected_rel_error"]["direction"]
+            == "lower"
+        )
+
+    def test_migration_is_idempotent(self, tmp_path):
+        self._write_legacy(tmp_path)
+        ledger = PerfLedger(tmp_path / "PERF_LEDGER.json")
+        assert len(migrate_legacy(ledger, tmp_path, timestamp=1.0)) == 3
+        assert migrate_legacy(ledger, tmp_path, timestamp=2.0) == []
+        assert len(ledger) == 3
+
+    def test_real_repo_snapshots_migrate(self, tmp_path):
+        # The actual BENCH files checked into the repo must convert.
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        if not (repo_root / "BENCH_engine.json").exists():
+            pytest.skip("legacy snapshots absent")
+        ledger = PerfLedger(tmp_path / "PERF_LEDGER.json")
+        migrated = migrate_legacy(ledger, repo_root, timestamp=0.0)
+        assert "engine" in migrated
+        for entry in ledger.entries:
+            assert entry["metrics"], entry["series"]

@@ -1,5 +1,6 @@
 """The metrics registry: instrument identity, labels, snapshots."""
 
+import random
 import threading
 
 import pytest
@@ -10,6 +11,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     default_buckets,
+    quantile_from_counts,
 )
 
 
@@ -69,6 +71,83 @@ class TestRegistryIdentity:
             t.join()
         assert len({id(c) for c in seen}) == 1
         assert reg.counter("shared").value == 80
+
+
+class TestQuantile:
+    """Histogram.quantile: log-bucket interpolation vs known distributions."""
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            quantile_from_counts((1.0,), (1, 0), 2.0)
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        h = Histogram("h")
+        for value in (0.003, 0.017, 0.4, 2.5):
+            h.observe(value)
+        assert h.quantile(0.0) == pytest.approx(0.003)
+        assert h.quantile(1.0) == pytest.approx(2.5)
+
+    def test_geometric_interpolation_within_bucket(self):
+        # Hand-built layout: bounds (1, 10), counts for (-inf,1], (1,10],
+        # (10, inf) — ten samples all inside the (1, 10] bucket.
+        bounds, counts = (1.0, 10.0), (0, 10, 0)
+        # Halfway through the bucket in rank must be halfway in log space.
+        assert quantile_from_counts(bounds, counts, 0.5) == pytest.approx(
+            10**0.5
+        )
+        assert quantile_from_counts(bounds, counts, 1.0) == pytest.approx(
+            10.0
+        )
+
+    def test_uniform_distribution_accuracy(self):
+        # ~12 buckets per decade: the interpolated estimate must land
+        # within one bucket-width factor (10^(1/12) ≈ 1.21) of the truth.
+        h = Histogram("h")
+        values = [0.001 + 0.999 * i / 9999 for i in range(10000)]
+        for value in values:
+            h.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            true = values[int(q * (len(values) - 1))]
+            assert true / 1.25 <= h.quantile(q) <= true * 1.25
+
+    def test_lognormal_distribution_accuracy(self):
+        rng = random.Random(42)
+        h = Histogram("h")
+        values = sorted(rng.lognormvariate(0.0, 1.0) for _ in range(5000))
+        for value in values:
+            h.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            true = values[int(q * (len(values) - 1))]
+            assert true / 1.25 <= h.quantile(q) <= true * 1.25
+
+    def test_monotone_in_q(self):
+        rng = random.Random(7)
+        h = Histogram("h")
+        for _ in range(1000):
+            h.observe(rng.expovariate(10.0))
+        estimates = [h.quantile(q / 20) for q in range(21)]
+        assert estimates == sorted(estimates)
+
+    def test_state_snapshot_is_consistent(self):
+        h = Histogram("h")
+        for value in (0.01, 0.02, 0.04):
+            h.observe(value)
+        state = h.state()
+        assert state["count"] == 3 == sum(state["counts"])
+        assert state["min"] == pytest.approx(0.01)
+        assert state["max"] == pytest.approx(0.04)
+        # The raw state feeds the same estimator as quantile().
+        assert quantile_from_counts(
+            state["bounds"], state["counts"], 0.5, state["min"], state["max"]
+        ) == h.quantile(0.5)
 
 
 class TestSnapshot:

@@ -1,0 +1,190 @@
+"""The SLO monitor: objectives, rolling windows, budget burn, wiring."""
+
+import json
+
+import pytest
+
+from repro.analytic.tiers import TIER_ANALYTIC, TIER_SIMULATION
+from repro.errors import ServiceError
+from repro.service.metrics import ServiceMetrics
+from repro.service.slo import (
+    DEFAULT_OBJECTIVES,
+    SLOMonitor,
+    SLOObjective,
+    _count_above,
+    parse_objectives,
+)
+
+
+def _latency_objective(threshold=0.1, target=0.9, tier=None):
+    return SLOObjective(
+        name="lat", kind="latency", target=target, threshold=threshold,
+        tier=tier,
+    )
+
+
+def _error_objective(target=0.9):
+    return SLOObjective(name="err", kind="error_rate", target=target)
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            SLOObjective(name="x", kind="weird", target=0.9)
+        with pytest.raises(ServiceError):
+            SLOObjective(name="x", kind="latency", target=1.5, threshold=1)
+        with pytest.raises(ServiceError):
+            SLOObjective(name="x", kind="latency", target=0.9)  # no threshold
+        with pytest.raises(ServiceError):
+            SLOObjective(
+                name="x", kind="latency", target=0.9, threshold=1,
+                tier="warp",
+            )
+
+    def test_parse_objectives(self):
+        objectives = parse_objectives(
+            [
+                {
+                    "name": "a",
+                    "kind": "latency",
+                    "target": 0.95,
+                    "threshold": 0.5,
+                    "tier": TIER_ANALYTIC,
+                },
+                {"name": "b", "kind": "error_rate", "target": 0.99},
+            ]
+        )
+        assert objectives[0].tier == TIER_ANALYTIC
+        assert objectives[1].threshold is None
+        with pytest.raises(ServiceError):
+            parse_objectives([{"name": "c", "kind": "latency"}])
+        with pytest.raises(ServiceError):
+            parse_objectives([{"name": "c", "kind": "latency",
+                               "target": 0.9, "threshold": 1, "bogus": 1}])
+
+
+class TestCountAbove:
+    def test_split_bucket_interpolates(self):
+        # All ten samples in the (1, 10] bucket; threshold at the log
+        # midpoint splits them evenly.
+        bounds, counts = (1.0, 10.0), (0, 10, 0)
+        assert _count_above(bounds, counts, 10**0.5) == pytest.approx(5.0)
+        assert _count_above(bounds, counts, 0.5) == pytest.approx(10.0)
+        assert _count_above(bounds, counts, 50.0) == pytest.approx(0.0)
+
+    def test_overflow_bucket_counts_fully(self):
+        bounds, counts = (1.0, 10.0), (0, 0, 3)
+        assert _count_above(bounds, counts, 100.0) == pytest.approx(3.0)
+
+
+class TestMonitor:
+    def test_window_validation(self):
+        with pytest.raises(ServiceError):
+            SLOMonitor(ServiceMetrics(), window=1)
+        with pytest.raises(ServiceError):
+            SLOMonitor(
+                ServiceMetrics(),
+                objectives=(_error_objective(), _error_objective()),
+            )
+
+    def test_empty_service_meets_everything(self):
+        monitor = SLOMonitor(ServiceMetrics())
+        report = monitor.observe()
+        assert report["breaches"] == 0
+        assert all(o["met"] for o in report["objectives"])
+        assert report["overall"]["requests"] == 0
+        assert json.dumps(report)  # wire-serialisable
+
+    def test_tier_quantiles_from_window(self):
+        metrics = ServiceMetrics()
+        monitor = SLOMonitor(metrics, objectives=())
+        for _ in range(100):
+            metrics.record_tier(TIER_ANALYTIC, 0.001)
+        for _ in range(100):
+            metrics.record_tier(TIER_SIMULATION, 0.5)
+        report = monitor.observe()
+        analytic = report["tiers"][TIER_ANALYTIC]
+        assert analytic["requests"] == 100
+        assert analytic["p50"] == pytest.approx(0.001, rel=0.3)
+        sim = report["tiers"][TIER_SIMULATION]
+        assert sim["p95"] == pytest.approx(0.5, rel=0.3)
+        assert {"p50", "p95", "p99"} <= set(sim)
+
+    def test_window_is_rolling(self):
+        metrics = ServiceMetrics()
+        monitor = SLOMonitor(metrics, objectives=(), window=2)
+        for _ in range(10):
+            metrics.record_tier(TIER_ANALYTIC, 0.001)
+        monitor.observe()
+        monitor.observe()
+        # Nothing new since the previous snapshot: with window=2 the old
+        # traffic has rolled out entirely.
+        report = monitor.observe()
+        assert report["tiers"][TIER_ANALYTIC]["requests"] == 0
+
+    def test_latency_objective_breach_and_burn(self):
+        metrics = ServiceMetrics()
+        monitor = SLOMonitor(
+            metrics, objectives=(_latency_objective(threshold=0.1),)
+        )
+        for _ in range(8):
+            metrics.latency.observe(0.01)
+        for _ in range(2):
+            metrics.latency.observe(5.0)  # 20% slow >> 10% budget
+        report = monitor.observe()
+        verdict = report["objectives"][0]
+        assert not verdict["met"]
+        assert verdict["burn_rate"] > 1.0
+        assert report["breaches"] == 1
+        # The judgement is mirrored into registry instruments.
+        snap = metrics.registry.snapshot()
+        assert snap["slo_breaches{objective=lat}"] == 1
+        assert snap["slo_burn_rate{objective=lat}"] > 1.0
+
+    def test_error_rate_objective(self):
+        metrics = ServiceMetrics()
+        monitor = SLOMonitor(metrics, objectives=(_error_objective(),))
+        for _ in range(20):
+            metrics.requests.inc()
+        metrics.errors.inc(3)
+        metrics.timeouts.inc(2)  # 25% bad >> 10% budget
+        report = monitor.observe()
+        verdict = report["objectives"][0]
+        assert verdict["bad"] == 5
+        assert verdict["compliance"] == pytest.approx(0.75)
+        assert not verdict["met"]
+        # Recovery: a clean follow-up window meets the objective again.
+        for _ in range(50):
+            metrics.requests.inc()
+        assert monitor.observe()["objectives"][0]["met"]
+
+    def test_default_objectives_cover_latency_and_errors(self):
+        kinds = {o.kind for o in DEFAULT_OBJECTIVES}
+        assert kinds == {"latency", "error_rate"}
+        tiers = {o.tier for o in DEFAULT_OBJECTIVES if o.kind == "latency"}
+        assert TIER_ANALYTIC in tiers
+
+
+class TestServiceWiring:
+    def test_slo_report_and_wire_command(self):
+        from repro.service.api import handle_line
+        from repro.service.engine import PredictionService
+
+        with PredictionService(max_workers=1) as service:
+            report = service.slo_report()
+            assert report["breaches"] == 0
+            response = json.loads(handle_line(service, '{"cmd": "slo"}'))
+            assert response["ok"]
+            assert "objectives" in response["slo"]
+            bare = json.loads(handle_line(service, "slo"))
+            assert bare["ok"]
+
+    def test_custom_objectives_flow_through(self):
+        from repro.service.engine import PredictionService
+
+        with PredictionService(
+            max_workers=1,
+            slo_objectives=(_error_objective(target=0.5),),
+        ) as service:
+            report = service.slo_report()
+            assert [o["name"] for o in report["objectives"]] == ["err"]
