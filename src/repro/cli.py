@@ -268,6 +268,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(case-insensitive; fast/balanced answer from the analytic tier "
         "and escalate on low confidence)",
     )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="spawn N shared-nothing shard processes behind an async "
+        "frontend; 0 (default) keeps the single-process server",
+    )
+    serve.add_argument(
+        "--replication", type=int, default=2,
+        help="ring replicas eligible to serve a hot cell (sharded mode)",
+    )
+    serve.add_argument(
+        "--hot-k", type=int, default=8,
+        help="cells tracked as hot for replicated serving (sharded mode)",
+    )
+    serve.add_argument(
+        "--admission-limit", type=int, default=32,
+        help="in-flight requests per shard before the frontend sheds "
+        "with retry-after (sharded mode)",
+    )
+    serve.add_argument(
+        "--conns-per-shard", type=int, default=2,
+        help="frontend connections pooled per shard (sharded mode)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -761,16 +783,20 @@ def _cmd_serve(args) -> int:
     from repro.service import PredictionService, serve_jsonl, serve_socket
 
     obs.configure_logging(stream=sys.stderr)
+    plan = None
     if args.fault_plan is not None:
         with open(args.fault_plan, encoding="utf-8") as handle:
             plan = faults.FaultPlan.from_json(handle.read())
-        faults.install(plan)
         obs.log(
             "serve.faults_installed",
             plan=args.fault_plan,
             sites=[spec.site for spec in plan.specs],
             seed=plan.seed,
         )
+    if args.shards > 0:
+        return _cmd_serve_sharded(args, plan)
+    if plan is not None:
+        faults.install(plan)
     service = PredictionService(
         measurement=MeasurementConfig(
             repetitions=args.repetitions, warmup=2, seed=args.seed
@@ -803,6 +829,87 @@ def _cmd_serve(args) -> int:
         service.close()
         faults.clear()
     obs.log("serve.closed", requests=stats.get("requests"))
+    print(json.dumps(stats, indent=2), file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_sharded(args, plan) -> int:
+    """``repro serve --shards N``: shard process group + async frontend."""
+    import json
+    import time
+
+    from repro import obs
+    from repro.instrument import MeasurementConfig
+    from repro.service import (
+        ProcessShardManager,
+        ShardedServer,
+        make_shard_configs,
+    )
+
+    configs = make_shard_configs(
+        args.shards,
+        db_path=args.db,
+        cache_dir=args.cache_dir,
+        measurement=MeasurementConfig(
+            repetitions=args.repetitions, warmup=2, seed=args.seed
+        ),
+        cache_capacity=args.cache_size,
+        cache_ttl=args.ttl,
+        batch_window=args.batch_window,
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        executor=args.executor,
+        tier_policy=args.tier_policy,
+        fault_plan=plan,
+    )
+    with ProcessShardManager(configs) as manager:
+        server = ShardedServer(
+            manager,
+            host=args.host,
+            port=args.port or 0,
+            replication=args.replication,
+            hot_k=args.hot_k,
+            admission_limit=args.admission_limit,
+            conns_per_shard=args.conns_per_shard,
+        )
+        host, port = server.start()
+        obs.log(
+            "serve.sharded",
+            host=host,
+            port=port,
+            shards=args.shards,
+            replication=args.replication,
+            admission_limit=args.admission_limit,
+        )
+        try:
+            if args.port is not None:
+                print(
+                    json.dumps({"listening": [host, port]}),
+                    file=sys.stderr,
+                    flush=True,
+                )
+                while True:  # interrupted by Ctrl-C / SIGTERM
+                    time.sleep(0.5)
+            else:
+                for line in sys.stdin:
+                    response = server.handle(line)
+                    if response is not None:
+                        print(response, flush=True)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            stats_line = None
+            try:
+                stats_line = server.handle('{"cmd": "stats"}', timeout=30.0)
+            except Exception:  # noqa: BLE001 — stats are best-effort on exit
+                pass
+            server.stop()
+    stats = json.loads(stats_line)["stats"] if stats_line else {}
+    obs.log(
+        "serve.closed",
+        requests=stats.get("frontend", {}).get("requests"),
+        shards=args.shards,
+    )
     print(json.dumps(stats, indent=2), file=sys.stderr)
     return 0
 

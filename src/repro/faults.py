@@ -64,6 +64,7 @@ SITES: Mapping[str, str] = {
     "db.write.corrupt": "sqlite-tier samples are corrupted on write",
     "db.read.corrupt": "sqlite-tier samples bit-rot on read",
     "api.disconnect": "the wire client disconnects mid-request",
+    "shard.process.exit": "a serving shard process dies (hard exit) mid-line",
     "sim.run.error": "the discrete-event simulator crashes",
     "sim.run.noise": "event delays this run are scaled by `param`",
 }

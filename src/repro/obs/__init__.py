@@ -39,6 +39,12 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.delta import (
+    counter_deltas,
+    counter_snapshot,
+    deltas_between,
+    merge_counter_deltas,
+)
 from repro.obs.logging import configure_logging, get_logger, log
 from repro.obs.profile import (
     ProfileData,
@@ -85,7 +91,11 @@ __all__ = [
     "configure_logging",
     "correlation",
     "correlation_id",
+    "counter_deltas",
+    "counter_snapshot",
     "current_context",
+    "deltas_between",
+    "merge_counter_deltas",
     "current_span",
     "default_buckets",
     "disable",

@@ -1,0 +1,102 @@
+"""Counter snapshot/delta propagation across process boundaries.
+
+Counters are process-local; campaign pool workers and serving shards run
+in *other* processes, so their increments never land in the parent's
+registry by themselves. The pattern (established by the parallel campaign
+executor, now shared with the sharded serving frontend):
+
+1. the child snapshots its counters before doing work
+   (:func:`counter_snapshot`),
+2. ships home only the positive *deltas* as plain data
+   (:func:`counter_deltas` — ``(name, label_items, amount)`` triples,
+   JSON/pickle friendly),
+3. the parent folds them into its own registry
+   (:func:`merge_counter_deltas`), preserving every label.
+
+For long-lived children polled repeatedly (serving shards), the parent
+keeps the previous snapshot per child and diffs with
+:func:`deltas_between`; ``allow_reset=True`` treats a counter that went
+*backwards* as a child restart and credits its full current value, so a
+respawned shard's counters are never lost or double-counted.
+
+Correlation IDs survive the hop for free: spans in the child adopt the
+wire request's ``id`` (see :func:`repro.obs.tracing.correlation`), and the
+counters merged here are the quantitative trail those spans leave behind.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.obs.registry import Counter, MetricsRegistry
+
+__all__ = [
+    "counter_snapshot",
+    "counter_deltas",
+    "deltas_between",
+    "merge_counter_deltas",
+]
+
+#: One shipped increment: (counter name, label items tuple, amount).
+Delta = Tuple[str, tuple, int]
+
+#: Snapshot form: {(name, label items): cumulative value}.
+Snapshot = dict[tuple, int]
+
+
+def _registry_or_default(registry: Optional[MetricsRegistry]):
+    if registry is not None:
+        return registry
+    from repro import obs
+
+    return obs.get_registry()
+
+
+def counter_snapshot(
+    registry: Optional[MetricsRegistry] = None,
+) -> Snapshot:
+    """Current cumulative counter values, keyed by (name, label items)."""
+    return {
+        (instrument.name, instrument.labels): instrument.value
+        for instrument in _registry_or_default(registry).collect()
+        if isinstance(instrument, Counter)
+    }
+
+
+def deltas_between(
+    before: Snapshot,
+    after: Snapshot,
+    allow_reset: bool = False,
+) -> tuple[Delta, ...]:
+    """Positive counter movement from ``before`` to ``after``, sorted.
+
+    ``allow_reset=True`` interprets a counter below its previous value as
+    a fresh process (restart) and ships its full current value instead of
+    dropping it.
+    """
+    deltas = []
+    for (name, labels), value in sorted(after.items()):
+        delta = value - before.get((name, labels), 0)
+        if delta < 0 and allow_reset:
+            delta = value
+        if delta > 0:
+            deltas.append((name, labels, delta))
+    return tuple(deltas)
+
+
+def counter_deltas(
+    before: Snapshot,
+    registry: Optional[MetricsRegistry] = None,
+) -> tuple[Delta, ...]:
+    """Counter movement since ``before`` in the (default) registry."""
+    return deltas_between(before, counter_snapshot(registry))
+
+
+def merge_counter_deltas(
+    deltas: Iterable[Delta],
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Fold shipped child deltas into the parent's registry."""
+    target = _registry_or_default(registry)
+    for name, labels, delta in deltas:
+        target.counter(name, dict(labels)).inc(delta)

@@ -36,9 +36,7 @@ __all__ = ["execute_cells"]
 
 
 def _merge_counters(result: CellResult) -> None:
-    registry = obs.get_registry()
-    for name, labels, delta in result.counters:
-        registry.counter(name, dict(labels)).inc(delta)
+    obs.merge_counter_deltas(result.counters)
 
 
 def _record(result: CellResult) -> None:

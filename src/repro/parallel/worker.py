@@ -186,25 +186,6 @@ def run_application(
 # -- the worker entry point ------------------------------------------------
 
 
-def _counter_snapshot() -> dict[tuple[str, tuple], int]:
-    return {
-        (instrument.name, instrument.labels): instrument.value
-        for instrument in obs.get_registry().collect()
-        if isinstance(instrument, obs.Counter)
-    }
-
-
-def _counter_deltas(
-    before: dict[tuple[str, tuple], int],
-) -> tuple[tuple[str, tuple, int], ...]:
-    deltas = []
-    for (name, labels), value in sorted(_counter_snapshot().items()):
-        delta = value - before.get((name, labels), 0)
-        if delta > 0:
-            deltas.append((name, labels, delta))
-    return tuple(deltas)
-
-
 def run_cell(spec: CellSpec) -> CellResult:
     """Simulate one sweep cell; safe to call in a worker process.
 
@@ -228,7 +209,7 @@ def run_cell(spec: CellSpec) -> CellResult:
         profiler = obs.SamplingProfiler(
             interval=spec.profile_interval, backend="thread"
         ).start()
-    before = _counter_snapshot()
+    before = obs.counter_snapshot()
     start = time.perf_counter()
     bench = make_benchmark(spec.benchmark, spec.problem_class, spec.nprocs)
     flow = ControlFlow(bench.loop_kernel_names)
@@ -291,7 +272,7 @@ def run_cell(spec: CellSpec) -> CellResult:
         actual=actual,
         inputs=inputs.to_dict(),
         memo_stats=store.stats() if store is not None else {},
-        counters=_counter_deltas(before),
+        counters=obs.counter_deltas(before),
         duration=time.perf_counter() - start,
         profile=(
             profile_data.to_dict() if profile_data is not None else None

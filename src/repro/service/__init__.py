@@ -18,7 +18,11 @@ time. This subsystem turns that into a long-lived service:
 * :mod:`~repro.service.metrics` — counters and latency histograms behind
   :meth:`~repro.service.engine.PredictionService.stats`;
 * :mod:`~repro.service.api` — the :class:`~repro.service.api.ServiceClient`
-  facade and the JSON-lines / TCP front-ends behind ``repro serve``.
+  facade and the JSON-lines / TCP front-ends behind ``repro serve``;
+* :mod:`~repro.service.shard` — the consistent-hash ring and the
+  shared-nothing shard process group behind ``repro serve --shards N``;
+* :mod:`~repro.service.frontend` — the asyncio frontend that routes,
+  admits, and fails over across the shard group.
 
 Quickstart::
 
@@ -32,6 +36,8 @@ Quickstart::
 from repro.service.api import (
     RetryPolicy,
     ServiceClient,
+    counters_payload,
+    error_dict,
     handle_line,
     metrics_payload,
     serve_jsonl,
@@ -40,24 +46,46 @@ from repro.service.api import (
 from repro.service.batching import RequestBatcher
 from repro.service.cache import LRUCache, TieredPredictionCache
 from repro.service.engine import PredictRequest, PredictionService
+from repro.service.frontend import LineClient, ShardFrontend, ShardedServer
 from repro.service.metrics import ServiceMetrics, render_stats
+from repro.service.shard import (
+    HashRing,
+    HotCellTracker,
+    InProcessShardManager,
+    ProcessShardManager,
+    ShardServiceConfig,
+    make_shard_configs,
+    route_key,
+)
 from repro.service.workers import CellTask, WorkerPool, execute_cell
 
 __all__ = [
     "CellTask",
+    "HashRing",
+    "HotCellTracker",
+    "InProcessShardManager",
     "LRUCache",
+    "LineClient",
     "PredictRequest",
     "PredictionService",
+    "ProcessShardManager",
     "RequestBatcher",
     "RetryPolicy",
     "ServiceClient",
     "ServiceMetrics",
+    "ShardFrontend",
+    "ShardServiceConfig",
+    "ShardedServer",
     "TieredPredictionCache",
     "WorkerPool",
+    "counters_payload",
+    "error_dict",
     "execute_cell",
     "handle_line",
+    "make_shard_configs",
     "metrics_payload",
     "render_stats",
+    "route_key",
     "serve_jsonl",
     "serve_socket",
 ]

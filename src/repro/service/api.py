@@ -15,9 +15,10 @@ The line protocol: each input line is either a request object
 of request objects (answered as one batched response), or a command object
 (``{"cmd": "stats"}``, ``{"cmd": "metrics"}`` — the ``GET /metrics``
 analogue, answering a Prometheus text exposition plus a JSON snapshot of
-every registry — or ``{"cmd": "slo"}``, answering a rolling SLO judgement
-with per-tier p50/p95/p99 and error-budget burn). Every line gets exactly
-one JSON
+every registry — ``{"cmd": "slo"}``, answering a rolling SLO judgement
+with per-tier p50/p95/p99 and error-budget burn — or ``{"cmd":
+"counters"}``, the raw cumulative counters the sharded frontend polls for
+its cross-process delta merge). Every line gets exactly one JSON
 response line with an ``"ok"`` field; saturation rejections carry
 ``"retry_after"``.
 
@@ -53,8 +54,10 @@ __all__ = [
     "RetryPolicy",
     "ServiceClient",
     "report_to_dict",
+    "error_dict",
     "metrics_payload",
     "slo_payload",
+    "counters_payload",
     "handle_line",
     "serve_jsonl",
     "serve_socket",
@@ -86,7 +89,13 @@ def report_to_dict(
     return payload
 
 
-def _error_dict(exc: Exception) -> dict[str, Any]:
+def error_dict(exc: Exception) -> dict[str, Any]:
+    """Wire form of one failed exchange (the error taxonomy on the wire).
+
+    Shared by every front-end — including the sharded frontend, which
+    synthesizes these for requests it sheds or loses to a dead shard — so
+    clients see one error shape regardless of topology.
+    """
     payload: dict[str, Any] = {
         "ok": False,
         "error": str(exc),
@@ -97,6 +106,9 @@ def _error_dict(exc: Exception) -> dict[str, Any]:
     if isinstance(exc, ServiceDegradedError):
         payload["degraded"] = True
     return payload
+
+
+_error_dict = error_dict
 
 
 @dataclass(frozen=True)
@@ -257,6 +269,28 @@ def slo_payload(service: PredictionService) -> dict[str, Any]:
     return {"ok": True, "slo": service.slo_report()}
 
 
+def counters_payload(service: PredictionService) -> dict[str, Any]:
+    """The ``counters`` command's body: raw cumulative counter values.
+
+    The sharded frontend polls this from each shard process and folds the
+    movement into its own registry via the counter-delta pattern
+    (:mod:`repro.obs.delta`) — the same mechanism campaign pool workers
+    use, except shards are long-lived so the frontend diffs successive
+    snapshots instead of shipping one delta home. Labels travel as item
+    lists (JSON has no tuples).
+    """
+    counters = []
+    for registry in service.metrics_registries():
+        prefix = f"{registry.namespace}_" if registry.namespace else ""
+        for (name, labels), value in sorted(
+            obs.counter_snapshot(registry).items()
+        ):
+            counters.append(
+                [prefix + name, [list(item) for item in labels], value]
+            )
+    return {"ok": True, "counters": counters}
+
+
 def handle_line(service: PredictionService, line: str) -> Optional[str]:
     """One protocol exchange: a request line in, a JSON response line out.
 
@@ -287,6 +321,8 @@ def handle_line(service: PredictionService, line: str) -> Optional[str]:
         return json.dumps(metrics_payload(service))
     if payload.get("cmd") == "slo":
         return json.dumps(slo_payload(service))
+    if payload.get("cmd") == "counters":
+        return json.dumps(counters_payload(service))
     has_id = "id" in payload
     request_id = payload.pop("id", None)
     try:
@@ -384,9 +420,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover — exercised via serve_socket
         try:
             for raw in self.rfile:
-                response = handle_line(
-                    self.server.service, raw.decode("utf-8")
-                )
+                response = self.server.handle(raw.decode("utf-8"))
                 if response is not None:
                     self.wfile.write(response.encode("utf-8") + b"\n")
                     self.wfile.flush()
@@ -402,9 +436,21 @@ class _ServiceServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address, service: PredictionService):
+    def __init__(
+        self,
+        address,
+        service: PredictionService,
+        handler: Optional[Callable[[str], Optional[str]]] = None,
+    ):
         super().__init__(address, _LineHandler)
         self.service = service
+        self._handle_line = handler
+
+    def handle(self, line: str) -> Optional[str]:
+        """One exchange via the pluggable handler (default protocol)."""
+        if self._handle_line is not None:
+            return self._handle_line(line)
+        return handle_line(self.service, line)
 
 
 def serve_socket(
@@ -415,6 +461,7 @@ def serve_socket(
     bound: Optional[list] = None,
     control: Optional[list] = None,
     announce: Optional[Callable[[tuple], None]] = None,
+    handler: Optional[Callable[[str], Optional[str]]] = None,
 ) -> dict:
     """Serve the line protocol over TCP until interrupted; returns stats.
 
@@ -422,9 +469,11 @@ def serve_socket(
     appended to ``bound`` (when given), passed to ``announce`` (when
     given), and ``ready`` is set once accepting. ``control`` (when given)
     receives the server object so a supervisor — or a test — can call its
-    ``shutdown()`` from another thread.
+    ``shutdown()`` from another thread. ``handler`` (when given) replaces
+    :func:`handle_line` per line — serving shards wrap the default with
+    their death checkpoint (``shard.process.exit``).
     """
-    with _ServiceServer((host, port), service) as server:
+    with _ServiceServer((host, port), service, handler) as server:
         if bound is not None:
             bound.append(server.server_address)
         if control is not None:

@@ -214,8 +214,12 @@ class PredictionService:
         tier_policy: "str | TierPolicy" = "exact",
         slo_objectives: Optional[Sequence[SLOObjective]] = None,
         slo_window: int = 60,
+        shard_id: Optional[int] = None,
     ):
         self.machine = machine or ibm_sp_argonne()
+        #: Ring position when this service is one shard of a sharded
+        #: deployment (``repro serve --shards N``); None when standalone.
+        self.shard_id = shard_id
         self.tier_policy = resolve_tier_policy(tier_policy)
         # Content-addressed simulation memo (repro.parallel): consulted
         # before a cell task is enqueued, so a warm directory serves whole
@@ -702,6 +706,8 @@ class PredictionService:
         snapshot["degraded"] = self.degraded
         snapshot["worker_respawns"] = self._pool.respawns
         snapshot["worker_crashes"] = self._pool.crashes
+        if self.shard_id is not None:
+            snapshot["shard"] = self.shard_id
         return snapshot
 
     def slo_report(self) -> dict:

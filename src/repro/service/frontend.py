@@ -1,0 +1,898 @@
+"""Asyncio JSONL/TCP frontend over the shard ring.
+
+The fleet-scale replacement for the thread-per-connection server: one
+event loop multiplexes any number of client connections onto a small pool
+of persistent connections per shard process. The profiler work in the
+perf ledger showed the old frontend's thread churn as the dominant
+serving cost once warm predictions are microseconds; here a request costs
+a routing lookup and two buffered line writes.
+
+Request path:
+
+1. **Route.** The request's cell identity (:func:`repro.service.shard.
+   route_key`) hashes onto the :class:`~repro.service.shard.HashRing`.
+   Hot cells (top-k by frequency) may be served by any of the first
+   ``replication`` ring shards — deterministic simulation (REP001) makes
+   every replica's answer bit-identical — and the least-loaded replica
+   wins.
+2. **Admit.** If the chosen shard already has ``admission_limit``
+   requests in flight from this frontend, the request is *shed* without
+   crossing the process boundary: a typed ``ServiceSaturatedError``
+   response with an honest ``retry_after`` estimated from the shard's
+   recent latency. (The shard's own worker-pool backpressure still
+   applies underneath — admission control keeps the queue in front of a
+   saturated shard short instead of long.)
+3. **Forward.** The raw request line goes down one shard connection;
+   responses come back in FIFO order per connection (the shard answers
+   each line exactly once, in order), so matching needs no envelope and
+   the wire format is unchanged — correlation ``id`` fields pass through
+   untouched and bind the shard-side spans.
+
+Failure path: a dropped shard connection fails that connection's
+in-flight requests with typed ``WorkerCrashError`` responses (clients'
+:class:`~repro.service.api.RetryPolicy` retries them), removes the shard
+from the ring — consistent hashing re-routes only its arcs — and
+respawns it through the manager in the background. No response is ever
+duplicated: each request has exactly one pending future, resolved once.
+
+Aggregation: ``stats`` / ``metrics`` / ``slo`` commands fan out to every
+live shard. Shard counters merge into a frontend-held registry via the
+counter-delta pattern (:mod:`repro.obs.delta` — restart-aware, so a
+respawned shard's counters keep accumulating instead of double-counting),
+and SLO reports merge conservatively via
+:func:`repro.service.slo.merge_slo_reports`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro import obs
+from repro.errors import (
+    ReproError,
+    ServiceError,
+    ServiceSaturatedError,
+    ServiceTimeoutError,
+    WorkerCrashError,
+)
+from repro.service.api import RetryPolicy, error_dict
+from repro.service.shard import HashRing, HotCellTracker, route_key
+from repro.service.slo import BURN_CAP, merge_slo_reports
+
+__all__ = [
+    "ShardFrontend",
+    "ShardedServer",
+    "LineClient",
+    "FRONTEND_AVAILABILITY_TARGET",
+]
+
+#: Fleet availability objective the frontend judges over its own counters
+#: (sheds + synthesized shard-loss errors count against the budget).
+FRONTEND_AVAILABILITY_TARGET = 0.99
+
+
+class _ShardConn:
+    """One persistent connection to a shard, with its FIFO of futures."""
+
+    __slots__ = ("reader", "writer", "pending", "reader_task")
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.pending: deque = deque()
+        self.reader_task: Optional[asyncio.Task] = None
+
+
+class _ShardLink:
+    """The frontend's connection pool to one shard process.
+
+    ``conns`` parallel connections give the thread-per-connection shard
+    that many concurrent lines; within each connection the shard answers
+    strictly in order, so the first pending future always owns the next
+    response line. Writes pair with their future enqueue atomically (no
+    await between), preserving the FIFO invariant under concurrent
+    senders.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        address: tuple[str, int],
+        conns: int = 2,
+        connect_timeout: float = 10.0,
+        on_down: Optional[Callable[[int], Any]] = None,
+    ):
+        self.shard_id = shard_id
+        self.address = address
+        self.conns = max(1, conns)
+        self.connect_timeout = connect_timeout
+        self._on_down = on_down
+        self._pool: list[_ShardConn] = []
+        self._down = False
+        #: EWMA of request latency, the honesty behind retry_after.
+        self.latency = 0.05
+
+    async def open(self) -> None:
+        for _ in range(self.conns):
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*self.address),
+                timeout=self.connect_timeout,
+            )
+            conn = _ShardConn(reader, writer)
+            conn.reader_task = asyncio.ensure_future(self._read_loop(conn))
+            self._pool.append(conn)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(conn.pending) for conn in self._pool)
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    async def request(self, line: str, timeout: float) -> str:
+        """One exchange; raises ``WorkerCrashError`` if the shard dies."""
+        if self._down or not self._pool:
+            raise WorkerCrashError(
+                f"shard {self.shard_id} is down; retry after respawn"
+            )
+        conn = min(self._pool, key=lambda c: len(c.pending))
+        future = asyncio.get_running_loop().create_future()
+        # Enqueue + write with no await in between: FIFO order on this
+        # connection is exactly the shard's response order.
+        conn.pending.append(future)
+        conn.writer.write(line.encode("utf-8") + b"\n")
+        started = time.monotonic()
+        try:
+            await conn.writer.drain()
+            response = await asyncio.wait_for(future, timeout=timeout)
+        except (ConnectionError, WorkerCrashError):
+            raise WorkerCrashError(
+                f"shard {self.shard_id} dropped mid-request"
+            ) from None
+        except asyncio.TimeoutError:
+            raise ServiceTimeoutError(
+                f"shard {self.shard_id} did not answer within {timeout}s",
+                timeout=timeout,
+            ) from None
+        elapsed = time.monotonic() - started
+        self.latency = 0.8 * self.latency + 0.2 * elapsed
+        return response
+
+    async def _read_loop(self, conn: _ShardConn) -> None:
+        try:
+            while True:
+                raw = await conn.reader.readline()
+                if not raw:
+                    break
+                if conn.pending:
+                    future = conn.pending.popleft()
+                    if not future.done():
+                        future.set_result(raw.decode("utf-8").rstrip("\n"))
+        except (ConnectionError, OSError):
+            pass
+        await self._mark_down(conn)
+
+    async def _mark_down(self, conn: _ShardConn) -> None:
+        self._fail_pending(conn)
+        first = not self._down
+        self._down = True
+        if first and self._on_down is not None:
+            result = self._on_down(self.shard_id)
+            if asyncio.iscoroutine(result):
+                await result
+
+    def _fail_pending(self, conn: _ShardConn) -> None:
+        while conn.pending:
+            future = conn.pending.popleft()
+            if not future.done():
+                future.set_exception(
+                    WorkerCrashError(
+                        f"shard {self.shard_id} died with the request "
+                        "in flight"
+                    )
+                )
+
+    async def close(self) -> None:
+        self._down = True
+        for conn in self._pool:
+            self._fail_pending(conn)
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+            conn.writer.close()
+        self._pool = []
+
+
+class ShardFrontend:
+    """Routing, admission, failover, and aggregation over the shard group.
+
+    Single-threaded by construction: every method below runs on one
+    event loop, so the ring, tracker, and counters need no locks. The
+    manager (``ProcessShardManager`` or ``InProcessShardManager``) must
+    already be started.
+    """
+
+    def __init__(
+        self,
+        manager,
+        replication: int = 2,
+        hot_k: int = 8,
+        admission_limit: int = 32,
+        conns_per_shard: int = 2,
+        request_timeout: float = 600.0,
+        respawn: bool = True,
+        ring_vnodes: int = 64,
+    ):
+        if admission_limit < 1:
+            raise ServiceError(
+                f"admission_limit must be >= 1, got {admission_limit}"
+            )
+        if replication < 1:
+            raise ServiceError(
+                f"replication must be >= 1, got {replication}"
+            )
+        self.manager = manager
+        self.replication = replication
+        self.admission_limit = admission_limit
+        self.conns_per_shard = conns_per_shard
+        self.request_timeout = request_timeout
+        self.respawn_enabled = respawn
+        self.ring = HashRing(manager.shard_ids, vnodes=ring_vnodes)
+        self.hot = HotCellTracker(k=hot_k)
+        self._links: dict[int, _ShardLink] = {}
+        self._respawning: set[int] = set()
+        #: Frontend-local ledger: requests seen, sheds, synthesized errors.
+        self.requests = 0
+        self.shed = 0
+        self.failed = 0
+        self.deaths = 0
+        self.respawns = 0
+        #: Shard counters merged here via restart-aware deltas.
+        self._shard_registry = obs.MetricsRegistry()
+        self._last_counters: dict[int, dict] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        for shard_id in self.manager.shard_ids:
+            await self._open_link(shard_id)
+
+    async def _open_link(self, shard_id: int) -> None:
+        link = _ShardLink(
+            shard_id,
+            self.manager.address(shard_id),
+            conns=self.conns_per_shard,
+            on_down=self._on_shard_down,
+        )
+        await link.open()
+        self._links[shard_id] = link
+        self.ring.add(shard_id)
+
+    async def close(self) -> None:
+        for link in self._links.values():
+            link._on_down = None  # a deliberate close is not a death
+            await link.close()
+        self._links = {}
+
+    # -- failure handling --------------------------------------------------
+
+    def _on_shard_down(self, shard_id: int):
+        """Link-death callback: reroute now, respawn in the background."""
+        self.ring.remove(shard_id)
+        self.deaths += 1
+        obs.get_registry().counter("shard_deaths", shard=str(shard_id)).inc()
+        obs.log("frontend.shard_down", shard=shard_id, live=len(self.ring))
+        if self.respawn_enabled and shard_id not in self._respawning:
+            self._respawning.add(shard_id)
+            return self._respawn(shard_id)
+        return None
+
+    async def _respawn(self, shard_id: int) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            for attempt in range(3):
+                try:
+                    await loop.run_in_executor(
+                        None, self.manager.respawn, shard_id
+                    )
+                    await self._open_link(shard_id)
+                    break
+                except (ServiceError, ConnectionError, OSError):
+                    if attempt == 2:
+                        raise
+                    await asyncio.sleep(0.2 * (attempt + 1))
+        except (ServiceError, ConnectionError, OSError):
+            obs.log("frontend.respawn_failed", shard=shard_id)
+            return
+        finally:
+            self._respawning.discard(shard_id)
+        self.respawns += 1
+        obs.get_registry().counter(
+            "shard_respawns", shard=str(shard_id)
+        ).inc()
+        obs.log("frontend.shard_respawned", shard=shard_id)
+
+    # -- routing -----------------------------------------------------------
+
+    def _pick_shard(self, key: str) -> int:
+        self.hot.observe(key)
+        n = self.replication if self.hot.is_hot(key) else 1
+        try:
+            preference = self.ring.preference(key, n)
+        except ServiceError:
+            # A total outage between death and respawn is transient —
+            # type it so client retry policies ride it out.
+            raise WorkerCrashError(
+                "no live shards on the ring; retry after respawn"
+            ) from None
+        live = [s for s in preference if s in self._links]
+        if not live:  # pragma: no cover — ring and links track together
+            raise WorkerCrashError("no live shard for this key")
+        if len(live) == 1:
+            return live[0]
+        chosen = min(
+            live, key=lambda s: self._links[s].pending_count
+        )
+        if chosen != live[0]:
+            obs.get_registry().counter("frontend_replica_routes").inc()
+        return chosen
+
+    def _shed_response(self, link: _ShardLink) -> dict[str, Any]:
+        self.shed += 1
+        obs.get_registry().counter(
+            "frontend_shed", shard=str(link.shard_id)
+        ).inc()
+        retry_after = round(
+            max(0.05, link.latency * link.pending_count / link.conns), 4
+        )
+        return error_dict(
+            ServiceSaturatedError(
+                f"shard {link.shard_id} admission queue is full "
+                f"({link.pending_count} in flight)",
+                retry_after=retry_after,
+            )
+        )
+
+    async def _forward_request(self, payload: dict[str, Any]) -> str:
+        """Route one request object; returns the response line."""
+        request_id = payload.get("id")
+        key = route_key(payload)
+        try:
+            shard_id = self._pick_shard(key)
+        except ServiceError as exc:
+            self.failed += 1
+            return self._with_id(error_dict(exc), request_id)
+        link = self._links[shard_id]
+        if link.pending_count >= self.admission_limit:
+            return self._with_id(self._shed_response(link), request_id)
+        try:
+            return await link.request(
+                json.dumps(payload), timeout=self.request_timeout
+            )
+        except (WorkerCrashError, ServiceTimeoutError) as exc:
+            self.failed += 1
+            obs.get_registry().counter(
+                "frontend_shard_errors", shard=str(shard_id)
+            ).inc()
+            return self._with_id(error_dict(exc), request_id)
+
+    @staticmethod
+    def _with_id(response: dict[str, Any], request_id) -> str:
+        if request_id is not None:
+            response["id"] = request_id
+        return json.dumps(response)
+
+    # -- the protocol ------------------------------------------------------
+
+    async def handle_line(self, line: str) -> Optional[str]:
+        """One frontend exchange; mirrors :func:`repro.service.api.handle_line`."""
+        line = line.strip()
+        if not line:
+            return None
+        if line == "metrics":
+            return json.dumps(await self._metrics_payload())
+        if line == "slo":
+            return json.dumps(await self._slo_payload())
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return json.dumps(
+                error_dict(ReproError(f"invalid JSON: {exc}"))
+            )
+        if isinstance(payload, list):
+            return await self._handle_batch(payload)
+        if not isinstance(payload, dict):
+            return json.dumps(
+                error_dict(
+                    ReproError("request must be a JSON object or array")
+                )
+            )
+        if payload.get("cmd") == "stats":
+            return json.dumps(await self._stats_payload())
+        if payload.get("cmd") == "metrics":
+            return json.dumps(await self._metrics_payload())
+        if payload.get("cmd") == "slo":
+            return json.dumps(await self._slo_payload())
+        if payload.get("cmd") == "counters":
+            return json.dumps(
+                error_dict(
+                    ReproError(
+                        "counters is a shard-internal command; "
+                        "use metrics at the frontend"
+                    )
+                )
+            )
+        self.requests += 1
+        request_id = payload.get("id")
+        with obs.correlation(
+            str(request_id) if request_id is not None else None
+        ), obs.span("frontend.route"):
+            return await self._forward_request(payload)
+
+    async def _handle_batch(self, items: list) -> str:
+        """Split an array line across shards, reassemble in order."""
+        self.requests += len(items)
+        results: list[Optional[dict]] = [None] * len(items)
+        groups: dict[int, list[int]] = {}
+        for index, item in enumerate(items):
+            if not isinstance(item, dict):
+                results[index] = error_dict(
+                    ReproError("batch items must be JSON objects")
+                )
+                continue
+            try:
+                shard_id = self._pick_shard(route_key(item))
+            except ServiceError as exc:
+                self.failed += 1
+                results[index] = error_dict(exc)
+                continue
+            groups.setdefault(shard_id, []).append(index)
+
+        async def _forward_group(shard_id: int, indices: list[int]) -> None:
+            link = self._links[shard_id]
+            if link.pending_count >= self.admission_limit:
+                shed = self._shed_response(link)
+                for index in indices:
+                    results[index] = dict(shed)
+                return
+            sub_batch = json.dumps([items[i] for i in indices])
+            try:
+                raw = await link.request(
+                    sub_batch, timeout=self.request_timeout
+                )
+                sub_results = json.loads(raw)["results"]
+            except (WorkerCrashError, ServiceTimeoutError) as exc:
+                self.failed += len(indices)
+                for index in indices:
+                    results[index] = error_dict(exc)
+                return
+            for index, result in zip(indices, sub_results):
+                results[index] = result
+
+        await asyncio.gather(
+            *(
+                _forward_group(shard_id, indices)
+                for shard_id, indices in groups.items()
+            )
+        )
+        for index, item in enumerate(items):
+            if (
+                isinstance(item, dict)
+                and "id" in item
+                and results[index] is not None
+                and "id" not in results[index]
+            ):
+                results[index]["id"] = item["id"]
+        return json.dumps({"ok": True, "results": results})
+
+    # -- aggregation commands ----------------------------------------------
+
+    async def _shard_command(self, command: str) -> dict[int, dict]:
+        """Fan one ``{"cmd": ...}`` out to every live shard."""
+        live = list(self._links.items())
+
+        async def _one(shard_id: int, link: _ShardLink):
+            try:
+                raw = await link.request(
+                    json.dumps({"cmd": command}), timeout=30.0
+                )
+                return shard_id, json.loads(raw)
+            except (WorkerCrashError, ServiceTimeoutError):
+                return shard_id, None
+
+        gathered = await asyncio.gather(
+            *(_one(shard_id, link) for shard_id, link in live)
+        )
+        return {
+            shard_id: doc
+            for shard_id, doc in gathered
+            if doc is not None and doc.get("ok")
+        }
+
+    def frontend_stats(self) -> dict[str, Any]:
+        """The frontend's own ledger (requests routed, sheds, deaths...)."""
+        return {
+            "requests": self.requests,
+            "shed": self.shed,
+            "failed": self.failed,
+            "shard_deaths": self.deaths,
+            "shard_respawns": self.respawns,
+            "live_shards": len(self.ring),
+            "shards": list(self.ring.shard_ids),
+            "hot_cells": list(self.hot.top()),
+            "pending": {
+                str(shard_id): link.pending_count
+                for shard_id, link in self._links.items()
+            },
+        }
+
+    async def _stats_payload(self) -> dict[str, Any]:
+        shard_docs = await self._shard_command("stats")
+        return {
+            "ok": True,
+            "stats": {
+                "frontend": self.frontend_stats(),
+                "shards": {
+                    str(shard_id): doc["stats"]
+                    for shard_id, doc in shard_docs.items()
+                },
+            },
+        }
+
+    async def _metrics_payload(self) -> dict[str, Any]:
+        """Counter-delta merge across the process hop, then export."""
+        shard_docs = await self._shard_command("counters")
+        for shard_id, doc in shard_docs.items():
+            snapshot = {
+                (name, tuple(tuple(item) for item in labels)): value
+                for name, labels, value in doc["counters"]
+            }
+            deltas = obs.deltas_between(
+                self._last_counters.get(shard_id, {}),
+                snapshot,
+                allow_reset=True,  # a respawned shard restarts from zero
+            )
+            obs.merge_counter_deltas(deltas, self._shard_registry)
+            self._last_counters[shard_id] = snapshot
+        registries = (self._shard_registry, obs.get_registry())
+        return {
+            "ok": True,
+            "metrics": obs.to_json(*registries),
+            "prometheus": obs.to_prometheus(*registries),
+        }
+
+    async def _slo_payload(self) -> dict[str, Any]:
+        shard_docs = await self._shard_command("slo")
+        merged = merge_slo_reports(
+            {
+                str(shard_id): doc["slo"]
+                for shard_id, doc in shard_docs.items()
+            }
+        )
+        merged["frontend"] = self._judge_availability()
+        return {"ok": True, "slo": merged}
+
+    def _judge_availability(self) -> dict[str, Any]:
+        """The frontend's own availability objective over its ledger.
+
+        Sheds and synthesized shard-loss errors are the frontend's
+        failures to serve; judging them here (and exporting breaches as
+        ordinary counters) is what lets the chaos battery assert "a
+        SIGKILLed shard moves the SLO needles".
+        """
+        total = self.requests
+        bad = self.shed + self.failed
+        compliance = 1.0 - (bad / total) if total else 1.0
+        budget = 1.0 - FRONTEND_AVAILABILITY_TARGET
+        burn = (
+            min((bad / total) / budget, BURN_CAP) if total else 0.0
+        )
+        met = compliance >= FRONTEND_AVAILABILITY_TARGET
+        registry = obs.get_registry()
+        labels = {"objective": "frontend.availability"}
+        registry.gauge("slo_burn_rate", labels).set(burn)
+        registry.gauge("slo_compliance", labels).set(compliance)
+        if not met and total:
+            registry.counter("slo_breaches", labels).inc()
+        return {
+            "name": "frontend.availability",
+            "kind": "error_rate",
+            "target": FRONTEND_AVAILABILITY_TARGET,
+            "total": total,
+            "bad": bad,
+            "shed": self.shed,
+            "failed": self.failed,
+            "shard_deaths": self.deaths,
+            "shard_respawns": self.respawns,
+            "compliance": compliance,
+            "burn_rate": burn,
+            "met": met,
+        }
+
+    # -- client connections ------------------------------------------------
+
+    async def serve_client(self, reader, writer) -> None:
+        """One client connection: pipelined, responses in request order.
+
+        Each line becomes a task; each task awaits its predecessor before
+        writing, so responses stream back in request order even when a
+        later request (an L1 hit on another shard) finishes first.
+        """
+        previous: Optional[asyncio.Task] = None
+        in_flight: deque = deque()
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                previous = asyncio.ensure_future(
+                    self._respond(raw.decode("utf-8"), previous, writer)
+                )
+                in_flight.append(previous)
+                # Bound per-client pipelining: admission control sheds
+                # fast, but a firehose client must not grow the task list
+                # without limit.
+                while len(in_flight) > 4 * self.admission_limit:
+                    await in_flight.popleft()
+        except (ConnectionError, OSError):  # pragma: no cover — client gone
+            pass
+        finally:
+            if previous is not None:
+                try:
+                    await asyncio.wait_for(
+                        previous, timeout=self.request_timeout
+                    )
+                except (
+                    asyncio.TimeoutError,
+                    ConnectionError,
+                    OSError,
+                ):  # pragma: no cover — slow drain on a dead client
+                    pass
+            writer.close()
+
+    async def _respond(
+        self,
+        line: str,
+        previous: Optional[asyncio.Task],
+        writer,
+    ) -> None:
+        try:
+            response = await self.handle_line(line)
+        except ReproError as exc:
+            response = json.dumps(error_dict(exc))
+        if previous is not None:
+            await previous
+        if response is None:
+            return
+        try:
+            writer.write(response.encode("utf-8") + b"\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            obs.get_registry().counter("client_disconnects").inc()
+
+
+class ShardedServer:
+    """Run a :class:`ShardFrontend` behind a TCP listener, synchronously.
+
+    The harness both the CLI and the test battery drive: owns the event
+    loop on a daemon thread, binds the listener, and exposes the bound
+    address plus a thread-safe way to push lines through the frontend
+    (stdin mode). The shard *manager* is owned by the caller — the
+    server only borrows it.
+    """
+
+    def __init__(
+        self,
+        manager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **frontend_kwargs: Any,
+    ):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._frontend_kwargs = frontend_kwargs
+        self.frontend: Optional[ShardFrontend] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._stopping = False
+        self._bound: Optional[tuple[str, int]] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 120.0) -> tuple[str, int]:
+        """Start serving; returns the bound (host, port)."""
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-shard-frontend"
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServiceError("sharded frontend failed to start in time")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"sharded frontend failed to start: {self._startup_error}"
+            )
+        assert self._bound is not None
+        return self._bound
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # noqa: BLE001 — surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.frontend = ShardFrontend(self.manager, **self._frontend_kwargs)
+        await self.frontend.start()
+        server = await asyncio.start_server(
+            self.frontend.serve_client, self.host, self.port
+        )
+        self._bound = server.sockets[0].getsockname()[:2]
+        obs.log(
+            "frontend.listening",
+            host=self._bound[0],
+            port=self._bound[1],
+            shards=len(self.manager.shard_ids),
+        )
+        self._ready.set()
+        try:
+            while not self._stopping:
+                await asyncio.sleep(0.05)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self.frontend.close()
+            obs.log("frontend.stopped")
+
+    def handle(self, line: str, timeout: float = 600.0) -> Optional[str]:
+        """Push one protocol line through the frontend (stdin mode)."""
+        if self._loop is None or self.frontend is None:
+            raise ServiceError("sharded server is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self.frontend.handle_line(line), self._loop
+        )
+        return future.result(timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stopping = True
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ShardedServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+#: Wire error types a :class:`LineClient` treats as transient.
+_RETRYABLE_WIRE = ("ServiceSaturatedError", "WorkerCrashError")
+
+
+class LineClient:
+    """Synchronous JSONL/TCP client with the service's retry semantics.
+
+    The socket twin of :class:`~repro.service.api.ServiceClient`:
+    ``predict`` retries transient wire errors (saturation sheds, shard
+    deaths) under a :class:`~repro.service.api.RetryPolicy`, honouring
+    ``retry_after`` hints, and transparently reconnects if the server
+    dropped the connection in between. ``sleep`` is injectable so tests
+    can assert on the honoured backoff schedule without waiting.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.address = (host, port)
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            self.address, timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def request_line(self, line: str) -> dict[str, Any]:
+        """One raw exchange; reconnects once on a dropped connection."""
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            try:
+                assert self._file is not None
+                self._file.write(line.encode("utf-8") + b"\n")
+                self._file.flush()
+                raw = self._file.readline()
+            except (ConnectionError, OSError, TimeoutError):
+                self.close()
+                if attempt:
+                    raise
+                continue
+            if raw:
+                return json.loads(raw.decode("utf-8"))
+            # EOF: the server closed on us; reconnect once.
+            self.close()
+            if attempt:
+                raise ServiceError(
+                    "server closed the connection without responding"
+                )
+        raise ServiceError(  # pragma: no cover — loop always returns/raises
+            "unreachable"
+        )
+
+    def request(self, payload: Any) -> dict[str, Any]:
+        """One exchange with a JSON payload (object, array, or command)."""
+        return self.request_line(json.dumps(payload))
+
+    def predict(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Request with retry: returns the final wire response dict."""
+        delays = self.retry.delays()
+        while True:
+            try:
+                response = self.request(payload)
+            except (ConnectionError, OSError, ServiceError):
+                # The frontend itself vanished mid-exchange: retry on the
+                # same schedule as a shard loss.
+                response = None
+            if (
+                response is not None
+                and (
+                    response.get("ok")
+                    or response.get("error_type") not in _RETRYABLE_WIRE
+                )
+            ):
+                return response
+            try:
+                delay = next(delays)
+            except StopIteration:
+                if response is not None:
+                    return response
+                raise ServiceError(
+                    "connection to the frontend kept failing"
+                ) from None
+            if response is not None:
+                hint = response.get("retry_after")
+                if hint is not None:
+                    delay = max(delay, float(hint))
+            obs.get_registry().counter("retry_attempts").inc()
+            self._sleep(delay)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"cmd": "stats"})
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except (OSError, ValueError):  # pragma: no cover — best effort
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover — best effort
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "LineClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,630 @@
+"""Shard ring, shard processes, and their managers for sharded serving.
+
+``repro serve --shards N`` splits the prediction keyspace over N
+shared-nothing worker *processes*. Each shard owns a full
+:class:`~repro.service.engine.PredictionService` — its own L1 cache,
+sqlite tier, memo ``cache_dir`` slice, batcher, worker pool, SLO monitor —
+and speaks the ordinary JSONL/TCP line protocol on a loopback port, so
+every robustness property of the single-process server (single-flight
+dedup, backpressure, deadlines, degraded mode) holds *per shard* with no
+new code.
+
+This module owns the pieces below the asyncio frontend
+(:mod:`repro.service.frontend`):
+
+* :class:`HashRing` — consistent hashing with virtual nodes. Cells map to
+  shards by the hash of their routing key; removing a shard remaps only
+  ~1/N of the keyspace (onto the ring neighbours), which is what lets the
+  frontend survive a SIGKILLed shard by re-routing instead of re-sharding.
+* :class:`HotCellTracker` — frequency top-k over routing keys. The
+  hottest cells are *replicated*: servable by the first ``replication``
+  distinct shards clockwise from their ring point. Safe because cell
+  results are deterministic (REP001) — any replica computes bit-identical
+  floats — so replication trades duplicate simulation work for load
+  spreading, with each replica warming its own cache.
+* :class:`ShardServiceConfig` — the picklable recipe for one shard's
+  service (per-shard db path / memo slice derived by
+  :func:`make_shard_configs`), shipped to the child process.
+* :func:`shard_main` — the child entry point: install the fault plan,
+  build the service, serve the line protocol with the
+  ``shard.process.exit`` death checkpoint wrapped around every line.
+* :class:`ProcessShardManager` / :class:`InProcessShardManager` — spawn,
+  monitor, kill, and respawn the group (real processes for production and
+  chaos tests; in-process threads for fast unit tests and custom
+  ``execute`` hooks).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import importlib
+import multiprocessing
+import os
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro import faults, obs
+from repro.errors import ServiceError
+from repro.instrument.runner import MeasurementConfig
+from repro.service.api import handle_line, serve_socket
+from repro.service.engine import PredictionService
+from repro.service.slo import SLOObjective
+from repro.simmachine.machine import MachineConfig
+
+__all__ = [
+    "HashRing",
+    "HotCellTracker",
+    "ShardServiceConfig",
+    "make_shard_configs",
+    "shard_main",
+    "ProcessShardManager",
+    "InProcessShardManager",
+    "route_key",
+]
+
+#: Exit code a shard uses when the ``shard.process.exit`` fault fires —
+#: distinguishable from a clean shutdown in the manager's post-mortem.
+FAULT_EXIT_CODE = 17
+
+
+def route_key(request: Mapping[str, Any]) -> str:
+    """The ring key of one wire request: its *cell* identity.
+
+    Matches :attr:`PredictRequest.config_key` (benchmark, class, nprocs,
+    seed) and deliberately excludes ``chain_length``, so all chain lengths
+    of one cell land on the same shard and keep coalescing into a single
+    measurement plan in that shard's batcher. Malformed requests still
+    route (to wherever their best-effort key lands) — the shard answers
+    them with the typed error.
+    """
+    return "|".join(
+        str(request.get(field_name))
+        for field_name in ("benchmark", "problem_class", "nprocs", "seed")
+    )
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each shard id contributes ``vnodes`` points on a 64-bit ring (SHA-256
+    of ``"shard:replica"`` — stable across processes and Python builds,
+    unlike ``hash()``). A key belongs to the first point clockwise from
+    its own hash. ``preference(key, n)`` walks further clockwise for the
+    n distinct successor shards — the replica set for hot cells and the
+    natural failover order when a shard dies.
+    """
+
+    def __init__(self, shard_ids: Sequence[int] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ServiceError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, int]] = []  # (hash, shard_id), sorted
+        self._hashes: list[int] = []  # parallel list for bisect
+        self._shards: set[int] = set()
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    @staticmethod
+    def _hash(material: str) -> int:
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Live shards, sorted."""
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._shards
+
+    def add(self, shard_id: int) -> None:
+        """Add a shard's virtual nodes (idempotent)."""
+        if shard_id in self._shards:
+            return
+        self._shards.add(shard_id)
+        for replica in range(self.vnodes):
+            point = (self._hash(f"{shard_id}:{replica}"), shard_id)
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._hashes.insert(index, point[0])
+
+    def remove(self, shard_id: int) -> None:
+        """Drop a shard; its arcs fall to the clockwise successors."""
+        if shard_id not in self._shards:
+            return
+        self._shards.discard(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+        self._hashes = [h for h, _ in self._points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key``."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, n: int = 1) -> tuple[int, ...]:
+        """The first ``n`` distinct shards clockwise from ``key``'s point.
+
+        Index 0 is the owner; the rest are the replica/failover order.
+        ``n`` is clamped to the number of live shards.
+        """
+        if not self._points:
+            raise ServiceError("no live shards on the ring")
+        n = min(n, len(self._shards))
+        start = bisect.bisect_right(self._hashes, self._hash(key))
+        chosen: list[int] = []
+        total = len(self._points)
+        for step in range(total):
+            shard_id = self._points[(start + step) % total][1]
+            if shard_id not in chosen:
+                chosen.append(shard_id)
+                if len(chosen) == n:
+                    break
+        return tuple(chosen)
+
+
+class HotCellTracker:
+    """Frequency top-k over routing keys, cheap enough for the hot path.
+
+    Counts every observation; recomputes the top-``k`` set every
+    ``recompute_every`` observations (an O(n log n) sort amortized to
+    ~O(1) per request). When the table exceeds ``max_keys``, every count
+    is halved and zeros dropped — an exponential decay that lets yesterday's
+    hot cells cool off instead of squatting in the top-k forever.
+    """
+
+    def __init__(
+        self,
+        k: int = 8,
+        recompute_every: int = 64,
+        max_keys: int = 4096,
+    ):
+        if k < 0:
+            raise ServiceError(f"k must be >= 0, got {k}")
+        self.k = k
+        self.recompute_every = max(1, recompute_every)
+        self.max_keys = max(16, max_keys)
+        self._counts: dict[str, int] = {}
+        self._hot: frozenset[str] = frozenset()
+        self._since_recompute = 0
+
+    def observe(self, key: str) -> None:
+        """Record one request for ``key``."""
+        if self.k == 0:
+            return
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._since_recompute += 1
+        if self._since_recompute >= self.recompute_every:
+            self._recompute()
+
+    def _recompute(self) -> None:
+        self._since_recompute = 0
+        if len(self._counts) > self.max_keys:
+            self._counts = {
+                key: count // 2
+                for key, count in self._counts.items()
+                if count // 2 > 0
+            }
+        ranked = sorted(
+            self._counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        self._hot = frozenset(key for key, _ in ranked[: self.k])
+
+    def is_hot(self, key: str) -> bool:
+        """Whether ``key`` is currently in the top-k (replicated) set."""
+        return key in self._hot
+
+    def top(self) -> tuple[str, ...]:
+        """The current hot set (unordered snapshot as a sorted tuple)."""
+        return tuple(sorted(self._hot))
+
+
+@dataclass(frozen=True)
+class ShardServiceConfig:
+    """Everything one shard process needs to build its service.
+
+    Value-only on purpose (REP007 discipline): configs are frozen
+    dataclasses, the fault plan rides along as data, and a custom cell
+    executor crosses the process boundary as a dotted reference
+    (``"module:callable"``) resolved in the child — never a live callable.
+    """
+
+    shard_id: int
+    machine: Optional[MachineConfig] = None
+    measurement: Optional[MeasurementConfig] = None
+    db_path: str = ":memory:"
+    cache_capacity: int = 1024
+    cache_ttl: Optional[float] = None
+    batch_window: float = 0.005
+    max_batch: Optional[int] = None
+    max_workers: int = 2
+    queue_depth: int = 16
+    executor: str = "thread"
+    application_seed: int = 7
+    default_timeout: Optional[float] = None
+    crash_threshold: int = 3
+    degraded_probe_every: int = 8
+    cache_dir: Optional[str] = None
+    tier_policy: str = "exact"
+    slo_objectives: Optional[tuple[SLOObjective, ...]] = None
+    slo_window: int = 60
+    fault_plan: Optional[faults.FaultPlan] = None
+    execute_ref: Optional[str] = None
+
+    def resolve_execute(self) -> Optional[Callable[..., Any]]:
+        """Import the ``execute_ref`` hook (child side), if any."""
+        if self.execute_ref is None:
+            return None
+        module_name, _, attr = self.execute_ref.partition(":")
+        if not module_name or not attr:
+            raise ServiceError(
+                f"execute_ref must be 'module:callable', "
+                f"got {self.execute_ref!r}"
+            )
+        return getattr(importlib.import_module(module_name), attr)
+
+    def build_service(self) -> PredictionService:
+        """Construct this shard's shared-nothing service instance."""
+        return PredictionService(
+            machine=self.machine,
+            measurement=self.measurement,
+            db_path=self.db_path,
+            cache_capacity=self.cache_capacity,
+            cache_ttl=self.cache_ttl,
+            batch_window=self.batch_window,
+            max_batch=self.max_batch,
+            max_workers=self.max_workers,
+            queue_depth=self.queue_depth,
+            executor=self.executor,
+            application_seed=self.application_seed,
+            execute=self.resolve_execute(),
+            default_timeout=self.default_timeout,
+            crash_threshold=self.crash_threshold,
+            degraded_probe_every=self.degraded_probe_every,
+            cache_dir=self.cache_dir,
+            tier_policy=self.tier_policy,
+            slo_objectives=self.slo_objectives,
+            slo_window=self.slo_window,
+            shard_id=self.shard_id,
+        )
+
+
+def make_shard_configs(
+    shards: int,
+    db_path: str = ":memory:",
+    cache_dir: Optional[str] = None,
+    **service_kwargs: Any,
+) -> list[ShardServiceConfig]:
+    """Per-shard configs with disjoint persistence slices.
+
+    A file-backed ``db_path`` becomes ``{db_path}.shard{NN}`` per shard
+    and a memo ``cache_dir`` becomes ``{cache_dir}/shard-{NN}`` — shards
+    share *nothing*, so there is no cross-process locking anywhere in the
+    serving tier. ``:memory:`` stays per-process private by nature.
+    """
+    if shards < 1:
+        raise ServiceError(f"shards must be >= 1, got {shards}")
+    configs = []
+    for shard_id in range(shards):
+        shard_db = (
+            db_path
+            if db_path == ":memory:"
+            else f"{db_path}.shard{shard_id:02d}"
+        )
+        shard_cache = (
+            os.path.join(cache_dir, f"shard-{shard_id:02d}")
+            if cache_dir is not None
+            else None
+        )
+        configs.append(
+            ShardServiceConfig(
+                shard_id=shard_id,
+                db_path=shard_db,
+                cache_dir=shard_cache,
+                **service_kwargs,
+            )
+        )
+    return configs
+
+
+def make_shard_handler(
+    service: PredictionService,
+) -> Callable[[str], Optional[str]]:
+    """The per-line handler a shard serves: death checkpoint + protocol.
+
+    The ``shard.process.exit`` fault models a shard dying *mid-line* —
+    request parsed, work possibly done, answer never written. ``os._exit``
+    (not ``sys.exit``) so no finally-block can soften the crash; the
+    frontend must observe a vanished connection exactly as it would after
+    a SIGKILL or an OOM kill.
+    """
+
+    def _handle(line: str) -> Optional[str]:
+        if faults.check("shard.process.exit") is not None:
+            obs.log("shard.fault_exit", shard=service.shard_id)
+            os._exit(FAULT_EXIT_CODE)
+        return handle_line(service, line)
+
+    return _handle
+
+
+def shard_main(config: ShardServiceConfig, conn) -> None:  # pragma: no cover
+    """Child-process entry: serve one shard until told to stop.
+
+    Announces the bound ``(host, port)`` through ``conn`` (a
+    ``multiprocessing`` pipe), then serves until SIGTERM — translated to
+    ``SystemExit`` so the server and service unwind cleanly — or until a
+    fault/SIGKILL takes the process down hard.
+
+    Runs in the child, so parent-side coverage cannot see it; the
+    handler/service path it assembles is covered via the in-process
+    manager, and the whole entry via the chaos battery.
+    """
+    faults.clear()
+    if config.fault_plan is not None:
+        faults.install(config.fault_plan)
+
+    def _terminate(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    service = config.build_service()
+    try:
+        serve_socket(
+            service,
+            host="127.0.0.1",
+            port=0,
+            announce=lambda addr: conn.send(addr),
+            handler=make_shard_handler(service),
+        )
+    finally:
+        service.close()
+
+
+class ProcessShardManager:
+    """Spawn and supervise the shared-nothing shard process group.
+
+    Uses the ``forkserver`` start method where available (children fork
+    from a clean server process that has already imported this module, so
+    respawn after a SIGKILL costs milliseconds, not a full interpreter
+    boot) and falls back to ``spawn``. The frontend drives
+    :meth:`respawn` from its event loop when a shard connection drops.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[ShardServiceConfig],
+        start_method: Optional[str] = None,
+        spawn_timeout: float = 120.0,
+    ):
+        if not configs:
+            raise ServiceError("at least one shard config is required")
+        ids = [config.shard_id for config in configs]
+        if len(set(ids)) != len(ids):
+            raise ServiceError(f"duplicate shard ids: {ids}")
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = (
+                "forkserver" if "forkserver" in available else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        if start_method == "forkserver":
+            try:
+                self._ctx.set_forkserver_preload(["repro.service.shard"])
+            except ValueError:  # pragma: no cover — server already running
+                pass
+        self.spawn_timeout = spawn_timeout
+        self._configs = {config.shard_id: config for config in configs}
+        self._lock = threading.Lock()
+        self._procs: dict[int, Any] = {}
+        self._addrs: dict[int, tuple[str, int]] = {}
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._configs))
+
+    def start(self) -> None:
+        """Spawn every shard and wait for each to announce its port."""
+        for shard_id in self.shard_ids:
+            self._spawn(shard_id)
+
+    def _spawn(self, shard_id: int) -> tuple[str, int]:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=shard_main,
+            args=(self._configs[shard_id], child_conn),
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        proc.start()
+        child_conn.close()
+        if not parent_conn.poll(self.spawn_timeout):
+            proc.terminate()
+            raise ServiceError(
+                f"shard {shard_id} did not announce its port within "
+                f"{self.spawn_timeout}s"
+            )
+        try:
+            addr = parent_conn.recv()
+        except EOFError:
+            proc.join(5.0)
+            raise ServiceError(
+                f"shard {shard_id} died during startup "
+                f"(exit code {proc.exitcode})"
+            ) from None
+        finally:
+            parent_conn.close()
+        with self._lock:
+            self._procs[shard_id] = proc
+            self._addrs[shard_id] = tuple(addr)
+        obs.log(
+            "shard.spawned", shard=shard_id, pid=proc.pid, port=addr[1]
+        )
+        return tuple(addr)
+
+    def address(self, shard_id: int) -> tuple[str, int]:
+        return self._addrs[shard_id]
+
+    def pid(self, shard_id: int) -> Optional[int]:
+        proc = self._procs.get(shard_id)
+        return proc.pid if proc is not None else None
+
+    def alive(self, shard_id: int) -> bool:
+        proc = self._procs.get(shard_id)
+        return proc is not None and proc.is_alive()
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL one shard — the chaos battery's murder weapon."""
+        proc = self._procs.get(shard_id)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(10.0)
+
+    def respawn(self, shard_id: int) -> tuple[str, int]:
+        """Replace a dead shard with a fresh process; returns its address.
+
+        The replacement starts cold (empty L1) but inherits the shard's
+        persistent slices (sqlite file, memo directory), so previously
+        simulated cells come back warm from disk.
+        """
+        old = self._procs.get(shard_id)
+        if old is not None:
+            if old.is_alive():  # pragma: no cover — defensive
+                old.terminate()
+            old.join(10.0)
+        return self._spawn(shard_id)
+
+    def stop(self) -> None:
+        """Terminate the group (SIGTERM, then SIGKILL stragglers)."""
+        with self._lock:
+            procs = dict(self._procs)
+            self._procs = {}
+            self._addrs = {}
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for shard_id, proc in procs.items():
+            proc.join(10.0)
+            if proc.is_alive():  # pragma: no cover — stuck child
+                proc.kill()
+                proc.join(10.0)
+            obs.log("shard.stopped", shard=shard_id, code=proc.exitcode)
+
+    def __enter__(self) -> "ProcessShardManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class InProcessShardManager:
+    """The same manager surface over in-process server threads.
+
+    For unit tests and single-machine experiments: each "shard" is a
+    :func:`serve_socket` thread in this process, built by a factory so
+    tests can inject custom ``execute`` hooks (impossible across a real
+    process boundary) and still exercise the full frontend↔shard wire
+    path, admission control, and respawn logic. ``kill`` shuts the
+    shard's server down abruptly — connections drop exactly as the
+    frontend would see a process death, minus the SIGKILL.
+    """
+
+    def __init__(
+        self, factories: Sequence[Callable[[], PredictionService]]
+    ):
+        if not factories:
+            raise ServiceError("at least one shard factory is required")
+        self._factories = dict(enumerate(factories))
+        self._lock = threading.Lock()
+        self._services: dict[int, PredictionService] = {}
+        self._servers: dict[int, Any] = {}
+        self._threads: dict[int, threading.Thread] = {}
+        self._addrs: dict[int, tuple[str, int]] = {}
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._factories))
+
+    def start(self) -> None:
+        for shard_id in self.shard_ids:
+            self._spawn(shard_id)
+
+    def _spawn(self, shard_id: int) -> tuple[str, int]:
+        service = self._factories[shard_id]()
+        if service.shard_id is None:
+            service.shard_id = shard_id
+        ready = threading.Event()
+        bound: list = []
+        control: list = []
+        thread = threading.Thread(
+            target=serve_socket,
+            args=(service,),
+            kwargs={
+                "host": "127.0.0.1",
+                "port": 0,
+                "ready": ready,
+                "bound": bound,
+                "control": control,
+                "handler": make_shard_handler(service),
+            },
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        thread.start()
+        if not ready.wait(30.0):  # pragma: no cover — defensive
+            raise ServiceError(f"in-process shard {shard_id} failed to bind")
+        with self._lock:
+            self._services[shard_id] = service
+            self._servers[shard_id] = control[0]
+            self._threads[shard_id] = thread
+            self._addrs[shard_id] = tuple(bound[0])
+        return tuple(bound[0])
+
+    def service(self, shard_id: int) -> PredictionService:
+        """The live service object (tests reach in to assert on it)."""
+        return self._services[shard_id]
+
+    def address(self, shard_id: int) -> tuple[str, int]:
+        return self._addrs[shard_id]
+
+    def pid(self, shard_id: int) -> Optional[int]:
+        return None
+
+    def alive(self, shard_id: int) -> bool:
+        thread = self._threads.get(shard_id)
+        return thread is not None and thread.is_alive()
+
+    def kill(self, shard_id: int) -> None:
+        """Tear the shard's server down; open connections drop."""
+        server = self._servers.get(shard_id)
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        thread = self._threads.get(shard_id)
+        if thread is not None:
+            thread.join(10.0)
+        service = self._services.get(shard_id)
+        if service is not None:
+            service.close()
+
+    def respawn(self, shard_id: int) -> tuple[str, int]:
+        return self._spawn(shard_id)
+
+    def stop(self) -> None:
+        for shard_id in self.shard_ids:
+            if self.alive(shard_id):
+                self.kill(shard_id)
+            elif shard_id in self._services:
+                self._services[shard_id].close()
+
+    def __enter__(self) -> "InProcessShardManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,193 @@
+"""Integration battery for ``repro serve --shards N``.
+
+The acceptance bar for the sharded tier: a shard count is a deployment
+knob, not a semantics knob. The same campaign request set answered by
+``--shards 1`` and ``--shards 4`` must be *bit-identical* — consistent
+hashing only changes which process simulates a cell, and REP001
+determinism makes every process simulate it identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.instrument import MeasurementConfig
+from repro.service import (
+    LineClient,
+    ProcessShardManager,
+    RetryPolicy,
+    ShardedServer,
+    make_shard_configs,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def campaign_requests():
+    """A small full-factorial campaign: 2 benchmarks x 2 sizes x 2 chains."""
+    lines = []
+    for benchmark in ("BT", "SP"):
+        for nprocs in (1, 4):
+            for chain_length in (2, 3):
+                lines.append(
+                    json.dumps(
+                        {
+                            "id": f"{benchmark}-{nprocs}-{chain_length}",
+                            "benchmark": benchmark,
+                            "problem_class": "S",
+                            "nprocs": nprocs,
+                            "chain_length": chain_length,
+                        }
+                    )
+                )
+    return lines
+
+
+def _serve_stdin(shard_count: int, lines: list[str]) -> list[str]:
+    """Run the real CLI in stdin mode and return its response lines."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--repetitions",
+            "2",
+            "--shards",
+            str(shard_count),
+        ],
+        input="\n".join(lines) + "\n",
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    responses = [line for line in proc.stdout.splitlines() if line.strip()]
+    assert len(responses) == len(lines), proc.stderr[-2000:]
+    return responses
+
+
+def test_shard_count_is_invisible_bit_identical():
+    """--shards 1 and --shards 4 serve byte-for-byte the same answers."""
+    lines = campaign_requests()
+    single = _serve_stdin(1, lines)
+    sharded = _serve_stdin(4, lines)
+    assert single == sharded
+    for raw in sharded:
+        payload = json.loads(raw)
+        assert payload["ok"], payload
+        assert payload["best"]
+        assert payload["tier"] == "simulation"
+
+
+def test_admission_pressure_recovers_via_client_retry():
+    """Saturating one real shard sheds typed errors that retries absorb."""
+    configs = make_shard_configs(
+        1,
+        measurement=MeasurementConfig(repetitions=2, warmup=1, seed=0),
+        max_workers=1,
+        queue_depth=4,
+    )
+    with ProcessShardManager(configs) as manager:
+        server = ShardedServer(
+            manager, admission_limit=1, conns_per_shard=1, replication=1
+        )
+        host, port = server.start()
+        responses = {}
+        lock = threading.Lock()
+
+        def client(seed):
+            with LineClient(
+                host,
+                port,
+                retry=RetryPolicy(max_attempts=20, base_delay=0.05),
+            ) as c:
+                response = c.predict(
+                    {
+                        "benchmark": "BT",
+                        "problem_class": "S",
+                        "nprocs": 4,
+                        "chain_length": 2,
+                        "seed": seed,
+                    }
+                )
+            with lock:
+                responses[seed] = response
+
+        threads = [
+            threading.Thread(target=client, args=(seed,), daemon=True)
+            for seed in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "client deadlock"
+        assert sorted(responses) == [0, 1, 2, 3]
+        assert all(r["ok"] for r in responses.values())
+        front = server.handle('{"cmd": "stats"}', timeout=30.0)
+        stats = json.loads(front)["stats"]["frontend"]
+        assert stats["shed"] >= 1, "admission control never engaged"
+        server.stop()
+
+
+def test_sharded_persistence_is_shared_nothing(tmp_path):
+    """Each shard owns a private db + memo slice; none collide."""
+    db = str(tmp_path / "perf.sqlite")
+    cache = str(tmp_path / "memo")
+    configs = make_shard_configs(
+        3,
+        db_path=db,
+        cache_dir=cache,
+        measurement=MeasurementConfig(repetitions=2, warmup=1, seed=0),
+        max_workers=2,
+    )
+    paths = [(c.db_path, c.cache_dir) for c in configs]
+    assert len({p for p, _ in paths}) == 3
+    assert len({c for _, c in paths}) == 3
+    with ProcessShardManager(configs) as manager:
+        server = ShardedServer(manager)
+        host, port = server.start()
+        with LineClient(host, port) as client:
+            for nprocs in (1, 4, 9):
+                assert client.predict(
+                    {
+                        "benchmark": "BT",
+                        "problem_class": "S",
+                        "nprocs": nprocs,
+                        "chain_length": 2,
+                    }
+                )["ok"]
+        server.stop()
+    # every shard that served a cell persisted into its own slice
+    populated = [path for path, _ in paths if os.path.exists(path)]
+    assert populated, "no shard persisted anything"
+
+
+@pytest.mark.parametrize("bad", ['{"cmd": "unknown"}', "{broken"])
+def test_sharded_stdin_mode_reports_typed_errors(bad):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", "--shards", "2"],
+        input=bad + "\n",
+        capture_output=True,
+        text=True,
+        timeout=180,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0
+    payload = json.loads(proc.stdout.splitlines()[0])
+    assert payload["ok"] is False
+    assert payload["error_type"]
