@@ -1,6 +1,8 @@
 """Built-in rules; importing this package registers them all."""
 
 from repro.analysis.checks import (  # noqa: F401
+    apiparity,
+    asyncsafety,
     blocking,
     determinism,
     faultsites,
@@ -9,4 +11,5 @@ from repro.analysis.checks import (  # noqa: F401
     picklable,
     taxonomy,
     tierpurity,
+    transitive,
 )

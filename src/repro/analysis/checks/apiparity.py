@@ -1,0 +1,147 @@
+"""REP014 — engine API parity across the prediction-tier ladder.
+
+The ROADMAP's "typed core → compiled hot loops" plan swaps engines
+underneath the service layer; that only works while the rungs of the
+tier ladder keep *machine-checkable* signature parity.  This graph rule
+takes declared parity groups — sets of classes (or modules) that must
+agree on their shared public surface — and compares the canonical
+signature tokens (parameter names, order, kind, optionality; see
+:func:`repro.analysis.graph.signature_tokens`) of every public method
+name that two or more members both expose.  Any divergence is reported
+against *both* definitions so the drifting side is obvious.
+
+The committed group covers the three tier engines (analytic fast path,
+memo store, discrete-event simulator).  Their public vocabularies are
+disjoint today — the rule's value is the tripwire: the moment a
+compiled `Simulator` twin (or an alternate memo tier) lands claiming an
+existing name, its signature must match token-for-token or CI fails.
+``self``/``cls`` receivers are dropped before comparison so module-level
+functions can sit in a group next to methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import FunctionInfo, ProjectGraph
+from repro.analysis.rules import Rule, register
+
+__all__ = ["ApiParityRule", "ParityGroup", "PARITY_GROUPS"]
+
+
+@dataclass(frozen=True)
+class ParityGroup:
+    """A named set of class/module prefixes that share a public API."""
+
+    name: str
+    members: tuple[str, ...]
+
+
+#: The committed parity contract for the real tree.
+PARITY_GROUPS: tuple[ParityGroup, ...] = (
+    ParityGroup(
+        name="tier-engines",
+        members=(
+            "repro.analytic.model.AnalyticPredictor",
+            "repro.parallel.memo.SimulationMemoStore",
+            "repro.simmachine.engine.Simulator",
+        ),
+    ),
+)
+
+
+def _comparable_signature(info: FunctionInfo) -> tuple[str, ...]:
+    """Signature tokens with the method receiver dropped."""
+    tokens = info.signature
+    if info.class_name is not None and tokens and tokens[0] in (
+        "self", "cls"
+    ):
+        tokens = tokens[1:]
+    return tokens
+
+
+@register
+class ApiParityRule(Rule):
+    rule_id = "REP014"
+    name = "engine-api-parity"
+    description = (
+        "tier-ladder engines must expose identical public signatures for "
+        "every method name they share (guard for swapping in a compiled "
+        "engine)"
+    )
+    needs_graph = True
+    node_types = ()
+
+    def __init__(
+        self, groups: Optional[Sequence[ParityGroup]] = None
+    ):
+        #: Injectable for tests; defaults to the committed contract.
+        self.groups = tuple(groups) if groups is not None else PARITY_GROUPS
+
+    def run_graph(
+        self, graph: ProjectGraph, report: Callable[[Finding], None]
+    ) -> None:
+        for group in self.groups:
+            self._check_group(group, graph, report)
+
+    def _check_group(
+        self,
+        group: ParityGroup,
+        graph: ProjectGraph,
+        report: Callable[[Finding], None],
+    ) -> None:
+        # member prefix -> {public name -> FunctionInfo}
+        surfaces: dict[str, dict[str, FunctionInfo]] = {}
+        for member in group.members:
+            methods = {
+                info.name: info
+                for info in graph.methods_of(member)
+                if info.is_public
+            }
+            if methods or member in graph.classes:
+                surfaces[member] = methods
+        names: set[str] = set()
+        for methods in surfaces.values():
+            names.update(methods)
+        for name in sorted(names):
+            owners = [
+                (member, methods[name])
+                for member, methods in sorted(surfaces.items())
+                if name in methods
+            ]
+            if len(owners) < 2:
+                continue
+            _, reference = owners[0]
+            want = _comparable_signature(reference)
+            for member, info in owners[1:]:
+                got = _comparable_signature(info)
+                if got == want:
+                    continue
+                report(
+                    Finding(
+                        rule=self.rule_id,
+                        path=info.path,
+                        line=info.line,
+                        col=1,
+                        scope=(
+                            f"{info.class_name}.{info.name}"
+                            if info.class_name
+                            else info.name
+                        ),
+                        message=(
+                            f"[{group.name}] {info.qualname}"
+                            f"({', '.join(got)}) diverges from "
+                            f"{reference.qualname}({', '.join(want)}); "
+                            "shared tier-engine methods must keep "
+                            "identical signatures"
+                        ),
+                        witness=(
+                            f"{reference.qualname} defined at "
+                            f"{reference.path}:{reference.line}",
+                            f"{info.qualname} defined at "
+                            f"{info.path}:{info.line}",
+                        ),
+                    )
+                )

@@ -1,0 +1,166 @@
+"""REP010 — *transitive* determinism over the project call graph.
+
+REP001 bans nondeterministic primitives spelled out inside the
+deterministic tier, but a single-file rule cannot see ``time.time()``
+hiding two helpers away in another module.  This rule runs in analysis
+phase 2: it seeds taint at every external reference to a wall clock,
+process-global RNG, or ambient-environment read, propagates the taint
+backwards over the project call graph, and flags any function in the
+prediction tiers (``simmachine/``, ``npb/``, ``analytic/``, ``core/``)
+that *reaches* such a primitive through project calls.  Every finding
+carries the witness call path — the exact edge chain from the flagged
+function down to the primitive — so the fix site is never a guess.
+
+Division of labour with REP001:
+
+* a **direct** clock/RNG call inside the tier is REP001's finding; this
+  rule stays silent on it (but still uses it as a taint seed, so the
+  *callers* are flagged here),
+* **ambient environment reads** (``os.environ``/``os.getenv``/
+  ``os.urandom``/``uuid.uuid1``...) are flagged here even when direct —
+  REP001 does not cover them,
+* a ``# repro: ignore[REP001]`` (or ``[REP010]``) on the primitive's
+  line stops taint at the source: a justified host-clock measurement
+  (``npb/miniapp.py``) does not poison everything that calls it.
+
+Observability is exempt by construction: taint never enters or leaves
+functions in ``obs`` packages.  Spans and metrics read host clocks by
+design, and their readings are export-only — they never flow back into
+simulated results (REP009 separately polices that the engine hot path
+stays span-free).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.checks.determinism import (
+    _CLOCK_CALLS,
+    _GLOBAL_RANDOM,
+    _NUMPY_GLOBAL_RANDOM,
+)
+from repro.analysis.dataflow import TaintAnalysis
+from repro.analysis.findings import Finding
+from repro.analysis.graph import ExternalRef, ProjectGraph
+from repro.analysis.rules import Rule, register
+
+__all__ = ["TransitiveDeterminismRule"]
+
+#: Path components marking the prediction tiers this rule protects.
+SCOPE_DIRS = frozenset({"simmachine", "npb", "analytic", "core"})
+
+#: Ambient-environment / entropy reads (prefix-matched), not covered by
+#: REP001 but every bit as nondeterministic across hosts and runs.
+_ENV_PREFIXES = (
+    "os.environ",
+    "os.environb",
+    "os.getenv",
+    "os.getenvb",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.",
+)
+
+#: Package segments whose functions never transmit taint (see module doc).
+_EXEMPT_SEGMENTS = frozenset({"obs"})
+
+
+def _is_env_target(target: str) -> bool:
+    return any(
+        target == prefix.rstrip(".") or target.startswith(prefix)
+        or target.startswith(prefix + ".")
+        for prefix in _ENV_PREFIXES
+    )
+
+
+def _is_nondet_target(target: str) -> bool:
+    if target in _CLOCK_CALLS or target == "random.SystemRandom":
+        return True
+    head, _, tail = target.rpartition(".")
+    if head == "random" and tail in _GLOBAL_RANDOM:
+        return True
+    if head == "numpy.random" and tail in _NUMPY_GLOBAL_RANDOM:
+        return True
+    return _is_env_target(target)
+
+
+def _is_exempt(qualname: str) -> bool:
+    parts = qualname.split(".")
+    return bool(_EXEMPT_SEGMENTS & set(parts[:-1]))
+
+
+@register
+class TransitiveDeterminismRule(Rule):
+    rule_id = "REP010"
+    name = "transitive-determinism"
+    description = (
+        "no prediction-tier function may transitively reach wall clocks, "
+        "global RNG, or environment reads through project calls "
+        "(witness call path included in each finding)"
+    )
+    needs_graph = True
+    node_types = ()
+
+    def run_graph(
+        self, graph: ProjectGraph, report: Callable[[Finding], None]
+    ) -> None:
+        taint = TaintAnalysis(
+            graph, seed=self._seed_predicate(graph), exempt=_is_exempt
+        )
+        for qualname in taint.tainted():
+            info = graph.functions.get(qualname)
+            if info is None or not self._in_scope(info.path):
+                continue
+            cause = taint.cause(qualname)
+            chain = taint.chain(qualname)
+            primitive = chain[-1].target if chain else "?"
+            if isinstance(cause, ExternalRef):
+                # Directly nondeterministic: REP001 already owns clocks
+                # and RNG; only ambient-environment reads are ours.
+                if not _is_env_target(cause.target):
+                    continue
+                message = (
+                    f"reads ambient environment via {cause.target}; the "
+                    "prediction tiers must take configuration as explicit "
+                    "arguments"
+                )
+            else:
+                hops = len(chain) - 1
+                message = (
+                    f"transitively reaches nondeterministic "
+                    f"{primitive} through {hops} project call hop(s); "
+                    "see the witness path"
+                )
+            scope = qualname[len(info.module) + 1:]
+            report(
+                Finding(
+                    rule=self.rule_id,
+                    path=info.path,
+                    line=cause.line,
+                    col=1,
+                    message=message,
+                    scope="" if scope == "<module>" else scope,
+                    witness=taint.witness(qualname),
+                )
+            )
+
+    def _seed_predicate(
+        self, graph: ProjectGraph
+    ) -> Callable[[ExternalRef], bool]:
+        def seed(ref: ExternalRef) -> bool:
+            if not _is_nondet_target(ref.target):
+                return False
+            # A justified suppression on the primitive's own line stops
+            # the taint at its source.
+            if graph.suppressed(ref.path, "REP001", ref.line):
+                return False
+            if graph.suppressed(ref.path, self.rule_id, ref.line):
+                return False
+            return True
+
+        return seed
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        return bool(SCOPE_DIRS & set(path.split("/")[:-1]))

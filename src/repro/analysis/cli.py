@@ -1,9 +1,16 @@
 """The ``repro lint`` subcommand.
 
 Exit codes follow linter convention: **0** clean (every finding fixed,
-suppressed, or baselined), **1** at least one non-baselined finding (or a
-stale baseline entry — the baseline must shrink as debt is paid), **2**
-usage/configuration errors (bad path, unknown rule id, broken baseline).
+suppressed, or baselined), **1** at least one non-baselined finding, a
+stale baseline entry, or a stale suppression comment (both kinds of debt
+must shrink as it is paid), **2** usage/configuration errors (bad path,
+unknown rule id, broken baseline).
+
+The project call graph (analysis phase 1) can be built once and cached:
+``--graph PATH`` loads a previously saved graph when every file
+fingerprint still matches (and rebuilds + saves it otherwise), and
+``--graph-only`` stops after the build — CI uses the pair to split the
+cached graph-build step from the rule-run step.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.baseline import Baseline, split_against_baseline
+from repro.analysis.graph import build_graph, load_cached
 from repro.analysis.reporting import render_json, render_text
 from repro.analysis.rules import select_rules
 from repro.analysis.visitor import Analyzer, iter_python_files
@@ -43,6 +51,28 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--rule", action="append", default=None, metavar="REPNNN",
+        help=(
+            "run only this rule (repeatable; comma lists accepted; "
+            "combines with --select)"
+        ),
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="append per-rule finding counts and wall time to the report",
+    )
+    parser.add_argument(
+        "--graph", default=None, metavar="PATH",
+        help=(
+            "call-graph cache: load it when file fingerprints match, "
+            "otherwise rebuild and save it here"
+        ),
+    )
+    parser.add_argument(
+        "--graph-only", action="store_true",
+        help="build and save the call graph (requires --graph), skip rules",
+    )
+    parser.add_argument(
         "--baseline", default=None, metavar="PATH",
         help=(
             "baseline file of grandfathered findings "
@@ -59,19 +89,53 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _selected_rule_ids(args: argparse.Namespace) -> Optional[list[str]]:
+    """Merge ``--select`` and ``--rule`` into one id list (None = all)."""
+    tokens: list[str] = []
+    if args.select is not None:
+        tokens.extend(args.select.split(","))
+    for value in args.rule or ():
+        tokens.extend(value.split(","))
+    return tokens or None
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute ``repro lint``; returns the process exit code."""
     try:
-        selected = (
-            args.select.split(",") if args.select is not None else None
-        )
-        rules = select_rules(selected)
+        rules = select_rules(_selected_rule_ids(args))
         files = iter_python_files(args.paths)
     except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    findings = Analyzer(rules).run(files)
+    if args.graph_only and not args.graph:
+        print("error: --graph-only requires --graph PATH", file=sys.stderr)
+        return EXIT_USAGE
+
+    # Anchor module names (and finding paths) at the invocation cwd so
+    # `repro lint .` resolves cross-module imports exactly like
+    # `repro lint src` does from the repo root.
+    root = os.getcwd()
+    graph = None
+    if args.graph:
+        graph = load_cached(args.graph, files, root=root)
+        if graph is None:
+            graph = build_graph(files, root=root)
+            graph.save(args.graph)
+            print(
+                f"built call graph: {graph.stats()['functions']} "
+                f"function(s), {graph.stats()['edges']} edge(s) "
+                f"-> {args.graph}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"loaded cached call graph from {args.graph}",
+                  file=sys.stderr)
+    if args.graph_only:
+        return EXIT_CLEAN
+
+    analyzer = Analyzer(rules, graph=graph)
+    findings = analyzer.run(files, root=root)
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
@@ -95,6 +159,7 @@ def run_lint(args: argparse.Namespace) -> int:
         return EXIT_USAGE
 
     fresh, known, stale = split_against_baseline(findings, baseline)
+    unused = analyzer.unused_suppressions
     if args.format == "json":
         report = render_json(
             fresh,
@@ -102,6 +167,8 @@ def run_lint(args: argparse.Namespace) -> int:
             stale_baseline=stale,
             files_analyzed=len(files),
             rules=rules,
+            unused_suppressions=unused,
+            stats=analyzer.stats,
         )
     else:
         report = render_text(
@@ -109,13 +176,15 @@ def run_lint(args: argparse.Namespace) -> int:
             grandfathered=known,
             stale_baseline=stale,
             files_analyzed=len(files),
+            unused_suppressions=unused,
+            stats=analyzer.stats if args.stats else None,
         )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
     else:
         print(report)
-    return EXIT_FINDINGS if fresh or stale else EXIT_CLEAN
+    return EXIT_FINDINGS if fresh or stale or unused else EXIT_CLEAN
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

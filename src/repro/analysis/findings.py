@@ -37,6 +37,9 @@ class Finding:
     occurrence: int = 0
     #: Populated by :func:`assign_stable_ids`.
     stable_id: str = field(default="", compare=False)
+    #: Witness call path for graph findings (``caller -> callee`` hops),
+    #: excluded from identity so edge-line drift never churns baselines.
+    witness: tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def identity(self) -> tuple[str, str, str, str]:
@@ -55,7 +58,7 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "id": self.stable_id,
             "rule": self.rule,
             "path": self.path,
@@ -64,6 +67,9 @@ class Finding:
             "scope": self.scope,
             "message": self.message,
         }
+        if self.witness:
+            data["witness"] = list(self.witness)
+        return data
 
 
 def assign_stable_ids(findings: Iterable[Finding]) -> list[Finding]:

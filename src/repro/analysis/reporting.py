@@ -6,6 +6,7 @@ import json
 from typing import Optional, Sequence
 
 from repro.analysis.findings import Finding
+from repro.analysis.visitor import UnusedSuppression
 
 __all__ = ["render_text", "render_json"]
 
@@ -15,12 +16,15 @@ def render_text(
     grandfathered: Sequence[Finding] = (),
     stale_baseline: Sequence[str] = (),
     files_analyzed: int = 0,
+    unused_suppressions: Sequence[UnusedSuppression] = (),
+    stats: Optional[dict] = None,
 ) -> str:
     """Human-readable report: one ``path:line:col`` line per finding."""
-    lines = [
-        f"{f.location()}: {f.rule} {f.message}  [{f.stable_id}]"
-        for f in findings
-    ]
+    lines = []
+    for f in findings:
+        lines.append(f"{f.location()}: {f.rule} {f.message}  [{f.stable_id}]")
+        for hop in f.witness:
+            lines.append(f"    via {hop}")
     if stale_baseline:
         lines.append("")
         lines.append(
@@ -28,6 +32,32 @@ def render_text(
             "--update-baseline):"
         )
         lines.extend(f"  {stale_id}" for stale_id in stale_baseline)
+    if unused_suppressions:
+        lines.append("")
+        lines.append(
+            "stale suppressions (the comment excused nothing — fix or "
+            "remove it):"
+        )
+        lines.extend(f"  {entry.describe()}" for entry in unused_suppressions)
+    if stats:
+        lines.append("")
+        lines.append(
+            f"analysis: {stats.get('analysis_seconds', 0.0):.3f}s over "
+            f"{stats.get('files', files_analyzed)} file(s)"
+        )
+        graph = stats.get("graph")
+        if graph:
+            lines.append(
+                f"call graph: {graph['functions']} function(s), "
+                f"{graph['edges']} edge(s), {graph['unresolved']} "
+                f"unresolved, {graph['dynamic_calls']} dynamic "
+                f"({graph['build_seconds']:.3f}s build)"
+            )
+        for rule_id, entry in sorted(stats.get("rules", {}).items()):
+            lines.append(
+                f"  {rule_id}: {entry['findings']} finding(s) in "
+                f"{entry['seconds']:.3f}s"
+            )
     lines.append("")
     by_rule: dict[str, int] = {}
     for finding in findings:
@@ -39,6 +69,11 @@ def render_text(
         f"{len(findings)} finding(s) in {files_analyzed} file(s)"
         + (f" ({breakdown})" if breakdown else "")
         + (f"; {len(grandfathered)} baselined" if grandfathered else "")
+        + (
+            f"; {len(unused_suppressions)} stale suppression(s)"
+            if unused_suppressions
+            else ""
+        )
     )
     lines.append(summary)
     return "\n".join(lines)
@@ -50,22 +85,30 @@ def render_json(
     stale_baseline: Sequence[str] = (),
     files_analyzed: int = 0,
     rules: Optional[Sequence] = None,
+    unused_suppressions: Sequence[UnusedSuppression] = (),
+    stats: Optional[dict] = None,
 ) -> str:
     """Machine-readable report (the CI artifact format)."""
     by_rule: dict[str, int] = {}
     for finding in findings:
         by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
     document = {
-        "version": 1,
+        "version": 2,
         "files_analyzed": files_analyzed,
         "findings": [f.to_dict() for f in findings],
         "baselined": [f.to_dict() for f in grandfathered],
         "stale_baseline": list(stale_baseline),
+        "unused_suppressions": [
+            entry.to_dict() for entry in unused_suppressions
+        ],
         "summary": {
             "total": len(findings),
             "by_rule": dict(sorted(by_rule.items())),
+            "stale_suppressions": len(unused_suppressions),
         },
     }
+    if stats is not None:
+        document["stats"] = stats
     if rules is not None:
         document["rules"] = [
             {

@@ -151,6 +151,9 @@ class Rule:
     name: str = ""
     description: str = ""
     node_types: tuple[Type[ast.AST], ...] = ()
+    #: Graph rules opt in to analysis phase 2: the analyzer builds the
+    #: project call graph once and hands it to :meth:`run_graph`.
+    needs_graph: bool = False
 
     def applies_to(self, path: str) -> bool:
         """Whether this rule inspects ``path`` at all (cheap pre-filter)."""
@@ -167,6 +170,12 @@ class Rule:
 
     def end_run(self, report: Callable[[Finding], None]) -> None:
         """Called once after every file; emit cross-file findings here."""
+
+    def run_graph(self, graph, report: Callable[[Finding], None]) -> None:
+        """Phase 2: called with the project call graph when
+        :attr:`needs_graph` is set.  Findings reported here honour the
+        suppression comments of the file they anchor to, like
+        :meth:`end_run` findings."""
 
 
 _REGISTRY: dict[str, Type[Rule]] = {}

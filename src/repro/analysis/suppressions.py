@@ -16,10 +16,28 @@ on lines the parser folds away (decorators, multi-line calls).
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from typing import Optional, Sequence
 
-__all__ = ["SuppressionIndex", "parse_suppressions"]
+__all__ = ["SuppressionIndex", "comment_lines", "parse_suppressions"]
+
+
+def comment_lines(source: str) -> Optional[set[int]]:
+    """Line numbers carrying real ``#`` comment tokens.
+
+    Returns ``None`` when the source cannot be tokenized; callers fall
+    back to the permissive raw-line scan.
+    """
+    lines: set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return lines
 
 _PATTERN = re.compile(
     r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
@@ -27,10 +45,17 @@ _PATTERN = re.compile(
 
 
 class SuppressionIndex:
-    """Per-file map of line number -> suppressed rule IDs (None = all)."""
+    """Per-file map of line number -> suppressed rule IDs (None = all).
+
+    The index remembers which comment lines actually suppressed a finding
+    (:attr:`used`), which is what lets the CLI flag stale suppressions the
+    same way it flags stale baseline entries.
+    """
 
     def __init__(self, by_line: dict[int, Optional[frozenset[str]]]):
         self._by_line = by_line
+        #: Comment lines that matched at least one finding this run.
+        self.used: set[int] = set()
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """Whether ``rule`` is ignored on ``line`` (or from the line above)."""
@@ -39,8 +64,37 @@ class SuppressionIndex:
             if rules is _MISSING:
                 continue
             if rules is None or rule in rules:
+                self.used.add(candidate)
                 return True
         return False
+
+    def entries(self) -> list[tuple[int, Optional[frozenset[str]]]]:
+        """All suppression comments as ``(line, rules-or-None)`` pairs."""
+        return sorted(self._by_line.items())
+
+    def unused(
+        self,
+        active_rules: Optional[frozenset[str]] = None,
+        complete: bool = True,
+    ) -> list[tuple[int, Optional[frozenset[str]]]]:
+        """Suppression comments that excused nothing this run.
+
+        When the analyzer ran a *filtered* rule set, only comments naming
+        at least one active rule can be judged — a ``REP001`` suppression
+        is not stale just because ``--rule REP010`` skipped REP001.  Bare
+        ``# repro: ignore`` comments are only judged on a ``complete`` run.
+        """
+        stale: list[tuple[int, Optional[frozenset[str]]]] = []
+        for line, rules in self.entries():
+            if line in self.used:
+                continue
+            if rules is None:
+                if not complete:
+                    continue
+            elif active_rules is not None and not (rules & active_rules):
+                continue
+            stale.append((line, rules))
+        return stale
 
     def __len__(self) -> int:
         return len(self._by_line)
@@ -49,11 +103,22 @@ class SuppressionIndex:
 _MISSING: frozenset = frozenset(("\0missing",))
 
 
-def parse_suppressions(lines: Sequence[str]) -> SuppressionIndex:
-    """Scan source lines for suppression comments (1-based line numbers)."""
+def parse_suppressions(
+    lines: Sequence[str],
+    comment_lines: Optional[set[int]] = None,
+) -> SuppressionIndex:
+    """Scan source lines for suppression comments (1-based line numbers).
+
+    ``comment_lines``, when given, restricts matches to lines known to
+    carry a real ``#`` comment token — this keeps suppression *examples*
+    inside docstrings (like the ones in this module) from being indexed,
+    which matters now that unindexed-but-unused suppressions fail the run.
+    """
     by_line: dict[int, Optional[frozenset[str]]] = {}
     for lineno, text in enumerate(lines, start=1):
         if "repro:" not in text:
+            continue
+        if comment_lines is not None and lineno not in comment_lines:
             continue
         match = _PATTERN.search(text)
         if match is None:

@@ -1,15 +1,25 @@
-"""The shared single-pass walker and the analyzer driver.
+"""The shared single-pass walker and the two-phase analyzer driver.
 
-``Analyzer`` owns one instance of each active rule, walks every target
-file's AST exactly once, and dispatches each node to the rules registered
-for its type.  Suppression comments are applied as findings are collected,
-so a suppressed finding never reaches the reporters or the baseline.
+``Analyzer`` owns one instance of each active rule and runs analysis in
+two phases.  **Phase 1** walks every target file's AST exactly once,
+dispatching each node to the rules registered for its type, and — when
+any active rule sets ``needs_graph`` — builds the project-wide call graph
+(:mod:`repro.analysis.graph`) over the same file set.  **Phase 2** hands
+that graph to the graph rules, whose findings (witness paths included)
+honour the suppression comments of the file they anchor to, exactly like
+per-file findings.
+
+The analyzer also keeps the books the CLI reports on: per-rule wall time
+and finding counts (``--stats``), and which suppression comments actually
+excused something — the rest are *stale* and fail the run the same way
+stale baseline entries do.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import time
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.findings import (
@@ -17,10 +27,16 @@ from repro.analysis.findings import (
     Finding,
     assign_stable_ids,
 )
-from repro.analysis.rules import FileContext, Rule, select_rules
-from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.graph import ProjectGraph, build_graph
+from repro.analysis.rules import FileContext, Rule, all_rules, select_rules
+from repro.analysis.suppressions import (
+    SuppressionIndex,
+    comment_lines,
+    parse_suppressions,
+)
 
-__all__ = ["Analyzer", "analyze_paths", "iter_python_files"]
+__all__ = ["Analyzer", "UnusedSuppression", "analyze_paths",
+           "iter_python_files"]
 
 
 def iter_python_files(paths: Sequence[str]) -> list[str]:
@@ -42,34 +58,123 @@ def iter_python_files(paths: Sequence[str]) -> list[str]:
     return sorted(out)
 
 
+class UnusedSuppression:
+    """A ``# repro: ignore`` comment that excused nothing this run."""
+
+    __slots__ = ("path", "line", "rules")
+
+    def __init__(self, path: str, line: int, rules: Optional[frozenset[str]]):
+        self.path = path
+        self.line = line
+        self.rules = rules
+
+    def describe(self) -> str:
+        names = "all rules" if self.rules is None else ", ".join(
+            sorted(self.rules)
+        )
+        return f"{self.path}:{self.line}: unused suppression for {names}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": None if self.rules is None else sorted(self.rules),
+        }
+
+
 class Analyzer:
     """Run a set of rules over a set of files, one AST pass per file."""
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        graph: Optional[ProjectGraph] = None,
+    ):
         self.rules = list(rules) if rules is not None else select_rules()
+        #: Pre-built (cached) call graph; built on demand when None and a
+        #: graph rule is active.
+        self.graph = graph
         self._findings: list[Finding] = []
-        self._suppressions: dict[str, object] = {}
+        self._suppressions: dict[str, SuppressionIndex] = {}
+        self._rule_seconds: dict[str, float] = {}
+        self.unused_suppressions: list[UnusedSuppression] = []
+        self.stats: dict = {}
 
     # -- collection -----------------------------------------------------------
 
     def run(self, files: Iterable[str], root: Optional[str] = None) -> list[Finding]:
         """Analyze ``files``; paths in findings are relative to ``root``."""
+        started = time.perf_counter()
+        file_list = list(files)
         self._findings = []
         self._suppressions = {}
-        for path in files:
+        self._rule_seconds = {rule.rule_id: 0.0 for rule in self.rules}
+        self.unused_suppressions = []
+        for path in file_list:
             self._run_file(path, root)
+        # Phase 2: build (or reuse) the project graph for graph rules.
+        graph_rules = [rule for rule in self.rules if rule.needs_graph]
+        if graph_rules and self.graph is None:
+            self.graph = build_graph(file_list, root=root)
+        late: list[Finding] = []
+        for rule in graph_rules:
+            t0 = time.perf_counter()
+            rule.run_graph(self.graph, late.append)
+            self._rule_seconds[rule.rule_id] += time.perf_counter() - t0
+        if self.graph is not None:
+            # Suppressions consulted through the graph (e.g. a justified
+            # primitive stopping REP010 taint at its seed) count as used.
+            for path, gindex in self.graph._suppressions.items():
+                mine = self._suppressions.get(path)
+                if mine is not None:
+                    mine.used |= gindex.used
         # Cross-file findings honour the suppression comments of the file
         # they anchor to, same as per-file ones.
-        late: list[Finding] = []
         for rule in self.rules:
+            t0 = time.perf_counter()
             rule.end_run(late.append)
+            self._rule_seconds[rule.rule_id] += time.perf_counter() - t0
         for finding in late:
             index = self._suppressions.get(finding.path)
             if index is None or not index.is_suppressed(
                 finding.rule, finding.line
             ):
                 self._findings.append(finding)
-        return assign_stable_ids(self._findings)
+        findings = assign_stable_ids(self._findings)
+        self._collect_unused_suppressions()
+        self._collect_stats(findings, len(file_list), started)
+        return findings
+
+    def _collect_unused_suppressions(self) -> None:
+        active = frozenset(rule.rule_id for rule in self.rules)
+        registered = {cls.rule_id for cls in all_rules()}
+        complete = active >= registered
+        for path in sorted(self._suppressions):
+            index = self._suppressions[path]
+            for line, rules in index.unused(active, complete=complete):
+                self.unused_suppressions.append(
+                    UnusedSuppression(path, line, rules)
+                )
+
+    def _collect_stats(
+        self, findings: Sequence[Finding], files: int, started: float
+    ) -> None:
+        per_rule: dict[str, dict] = {}
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        for rule in sorted(self.rules, key=lambda r: r.rule_id):
+            per_rule[rule.rule_id] = {
+                "findings": counts.get(rule.rule_id, 0),
+                "seconds": round(self._rule_seconds[rule.rule_id], 4),
+            }
+        self.stats = {
+            "files": files,
+            "analysis_seconds": round(time.perf_counter() - started, 4),
+            "rules": per_rule,
+        }
+        if self.graph is not None:
+            self.stats["graph"] = self.graph.stats()
 
     def _run_file(self, path: str, root: Optional[str]) -> None:
         display = os.path.relpath(path, root) if root else path
@@ -90,7 +195,9 @@ class Analyzer:
             )
             return
         lines = source.splitlines()
-        suppressions = parse_suppressions(lines)
+        suppressions = parse_suppressions(
+            lines, comment_lines=comment_lines(source)
+        )
         self._suppressions[display] = suppressions
         collected: list[Finding] = []
         ctx = FileContext(display, tree, lines, collected.append)
@@ -115,8 +222,12 @@ class Analyzer:
         ctx: FileContext,
         dispatch: dict[type, list[Rule]],
     ) -> None:
-        for rule in dispatch.get(type(node), ()):
-            rule.visit(node, ctx)
+        interested = dispatch.get(type(node))
+        if interested:
+            for rule in interested:
+                t0 = time.perf_counter()
+                rule.visit(node, ctx)
+                self._rule_seconds[rule.rule_id] += time.perf_counter() - t0
         ctx.ancestors.append(node)
         try:
             for child in ast.iter_child_nodes(node):

@@ -38,7 +38,7 @@ class CompositionModel:
     pre_seconds: float = 0.0
     post_seconds: float = 0.0
     chain_length: int = 0
-    _symbols: dict = field(default_factory=dict, compare=False)
+    _symbols: dict[str, object] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         missing = [

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 from repro.core.kernel import ControlFlow
 from repro.core.metrics import Metric, combine_isolated
@@ -101,7 +101,7 @@ class ChainCoupling:
 class CouplingSet:
     """All chain couplings of one (flow, chain length) configuration."""
 
-    def __init__(self, flow: ControlFlow, chain_length: int):
+    def __init__(self, flow: ControlFlow, chain_length: int) -> None:
         if not 2 <= chain_length <= len(flow):
             raise ConfigurationError(
                 f"chain length must be in 2..{len(flow)}, got {chain_length}"
@@ -150,7 +150,7 @@ class CouplingSet:
         except KeyError:
             raise PredictionError(f"no coupling recorded for window {win}") from None
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ChainCoupling]:
         return iter(self._by_window.values())
 
     def __len__(self) -> int:

@@ -27,7 +27,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
+from repro.core.coupling import CouplingSet
 from repro.core.kernel import ControlFlow
 from repro.core.reuse import CouplingStore
 from repro.errors import PredictionError
@@ -61,7 +63,7 @@ def npb_work_share(benchmark: str, problem_class: str) -> WorkShare:
     return share
 
 
-def _basis(nprocs: int, work_share: WorkShare) -> np.ndarray:
+def _basis(nprocs: int, work_share: WorkShare) -> NDArray[np.float64]:
     return np.array(
         [1.0, work_share(nprocs), math.log2(max(2, nprocs))]
     )
@@ -129,7 +131,9 @@ class KernelScalingModel:
         )
 
 
-def _nnls(design: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, float]:
+def _nnls(
+    design: NDArray[np.float64], target: NDArray[np.float64]
+) -> tuple[NDArray[np.float64], float]:
     """Non-negative least squares (scipy's Lawson–Hanson)."""
     from scipy.optimize import nnls
 
@@ -145,7 +149,7 @@ class ScalingModelSet:
         flow: ControlFlow,
         chain_length: int,
         work_share: WorkShare = even_share,
-    ):
+    ) -> None:
         self.flow = flow
         self.chain_length = chain_length
         self.work_share = work_share
@@ -176,7 +180,9 @@ class ScalingModelSet:
                 kernel, data, self.work_share
             )
 
-    def add_couplings(self, problem_class: str, nprocs: int, coupling_set) -> None:
+    def add_couplings(
+        self, problem_class: str, nprocs: int, coupling_set: CouplingSet
+    ) -> None:
         """Record a measured coupling set for borrowing."""
         self.couplings.add(problem_class, nprocs, coupling_set)
 

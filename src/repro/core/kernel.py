@@ -37,7 +37,9 @@ class Kernel:
 class ControlFlow:
     """An ordered sequence of kernels executed repeatedly in a loop."""
 
-    def __init__(self, kernels: Sequence[str | Kernel], cyclic: bool = True):
+    def __init__(
+        self, kernels: Sequence[str | Kernel], cyclic: bool = True
+    ) -> None:
         if not kernels:
             raise ConfigurationError("ControlFlow needs at least one kernel")
         self.kernels: tuple[Kernel, ...] = tuple(

@@ -64,7 +64,7 @@ class PredictionInputs:
         return sum(self.pre_times.values()) + sum(self.post_times.values())
 
     @property
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[Any, ...]:
         """A canonical, hashable identity of these inputs.
 
         Two inputs with equal measurements (regardless of mapping insertion
@@ -148,7 +148,7 @@ class SummationPredictor:
 class CouplingPredictor:
     """The paper's predictor for a given chain length."""
 
-    def __init__(self, chain_length: int):
+    def __init__(self, chain_length: int) -> None:
         if chain_length < 2:
             raise PredictionError(
                 f"coupling chains need length >= 2, got {chain_length}"

@@ -41,7 +41,7 @@ class ReusedPrediction:
 class CouplingStore:
     """Chain couplings indexed by (problem class, nprocs)."""
 
-    def __init__(self, flow: ControlFlow, chain_length: int):
+    def __init__(self, flow: ControlFlow, chain_length: int) -> None:
         self.flow = flow
         self.chain_length = chain_length
         self._store: dict[tuple[str, int], dict[tuple[str, ...], float]] = {}

@@ -42,7 +42,7 @@ class CouplingScalingStudy:
         machine: MachineConfig,
         chain_length: int = 2,
         measurement: MeasurementConfig = MeasurementConfig(),
-    ):
+    ) -> None:
         self.benchmark_name = benchmark_name
         self.machine = machine
         self.chain_length = chain_length

@@ -35,7 +35,7 @@ class TrainingCase:
 class ChainLengthSelector:
     """Chooses the chain length that generalizes, not the post-hoc best."""
 
-    def __init__(self, lengths: Sequence[int] = (2, 3, 4, 5)):
+    def __init__(self, lengths: Sequence[int] = (2, 3, 4, 5)) -> None:
         if not lengths or any(length < 2 for length in lengths):
             raise PredictionError("chain lengths must all be >= 2")
         self.lengths = tuple(lengths)

@@ -27,7 +27,7 @@ class DeadlockError(SimulationError):
     precise set of stuck ranks.
     """
 
-    def __init__(self, blocked: list[str]):
+    def __init__(self, blocked: list[str]) -> None:
         self.blocked = list(blocked)
         super().__init__(
             "simulation deadlock: %d process(es) still blocked: %s"
@@ -63,7 +63,7 @@ class ServiceSaturatedError(ServiceError):
     of hammering a saturated queue.
     """
 
-    def __init__(self, message: str, retry_after: float = 1.0):
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
         self.retry_after = retry_after
         super().__init__(message)
 
@@ -80,7 +80,7 @@ class ServiceTimeoutError(ServiceError):
     error only means *this* caller stopped waiting.
     """
 
-    def __init__(self, message: str, timeout: float = 0.0):
+    def __init__(self, message: str, timeout: float = 0.0) -> None:
         self.timeout = timeout
         super().__init__(message)
 

@@ -222,7 +222,7 @@ class FaultInjector:
     consistent under concurrent checkpoints.
     """
 
-    def __init__(self, plan: FaultPlan, record_metrics: bool = True):
+    def __init__(self, plan: FaultPlan, record_metrics: bool = True) -> None:
         self.plan = plan
         self._record_metrics = record_metrics
         self._sites = {

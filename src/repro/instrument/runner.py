@@ -125,7 +125,7 @@ class ChainRunner:
         benchmark: Benchmark,
         machine_config: MachineConfig,
         config: MeasurementConfig = MeasurementConfig(),
-    ):
+    ) -> None:
         self.benchmark = benchmark
         self.machine_config = machine_config
         self.config = config

@@ -50,7 +50,7 @@ class Event:
 
     __slots__ = ("sim", "_cb", "callbacks", "_value", "_exc", "processed")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._cb: Optional[Callable[["Event"], None]] = None
         self.callbacks: Optional[list[Callable[["Event"], None]]] = None
@@ -137,7 +137,7 @@ class Timeout(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         # Allocation-light fast path: set every slot directly and push the
         # heap entry inline — this constructor runs once per simulated
         # timeout and dominates compute-kernel event traffic.
@@ -165,7 +165,7 @@ class AllOf(Event):
 
     __slots__ = ("_children", "_remaining")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._children = list(events)
         self._remaining = len(self._children)
@@ -196,7 +196,7 @@ class AnyOf(Event):
 
     __slots__ = ("_children",)
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._children = list(events)
         if not self._children:
@@ -227,7 +227,7 @@ class Process(Event):
         sim: "Simulator",
         gen: Generator[Event, Any, Any],
         name: str = "process",
-    ):
+    ) -> None:
         super().__init__(sim)
         if not isinstance(gen, Generator):
             raise SimulationError(

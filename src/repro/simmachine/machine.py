@@ -174,7 +174,7 @@ class MachineConfig:
                 f"noise_cv must be < 1 for a sane jitter model, got {self.noise_cv}"
             )
 
-    def with_(self, **overrides) -> "MachineConfig":
+    def with_(self, **overrides: object) -> "MachineConfig":
         """Return a copy with fields replaced (config sweeps, ablations)."""
         return replace(self, **overrides)
 

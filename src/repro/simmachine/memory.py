@@ -86,7 +86,7 @@ class _Level:
 
     __slots__ = ("name", "capacity", "byte_time", "resident", "occupied")
 
-    def __init__(self, name: str, capacity: int, byte_time: float):
+    def __init__(self, name: str, capacity: int, byte_time: float) -> None:
         self.name = name
         self.capacity = int(capacity)
         self.byte_time = byte_time
@@ -127,7 +127,7 @@ class MemoryHierarchy:
         level_specs: Sequence[tuple[str, int, float]],
         memory_byte_time: float,
         write_factor: float = 1.0,
-    ):
+    ) -> None:
         """
         Parameters
         ----------

@@ -44,7 +44,7 @@ class MessageTiming:
 class NetworkModel:
     """Shared network state for one simulated machine instance."""
 
-    def __init__(self, config: NetworkConfig, nprocs: int):
+    def __init__(self, config: NetworkConfig, nprocs: int) -> None:
         if nprocs < 1:
             raise CommunicationError(f"network needs >= 1 proc, got {nprocs}")
         self.config = config

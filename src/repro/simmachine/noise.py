@@ -34,7 +34,7 @@ class RankNoise:
 
     __slots__ = ("_rng", "_sigma", "_mu", "cv", "draws")
 
-    def __init__(self, seed_material: tuple[int, ...], cv: float):
+    def __init__(self, seed_material: tuple[int, ...], cv: float) -> None:
         self.cv = cv
         self.draws = 0
         if cv > 0.0:
@@ -72,7 +72,7 @@ class RankNoise:
 class NoiseModel:
     """Factory of per-(run, rank) jitter streams."""
 
-    def __init__(self, seed: int, cv: float):
+    def __init__(self, seed: int, cv: float) -> None:
         check_non_negative("noise cv", cv)
         self.seed = int(seed)
         self.cv = float(cv)

@@ -64,7 +64,7 @@ class KernelCounters:
 class RankContext:
     """Execution context handed to a kernel program on one rank."""
 
-    def __init__(self, machine: "Machine", rank: int):
+    def __init__(self, machine: "Machine", rank: int) -> None:
         self.machine = machine
         self.rank = rank
         self.sim: Simulator = machine.sim
@@ -194,7 +194,7 @@ class Machine:
         seed: int = 0,
         run_id: str = "run",
         trace: Union[bool, int, Trace] = False,
-    ):
+    ) -> None:
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
         if nprocs > config.max_procs:

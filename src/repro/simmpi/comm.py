@@ -36,7 +36,7 @@ COLL_TAG_BASE = 1_000_000
 class World:
     """Shared mailbox state for all ranks of one machine run."""
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self.size = machine.nprocs
         # pending_msgs[dst][(src, tag)] -> deque of (arrival, nbytes, payload)
@@ -64,7 +64,7 @@ class World:
 class Comm:
     """Per-rank communicator facade."""
 
-    def __init__(self, world: World, rank: int):
+    def __init__(self, world: World, rank: int) -> None:
         self.world = world
         self.rank = rank
         self.size = world.size
@@ -164,7 +164,7 @@ class Comm:
 
     def waitany(
         self, requests: Iterable[Request]
-    ) -> Generator[Event, Any, tuple]:
+    ) -> Generator[Event, Any, tuple[int, Any]]:
         """Block until the first request completes.
 
         Returns ``(index, payload)`` of the completed request; the others
@@ -176,7 +176,9 @@ class Comm:
         self.ctx.account_wait(self.sim.now - t0)
         return index, value
 
-    def waitall(self, requests: Iterable[Request]) -> Generator[Event, Any, list]:
+    def waitall(
+        self, requests: Iterable[Request]
+    ) -> Generator[Event, Any, list[Any]]:
         """Block until every request completes; returns payloads in order."""
         reqs = list(requests)
         t0 = self.sim.now
@@ -361,7 +363,7 @@ class Comm:
 
     def allgather(
         self, value: Any, nbytes: int
-    ) -> Generator[Event, Any, list]:
+    ) -> Generator[Event, Any, list[Any]]:
         """Ring allgather; every rank returns ``[value_0, ..., value_{P-1}]``."""
         tag = self._next_coll_tag()
         size = self.size
@@ -392,7 +394,7 @@ class Comm:
 
     def alltoall(
         self, values: list[Any], nbytes_each: int
-    ) -> Generator[Event, Any, list]:
+    ) -> Generator[Event, Any, list[Any]]:
         """Pairwise-exchange all-to-all; ``values[d]`` goes to rank ``d``."""
         if len(values) != self.size:
             raise CommunicationError(
@@ -420,7 +422,7 @@ class Comm:
 
     def gather(
         self, value: Any, nbytes: int, root: int = 0
-    ) -> Generator[Event, Any, Optional[list]]:
+    ) -> Generator[Event, Any, Optional[list[Any]]]:
         """Gather one value per rank to ``root`` (binomial tree)."""
         self._check_peer(root)
         tag = self._next_coll_tag()

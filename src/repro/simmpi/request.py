@@ -20,7 +20,7 @@ class Request:
 
     __slots__ = ("event", "kind", "peer", "tag", "nbytes")
 
-    def __init__(self, event: Event, kind: str, peer: int, tag: int, nbytes: int):
+    def __init__(self, event: Event, kind: str, peer: int, tag: int, nbytes: int) -> None:
         self.event = event
         self.kind = kind  # "send" | "recv"
         self.peer = peer

@@ -98,7 +98,9 @@ class CartGrid:
             )
         return i * self.py + j
 
-    def neighbor(self, rank: int, dim: int, step: int, periodic: bool = False):
+    def neighbor(
+        self, rank: int, dim: int, step: int, periodic: bool = False
+    ) -> int | None:
         """Neighbor ``step`` away along ``dim`` (0=x, 1=y); None off-grid.
 
         With ``periodic=True`` the grid wraps (BT/SP multi-partition

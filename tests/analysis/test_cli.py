@@ -68,15 +68,219 @@ class TestJsonReport:
         monkeypatch.chdir(tmp_path)
         assert main([".", "--format", "json", "-o", "report.json"]) == 1
         report = json.loads((tmp_path / "report.json").read_text())
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["files_analyzed"] == 1
-        assert report["summary"] == {"total": 1, "by_rule": {"REP003": 1}}
+        assert report["summary"] == {
+            "total": 1,
+            "by_rule": {"REP003": 1},
+            "stale_suppressions": 0,
+        }
+        assert "stats" in report and "rules" in report["stats"]
         (finding,) = report["findings"]
         assert finding["rule"] == "REP003"
         assert finding["path"].endswith("service/pipe.py")
         assert finding["id"].startswith("REP003:")
         catalog = {rule["id"] for rule in report["rules"]}
         assert {"REP001", "REP006"} <= catalog
+
+
+class TestRuleFilterAndStats:
+    def test_rule_flag_restricts_rules(self, tmp_path, monkeypatch):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--rule", "REP001"]) == 0
+        assert main([".", "--rule", "REP003"]) == 1
+
+    def test_rule_flag_repeats_and_merges_with_select(
+        self, tmp_path, monkeypatch
+    ):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            [".", "--select", "REP001", "--rule", "REP002,REP004",
+             "--rule", "REP003"]
+        ) == 1
+        assert main([".", "--select", "REP001", "--rule", "REP002"]) == 0
+
+    def test_stats_section_in_text_report(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write_tree(tmp_path, VIOLATING)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--stats"]) == 1
+        out = capsys.readouterr().out
+        assert "analysis:" in out
+        assert "REP003: 1 finding(s)" in out
+
+
+TWO_HOP_CLOCK = {
+    "simmachine/__init__.py": "",
+    "simmachine/clock.py": """\
+    from util.timing import stamp
+
+    def advance(state):
+        return stamp(state)
+    """,
+    "util/__init__.py": "",
+    "util/timing.py": """\
+    import time
+
+    def stamp(state):
+        return raw()
+
+    def raw():
+        return time.time()
+    """,
+}
+
+
+class TestGraphRulesThroughCli:
+    def test_lint_dot_resolves_cross_module_taint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # `repro lint .` must anchor module names at the cwd; a regression
+        # here silently drops cross-module edges and REP010 goes blind.
+        write_tree(tmp_path, TWO_HOP_CLOCK)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--rule", "REP010"]) == 1
+        out = capsys.readouterr().out
+        assert "REP010" in out
+        assert "time.time" in out
+        assert "simmachine.clock.advance -> util.timing.stamp" in out
+
+    def test_witness_survives_the_graph_cache(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write_tree(tmp_path, TWO_HOP_CLOCK)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--graph", "g.json", "--graph-only"]) == 0
+        capsys.readouterr()
+        assert main(
+            [".", "--graph", "g.json", "--rule", "REP010", "--format",
+             "json", "-o", "report.json"]
+        ) == 1
+        assert "loaded cached call graph" in capsys.readouterr().err
+        report = json.loads((tmp_path / "report.json").read_text())
+        (finding,) = report["findings"]
+        assert finding["rule"] == "REP010"
+        assert finding["witness"][0].startswith(
+            "simmachine.clock.advance -> util.timing.stamp"
+        )
+
+
+class TestGraphCache:
+    def test_graph_only_builds_and_saves(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--graph", "graph.json", "--graph-only"]) == 0
+        assert "built call graph" in capsys.readouterr().err
+        document = json.loads((tmp_path / "graph.json").read_text())
+        assert document["fingerprints"]
+
+    def test_graph_only_requires_graph(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--graph-only"]) == 2
+        assert "--graph" in capsys.readouterr().err
+
+    def test_cached_graph_is_reused_until_files_change(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write_tree(tmp_path, CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--graph", "graph.json", "--graph-only"]) == 0
+        capsys.readouterr()
+        assert main([".", "--graph", "graph.json"]) == 0
+        assert "loaded cached call graph" in capsys.readouterr().err
+        # Any file change invalidates the fingerprints -> rebuild.
+        write_tree(tmp_path, {"service/pipe.py": "def drain(q):\n    return 1\n"})
+        assert main([".", "--graph", "graph.json"]) == 0
+        assert "built call graph" in capsys.readouterr().err
+
+
+class TestStaleSuppressions:
+    def test_unused_suppression_exits_one(self, tmp_path, monkeypatch, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    return q.get(timeout=1.0)  # repro: ignore[REP003]
+                """
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["."]) == 1
+        out = capsys.readouterr().out
+        assert "stale suppressions" in out
+        assert "service/pipe.py:2" in out
+
+    def test_used_suppression_is_not_stale(self, tmp_path, monkeypatch):
+        write_tree(
+            tmp_path,
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    return q.get()  # repro: ignore[REP003] — drained on close
+                """
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["."]) == 0
+
+    def test_docstring_example_is_not_a_suppression(
+        self, tmp_path, monkeypatch
+    ):
+        write_tree(
+            tmp_path,
+            {
+                "service/pipe.py": '''\
+                """Example: q.get()  # repro: ignore[REP003]"""
+
+                def drain(q):
+                    return q.get(timeout=1.0)
+                '''
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["."]) == 0
+
+    def test_filtered_run_skips_unrelated_suppressions(
+        self, tmp_path, monkeypatch
+    ):
+        # An unused REP003 suppression is only judged when REP003 runs.
+        write_tree(
+            tmp_path,
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    return q.get(timeout=1.0)  # repro: ignore[REP003]
+                """
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--rule", "REP001"]) == 0
+        assert main([".", "--rule", "REP003"]) == 1
+
+    def test_json_report_lists_unused_suppressions(
+        self, tmp_path, monkeypatch
+    ):
+        write_tree(
+            tmp_path,
+            {
+                "service/pipe.py": """\
+                def drain(q):
+                    return q.get(timeout=1.0)  # repro: ignore[REP003]
+                """
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main([".", "--format", "json", "-o", "report.json"]) == 1
+        report = json.loads((tmp_path / "report.json").read_text())
+        (entry,) = report["unused_suppressions"]
+        assert entry["path"].endswith("service/pipe.py")
+        assert entry["rules"] == ["REP003"]
+        assert report["summary"]["stale_suppressions"] == 1
 
 
 class TestBaselineWorkflow:

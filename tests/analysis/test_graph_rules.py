@@ -1,0 +1,238 @@
+"""Phase-2 graph rules: REP010 transitive determinism, REP014 API parity."""
+
+from __future__ import annotations
+
+from repro.analysis.checks.apiparity import ApiParityRule, ParityGroup
+from repro.analysis.rules import select_rules
+from repro.analysis.visitor import Analyzer, iter_python_files
+from tests.analysis.conftest import write_tree
+
+
+def lint_tree(tmp_path, files, rules=None, select=None):
+    write_tree(tmp_path, files)
+    if rules is None:
+        rules = select_rules(select) if select is not None else None
+    analyzer = Analyzer(rules)
+    findings = analyzer.run(
+        iter_python_files([str(tmp_path)]), root=str(tmp_path)
+    )
+    return findings, analyzer
+
+
+class TestTransitiveDeterminismREP010:
+    TWO_HOPS = {
+        "simmachine/__init__.py": "",
+        "simmachine/clock.py": """\
+        from util.timing import stamp
+
+        def advance(state):
+            return stamp(state)
+        """,
+        "util/__init__.py": "",
+        "util/timing.py": """\
+        import time
+
+        def stamp(state):
+            return raw()
+
+        def raw():
+            return time.time()
+        """,
+    }
+
+    def test_two_hop_clock_is_flagged_with_witness(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path, self.TWO_HOPS, select=["REP010"]
+        )
+        (finding,) = [f for f in findings if f.path.endswith("clock.py")]
+        assert finding.rule == "REP010"
+        assert "time.time" in finding.message
+        # The witness path walks every hop down to the primitive.
+        assert finding.witness == (
+            "simmachine.clock.advance -> util.timing.stamp "
+            "(simmachine/clock.py:4)",
+            "util.timing.stamp -> util.timing.raw (util/timing.py:4)",
+            "util.timing.raw -> time.time (util/timing.py:7)",
+        )
+
+    def test_direct_clock_is_rep001_territory(self, tmp_path):
+        # A clock called *directly* in-tier is REP001's finding; REP010
+        # must not double-report it.
+        files = {
+            "simmachine/__init__.py": "",
+            "simmachine/clock.py": """\
+            import time
+
+            def now():
+                return time.time()
+            """,
+        }
+        findings, _ = lint_tree(tmp_path, files, select=["REP010"])
+        assert findings == []
+        findings, _ = lint_tree(tmp_path, files, select=["REP001"])
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_direct_env_read_is_flagged(self, tmp_path):
+        files = {
+            "core/__init__.py": "",
+            "core/config.py": """\
+            import os
+
+            def knob():
+                return os.environ.get("REPRO_KNOB")
+            """,
+        }
+        findings, _ = lint_tree(tmp_path, files, select=["REP010"])
+        (finding,) = findings
+        assert "os.environ" in finding.message
+
+    def test_out_of_scope_caller_is_not_flagged(self, tmp_path):
+        files = {
+            "service/__init__.py": "",
+            "service/front.py": """\
+            import time
+
+            def latency():
+                return time.time()
+
+            def handler():
+                return latency()
+            """,
+        }
+        findings, _ = lint_tree(tmp_path, files, select=["REP010"])
+        assert findings == []
+
+    def test_suppressed_seed_stops_taint(self, tmp_path):
+        files = dict(self.TWO_HOPS)
+        files["util/timing.py"] = """\
+        import time
+
+        def stamp(state):
+            return raw()
+
+        def raw():
+            return time.time()  # repro: ignore[REP001] — host-time probe
+        """
+        findings, _ = lint_tree(tmp_path, files, select=["REP010"])
+        assert findings == []
+
+    def test_obs_modules_are_exempt_transmitters(self, tmp_path):
+        files = {
+            "simmachine/__init__.py": "",
+            "simmachine/proc.py": """\
+            from obs.tracing import span
+
+            def step():
+                span("step")
+            """,
+            "obs/__init__.py": "",
+            "obs/tracing.py": """\
+            import time
+
+            def span(name):
+                return time.perf_counter()
+            """,
+        }
+        findings, _ = lint_tree(tmp_path, files, select=["REP010"])
+        assert findings == []
+
+    def test_finding_suppressible_at_the_call_site(self, tmp_path):
+        files = dict(self.TWO_HOPS)
+        files["simmachine/clock.py"] = """\
+        from util.timing import stamp
+
+        def advance(state):
+            return stamp(state)  # repro: ignore[REP010] — test override
+        """
+        findings, _ = lint_tree(tmp_path, files, select=["REP010"])
+        assert findings == []
+
+
+PARITY_FIXTURE = {
+    "engines/__init__.py": "",
+    "engines/fast.py": """\
+    class FastEngine:
+        def run(self, workload, until=None):
+            return workload
+
+        def only_fast(self):
+            return 1
+    """,
+    "engines/exact.py": """\
+    class ExactEngine:
+        def run(self, workload, until=None):
+            return workload
+    """,
+}
+
+PARITY_GROUP = ParityGroup(
+    name="test-engines",
+    members=("engines.fast.FastEngine", "engines.exact.ExactEngine"),
+)
+
+
+class TestApiParityREP014:
+    def test_matching_shared_signatures_pass(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path, PARITY_FIXTURE, rules=[ApiParityRule([PARITY_GROUP])]
+        )
+        assert findings == []
+
+    def test_perturbed_signature_fails(self, tmp_path):
+        files = dict(PARITY_FIXTURE)
+        files["engines/exact.py"] = """\
+        class ExactEngine:
+            def run(self, workload, deadline=None):
+                return workload
+        """
+        findings, _ = lint_tree(
+            tmp_path, files, rules=[ApiParityRule([PARITY_GROUP])]
+        )
+        (finding,) = findings
+        assert finding.rule == "REP014"
+        assert "diverges" in finding.message
+        assert "until=?" in finding.message and "deadline=?" in finding.message
+        # Both definitions are named so the drifting side is obvious.
+        assert any("FastEngine" in hop for hop in finding.witness)
+        assert any("ExactEngine" in hop for hop in finding.witness)
+
+    def test_unshared_names_do_not_require_parity(self, tmp_path):
+        files = dict(PARITY_FIXTURE)
+        files["engines/exact.py"] = """\
+        class ExactEngine:
+            def run(self, workload, until=None):
+                return workload
+
+            def only_exact(self):
+                return 2
+        """
+        findings, _ = lint_tree(
+            tmp_path, files, rules=[ApiParityRule([PARITY_GROUP])]
+        )
+        assert findings == []
+
+    def test_private_methods_are_ignored(self, tmp_path):
+        files = dict(PARITY_FIXTURE)
+        files["engines/exact.py"] = """\
+        class ExactEngine:
+            def run(self, workload, until=None):
+                return workload
+
+            def _only_fast(self, different):
+                return different
+        """
+        findings, _ = lint_tree(
+            tmp_path, files, rules=[ApiParityRule([PARITY_GROUP])]
+        )
+        assert findings == []
+
+    def test_committed_group_holds_on_real_tree(self):
+        # The real tier engines must satisfy the committed contract.
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        analyzer = Analyzer(select_rules(["REP014"]))
+        findings = analyzer.run(
+            iter_python_files([str(repo / "src")]), root=str(repo)
+        )
+        assert findings == []
