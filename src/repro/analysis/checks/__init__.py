@@ -4,6 +4,7 @@ from repro.analysis.checks import (  # noqa: F401
     apiparity,
     asyncsafety,
     blocking,
+    compiledsurface,
     determinism,
     faultsites,
     locks,

@@ -13,7 +13,7 @@ approximate the Argonne IBM SP used in the paper: 120 MHz P2SC processors
 and a multistage switch.
 """
 
-from repro.simmachine.engine import (
+from repro.simmachine._backend import (
     AllOf,
     AnyOf,
     Event,

@@ -1,0 +1,121 @@
+"""Engine backend selection: compiled extension or pure Python.
+
+The discrete-event engine exists twice: the reference implementation in
+:mod:`repro.simmachine.engine` (pure Python, always present) and the
+optional compiled extension :mod:`repro.simmachine._cengine` (a C
+implementation of the same classes, bit-identical by construction —
+same IEEE-754 arithmetic order, same ``(time, seq)`` tie-breaking, same
+exception types and messages).  This module picks one at import time
+and every call site imports the engine classes from here, so the whole
+stack — core, analytic ground truth, parallel workers, the serving
+exact tier — transparently gets the fast engine when it is available.
+
+Selection rules:
+
+* ``REPRO_ENGINE`` unset or ``auto``: use the compiled extension if it
+  imports, otherwise fall back to pure Python (``selected_by="auto"``);
+* ``REPRO_ENGINE=pure``: always use the pure engine;
+* ``REPRO_ENGINE=compiled``: require the extension; raise
+  :class:`repro.errors.ConfigurationError` if it cannot be imported;
+* any other value: :class:`repro.errors.ConfigurationError`.
+
+Build the extension with ``REPRO_BUILD_EXT=1 python setup.py
+build_ext --inplace`` (see DEVELOPMENT.md); a checkout without it is
+fully functional on the pure backend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BACKEND_NAME",
+    "Event",
+    "Process",
+    "SELECTED_BY",
+    "Simulator",
+    "Timeout",
+    "backend_info",
+]
+
+if TYPE_CHECKING:
+    # The static surface is the pure engine's; the compiled classes
+    # mirror it exactly.  Typing against the reference implementation
+    # keeps `mypy --strict` meaningful for every call site.
+    from repro.simmachine.engine import (
+        AllOf,
+        AnyOf,
+        Event,
+        Process,
+        Simulator,
+        Timeout,
+    )
+
+    BACKEND_NAME: str = "pure"
+    SELECTED_BY: str = "auto"
+    _BUILD_INFO: Optional[dict[str, str]] = None
+else:
+    # Selection is configuration, not simulation: the env read happens
+    # once at import, never inside the deterministic tiers' call paths.
+    _requested = os.environ.get("REPRO_ENGINE")  # repro: ignore[REP010] — one-time backend selection, not simulation state
+
+    def _import_compiled():
+        from repro.simmachine import _cengine
+
+        return _cengine
+
+    if _requested in (None, "", "auto"):
+        SELECTED_BY = "auto"
+        try:
+            _mod = _import_compiled()
+            BACKEND_NAME = "compiled"
+        except ImportError:
+            from repro.simmachine import engine as _mod
+
+            BACKEND_NAME = "pure"
+    elif _requested == "pure":
+        from repro.simmachine import engine as _mod
+
+        BACKEND_NAME = "pure"
+        SELECTED_BY = "env"
+    elif _requested == "compiled":
+        try:
+            _mod = _import_compiled()
+        except ImportError as exc:
+            raise ConfigurationError(
+                "REPRO_ENGINE=compiled but the compiled engine extension "
+                "is not importable; build it with "
+                "'REPRO_BUILD_EXT=1 python setup.py build_ext --inplace' "
+                f"or unset REPRO_ENGINE ({exc})"
+            ) from exc
+        BACKEND_NAME = "compiled"
+        SELECTED_BY = "env"
+    else:
+        raise ConfigurationError(
+            f"invalid REPRO_ENGINE value {_requested!r}: "
+            "expected 'pure', 'compiled', or 'auto'"
+        )
+
+    Event = _mod.Event
+    Timeout = _mod.Timeout
+    AllOf = _mod.AllOf
+    AnyOf = _mod.AnyOf
+    Process = _mod.Process
+    Simulator = _mod.Simulator
+    _BUILD_INFO = getattr(_mod, "BUILD_INFO", None)
+
+
+def backend_info() -> dict[str, Any]:
+    """Describe the selected engine backend (for ``repro doctor``)."""
+    info: dict[str, Any] = {
+        "backend": BACKEND_NAME,
+        "selected_by": SELECTED_BY,
+    }
+    if _BUILD_INFO is not None:
+        info["build"] = dict(_BUILD_INFO)
+    return info

@@ -1,0 +1,1836 @@
+/* Compiled discrete-event simulation core.
+ *
+ * A hand-written CPython extension mirroring `repro.simmachine.engine`
+ * bit-for-bit: identical IEEE-754 arithmetic order, identical
+ * (time, seq) tie-breaking, identical exception types and messages,
+ * and identical fault-site checks.  The pure-Python module remains the
+ * reference implementation; `repro.simmachine._backend` selects between
+ * the two at import time (REPRO_ENGINE=pure|compiled).
+ *
+ * Performance model versus the pure engine:
+ *   - the heap holds C structs {double time; long long seq; PyObject*},
+ *     so scheduling allocates no tuples and pops compare plain doubles;
+ *   - waiters (Process / AllOf / AnyOf) are stored directly in the
+ *     event's single-callback slot and dispatched by C type, so no
+ *     bound-method objects are allocated per event;
+ *   - processes resume generators through PyIter_Send, taking the
+ *     PYGEN_RETURN fast path that never materialises StopIteration.
+ *
+ * Compatibility floor is CPython 3.10 (PyIter_Send is public from
+ * 3.10; PyType_GetName and PyErr_GetRaisedException are deliberately
+ * avoided).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stddef.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Module-level state (single-phase init; the module is a singleton). */
+
+static PyObject *SimulationError = NULL; /* repro.errors.SimulationError */
+static PyObject *DeadlockError = NULL;   /* repro.errors.DeadlockError */
+static PyObject *faults_module = NULL;   /* repro.faults, imported lazily */
+static PyObject *abc_generator = NULL;   /* collections.abc.Generator, lazy */
+
+static PyObject *str_check = NULL;
+static PyObject *str_param = NULL;
+static PyObject *str_value = NULL;
+static PyObject *str_throw = NULL;
+static PyObject *str_name = NULL;
+static PyObject *str_sim_run_error = NULL;
+static PyObject *str_sim_run_noise = NULL;
+
+/* ------------------------------------------------------------------ */
+/* Object layouts. */
+
+typedef struct {
+    double time;
+    long long seq;
+    PyObject *event; /* owned */
+} HeapEntry;
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    double delay_scale;
+    long long seq;
+    long long events_processed;
+    HeapEntry *heap;
+    Py_ssize_t heap_len;
+    Py_ssize_t heap_cap;
+    PyObject *alive; /* set of Process */
+} SimulatorObject;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *sim;       /* SimulatorObject */
+    PyObject *cb;        /* single-waiter slot: callable or waiter object */
+    PyObject *callbacks; /* list, lazily allocated */
+    PyObject *value;     /* NULL while pending (the _PENDING sentinel) */
+    PyObject *exc;       /* failure exception, or NULL */
+    char processed;
+} EventObject;
+
+typedef struct {
+    EventObject base;
+    PyObject *children; /* list of Event */
+    Py_ssize_t remaining;
+} AllOfObject;
+
+typedef struct {
+    EventObject base;
+    PyObject *children; /* list of Event */
+} AnyOfObject;
+
+typedef struct {
+    EventObject base;
+    PyObject *name;
+    PyObject *gen;
+    PyObject *gen_throw; /* gen.throw, cached on first failing event */
+} ProcessObject;
+
+static PyTypeObject Event_Type;
+static PyTypeObject Timeout_Type;
+static PyTypeObject AllOf_Type;
+static PyTypeObject AnyOf_Type;
+static PyTypeObject Process_Type;
+static PyTypeObject Simulator_Type;
+
+#define Event_CheckAny(op) PyObject_TypeCheck((op), &Event_Type)
+#define Simulator_CheckAny(op) PyObject_TypeCheck((op), &Simulator_Type)
+
+static int process_resume(ProcessObject *proc, EventObject *event);
+static int allof_on_child(AllOfObject *self, EventObject *child);
+static int anyof_on_child(AnyOfObject *self, EventObject *child);
+
+/* ------------------------------------------------------------------ */
+/* Small helpers. */
+
+/* Matches `type(x).__name__`: the final dotted component of tp_name. */
+static const char *
+type_short_name(PyObject *op)
+{
+    const char *name = Py_TYPE(op)->tp_name;
+    const char *dot = strrchr(name, '.');
+    return dot != NULL ? dot + 1 : name;
+}
+
+static int
+lazy_import_faults(void)
+{
+    if (faults_module == NULL) {
+        faults_module = PyImport_ImportModule("repro.faults");
+        if (faults_module == NULL) {
+            return -1;
+        }
+    }
+    return 0;
+}
+
+/* Raise SimulationError with a pre-built message object (steals msg). */
+static void
+raise_simulation_error_obj(PyObject *msg)
+{
+    if (msg == NULL) {
+        return;
+    }
+    PyErr_SetObject(SimulationError, msg);
+    Py_DECREF(msg);
+}
+
+/* ------------------------------------------------------------------ */
+/* The scheduling heap: a binary min-heap over (time, seq).  `seq` is
+ * unique per simulator, making the key order total — any valid heap
+ * therefore pops in exactly the order the pure engine's heapq does. */
+
+/* Strict lexicographic (time, seq) "less than", matching Python tuple
+ * comparison: equality on time is tested first, so NaN (== and < both
+ * false) never reorders, exactly as in heapq. */
+static inline int
+entry_lt(double t1, long long s1, double t2, long long s2)
+{
+    if (t1 == t2) {
+        return s1 < s2;
+    }
+    return t1 < t2;
+}
+
+static int
+sim_heap_push(SimulatorObject *sim, double time, PyObject *event)
+{
+    if (sim->heap_len == sim->heap_cap) {
+        Py_ssize_t cap = sim->heap_cap ? sim->heap_cap * 2 : 64;
+        HeapEntry *heap = PyMem_Realloc(sim->heap, (size_t)cap * sizeof(HeapEntry));
+        if (heap == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        sim->heap = heap;
+        sim->heap_cap = cap;
+    }
+    long long seq = ++sim->seq;
+    HeapEntry *heap = sim->heap;
+    Py_ssize_t i = sim->heap_len++;
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) >> 1;
+        if (!entry_lt(time, seq, heap[parent].time, heap[parent].seq)) {
+            break;
+        }
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i].time = time;
+    heap[i].seq = seq;
+    Py_INCREF(event);
+    heap[i].event = event;
+    return 0;
+}
+
+/* Pop the minimum entry; returns an owned event reference. */
+static PyObject *
+sim_heap_pop(SimulatorObject *sim, double *time_out)
+{
+    HeapEntry *heap = sim->heap;
+    PyObject *event = heap[0].event;
+    *time_out = heap[0].time;
+    Py_ssize_t len = --sim->heap_len;
+    if (len > 0) {
+        HeapEntry last = heap[len];
+        Py_ssize_t i = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * i + 1;
+            if (child >= len) {
+                break;
+            }
+            Py_ssize_t right = child + 1;
+            if (right < len
+                && entry_lt(heap[right].time, heap[right].seq,
+                            heap[child].time, heap[child].seq)) {
+                child = right;
+            }
+            if (!entry_lt(heap[child].time, heap[child].seq, last.time, last.seq)) {
+                break;
+            }
+            heap[i] = heap[child];
+            i = child;
+        }
+        heap[i] = last;
+    }
+    return event;
+}
+
+/* ------------------------------------------------------------------ */
+/* Event internals shared by every trigger path. */
+
+#define EVENT_TRIGGERED(ev) ((ev)->value != NULL || (ev)->exc != NULL)
+
+static int
+event_check_untriggered(EventObject *self)
+{
+    if (EVENT_TRIGGERED(self)) {
+        PyErr_SetString(SimulationError, "event triggered twice");
+        return -1;
+    }
+    return 0;
+}
+
+/* succeed(): store the value and enqueue at the current time. */
+static int
+event_succeed_obj(EventObject *self, PyObject *value)
+{
+    if (event_check_untriggered(self) < 0) {
+        return -1;
+    }
+    Py_INCREF(value);
+    self->value = value;
+    SimulatorObject *sim = (SimulatorObject *)self->sim;
+    return sim_heap_push(sim, sim->now, (PyObject *)self);
+}
+
+/* fail(): store the exception and enqueue via _schedule(self, 0.0). */
+static int
+event_fail_obj(EventObject *self, PyObject *exc)
+{
+    if (event_check_untriggered(self) < 0) {
+        return -1;
+    }
+    Py_INCREF(exc);
+    self->exc = exc;
+    Py_INCREF(Py_None);
+    self->value = Py_None;
+    SimulatorObject *sim = (SimulatorObject *)self->sim;
+    double delay = 0.0;
+    if (sim->delay_scale != 1.0) {
+        delay *= sim->delay_scale;
+    }
+    return sim_heap_push(sim, sim->now + delay, (PyObject *)self);
+}
+
+/* Register a waiter on a *pending* event: fill the single-callback slot
+ * first, fall back to the callbacks list (the pure engine's inlined
+ * add_callback fast path). */
+static int
+event_add_waiter(EventObject *target, PyObject *waiter)
+{
+    if (target->cb == NULL) {
+        Py_INCREF(waiter);
+        target->cb = waiter;
+        return 0;
+    }
+    if (target->callbacks == NULL) {
+        PyObject *list = PyList_New(1);
+        if (list == NULL) {
+            return -1;
+        }
+        Py_INCREF(waiter);
+        PyList_SET_ITEM(list, 0, waiter);
+        target->callbacks = list;
+        return 0;
+    }
+    return PyList_Append(target->callbacks, waiter);
+}
+
+/* Run one waiter.  Internal waiters (Process/AllOf/AnyOf) are stored as
+ * the objects themselves and dispatched by type — the compiled
+ * equivalent of the pure engine's pre-bound `_resume_cb` methods —
+ * while anything else is an ordinary Python callable. */
+static int
+invoke_waiter(PyObject *cb, EventObject *event)
+{
+    PyTypeObject *tp = Py_TYPE(cb);
+    if (tp == &Process_Type || PyType_IsSubtype(tp, &Process_Type)) {
+        return process_resume((ProcessObject *)cb, event);
+    }
+    if (tp == &AllOf_Type || PyType_IsSubtype(tp, &AllOf_Type)) {
+        return allof_on_child((AllOfObject *)cb, event);
+    }
+    if (tp == &AnyOf_Type || PyType_IsSubtype(tp, &AnyOf_Type)) {
+        return anyof_on_child((AnyOfObject *)cb, event);
+    }
+    PyObject *res = PyObject_CallOneArg(cb, (PyObject *)event);
+    if (res == NULL) {
+        return -1;
+    }
+    Py_DECREF(res);
+    return 0;
+}
+
+/* Event._process(): mark processed, drain the slot then the list. */
+static int
+event_dispatch(EventObject *event)
+{
+    event->processed = 1;
+    PyObject *cb = event->cb;
+    if (cb != NULL) {
+        event->cb = NULL;
+        int rc = invoke_waiter(cb, event);
+        Py_DECREF(cb);
+        if (rc < 0) {
+            return -1;
+        }
+    }
+    PyObject *callbacks = event->callbacks;
+    if (callbacks != NULL) {
+        event->callbacks = NULL;
+        Py_ssize_t n = PyList_GET_SIZE(callbacks);
+        for (Py_ssize_t i = 0; i < n; i++) {
+            PyObject *item = PyList_GET_ITEM(callbacks, i);
+            Py_INCREF(item);
+            int rc = invoke_waiter(item, event);
+            Py_DECREF(item);
+            if (rc < 0) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+        }
+        Py_DECREF(callbacks);
+    }
+    return 0;
+}
+
+/* Allocate a bare pending event bound to `sim` (sim.event() fast path;
+ * also the Process start event). */
+static EventObject *
+event_alloc(PyTypeObject *type, SimulatorObject *sim)
+{
+    EventObject *self = (EventObject *)type->tp_alloc(type, 0);
+    if (self == NULL) {
+        return NULL;
+    }
+    Py_INCREF(sim);
+    self->sim = (PyObject *)sim;
+    return self;
+}
+
+/* ------------------------------------------------------------------ */
+/* Event: Python-facing surface. */
+
+static PyObject *
+event_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    return type->tp_alloc(type, 0);
+}
+
+static int
+event_init_common(EventObject *self, PyObject *sim)
+{
+    if (!Simulator_CheckAny(sim)) {
+        PyErr_Format(PyExc_TypeError,
+                     "expected a Simulator, got %s", type_short_name(sim));
+        return -1;
+    }
+    PyObject *old_sim = self->sim;
+    Py_INCREF(sim);
+    self->sim = sim;
+    Py_XDECREF(old_sim);
+    Py_CLEAR(self->cb);
+    Py_CLEAR(self->callbacks);
+    Py_CLEAR(self->value);
+    Py_CLEAR(self->exc);
+    self->processed = 0;
+    return 0;
+}
+
+static int
+event_init(PyObject *op, PyObject *args, PyObject *kwds)
+{
+    PyObject *sim;
+    static char *kwlist[] = {"sim", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O:Event", kwlist, &sim)) {
+        return -1;
+    }
+    return event_init_common((EventObject *)op, sim);
+}
+
+static int
+event_traverse(PyObject *op, visitproc visit, void *arg)
+{
+    EventObject *self = (EventObject *)op;
+    Py_VISIT(self->sim);
+    Py_VISIT(self->cb);
+    Py_VISIT(self->callbacks);
+    Py_VISIT(self->value);
+    Py_VISIT(self->exc);
+    return 0;
+}
+
+static int
+event_clear(PyObject *op)
+{
+    EventObject *self = (EventObject *)op;
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->cb);
+    Py_CLEAR(self->callbacks);
+    Py_CLEAR(self->value);
+    Py_CLEAR(self->exc);
+    return 0;
+}
+
+static void
+event_dealloc(PyObject *op)
+{
+    PyObject_GC_UnTrack(op);
+    (void)event_clear(op);
+    Py_TYPE(op)->tp_free(op);
+}
+
+static PyObject *
+event_get_triggered(PyObject *op, void *closure)
+{
+    EventObject *self = (EventObject *)op;
+    return PyBool_FromLong(EVENT_TRIGGERED(self));
+}
+
+static PyObject *
+event_get_value(PyObject *op, void *closure)
+{
+    EventObject *self = (EventObject *)op;
+    if (!EVENT_TRIGGERED(self)) {
+        PyErr_SetString(SimulationError, "event value read before trigger");
+        return NULL;
+    }
+    Py_INCREF(self->value);
+    return self->value;
+}
+
+static PyObject *
+event_get_processed(PyObject *op, void *closure)
+{
+    return PyBool_FromLong(((EventObject *)op)->processed);
+}
+
+static PyObject *
+event_get_exc(PyObject *op, void *closure)
+{
+    EventObject *self = (EventObject *)op;
+    PyObject *exc = self->exc != NULL ? self->exc : Py_None;
+    Py_INCREF(exc);
+    return exc;
+}
+
+static PyObject *
+event_succeed(PyObject *op, PyObject *const *args, Py_ssize_t nargs,
+              PyObject *kwnames)
+{
+    EventObject *self = (EventObject *)op;
+    PyObject *value = Py_None;
+    Py_ssize_t nkw = kwnames != NULL ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs == 1 && nkw == 0) {
+        value = args[0];
+    }
+    else if (nargs == 0 && nkw == 1
+             && PyUnicode_CompareWithASCIIString(
+                    PyTuple_GET_ITEM(kwnames, 0), "value") == 0) {
+        value = args[0];
+    }
+    else if (nargs != 0 || nkw != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "succeed() takes at most one argument 'value'");
+        return NULL;
+    }
+    if (event_succeed_obj(self, value) < 0) {
+        return NULL;
+    }
+    Py_INCREF(op);
+    return op;
+}
+
+static PyObject *
+event_trigger_at(PyObject *op, PyObject *const *args, Py_ssize_t nargs,
+                 PyObject *kwnames)
+{
+    EventObject *self = (EventObject *)op;
+    PyObject *value = NULL;
+    PyObject *delay_obj = NULL;
+    Py_ssize_t nkw = kwnames != NULL ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs == 2 && nkw == 0) {
+        value = args[0];
+        delay_obj = args[1];
+    }
+    else {
+        /* Rare keyword spellings: value=/delay= in any mix. */
+        if (nargs >= 1) {
+            value = args[0];
+        }
+        if (nargs >= 2) {
+            delay_obj = args[1];
+        }
+        for (Py_ssize_t i = 0; i < nkw; i++) {
+            PyObject *kw = PyTuple_GET_ITEM(kwnames, i);
+            PyObject *arg = args[nargs + i];
+            if (PyUnicode_CompareWithASCIIString(kw, "value") == 0
+                && value == NULL) {
+                value = arg;
+            }
+            else if (PyUnicode_CompareWithASCIIString(kw, "delay") == 0
+                     && delay_obj == NULL) {
+                delay_obj = arg;
+            }
+            else {
+                PyErr_SetString(PyExc_TypeError,
+                                "trigger_at() takes arguments (value, delay)");
+                return NULL;
+            }
+        }
+        if (value == NULL || delay_obj == NULL || nargs > 2) {
+            PyErr_SetString(PyExc_TypeError,
+                            "trigger_at() takes arguments (value, delay)");
+            return NULL;
+        }
+    }
+    if (event_check_untriggered(self) < 0) {
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(delay_obj);
+    if (delay == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (delay < 0.0) {
+        raise_simulation_error_obj(
+            PyUnicode_FromFormat("negative trigger delay %R", delay_obj));
+        return NULL;
+    }
+    Py_INCREF(value);
+    self->value = value;
+    SimulatorObject *sim = (SimulatorObject *)self->sim;
+    if (sim->delay_scale != 1.0) {
+        delay *= sim->delay_scale;
+    }
+    if (sim_heap_push(sim, sim->now + delay, op) < 0) {
+        return NULL;
+    }
+    Py_INCREF(op);
+    return op;
+}
+
+static PyObject *
+event_fail(PyObject *op, PyObject *exc)
+{
+    if (event_fail_obj((EventObject *)op, exc) < 0) {
+        return NULL;
+    }
+    Py_INCREF(op);
+    return op;
+}
+
+static PyObject *
+event_add_callback(PyObject *op, PyObject *cb)
+{
+    EventObject *self = (EventObject *)op;
+    if (self->processed) {
+        if (invoke_waiter(cb, self) < 0) {
+            return NULL;
+        }
+        Py_RETURN_NONE;
+    }
+    if (event_add_waiter(self, cb) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+event_process_method(PyObject *op, PyObject *noargs)
+{
+    if (event_dispatch((EventObject *)op) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef event_methods[] = {
+    {"succeed", (PyCFunction)(void (*)(void))event_succeed,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Trigger the event successfully with ``value`` at the current time."},
+    {"trigger_at", (PyCFunction)(void (*)(void))event_trigger_at,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Trigger with ``value`` after ``delay`` seconds (message arrival)."},
+    {"fail", (PyCFunction)event_fail, METH_O,
+     "Trigger the event with an exception to throw into waiters."},
+    {"add_callback", (PyCFunction)event_add_callback, METH_O,
+     "Register ``cb`` to run when the event is processed."},
+    {"_process", (PyCFunction)event_process_method, METH_NOARGS, NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef event_getsets[] = {
+    {"triggered", event_get_triggered, NULL,
+     "True once the event has a value and sits on (or left) the queue.",
+     NULL},
+    {"value", event_get_value, NULL,
+     "The value the event fired with (only valid once triggered).", NULL},
+    {"processed", event_get_processed, NULL, NULL, NULL},
+    {"_exc", event_get_exc, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMemberDef event_members[] = {
+    {"sim", T_OBJECT_EX, offsetof(EventObject, sim), READONLY, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject Event_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simmachine._cengine.Event",
+    .tp_basicsize = sizeof(EventObject),
+    .tp_dealloc = event_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A one-shot occurrence in simulated time.",
+    .tp_traverse = event_traverse,
+    .tp_clear = event_clear,
+    .tp_methods = event_methods,
+    .tp_getset = event_getsets,
+    .tp_members = event_members,
+    .tp_init = event_init,
+    .tp_new = event_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* Timeout. */
+
+/* The shared core of Timeout(sim, delay, value) and sim.timeout():
+ * validate, scale, and push — the hottest constructor in the engine. */
+static int
+timeout_setup(EventObject *self, SimulatorObject *sim, PyObject *delay_obj,
+              PyObject *value)
+{
+    double delay = PyFloat_AsDouble(delay_obj);
+    if (delay == -1.0 && PyErr_Occurred()) {
+        return -1;
+    }
+    if (delay < 0.0) {
+        raise_simulation_error_obj(
+            PyUnicode_FromFormat("negative timeout delay %R", delay_obj));
+        return -1;
+    }
+    Py_INCREF(value);
+    self->value = value;
+    if (sim->delay_scale != 1.0) {
+        delay *= sim->delay_scale;
+    }
+    return sim_heap_push(sim, sim->now + delay, (PyObject *)self);
+}
+
+static int
+timeout_init(PyObject *op, PyObject *args, PyObject *kwds)
+{
+    PyObject *sim;
+    PyObject *delay;
+    PyObject *value = Py_None;
+    static char *kwlist[] = {"sim", "delay", "value", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO|O:Timeout", kwlist,
+                                     &sim, &delay, &value)) {
+        return -1;
+    }
+    if (event_init_common((EventObject *)op, sim) < 0) {
+        return -1;
+    }
+    return timeout_setup((EventObject *)op, (SimulatorObject *)sim, delay,
+                         value);
+}
+
+static PyTypeObject Timeout_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simmachine._cengine.Timeout",
+    .tp_basicsize = sizeof(EventObject),
+    .tp_dealloc = event_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Event that fires ``delay`` simulated seconds after creation.",
+    .tp_traverse = event_traverse,
+    .tp_clear = event_clear,
+    .tp_init = timeout_init,
+    /* everything else inherited from Event */
+};
+
+/* ------------------------------------------------------------------ */
+/* AllOf: barrier over a set of events. */
+
+/* Register `self` as a waiter on each child, mirroring the pure
+ * engine's ev.add_callback(self._on_child) — including the immediate
+ * callback when a child is already processed. */
+static int
+gather_register_children(EventObject *self, PyObject *children,
+                         int (*on_child)(EventObject *, EventObject *))
+{
+    Py_ssize_t n = PyList_GET_SIZE(children);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PyList_GET_ITEM(children, i);
+        if (!Event_CheckAny(item)) {
+            PyErr_Format(PyExc_TypeError,
+                         "expected an Event, got %s", type_short_name(item));
+            return -1;
+        }
+        EventObject *child = (EventObject *)item;
+        if (child->processed) {
+            if (on_child(self, child) < 0) {
+                return -1;
+            }
+        }
+        else if (event_add_waiter(child, (PyObject *)self) < 0) {
+            return -1;
+        }
+    }
+    return 0;
+}
+
+static int
+allof_on_child_e(EventObject *self, EventObject *child)
+{
+    return allof_on_child((AllOfObject *)self, child);
+}
+
+static int
+anyof_on_child_e(EventObject *self, EventObject *child)
+{
+    return anyof_on_child((AnyOfObject *)self, child);
+}
+
+static int
+allof_on_child(AllOfObject *self, EventObject *child)
+{
+    EventObject *base = &self->base;
+    if (EVENT_TRIGGERED(base)) {
+        return 0;
+    }
+    if (child->exc != NULL) {
+        return event_fail_obj(base, child->exc);
+    }
+    if (--self->remaining > 0) {
+        return 0;
+    }
+    PyObject *children = self->children;
+    Py_ssize_t n = PyList_GET_SIZE(children);
+    PyObject *values = PyList_New(n);
+    if (values == NULL) {
+        return -1;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        EventObject *ev = (EventObject *)PyList_GET_ITEM(children, i);
+        if (!EVENT_TRIGGERED(ev)) {
+            Py_DECREF(values);
+            PyErr_SetString(SimulationError, "event value read before trigger");
+            return -1;
+        }
+        Py_INCREF(ev->value);
+        PyList_SET_ITEM(values, i, ev->value);
+    }
+    int rc = event_succeed_obj(base, values);
+    Py_DECREF(values);
+    return rc;
+}
+
+static int
+allof_init(PyObject *op, PyObject *args, PyObject *kwds)
+{
+    AllOfObject *self = (AllOfObject *)op;
+    PyObject *sim;
+    PyObject *events;
+    static char *kwlist[] = {"sim", "events", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO:AllOf", kwlist,
+                                     &sim, &events)) {
+        return -1;
+    }
+    if (event_init_common(&self->base, sim) < 0) {
+        return -1;
+    }
+    PyObject *children = PySequence_List(events);
+    if (children == NULL) {
+        return -1;
+    }
+    Py_XSETREF(self->children, children);
+    self->remaining = PyList_GET_SIZE(children);
+    if (self->remaining == 0) {
+        PyObject *empty = PyList_New(0);
+        if (empty == NULL) {
+            return -1;
+        }
+        int rc = event_succeed_obj(&self->base, empty);
+        Py_DECREF(empty);
+        return rc;
+    }
+    return gather_register_children(&self->base, children, allof_on_child_e);
+}
+
+static int
+allof_traverse(PyObject *op, visitproc visit, void *arg)
+{
+    Py_VISIT(((AllOfObject *)op)->children);
+    return event_traverse(op, visit, arg);
+}
+
+static int
+allof_clear(PyObject *op)
+{
+    Py_CLEAR(((AllOfObject *)op)->children);
+    return event_clear(op);
+}
+
+static void
+allof_dealloc(PyObject *op)
+{
+    PyObject_GC_UnTrack(op);
+    (void)allof_clear(op);
+    Py_TYPE(op)->tp_free(op);
+}
+
+static PyTypeObject AllOf_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simmachine._cengine.AllOf",
+    .tp_basicsize = sizeof(AllOfObject),
+    .tp_dealloc = allof_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Fires once every child event has been processed.",
+    .tp_traverse = allof_traverse,
+    .tp_clear = allof_clear,
+    .tp_init = allof_init,
+};
+
+/* ------------------------------------------------------------------ */
+/* AnyOf: first completion wins. */
+
+static int
+anyof_on_child(AnyOfObject *self, EventObject *child)
+{
+    EventObject *base = &self->base;
+    if (EVENT_TRIGGERED(base)) {
+        return 0;
+    }
+    if (child->exc != NULL) {
+        return event_fail_obj(base, child->exc);
+    }
+    /* Recover the child's index by identity.  The pure engine captures
+     * the index in a per-child lambda; with callbacks running in
+     * registration order, the first occurrence wins there too, so the
+     * lowest identity match is the identical answer. */
+    PyObject *children = self->children;
+    Py_ssize_t n = PyList_GET_SIZE(children);
+    Py_ssize_t index = 0;
+    for (; index < n; index++) {
+        if (PyList_GET_ITEM(children, index) == (PyObject *)child) {
+            break;
+        }
+    }
+    if (!EVENT_TRIGGERED(child)) {
+        PyErr_SetString(SimulationError, "event value read before trigger");
+        return -1;
+    }
+    PyObject *pair = Py_BuildValue("(nO)", index, child->value);
+    if (pair == NULL) {
+        return -1;
+    }
+    int rc = event_succeed_obj(base, pair);
+    Py_DECREF(pair);
+    return rc;
+}
+
+static int
+anyof_init(PyObject *op, PyObject *args, PyObject *kwds)
+{
+    AnyOfObject *self = (AnyOfObject *)op;
+    PyObject *sim;
+    PyObject *events;
+    static char *kwlist[] = {"sim", "events", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO:AnyOf", kwlist,
+                                     &sim, &events)) {
+        return -1;
+    }
+    if (event_init_common(&self->base, sim) < 0) {
+        return -1;
+    }
+    PyObject *children = PySequence_List(events);
+    if (children == NULL) {
+        return -1;
+    }
+    Py_XSETREF(self->children, children);
+    if (PyList_GET_SIZE(children) == 0) {
+        PyErr_SetString(SimulationError, "AnyOf needs at least one event");
+        return -1;
+    }
+    return gather_register_children(&self->base, children, anyof_on_child_e);
+}
+
+static int
+anyof_traverse(PyObject *op, visitproc visit, void *arg)
+{
+    Py_VISIT(((AnyOfObject *)op)->children);
+    return event_traverse(op, visit, arg);
+}
+
+static int
+anyof_clear(PyObject *op)
+{
+    Py_CLEAR(((AnyOfObject *)op)->children);
+    return event_clear(op);
+}
+
+static void
+anyof_dealloc(PyObject *op)
+{
+    PyObject_GC_UnTrack(op);
+    (void)anyof_clear(op);
+    Py_TYPE(op)->tp_free(op);
+}
+
+static PyTypeObject AnyOf_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simmachine._cengine.AnyOf",
+    .tp_basicsize = sizeof(AnyOfObject),
+    .tp_dealloc = anyof_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Fires when the first child event is processed.",
+    .tp_traverse = anyof_traverse,
+    .tp_clear = anyof_clear,
+    .tp_init = anyof_init,
+};
+
+/* ------------------------------------------------------------------ */
+/* Process: drives a generator of events. */
+
+static int
+process_is_generator(PyObject *gen)
+{
+    if (PyGen_Check(gen)) {
+        return 1;
+    }
+    /* Exotic generator implementations: fall back to the abc, exactly
+     * like the pure engine's isinstance(gen, Generator). */
+    if (abc_generator == NULL) {
+        PyObject *mod = PyImport_ImportModule("collections.abc");
+        if (mod == NULL) {
+            return -1;
+        }
+        abc_generator = PyObject_GetAttrString(mod, "Generator");
+        Py_DECREF(mod);
+        if (abc_generator == NULL) {
+            return -1;
+        }
+    }
+    return PyObject_IsInstance(gen, abc_generator);
+}
+
+/* The resume step: feed the event's outcome into the generator and wire
+ * the next yielded event — the pure engine's Process._resume with the
+ * processed-target recursion unrolled into a loop. */
+static int
+process_resume(ProcessObject *proc, EventObject *event)
+{
+    EventObject *base = &proc->base;
+    SimulatorObject *sim = (SimulatorObject *)base->sim;
+    PyObject *ev = (PyObject *)event;
+    Py_INCREF(ev);
+    for (;;) {
+        EventObject *cur = (EventObject *)ev;
+        PyObject *target;
+        if (cur->exc != NULL) {
+            if (proc->gen_throw == NULL) {
+                proc->gen_throw = PyObject_GetAttr(proc->gen, str_throw);
+                if (proc->gen_throw == NULL) {
+                    Py_DECREF(ev);
+                    return -1;
+                }
+            }
+            target = PyObject_CallOneArg(proc->gen_throw, cur->exc);
+            if (target == NULL) {
+                if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                    goto completed;
+                }
+                goto crashed;
+            }
+        }
+        else {
+            PyObject *sent = cur->value != NULL ? cur->value : Py_None;
+            PySendResult sr = PyIter_Send(proc->gen, sent, &target);
+            if (sr == PYGEN_RETURN) {
+                /* Generator finished; `target` is its return value. */
+                Py_DECREF(ev);
+                if (PySet_Discard(sim->alive, (PyObject *)proc) < 0) {
+                    Py_DECREF(target);
+                    return -1;
+                }
+                int rc = event_succeed_obj(base, target);
+                Py_DECREF(target);
+                return rc;
+            }
+            if (sr == PYGEN_ERROR) {
+                if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                    goto completed; /* non-native generator protocol */
+                }
+                goto crashed;
+            }
+        }
+        /* The generator yielded `target` (owned). */
+        Py_DECREF(ev);
+        if (!Event_CheckAny(target)) {
+            if (PySet_Discard(sim->alive, (PyObject *)proc) < 0) {
+                Py_DECREF(target);
+                return -1;
+            }
+            PyObject *msg = PyUnicode_FromFormat(
+                "process %R yielded %s, expected an Event",
+                proc->name, type_short_name(target));
+            Py_DECREF(target);
+            if (msg == NULL) {
+                return -1;
+            }
+            PyObject *exc = PyObject_CallOneArg(SimulationError, msg);
+            Py_DECREF(msg);
+            if (exc == NULL) {
+                return -1;
+            }
+            if (event_fail_obj(base, exc) < 0) {
+                Py_DECREF(exc);
+                return -1;
+            }
+            PyErr_SetObject((PyObject *)Py_TYPE(exc), exc);
+            Py_DECREF(exc);
+            return -1;
+        }
+        EventObject *t = (EventObject *)target;
+        if (t->processed) {
+            /* Yielded an event that already fired: resume again with it
+             * (the pure engine recurses here). */
+            ev = target;
+            continue;
+        }
+        int rc = event_add_waiter(t, (PyObject *)proc);
+        Py_DECREF(target);
+        return rc;
+    }
+
+completed:;
+    /* StopIteration out of throw()/a non-native send(): the generator
+     * returned; its return value rides on the exception. */
+    {
+        PyObject *ptype, *pvalue, *ptb;
+        PyErr_Fetch(&ptype, &pvalue, &ptb);
+        PyErr_NormalizeException(&ptype, &pvalue, &ptb);
+        PyObject *retval;
+        if (pvalue != NULL) {
+            retval = PyObject_GetAttr(pvalue, str_value);
+        }
+        else {
+            retval = Py_None;
+            Py_INCREF(retval);
+        }
+        Py_XDECREF(ptype);
+        Py_XDECREF(pvalue);
+        Py_XDECREF(ptb);
+        Py_DECREF(ev);
+        if (retval == NULL) {
+            return -1;
+        }
+        if (PySet_Discard(sim->alive, (PyObject *)proc) < 0) {
+            Py_DECREF(retval);
+            return -1;
+        }
+        int rc = event_succeed_obj(base, retval);
+        Py_DECREF(retval);
+        return rc;
+    }
+
+crashed:;
+    /* The generator body raised: record the failure on the process
+     * event, then let the exception keep propagating out of run(). */
+    {
+        PyObject *ptype, *pvalue, *ptb;
+        PyErr_Fetch(&ptype, &pvalue, &ptb);
+        PyErr_NormalizeException(&ptype, &pvalue, &ptb);
+        Py_DECREF(ev);
+        (void)PySet_Discard(sim->alive, (PyObject *)proc);
+        if (pvalue != NULL && !EVENT_TRIGGERED(base)) {
+            if (event_fail_obj(base, pvalue) < 0) {
+                /* Keep the original exception, not the bookkeeping one. */
+                PyErr_Clear();
+            }
+        }
+        PyErr_Restore(ptype, pvalue, ptb);
+        return -1;
+    }
+}
+
+static int
+process_init(PyObject *op, PyObject *args, PyObject *kwds)
+{
+    ProcessObject *self = (ProcessObject *)op;
+    PyObject *sim;
+    PyObject *gen;
+    PyObject *name = NULL;
+    static char *kwlist[] = {"sim", "gen", "name", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO|U:Process", kwlist,
+                                     &sim, &gen, &name)) {
+        return -1;
+    }
+    if (event_init_common(&self->base, sim) < 0) {
+        return -1;
+    }
+    int is_gen = process_is_generator(gen);
+    if (is_gen < 0) {
+        return -1;
+    }
+    if (!is_gen) {
+        raise_simulation_error_obj(PyUnicode_FromFormat(
+            "Process requires a generator, got %s "
+            "(did you call a plain function?)", type_short_name(gen)));
+        return -1;
+    }
+    if (name == NULL) {
+        name = PyUnicode_FromString("process");
+        if (name == NULL) {
+            return -1;
+        }
+    }
+    else {
+        Py_INCREF(name);
+    }
+    Py_XSETREF(self->name, name);
+    Py_INCREF(gen);
+    Py_XSETREF(self->gen, gen);
+    Py_CLEAR(self->gen_throw);
+    SimulatorObject *simulator = (SimulatorObject *)sim;
+    if (PySet_Add(simulator->alive, op) < 0) {
+        return -1;
+    }
+    /* Kick off at the current time (the pure engine's zero Timeout with
+     * the process pre-installed as its single waiter). */
+    EventObject *start = event_alloc(&Timeout_Type, simulator);
+    if (start == NULL) {
+        return -1;
+    }
+    Py_INCREF(Py_None);
+    start->value = Py_None;
+    Py_INCREF(op);
+    start->cb = op;
+    double delay = 0.0;
+    if (simulator->delay_scale != 1.0) {
+        delay *= simulator->delay_scale;
+    }
+    int rc = sim_heap_push(simulator, simulator->now + delay,
+                           (PyObject *)start);
+    Py_DECREF(start);
+    return rc;
+}
+
+static int
+process_traverse(PyObject *op, visitproc visit, void *arg)
+{
+    ProcessObject *self = (ProcessObject *)op;
+    Py_VISIT(self->name);
+    Py_VISIT(self->gen);
+    Py_VISIT(self->gen_throw);
+    return event_traverse(op, visit, arg);
+}
+
+static int
+process_clear(PyObject *op)
+{
+    ProcessObject *self = (ProcessObject *)op;
+    Py_CLEAR(self->name);
+    Py_CLEAR(self->gen);
+    Py_CLEAR(self->gen_throw);
+    return event_clear(op);
+}
+
+static void
+process_dealloc(PyObject *op)
+{
+    PyObject_GC_UnTrack(op);
+    (void)process_clear(op);
+    Py_TYPE(op)->tp_free(op);
+}
+
+static PyMemberDef process_members[] = {
+    {"name", T_OBJECT_EX, offsetof(ProcessObject, name), 0, NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject Process_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simmachine._cengine.Process",
+    .tp_basicsize = sizeof(ProcessObject),
+    .tp_dealloc = process_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Drives a generator of events; completes with its return.",
+    .tp_traverse = process_traverse,
+    .tp_clear = process_clear,
+    .tp_members = process_members,
+    .tp_init = process_init,
+};
+
+/* ------------------------------------------------------------------ */
+/* Simulator. */
+
+static PyObject *
+simulator_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    SimulatorObject *self = (SimulatorObject *)type->tp_alloc(type, 0);
+    if (self == NULL) {
+        return NULL;
+    }
+    self->now = 0.0;
+    self->delay_scale = 1.0;
+    self->alive = PySet_New(NULL);
+    if (self->alive == NULL) {
+        Py_DECREF(self);
+        return NULL;
+    }
+    return (PyObject *)self;
+}
+
+static int
+simulator_init(PyObject *op, PyObject *args, PyObject *kwds)
+{
+    if ((args != NULL && PyTuple_GET_SIZE(args) != 0)
+        || (kwds != NULL && PyDict_GET_SIZE(kwds) != 0)) {
+        PyErr_SetString(PyExc_TypeError, "Simulator() takes no arguments");
+        return -1;
+    }
+    return 0;
+}
+
+static void
+simulator_drop_heap(SimulatorObject *self)
+{
+    HeapEntry *heap = self->heap;
+    Py_ssize_t len = self->heap_len;
+    self->heap = NULL;
+    self->heap_len = 0;
+    self->heap_cap = 0;
+    if (heap != NULL) {
+        for (Py_ssize_t i = 0; i < len; i++) {
+            Py_DECREF(heap[i].event);
+        }
+        PyMem_Free(heap);
+    }
+}
+
+static int
+simulator_traverse(PyObject *op, visitproc visit, void *arg)
+{
+    SimulatorObject *self = (SimulatorObject *)op;
+    Py_VISIT(self->alive);
+    for (Py_ssize_t i = 0; i < self->heap_len; i++) {
+        Py_VISIT(self->heap[i].event);
+    }
+    return 0;
+}
+
+static int
+simulator_clear(PyObject *op)
+{
+    SimulatorObject *self = (SimulatorObject *)op;
+    Py_CLEAR(self->alive);
+    simulator_drop_heap(self);
+    return 0;
+}
+
+static void
+simulator_dealloc(PyObject *op)
+{
+    PyObject_GC_UnTrack(op);
+    (void)simulator_clear(op);
+    Py_TYPE(op)->tp_free(op);
+}
+
+static PyObject *
+simulator_event(PyObject *op, PyObject *noargs)
+{
+    return (PyObject *)event_alloc(&Event_Type, (SimulatorObject *)op);
+}
+
+static PyObject *
+simulator_timeout(PyObject *op, PyObject *const *args, Py_ssize_t nargs,
+                  PyObject *kwnames)
+{
+    SimulatorObject *sim = (SimulatorObject *)op;
+    PyObject *delay = NULL;
+    PyObject *value = Py_None;
+    Py_ssize_t nkw = kwnames != NULL ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs == 1 && nkw == 0) {
+        delay = args[0];
+    }
+    else if (nargs == 2 && nkw == 0) {
+        delay = args[0];
+        value = args[1];
+    }
+    else {
+        if (nargs >= 1) {
+            delay = args[0];
+        }
+        if (nargs >= 2) {
+            value = args[1];
+        }
+        for (Py_ssize_t i = 0; i < nkw; i++) {
+            PyObject *kw = PyTuple_GET_ITEM(kwnames, i);
+            PyObject *arg = args[nargs + i];
+            if (PyUnicode_CompareWithASCIIString(kw, "delay") == 0
+                && delay == NULL) {
+                delay = arg;
+            }
+            else if (PyUnicode_CompareWithASCIIString(kw, "value") == 0) {
+                value = arg;
+            }
+            else {
+                delay = NULL;
+                break;
+            }
+        }
+        if (delay == NULL || nargs > 2) {
+            PyErr_SetString(PyExc_TypeError,
+                            "timeout() takes arguments (delay, value=None)");
+            return NULL;
+        }
+    }
+    EventObject *ev = event_alloc(&Timeout_Type, sim);
+    if (ev == NULL) {
+        return NULL;
+    }
+    if (timeout_setup(ev, sim, delay, value) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    return (PyObject *)ev;
+}
+
+static PyObject *
+simulator_call_ctor(PyTypeObject *type, PyObject *op, PyObject *arg1,
+                    PyObject *arg2)
+{
+    /* AllOf/AnyOf/Process go through the full constructor: their init
+     * runs registration side effects that must match the pure engine. */
+    PyObject *obj = type->tp_new(type, NULL, NULL);
+    if (obj == NULL) {
+        return NULL;
+    }
+    PyObject *args = arg2 != NULL ? PyTuple_Pack(3, op, arg1, arg2)
+                                  : PyTuple_Pack(2, op, arg1);
+    if (args == NULL) {
+        Py_DECREF(obj);
+        return NULL;
+    }
+    int rc = type->tp_init(obj, args, NULL);
+    Py_DECREF(args);
+    if (rc < 0) {
+        Py_DECREF(obj);
+        return NULL;
+    }
+    return obj;
+}
+
+static PyObject *
+simulator_all_of(PyObject *op, PyObject *events)
+{
+    return simulator_call_ctor(&AllOf_Type, op, events, NULL);
+}
+
+static PyObject *
+simulator_any_of(PyObject *op, PyObject *events)
+{
+    return simulator_call_ctor(&AnyOf_Type, op, events, NULL);
+}
+
+static PyObject *
+simulator_process(PyObject *op, PyObject *const *args, Py_ssize_t nargs,
+                  PyObject *kwnames)
+{
+    PyObject *gen = NULL;
+    PyObject *name = NULL;
+    Py_ssize_t nkw = kwnames != NULL ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs >= 1) {
+        gen = args[0];
+    }
+    if (nargs >= 2) {
+        name = args[1];
+    }
+    for (Py_ssize_t i = 0; i < nkw; i++) {
+        PyObject *kw = PyTuple_GET_ITEM(kwnames, i);
+        PyObject *arg = args[nargs + i];
+        if (PyUnicode_CompareWithASCIIString(kw, "gen") == 0 && gen == NULL) {
+            gen = arg;
+        }
+        else if (PyUnicode_CompareWithASCIIString(kw, "name") == 0
+                 && name == NULL) {
+            name = arg;
+        }
+        else {
+            gen = NULL;
+            break;
+        }
+    }
+    if (gen == NULL || nargs > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "process() takes arguments (gen, name='process')");
+        return NULL;
+    }
+    return simulator_call_ctor(&Process_Type, op, gen, name);
+}
+
+static PyObject *
+simulator_schedule(PyObject *op, PyObject *const *args, Py_ssize_t nargs)
+{
+    SimulatorObject *self = (SimulatorObject *)op;
+    if (nargs != 2 || !Event_CheckAny(args[0])) {
+        PyErr_SetString(PyExc_TypeError,
+                        "_schedule() takes arguments (event, delay)");
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(args[1]);
+    if (delay == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    if (self->delay_scale != 1.0) {
+        delay *= self->delay_scale;
+    }
+    if (sim_heap_push(self, self->now + delay, args[0]) < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+simulator_step(PyObject *op, PyObject *noargs)
+{
+    SimulatorObject *self = (SimulatorObject *)op;
+    if (self->heap_len == 0) {
+        /* heapq.heappop on an empty list */
+        PyErr_SetString(PyExc_IndexError, "index out of range");
+        return NULL;
+    }
+    double time;
+    PyObject *event = sim_heap_pop(self, &time);
+    if (time < self->now) { /* defensive, mirrors the pure engine */
+        Py_DECREF(event);
+        PyErr_SetString(SimulationError, "time went backwards");
+        return NULL;
+    }
+    self->now = time;
+    self->events_processed++;
+    int rc = event_dispatch((EventObject *)event);
+    Py_DECREF(event);
+    if (rc < 0) {
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* Fault-site checks at the top of run(): one call per run, never per
+ * event, mirroring the pure engine's use of repro.faults. */
+static int
+simulator_check_faults(SimulatorObject *self)
+{
+    if (lazy_import_faults() < 0) {
+        return -1;
+    }
+    PyObject *check = PyObject_GetAttr(faults_module, str_check);
+    if (check == NULL) {
+        return -1;
+    }
+    PyObject *spec = PyObject_CallOneArg(check, str_sim_run_error);
+    if (spec == NULL) {
+        Py_DECREF(check);
+        return -1;
+    }
+    if (spec != Py_None) {
+        Py_DECREF(spec);
+        Py_DECREF(check);
+        PyErr_SetString(SimulationError,
+                        "injected simulator fault (sim.run.error)");
+        return -1;
+    }
+    Py_DECREF(spec);
+    PyObject *burst = PyObject_CallOneArg(check, str_sim_run_noise);
+    Py_DECREF(check);
+    if (burst == NULL) {
+        return -1;
+    }
+    if (burst != Py_None) {
+        PyObject *param = PyObject_GetAttr(burst, str_param);
+        Py_DECREF(burst);
+        if (param == NULL) {
+            return -1;
+        }
+        double p = PyFloat_AsDouble(param);
+        Py_DECREF(param);
+        if (p == -1.0 && PyErr_Occurred()) {
+            return -1;
+        }
+        if (p > 0.0) {
+            self->delay_scale = p;
+        }
+        return 0;
+    }
+    Py_DECREF(burst);
+    return 0;
+}
+
+/* The hot loop.  `until_obj` is NULL for an unbounded run; on an early
+ * stop the caller returns `until_obj` itself, as the pure engine does. */
+static int
+simulator_run_core(SimulatorObject *self, PyObject *until_obj, int *stopped)
+{
+    if (simulator_check_faults(self) < 0) {
+        return -1;
+    }
+    double until = 0.0;
+    if (until_obj != NULL) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred()) {
+            return -1;
+        }
+    }
+    while (self->heap_len > 0) {
+        if (until_obj != NULL && self->heap[0].time > until) {
+            self->now = until;
+            *stopped = 1;
+            return 0;
+        }
+        double time;
+        PyObject *event = sim_heap_pop(self, &time);
+        self->now = time;
+        self->events_processed++;
+        int rc = event_dispatch((EventObject *)event);
+        Py_DECREF(event);
+        if (rc < 0) {
+            return -1;
+        }
+    }
+    if (PySet_GET_SIZE(self->alive) > 0) {
+        PyObject *names = PySequence_List(self->alive);
+        if (names == NULL) {
+            return -1;
+        }
+        Py_ssize_t n = PyList_GET_SIZE(names);
+        for (Py_ssize_t i = 0; i < n; i++) {
+            PyObject *item = PyList_GET_ITEM(names, i);
+            PyObject *name = PyObject_GetAttr(item, str_name);
+            if (name == NULL) {
+                Py_DECREF(names);
+                return -1;
+            }
+            PyList_SET_ITEM(names, i, name);
+            Py_DECREF(item);
+        }
+        if (PyList_Sort(names) < 0) {
+            Py_DECREF(names);
+            return -1;
+        }
+        PyErr_SetObject(DeadlockError, names);
+        Py_DECREF(names);
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+simulator_run(PyObject *op, PyObject *const *args, Py_ssize_t nargs,
+              PyObject *kwnames)
+{
+    SimulatorObject *self = (SimulatorObject *)op;
+    PyObject *until = NULL;
+    Py_ssize_t nkw = kwnames != NULL ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs == 1 && nkw == 0) {
+        until = args[0];
+    }
+    else if (nargs == 0 && nkw == 1
+             && PyUnicode_CompareWithASCIIString(
+                    PyTuple_GET_ITEM(kwnames, 0), "until") == 0) {
+        until = args[0];
+    }
+    else if (nargs != 0 || nkw != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run() takes at most one argument 'until'");
+        return NULL;
+    }
+    if (until == Py_None) {
+        until = NULL;
+    }
+    int stopped = 0;
+    if (simulator_run_core(self, until, &stopped) < 0) {
+        return NULL;
+    }
+    if (stopped) {
+        Py_INCREF(until);
+        return until;
+    }
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+simulator_run_all(PyObject *op, PyObject *processes)
+{
+    SimulatorObject *self = (SimulatorObject *)op;
+    PyObject *procs = PySequence_List(processes);
+    if (procs == NULL) {
+        return NULL;
+    }
+    int stopped = 0;
+    if (simulator_run_core(self, NULL, &stopped) < 0) {
+        Py_DECREF(procs);
+        return NULL;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(procs);
+    PyObject *out = PyList_New(n);
+    if (out == NULL) {
+        Py_DECREF(procs);
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PyList_GET_ITEM(procs, i);
+        if (!Event_CheckAny(item)) {
+            PyErr_Format(PyExc_TypeError, "run_all() expects Process "
+                         "instances, got %s", type_short_name(item));
+            goto error;
+        }
+        EventObject *ev = (EventObject *)item;
+        if (ev->exc != NULL) {
+            PyObject *name = PyObject_GetAttr(item, str_name);
+            if (name == NULL) {
+                goto error;
+            }
+            PyObject *msg = PyUnicode_FromFormat("process %R failed: %R",
+                                                 name, ev->exc);
+            Py_DECREF(name);
+            if (msg == NULL) {
+                goto error;
+            }
+            PyObject *exc = PyObject_CallOneArg(SimulationError, msg);
+            Py_DECREF(msg);
+            if (exc == NULL) {
+                goto error;
+            }
+            /* raise ... from p._exc */
+            Py_INCREF(ev->exc);
+            PyException_SetCause(exc, ev->exc);
+            PyErr_SetObject((PyObject *)Py_TYPE(exc), exc);
+            Py_DECREF(exc);
+            goto error;
+        }
+        if (ev->value == NULL) {
+            PyErr_SetString(SimulationError, "event value read before trigger");
+            goto error;
+        }
+        Py_INCREF(ev->value);
+        PyList_SET_ITEM(out, i, ev->value);
+    }
+    Py_DECREF(procs);
+    return out;
+
+error:
+    Py_DECREF(procs);
+    Py_DECREF(out);
+    return NULL;
+}
+
+static PyMethodDef simulator_methods[] = {
+    {"event", (PyCFunction)simulator_event, METH_NOARGS,
+     "Create a fresh pending event bound to this simulator."},
+    {"timeout", (PyCFunction)(void (*)(void))simulator_timeout,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Create an event that fires ``delay`` seconds from now."},
+    {"all_of", (PyCFunction)simulator_all_of, METH_O,
+     "Create a barrier event over ``events``."},
+    {"any_of", (PyCFunction)simulator_any_of, METH_O,
+     "Create a first-completion event over ``events``."},
+    {"process", (PyCFunction)(void (*)(void))simulator_process,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Start a new process driving ``gen``."},
+    {"_schedule", (PyCFunction)(void (*)(void))simulator_schedule,
+     METH_FASTCALL, NULL},
+    {"step", (PyCFunction)simulator_step, METH_NOARGS,
+     "Process the single next event."},
+    {"run", (PyCFunction)(void (*)(void))simulator_run,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Run until the queue drains (or ``until`` simulated seconds)."},
+    {"run_all", (PyCFunction)simulator_run_all, METH_O,
+     "Run to completion and return each process's return value."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef simulator_members[] = {
+    {"now", T_DOUBLE, offsetof(SimulatorObject, now), 0,
+     "Current simulated time."},
+    {"events_processed", T_LONGLONG,
+     offsetof(SimulatorObject, events_processed), 0,
+     "Total events retired by this simulator."},
+    {"_delay_scale", T_DOUBLE, offsetof(SimulatorObject, delay_scale), 0,
+     NULL},
+    {"_alive", T_OBJECT_EX, offsetof(SimulatorObject, alive), READONLY,
+     NULL},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyObject *
+simulator_get_queue_len(PyObject *op, void *closure)
+{
+    return PyLong_FromSsize_t(((SimulatorObject *)op)->heap_len);
+}
+
+static PyGetSetDef simulator_getsets[] = {
+    {"_queue_len", simulator_get_queue_len, NULL,
+     "Number of scheduled entries (the compiled heap is not a list).",
+     NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject Simulator_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.simmachine._cengine.Simulator",
+    .tp_basicsize = sizeof(SimulatorObject),
+    .tp_dealloc = simulator_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Event queue and simulated clock.",
+    .tp_traverse = simulator_traverse,
+    .tp_clear = simulator_clear,
+    .tp_methods = simulator_methods,
+    .tp_members = simulator_members,
+    .tp_getset = simulator_getsets,
+    .tp_init = simulator_init,
+    .tp_new = simulator_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module init. */
+
+static struct PyModuleDef cengine_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.simmachine._cengine",
+    .m_doc = "Compiled discrete-event engine (see repro.simmachine.engine).",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__cengine(void)
+{
+    PyObject *errors = PyImport_ImportModule("repro.errors");
+    if (errors == NULL) {
+        return NULL;
+    }
+    SimulationError = PyObject_GetAttrString(errors, "SimulationError");
+    DeadlockError = PyObject_GetAttrString(errors, "DeadlockError");
+    Py_DECREF(errors);
+    if (SimulationError == NULL || DeadlockError == NULL) {
+        return NULL;
+    }
+
+    if ((str_check = PyUnicode_InternFromString("check")) == NULL
+        || (str_param = PyUnicode_InternFromString("param")) == NULL
+        || (str_value = PyUnicode_InternFromString("value")) == NULL
+        || (str_throw = PyUnicode_InternFromString("throw")) == NULL
+        || (str_name = PyUnicode_InternFromString("name")) == NULL
+        || (str_sim_run_error =
+                PyUnicode_InternFromString("sim.run.error")) == NULL
+        || (str_sim_run_noise =
+                PyUnicode_InternFromString("sim.run.noise")) == NULL) {
+        return NULL;
+    }
+
+    Timeout_Type.tp_base = &Event_Type;
+    AllOf_Type.tp_base = &Event_Type;
+    AnyOf_Type.tp_base = &Event_Type;
+    Process_Type.tp_base = &Event_Type;
+    if (PyType_Ready(&Event_Type) < 0 || PyType_Ready(&Timeout_Type) < 0
+        || PyType_Ready(&AllOf_Type) < 0 || PyType_Ready(&AnyOf_Type) < 0
+        || PyType_Ready(&Process_Type) < 0
+        || PyType_Ready(&Simulator_Type) < 0) {
+        return NULL;
+    }
+
+    PyObject *mod = PyModule_Create(&cengine_module);
+    if (mod == NULL) {
+        return NULL;
+    }
+    if (PyModule_AddObjectRef(mod, "Event", (PyObject *)&Event_Type) < 0
+        || PyModule_AddObjectRef(mod, "Timeout",
+                                 (PyObject *)&Timeout_Type) < 0
+        || PyModule_AddObjectRef(mod, "AllOf", (PyObject *)&AllOf_Type) < 0
+        || PyModule_AddObjectRef(mod, "AnyOf", (PyObject *)&AnyOf_Type) < 0
+        || PyModule_AddObjectRef(mod, "Process",
+                                 (PyObject *)&Process_Type) < 0
+        || PyModule_AddObjectRef(mod, "Simulator",
+                                 (PyObject *)&Simulator_Type) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(mod, "ENGINE_API_VERSION", 1) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    PyObject *build_info = Py_BuildValue(
+        "{s:s, s:s, s:s}",
+        "kind", "c-extension",
+#ifdef __VERSION__
+        "compiler", "gcc " __VERSION__,
+#else
+        "compiler", "unknown",
+#endif
+        "python_abi", PY_VERSION);
+    if (build_info == NULL
+        || PyModule_AddObject(mod, "BUILD_INFO", build_info) < 0) {
+        Py_XDECREF(build_info);
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

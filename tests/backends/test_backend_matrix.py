@@ -1,0 +1,187 @@
+"""Backend matrix: the engine suites and golden tables under each backend.
+
+These tests pin the *selection* machinery (``repro.simmachine._backend``)
+and prove the compiled engine is a drop-in replacement end to end:
+
+* ``REPRO_ENGINE=pure`` / ``compiled`` force each backend and the
+  ``tests/simmachine`` + ``tests/simmpi`` suites pass under both;
+* the golden BT/SP/LU tables — pinned CSVs generated on the pure
+  backend — are reproduced *bit-identically* by the compiled backend;
+* forcing ``REPRO_ENGINE=compiled`` in an environment without the
+  extension raises :class:`repro.errors.ConfigurationError`.
+
+When the extension is not built, compiled-backend cases skip with an
+explicit marker (never silently).
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+HAVE_CENGINE = (
+    importlib.util.find_spec("repro.simmachine._cengine") is not None
+)
+
+requires_cengine = pytest.mark.skipif(
+    not HAVE_CENGINE,
+    reason="compiled engine extension not built (pure-only environment); "
+    "build with 'REPRO_BUILD_EXT=1 python setup.py build_ext --inplace'",
+)
+
+#: -c prologue that makes `import repro.simmachine._cengine` fail even
+#: when the extension is built, simulating a pure-only environment.
+BLOCK_CENGINE = """\
+import sys
+class _Block:
+    def find_spec(self, name, path=None, target=None):
+        if name == "repro.simmachine._cengine":
+            raise ImportError("blocked for test")
+        return None
+sys.meta_path.insert(0, _Block())
+"""
+
+
+def _run(code=None, *, args=None, engine=None, block=False, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if engine is None:
+        env.pop("REPRO_ENGINE", None)
+    else:
+        env["REPRO_ENGINE"] = engine
+    if code is not None:
+        if block:
+            code = BLOCK_CENGINE + code
+        cmd = [sys.executable, "-c", code]
+    else:
+        cmd = [sys.executable, *args]
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestSelection:
+    def test_auto_without_extension_falls_back_to_pure(self):
+        proc = _run(
+            "from repro.simmachine import _backend\n"
+            "print(_backend.BACKEND_NAME, _backend.SELECTED_BY)\n",
+            block=True,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.split() == ["pure", "auto"]
+
+    def test_env_pure_selects_pure(self):
+        proc = _run(
+            "from repro.simmachine import _backend\n"
+            "print(_backend.BACKEND_NAME, _backend.SELECTED_BY)\n",
+            engine="pure",
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.split() == ["pure", "env"]
+
+    @requires_cengine
+    def test_env_compiled_selects_compiled(self):
+        proc = _run(
+            "from repro.simmachine import _backend\n"
+            "print(_backend.BACKEND_NAME, _backend.SELECTED_BY)\n"
+            "import repro.simmachine as sm\n"
+            "from repro.simmachine import _cengine\n"
+            "assert sm.Simulator is _cengine.Simulator\n",
+            engine="compiled",
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.split() == ["compiled", "env"]
+
+    def test_forced_compiled_without_extension_raises(self):
+        proc = _run(
+            "try:\n"
+            "    from repro.simmachine import _backend\n"
+            "except Exception as exc:\n"
+            "    print(type(exc).__name__)\n"
+            "    raise SystemExit(0)\n"
+            "raise SystemExit('selection unexpectedly succeeded')\n",
+            engine="compiled",
+            block=True,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip() == "ConfigurationError"
+
+    def test_invalid_value_raises(self):
+        proc = _run(
+            "try:\n"
+            "    from repro.simmachine import _backend\n"
+            "except Exception as exc:\n"
+            "    print(type(exc).__name__)\n"
+            "    raise SystemExit(0)\n"
+            "raise SystemExit('selection unexpectedly succeeded')\n",
+            engine="definitely-not-a-backend",
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip() == "ConfigurationError"
+
+
+class TestSuitesUnderBothBackends:
+    """The engine-facing suites pass with the backend pinned either way."""
+
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            "pure",
+            pytest.param("compiled", marks=requires_cengine),
+        ],
+    )
+    def test_simmachine_and_simmpi_suites(self, engine):
+        proc = _run(
+            args=[
+                "-m",
+                "pytest",
+                "tests/simmachine",
+                "tests/simmpi",
+                "-q",
+                "--no-header",
+                "-p",
+                "no:cacheprovider",
+            ],
+            engine=engine,
+        )
+        assert proc.returncode == 0, (
+            f"suites failed under REPRO_ENGINE={engine}:\n"
+            + proc.stdout[-3000:]
+            + proc.stderr[-2000:]
+        )
+
+
+class TestGoldenTablesAcrossBackends:
+    """The pinned golden CSVs were generated on the pure backend; the
+    compiled backend must reproduce them byte for byte."""
+
+    @requires_cengine
+    @pytest.mark.parametrize("engine", ["pure", "compiled"])
+    def test_golden_tables_bit_identical(self, engine):
+        proc = _run(
+            args=[
+                "-m",
+                "pytest",
+                "tests/experiments/test_golden_tables.py",
+                "-q",
+                "--no-header",
+                "-p",
+                "no:cacheprovider",
+            ],
+            engine=engine,
+        )
+        assert proc.returncode == 0, (
+            f"golden tables drifted under REPRO_ENGINE={engine}:\n"
+            + proc.stdout[-3000:]
+            + proc.stderr[-2000:]
+        )

@@ -1,14 +1,49 @@
-"""Discrete-event engine: events, timeouts, processes, determinism."""
+"""Discrete-event engine: events, timeouts, processes, determinism.
+
+Every test runs against *both* engine backends — the pure-Python
+reference (``repro.simmachine.engine``) and, when built, the compiled
+extension (``repro.simmachine._cengine``) — via the ``eng`` fixture.
+Pure-only environments skip the compiled parametrization with an
+explicit marker rather than silently shrinking coverage.
+"""
+
+import importlib.util
 
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.simmachine.engine import AllOf, Simulator, Timeout
+
+HAVE_CENGINE = (
+    importlib.util.find_spec("repro.simmachine._cengine") is not None
+)
+
+requires_cengine = pytest.mark.skipif(
+    not HAVE_CENGINE,
+    reason="compiled engine extension not built (pure-only environment); "
+    "build with 'REPRO_BUILD_EXT=1 python setup.py build_ext --inplace'",
+)
+
+
+@pytest.fixture(
+    params=[
+        "pure",
+        pytest.param("compiled", marks=requires_cengine),
+    ]
+)
+def eng(request):
+    """The engine module under test (both backends when available)."""
+    if request.param == "compiled":
+        from repro.simmachine import _cengine
+
+        return _cengine
+    from repro.simmachine import engine
+
+    return engine
 
 
 @pytest.fixture
-def sim():
-    return Simulator()
+def sim(eng):
+    return eng.Simulator()
 
 
 class TestEvent:
@@ -50,6 +85,15 @@ class TestEvent:
         ev.add_callback(lambda e: seen.append(e.value))
         assert seen == [7]
 
+    def test_many_callbacks_run_in_registration_order(self, sim):
+        ev = sim.event()
+        ev.trigger_at("v", 1.0)
+        seen = []
+        for i in range(4):
+            ev.add_callback(lambda e, i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+
     def test_fail_propagates_exception_to_process(self, sim):
         ev = sim.event()
 
@@ -63,19 +107,34 @@ class TestEvent:
         sim.run()
         assert p.value == "handled"
 
+    def test_callback_exception_propagates_out_of_run(self, sim):
+        ev = sim.event().succeed()
+
+        def bad(event):
+            raise RuntimeError("callback exploded")
+
+        ev.add_callback(bad)
+        with pytest.raises(RuntimeError, match="callback exploded"):
+            sim.run()
+
 
 class TestTimeout:
-    def test_advances_clock(self, sim):
-        Timeout(sim, 5.0)
+    def test_advances_clock(self, eng, sim):
+        eng.Timeout(sim, 5.0)
         assert sim.run() == 5.0
 
-    def test_zero_delay_allowed(self, sim):
-        Timeout(sim, 0.0)
+    def test_zero_delay_allowed(self, eng, sim):
+        eng.Timeout(sim, 0.0)
         assert sim.run() == 0.0
 
-    def test_negative_delay_raises(self, sim):
+    def test_negative_delay_raises(self, eng, sim):
         with pytest.raises(SimulationError):
-            Timeout(sim, -0.1)
+            eng.Timeout(sim, -0.1)
+
+    def test_negative_delay_message_repr(self, eng, sim):
+        with pytest.raises(SimulationError) as exc:
+            eng.Timeout(sim, -0.1)
+        assert str(exc.value) == "negative timeout delay -0.1"
 
     def test_carries_value(self, sim):
         results = []
@@ -97,8 +156,8 @@ class TestTimeout:
 
 
 class TestAllOf:
-    def test_empty_fires_immediately(self, sim):
-        ev = AllOf(sim, [])
+    def test_empty_fires_immediately(self, eng, sim):
+        ev = eng.AllOf(sim, [])
         assert ev.triggered
         assert ev.value == []
 
@@ -114,6 +173,21 @@ class TestAllOf:
         sim.process(proc())
         sim.run()
         assert done == [(2.0, ["late", "early"])]
+
+    def test_already_processed_children_count(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        sim.run()
+        assert t1.processed
+        t2 = sim.timeout(1.0, value="b")
+        done = []
+
+        def proc():
+            vals = yield sim.all_of([t1, t2])
+            done.append((sim.now, vals))
+
+        sim.process(proc())
+        sim.run()
+        assert done == [(2.0, ["a", "b"])]
 
     def test_failure_propagates(self, sim):
         bad = sim.event()
@@ -158,6 +232,17 @@ class TestProcess:
         with pytest.raises(KeyError):
             sim.run()
 
+    def test_crash_marks_process_failed(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise KeyError("oops")
+
+        p = sim.process(proc(), name="crasher")
+        with pytest.raises(KeyError):
+            sim.run()
+        with pytest.raises(SimulationError, match="'crasher' failed"):
+            sim.run_all([p])
+
     def test_two_processes_interleave(self, sim):
         trace = []
 
@@ -183,6 +268,19 @@ class TestProcess:
         p = sim.process(parent())
         sim.run()
         assert p.value == "saw child-done"
+
+    def test_yielding_already_processed_event_resumes_inline(self, sim):
+        done = sim.timeout(1.0, value="past")
+        sim.run()
+        assert done.processed
+
+        def proc():
+            v = yield done
+            return v
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "past"
 
 
 class TestDeadlock:
@@ -229,9 +327,13 @@ class TestRun:
         sim.run()
         assert sim.events_processed == 5
 
-    def test_determinism_same_structure(self):
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(IndexError):
+            sim.step()
+
+    def test_determinism_same_structure(self, eng):
         def build():
-            s = Simulator()
+            s = eng.Simulator()
             log = []
 
             def proc(n):
@@ -248,31 +350,24 @@ class TestRun:
 
 
 class TestAnyOf:
-    def test_first_completion_wins(self):
-        from repro.simmachine.engine import AnyOf
-
-        sim = Simulator()
+    def test_first_completion_wins(self, eng, sim):
         slow = sim.timeout(5.0, value="slow")
         fast = sim.timeout(1.0, value="fast")
         seen = []
 
         def proc():
-            result = yield AnyOf(sim, [slow, fast])
+            result = yield eng.AnyOf(sim, [slow, fast])
             seen.append((sim.now, result))
 
         sim.process(proc())
         sim.run()
         assert seen == [(1.0, (1, "fast"))]
 
-    def test_empty_rejected(self):
-        from repro.simmachine.engine import AnyOf
-
-        sim = Simulator()
+    def test_empty_rejected(self, eng, sim):
         with pytest.raises(SimulationError):
-            AnyOf(sim, [])
+            eng.AnyOf(sim, [])
 
-    def test_failure_of_first_child_propagates(self):
-        sim = Simulator()
+    def test_failure_of_first_child_propagates(self, sim):
         bad = sim.event()
         slow = sim.timeout(10.0)
 
@@ -284,8 +379,7 @@ class TestAnyOf:
         bad.fail(RuntimeError("boom"))
         sim.run()
 
-    def test_later_completions_harmless(self):
-        sim = Simulator()
+    def test_later_completions_harmless(self, sim):
         a = sim.timeout(1.0, value="a")
         b = sim.timeout(2.0, value="b")
 
@@ -299,3 +393,90 @@ class TestAnyOf:
         p = sim.process(proc())
         sim.run()
         assert p.value == "done"
+
+
+@requires_cengine
+class TestBackendParity:
+    """Bit-identical behaviour of the two engine implementations."""
+
+    @staticmethod
+    def _schedule_log(simulator_cls):
+        """A mixed workload touching every event kind; full float log."""
+        sim = simulator_cls()
+        log = []
+
+        def worker(n):
+            for i in range(20):
+                yield sim.timeout(0.013 * (n + 1) * (i + 1), value=(n, i))
+                log.append(("t", sim.now, n, i))
+            return n
+
+        def messenger(n, peer_ev):
+            v = yield peer_ev
+            log.append(("m", sim.now, n, v))
+            yield sim.timeout(0.5)
+            return "ok"
+
+        def gatherer(events):
+            vals = yield sim.all_of(events)
+            log.append(("all", sim.now, tuple(vals)))
+            first = yield sim.any_of(list(events))
+            log.append(("any", sim.now, first))
+
+        workers = [sim.process(worker(n), name=f"w{n}") for n in range(4)]
+        evs = []
+        for n in range(3):
+            ev = sim.event()
+            ev.trigger_at(f"payload{n}", 0.31 * (n + 1))
+            evs.append(ev)
+            sim.process(messenger(n, ev), name=f"m{n}")
+        sim.process(gatherer(evs), name="g")
+        results = sim.run_all(workers)
+        log.append(("done", sim.now, sim.events_processed, tuple(results)))
+        return log
+
+    def test_identical_event_schedules(self):
+        from repro.simmachine import _cengine, engine
+
+        pure_log = self._schedule_log(engine.Simulator)
+        compiled_log = self._schedule_log(_cengine.Simulator)
+        # Exact equality, floats included: same arithmetic, same order.
+        assert pure_log == compiled_log
+
+    def test_identical_error_messages(self):
+        from repro.simmachine import _cengine, engine
+
+        def messages(mod):
+            sim = mod.Simulator()
+            out = []
+            for trigger in (
+                lambda: mod.Timeout(sim, -0.25),
+                lambda: sim.event().succeed().succeed(),
+                lambda: sim.event().trigger_at(None, -2),
+                lambda: sim.event().value,
+                lambda: mod.AnyOf(sim, []),
+                lambda: sim.process(object()),
+            ):
+                with pytest.raises(SimulationError) as exc:
+                    trigger()
+                out.append(str(exc.value))
+            return out
+
+        assert messages(engine) == messages(_cengine)
+
+    def test_identical_deadlock_reports(self):
+        from repro.simmachine import _cengine, engine
+
+        def deadlock(mod):
+            sim = mod.Simulator()
+
+            def stuck():
+                yield sim.event()
+
+            for i in range(3):
+                sim.process(stuck(), name=f"rank{2 - i}")
+            with pytest.raises(DeadlockError) as exc:
+                sim.run()
+            return exc.value.blocked, str(exc.value)
+
+        assert deadlock(engine) == deadlock(_cengine)
